@@ -1,0 +1,68 @@
+//! Ablation: channel buffering policy (zero-copy DMA rings vs staged
+//! kernel copies) across message sizes — the design choice behind the
+//! paper's §4.1 zero-copy channel architecture.
+//!
+//! Prints the modelled per-message latency of each provider so the
+//! crossover is visible, then benches the executive's send path.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hydra_core::channel::{
+    Buffering, ChannelConfig, ChannelExecutive, ChannelProvider, KernelCopyProvider,
+    ZeroCopyDmaProvider,
+};
+use hydra_core::device::DeviceId;
+use hydra_sim::time::SimTime;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let zc = ZeroCopyDmaProvider;
+    let kc = KernelCopyProvider;
+    println!("channel_ablation: modelled latency per message");
+    for bytes in [64usize, 1024, 16 * 1024, 256 * 1024] {
+        let cfg = ChannelConfig::figure3(DeviceId(1));
+        let mut copied = cfg;
+        copied.buffering = Buffering::Copied;
+        println!(
+            "  {:>8} B: zero-copy {} vs kernel-copy {}",
+            bytes,
+            zc.cost(&cfg).latency(bytes),
+            kc.cost(&copied).latency(bytes),
+        );
+    }
+
+    let mut g = c.benchmark_group("channel_ablation");
+    for bytes in [1024usize, 16 * 1024] {
+        g.throughput(Throughput::Bytes(bytes as u64));
+        for buffering in [Buffering::ZeroCopy, Buffering::Copied] {
+            let label = match buffering {
+                Buffering::ZeroCopy => "zero_copy",
+                Buffering::Copied => "copied",
+            };
+            g.bench_with_input(BenchmarkId::new(label, bytes), &bytes, |b, &bytes| {
+                let mut exec = ChannelExecutive::with_default_providers();
+                let mut cfg = ChannelConfig::figure3(DeviceId(1));
+                cfg.buffering = buffering;
+                cfg.capacity = 1 << 20;
+                let id = exec.create_channel(cfg).expect("provider available");
+                exec.get_mut(id)
+                    .expect("channel exists")
+                    .connect_endpoint()
+                    .expect("first endpoint");
+                let payload = Bytes::from(vec![0u8; bytes]);
+                let mut now = SimTime::ZERO;
+                b.iter(|| {
+                    let ch = exec.get_mut(id).expect("channel exists");
+                    let t = ch.send(now, payload.clone()).expect("capacity is huge");
+                    // Drain to keep the ring empty.
+                    black_box(ch.recv(t, 0));
+                    now = t;
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

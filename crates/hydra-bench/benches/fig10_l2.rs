@@ -1,0 +1,37 @@
+//! Bench for Figure 10 / Table 3: server-side L2 and CPU accounting.
+//! Prints the normalized L2 slowdown it regenerates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hydra_bench::bench_suite;
+use hydra_tivo::experiments::fig10_tab3;
+use hydra_tivo::server::ServerKind;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_suite();
+    let r = fig10_tab3(&cfg);
+    for kind in ServerKind::all() {
+        println!(
+            "fig10 {:<18} normalized L2 {:.3}x, cpu {:.2}%",
+            kind.label(),
+            r.normalized_l2(kind),
+            r.runs
+                .iter()
+                .find(|x| x.kind == kind)
+                .expect("all kinds present")
+                .cpu_util
+                .summary()
+                .mean
+                * 100.0
+        );
+    }
+    let mut g = c.benchmark_group("fig10_l2");
+    g.sample_size(10);
+    g.bench_function("four_scenarios", |b| {
+        b.iter(|| black_box(fig10_tab3(&cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

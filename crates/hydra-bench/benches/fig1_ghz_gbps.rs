@@ -1,0 +1,31 @@
+//! Bench for Figure 1: the GHz/Gbps sweep (transmit + receive).
+//!
+//! Also prints the series it regenerates, so `cargo bench` output carries
+//! the figure's data alongside the timing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hydra_tivo::tcpmodel::{GhzGbpsModel, TcpDirection};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = GhzGbpsModel::paper_setup();
+    // Print the regenerated figure once.
+    for dir in [TcpDirection::Transmit, TcpDirection::Receive] {
+        let pts = model.sweep(dir);
+        println!("fig1 {dir:?}:");
+        for p in &pts {
+            println!("  {:>6} B -> {:.3} GHz/Gbps", p.packet_bytes, p.ghz_per_gbps);
+        }
+    }
+    let mut g = c.benchmark_group("fig1");
+    g.bench_function("sweep_transmit", |b| {
+        b.iter(|| black_box(model.sweep(TcpDirection::Transmit)))
+    });
+    g.bench_function("sweep_receive", |b| {
+        b.iter(|| black_box(model.sweep(TcpDirection::Receive)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Bench for Figure 9 / Table 2: the jitter experiment, one short run per
+//! server variant. Prints the regenerated Table 2 rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hydra_sim::time::SimDuration;
+use hydra_tivo::server::{run_server, ServerConfig, ServerKind};
+use std::hint::black_box;
+
+fn cfg(kind: ServerKind) -> ServerConfig {
+    let mut c = ServerConfig::paper(kind, 42);
+    c.duration = SimDuration::from_secs(6);
+    c
+}
+
+fn bench(c: &mut Criterion) {
+    for kind in [ServerKind::Simple, ServerKind::Sendfile, ServerKind::Offloaded] {
+        let run = run_server(cfg(kind));
+        let s = run.jitter_ms.summary();
+        println!(
+            "tab2 {:<18} median {:.2} ms, avg {:.2} ms, std {:.4} ms",
+            kind.label(),
+            s.median,
+            s.mean,
+            s.std_dev
+        );
+    }
+    let mut g = c.benchmark_group("fig9_jitter");
+    g.sample_size(10);
+    for kind in [ServerKind::Simple, ServerKind::Sendfile, ServerKind::Offloaded] {
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| black_box(run_server(cfg(kind))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

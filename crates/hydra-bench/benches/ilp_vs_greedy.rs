@@ -1,0 +1,36 @@
+//! Bench for §5: exact branch-and-bound ILP vs the greedy heuristic on
+//! layout graphs of increasing size. Prints the quality comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hydra_core::layout::Objective;
+use hydra_sim::rng::DetRng;
+use hydra_tivo::experiments::{ilp_vs_greedy, random_layout};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let quality = ilp_vs_greedy(42, 30);
+    println!(
+        "ilp_vs_greedy: ILP strictly better in {:.0}% of cases, mean improvement {:.1}%",
+        quality.improvement_fraction() * 100.0,
+        quality.mean_improvement() * 100.0
+    );
+
+    let mut g = c.benchmark_group("ilp_vs_greedy");
+    for n in [4usize, 8, 12, 16] {
+        let mut rng = DetRng::new(7);
+        let graph = random_layout(&mut rng, n, 3);
+        let obj = Objective::MaximizeBusUsage {
+            capacities: vec![8.0; 4],
+        };
+        g.bench_with_input(BenchmarkId::new("ilp", n), &n, |b, _| {
+            b.iter(|| black_box(graph.resolve_ilp(&obj).expect("feasible")))
+        });
+        g.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
+            b.iter(|| black_box(graph.resolve_greedy(&obj)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Ablation: dynamic-loading strategy (§4.2) — host-side linking vs
+//! device-side loading across Offcode sizes. Prints where each strategy's
+//! work and transfer bytes land, then benches both paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hydra_core::offcode::synthetic_object;
+use hydra_link::linker::ExportTable;
+use hydra_link::loader::{load_device_side, load_host_side, DeviceMemoryAllocator};
+use std::hint::black_box;
+
+fn exports() -> ExportTable {
+    let mut e = ExportTable::new();
+    e.insert("hydra_heap_alloc", 0xF000);
+    e.insert("hydra_channel_write", 0xF010);
+    e.insert("hydra_channel_read", 0xF020);
+    e
+}
+
+fn bench(c: &mut Criterion) {
+    println!("loader_ablation: cost split per strategy");
+    for code_kb in [4usize, 64, 512] {
+        let obj = synthetic_object("bench.Offcode", code_kb * 1024, 4096);
+        let exports = exports();
+        let mut a1 = DeviceMemoryAllocator::new(0, 1 << 30);
+        let mut a2 = DeviceMemoryAllocator::new(0, 1 << 30);
+        let (_, host) = load_host_side(std::slice::from_ref(&obj), &mut a1, &exports)
+            .expect("load succeeds");
+        let (_, dev) = load_device_side(std::slice::from_ref(&obj), &mut a2, &exports)
+            .expect("load succeeds");
+        println!(
+            "  {:>4} kB text: host-link(host {} / dev {} units, {} B xfer) \
+             device-link(host {} / dev {} units, {} B xfer)",
+            code_kb,
+            host.host_work_units,
+            host.device_work_units,
+            host.transfer_bytes,
+            dev.host_work_units,
+            dev.device_work_units,
+            dev.transfer_bytes
+        );
+    }
+
+    let mut g = c.benchmark_group("loader_ablation");
+    for code_kb in [4usize, 64] {
+        let obj = synthetic_object("bench.Offcode", code_kb * 1024, 4096);
+        let exports = exports();
+        g.bench_with_input(BenchmarkId::new("host_side", code_kb), &obj, |b, obj| {
+            b.iter(|| {
+                let mut alloc = DeviceMemoryAllocator::new(0, 1 << 30);
+                black_box(
+                    load_host_side(std::slice::from_ref(obj), &mut alloc, &exports)
+                        .expect("load succeeds"),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("device_side", code_kb), &obj, |b, obj| {
+            b.iter(|| {
+                let mut alloc = DeviceMemoryAllocator::new(0, 1 << 30);
+                black_box(
+                    load_device_side(std::slice::from_ref(obj), &mut alloc, &exports)
+                        .expect("load succeeds"),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

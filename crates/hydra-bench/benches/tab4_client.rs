@@ -1,0 +1,35 @@
+//! Bench for Table 4 + client L2: the client-side scenarios.
+//! Prints the regenerated Table 4 rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hydra_sim::time::SimDuration;
+use hydra_tivo::client::{run_client, ClientConfig, ClientKind};
+use std::hint::black_box;
+
+fn cfg(kind: ClientKind) -> ClientConfig {
+    let mut c = ClientConfig::paper(kind, 42);
+    c.duration = SimDuration::from_secs(6);
+    c
+}
+
+fn bench(c: &mut Criterion) {
+    for kind in ClientKind::all() {
+        let run = run_client(cfg(kind));
+        println!(
+            "tab4 {:<18} cpu {:.2}%, {} packets, {} frames",
+            kind.label(),
+            run.cpu_util.summary().mean * 100.0,
+            run.packets,
+            run.frames_decoded
+        );
+    }
+    let mut g = c.benchmark_group("tab4_client");
+    g.sample_size(10);
+    for kind in ClientKind::all() {
+        g.bench_function(kind.label(), |b| b.iter(|| black_box(run_client(cfg(kind)))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

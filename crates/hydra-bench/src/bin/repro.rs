@@ -1,0 +1,114 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p hydra-bench --bin repro            # 60 s runs
+//! cargo run --release -p hydra-bench --bin repro -- --full  # 600 s (paper)
+//! cargo run --release -p hydra-bench --bin repro -- fig9    # one experiment
+//! ```
+//!
+//! Experiments: `fig1`, `fig9` (includes Table 2), `fig10` (includes
+//! Table 3), `tab4` (includes client L2), `ilp`, `playback`, the §1.1
+//! comparison `onload`, the TOE demonstration `toe`, and the paper's §8
+//! extensions `vmdemux` and `search`. With no selector, everything runs.
+
+use std::env;
+
+use hydra_sim::time::SimDuration;
+use hydra_tivo::experiments::{
+    fig1, fig10_tab3, fig9_tab2, ilp_vs_greedy, tab4_client, SuiteConfig,
+};
+use hydra_tivo::playback::{run_record_playback, PlaybackConfig};
+use hydra_tivo::onload::compare_designs;
+use hydra_tivo::toe::{run_bulk_receive, TcpPlacement};
+use hydra_tivo::storage::{build_corpus, run_search, SearchKind};
+use hydra_tivo::virtualization::vm_demux_comparison;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let cfg = if full {
+        SuiteConfig::paper_full()
+    } else {
+        SuiteConfig::default()
+    };
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let want = |name: &str| selected.is_empty() || selected.contains(&name);
+
+    println!(
+        "HYDRA reproduction — simulated testbed, {} s runs, seed {}",
+        cfg.duration.as_secs_f64(),
+        cfg.seed
+    );
+    println!("(paper: Weinsberg et al., ASPLOS 2008)\n");
+
+    if want("fig1") {
+        println!("{}", fig1());
+        println!();
+    }
+    if want("fig9") || want("tab2") {
+        println!("{}", fig9_tab2(&cfg));
+        println!();
+    }
+    if want("fig10") || want("tab3") {
+        println!("{}", fig10_tab3(&cfg));
+        println!();
+    }
+    if want("tab4") {
+        println!("{}", tab4_client(&cfg));
+        println!();
+    }
+    if want("ilp") {
+        println!("{}", ilp_vs_greedy(cfg.seed, 40));
+        println!();
+    }
+    if want("playback") {
+        let run = run_record_playback(PlaybackConfig::default())
+            .expect("playback pipeline must round-trip");
+        println!("Record + playback (TiVo feature, §1/§6.3)");
+        println!(
+            "  {} frames recorded to NAS ({} bytes), {} played back",
+            25, run.bytes_recorded, run.frames_played
+        );
+        let s = run.playback_gaps_ms.summary();
+        println!(
+            "  playback pacing: median {:.2} ms, std {:.3} ms; worst PSNR {:.1} dB\n",
+            s.median, s.std_dev, run.worst_psnr_db
+        );
+    }
+    if want("vmdemux") {
+        println!("§8 extension — VM packet demultiplexing (host bridge vs NIC Offcode)");
+        for run in vm_demux_comparison(cfg.seed, SimDuration::from_secs(10)) {
+            println!("  {run}");
+        }
+        println!();
+    }
+    if want("onload") {
+        println!("§1.1 — offload vs onload (1 kB packets at 100k pps)");
+        for p in compare_designs(1024, 100_000.0) {
+            println!("  {p}");
+        }
+        println!();
+    }
+    if want("toe") {
+        println!("§1.1 — TOE vs host TCP (200 kB bulk receive, 2% segment loss)");
+        let data: Vec<u8> = (0..200_000usize).map(|i| (i % 249) as u8).collect();
+        for placement in TcpPlacement::all() {
+            let run = run_bulk_receive(placement, &data, 0.02, cfg.seed);
+            assert_eq!(run.delivered, data, "TCP must deliver exactly");
+            println!("  {run}");
+        }
+        println!();
+    }
+    if want("search") {
+        println!("§8 extension — disk-side content search (512 kB corpus, 6 signatures)");
+        let needle = b"\x7fVIRUS_SIGNATURE";
+        let corpus = build_corpus(512 * 1024, needle, 6, cfg.seed);
+        for kind in SearchKind::all() {
+            println!("  {}", run_search(kind, &corpus, needle, cfg.seed));
+        }
+    }
+}

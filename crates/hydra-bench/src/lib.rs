@@ -1,0 +1,38 @@
+//! # hydra-bench — benchmark harness
+//!
+//! Two entry points:
+//!
+//! * the **`repro` binary** (`cargo run -p hydra-bench --bin repro`)
+//!   regenerates every table and figure of the paper on the simulated
+//!   testbed and prints them in paper format; `--full` runs the paper's
+//!   10-minute durations;
+//! * the **Criterion benches** (`cargo bench -p hydra-bench`) measure the
+//!   harness itself — one bench per table/figure plus the ablations
+//!   DESIGN.md calls out (channel buffering policy, loading strategy,
+//!   ILP vs greedy).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hydra_sim::time::SimDuration;
+use hydra_tivo::experiments::SuiteConfig;
+
+/// A short-duration suite configuration for benches: 6 simulated seconds
+/// — enough for the pipelines to reach steady state *and* to land at
+/// least one 5-second utilization/L2 sample window.
+pub fn bench_suite() -> SuiteConfig {
+    SuiteConfig {
+        duration: SimDuration::from_secs(6),
+        seed: 42,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_suite_is_short() {
+        assert_eq!(bench_suite().duration.as_millis(), 6_000);
+    }
+}

@@ -1,0 +1,540 @@
+//! Call objects and argument marshaling.
+//!
+//! Paper §3.1: "All interface methods return a Call object that contains
+//! the relevant method information including the serialized input
+//! parameters. Once a Call object is obtained, it can be sent to a target
+//! device … by using a connected channel." [`Call`] is that object: an
+//! interface GUID, an operation name, typed arguments ([`Value`]), and an
+//! optional return descriptor. Calls have a compact binary encoding (what
+//! actually crosses the bus) and can be type-checked against a WSDL-lite
+//! [`InterfaceSpec`].
+
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hydra_odf::odf::Guid;
+use hydra_odf::wsdl::{InterfaceSpec, TypeTag};
+
+/// A marshalable value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// No value.
+    Unit,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned 32-bit.
+    U32(u32),
+    /// Unsigned 64-bit.
+    U64(u64),
+    /// Signed 64-bit.
+    I64(i64),
+    /// Raw bytes (zero-copy friendly).
+    Bytes(Bytes),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// The value's type tag.
+    pub fn type_tag(&self) -> TypeTag {
+        match self {
+            Value::Unit => TypeTag::Unit,
+            Value::Bool(_) => TypeTag::Bool,
+            Value::U32(_) => TypeTag::U32,
+            Value::U64(_) => TypeTag::U64,
+            Value::I64(_) => TypeTag::I64,
+            Value::Bytes(_) => TypeTag::Bytes,
+            Value::Str(_) => TypeTag::Str,
+        }
+    }
+
+    /// Serialized size in bytes (tag byte + payload).
+    pub fn wire_size(&self) -> usize {
+        1 + match self {
+            Value::Unit => 0,
+            Value::Bool(_) => 1,
+            Value::U32(_) => 4,
+            Value::U64(_) | Value::I64(_) => 8,
+            Value::Bytes(b) => 4 + b.len(),
+            Value::Str(s) => 4 + s.len(),
+        }
+    }
+
+    /// Extracts bytes, if this is a `Bytes` value.
+    pub fn as_bytes(&self) -> Option<&Bytes> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Extracts a u64 (widening u32), if numeric.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U32(v) => Some(*v as u64),
+            Value::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn encode(&self, b: &mut BytesMut) {
+        match self {
+            Value::Unit => b.put_u8(0),
+            Value::Bool(v) => {
+                b.put_u8(1);
+                b.put_u8(*v as u8);
+            }
+            Value::U32(v) => {
+                b.put_u8(2);
+                b.put_u32(*v);
+            }
+            Value::U64(v) => {
+                b.put_u8(3);
+                b.put_u64(*v);
+            }
+            Value::I64(v) => {
+                b.put_u8(4);
+                b.put_i64(*v);
+            }
+            Value::Bytes(v) => {
+                b.put_u8(5);
+                b.put_u32(v.len() as u32);
+                b.put_slice(v);
+            }
+            Value::Str(v) => {
+                b.put_u8(6);
+                b.put_u32(v.len() as u32);
+                b.put_slice(v.as_bytes());
+            }
+        }
+    }
+
+    fn decode(raw: &mut Bytes) -> Result<Value, MarshalError> {
+        if !raw.has_remaining() {
+            return Err(MarshalError::Truncated);
+        }
+        let tag = raw.get_u8();
+        let need = |raw: &Bytes, n: usize| {
+            if raw.remaining() < n {
+                Err(MarshalError::Truncated)
+            } else {
+                Ok(())
+            }
+        };
+        match tag {
+            0 => Ok(Value::Unit),
+            1 => {
+                need(raw, 1)?;
+                Ok(Value::Bool(raw.get_u8() != 0))
+            }
+            2 => {
+                need(raw, 4)?;
+                Ok(Value::U32(raw.get_u32()))
+            }
+            3 => {
+                need(raw, 8)?;
+                Ok(Value::U64(raw.get_u64()))
+            }
+            4 => {
+                need(raw, 8)?;
+                Ok(Value::I64(raw.get_i64()))
+            }
+            5 => {
+                need(raw, 4)?;
+                let n = raw.get_u32() as usize;
+                need(raw, n)?;
+                Ok(Value::Bytes(raw.split_to(n)))
+            }
+            6 => {
+                need(raw, 4)?;
+                let n = raw.get_u32() as usize;
+                need(raw, n)?;
+                let s = String::from_utf8(raw.split_to(n).to_vec())
+                    .map_err(|_| MarshalError::BadUtf8)?;
+                Ok(Value::Str(s))
+            }
+            _ => Err(MarshalError::UnknownTag(tag)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => f.write_str("()"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::U32(v) => write!(f, "{v}u32"),
+            Value::U64(v) => write!(f, "{v}u64"),
+            Value::I64(v) => write!(f, "{v}i64"),
+            Value::Bytes(b) => write!(f, "bytes[{}]", b.len()),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// Marshaling failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarshalError {
+    /// Stream ended inside a value.
+    Truncated,
+    /// Unknown type tag on the wire.
+    UnknownTag(u8),
+    /// Invalid UTF-8 in a string value.
+    BadUtf8,
+}
+
+impl fmt::Display for MarshalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarshalError::Truncated => f.write_str("call data truncated"),
+            MarshalError::UnknownTag(t) => write!(f, "unknown value tag {t}"),
+            MarshalError::BadUtf8 => f.write_str("invalid utf-8 in string value"),
+        }
+    }
+}
+
+impl std::error::Error for MarshalError {}
+
+/// Type-check failures against an interface spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallTypeError {
+    /// The interface GUID does not match the spec.
+    WrongInterface {
+        /// GUID in the call.
+        got: Guid,
+        /// GUID of the spec.
+        want: Guid,
+    },
+    /// The operation does not exist.
+    NoSuchOperation(String),
+    /// Wrong number of arguments.
+    ArityMismatch {
+        /// Arguments provided.
+        got: usize,
+        /// Arguments expected.
+        want: usize,
+    },
+    /// An argument has the wrong type.
+    TypeMismatch {
+        /// Zero-based argument position.
+        position: usize,
+        /// Provided type.
+        got: TypeTag,
+        /// Expected type.
+        want: TypeTag,
+    },
+}
+
+impl fmt::Display for CallTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CallTypeError::WrongInterface { got, want } => {
+                write!(f, "call targets {got} but spec is {want}")
+            }
+            CallTypeError::NoSuchOperation(op) => write!(f, "no such operation '{op}'"),
+            CallTypeError::ArityMismatch { got, want } => {
+                write!(f, "expected {want} arguments, got {got}")
+            }
+            CallTypeError::TypeMismatch {
+                position,
+                got,
+                want,
+            } => write!(f, "argument {position}: expected {want}, got {got}"),
+        }
+    }
+}
+
+impl std::error::Error for CallTypeError {}
+
+/// A marshaled method invocation.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use hydra_core::call::{Call, Value};
+/// use hydra_odf::odf::Guid;
+///
+/// let call = Call::new(Guid(500), "checksum")
+///     .with_arg(Value::Bytes(Bytes::from_static(b"payload")));
+/// let decoded = Call::decode(call.encode()).unwrap();
+/// assert_eq!(decoded, call);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Call {
+    /// Target interface GUID.
+    pub interface: Guid,
+    /// Operation name.
+    pub operation: String,
+    /// Marshaled arguments.
+    pub args: Vec<Value>,
+    /// Caller-assigned id used to match the return value (the "return
+    /// descriptor" of §4.1); 0 for one-way calls.
+    pub return_id: u64,
+}
+
+impl Call {
+    /// Creates a call with no arguments.
+    pub fn new(interface: Guid, operation: impl Into<String>) -> Self {
+        Call {
+            interface,
+            operation: operation.into(),
+            args: Vec::new(),
+            return_id: 0,
+        }
+    }
+
+    /// Appends an argument.
+    pub fn with_arg(mut self, value: Value) -> Self {
+        self.args.push(value);
+        self
+    }
+
+    /// Sets the return descriptor id.
+    pub fn with_return_id(mut self, id: u64) -> Self {
+        self.return_id = id;
+        self
+    }
+
+    /// Serialized size (what a channel charges for).
+    pub fn wire_size(&self) -> usize {
+        8 + 2 + self.operation.len() + 8 + 2 + self.args.iter().map(Value::wire_size).sum::<usize>()
+    }
+
+    /// Serializes the call.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(self.wire_size());
+        b.put_u64(self.interface.0);
+        b.put_u16(self.operation.len() as u16);
+        b.put_slice(self.operation.as_bytes());
+        b.put_u64(self.return_id);
+        b.put_u16(self.args.len() as u16);
+        for a in &self.args {
+            a.encode(&mut b);
+        }
+        b.freeze()
+    }
+
+    /// Deserializes a call.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation, unknown tags, or invalid UTF-8.
+    pub fn decode(mut raw: Bytes) -> Result<Call, MarshalError> {
+        if raw.remaining() < 10 {
+            return Err(MarshalError::Truncated);
+        }
+        let interface = Guid(raw.get_u64());
+        let op_len = raw.get_u16() as usize;
+        if raw.remaining() < op_len + 10 {
+            return Err(MarshalError::Truncated);
+        }
+        let operation = String::from_utf8(raw.split_to(op_len).to_vec())
+            .map_err(|_| MarshalError::BadUtf8)?;
+        let return_id = raw.get_u64();
+        let argc = raw.get_u16() as usize;
+        let mut args = Vec::with_capacity(argc.min(64));
+        for _ in 0..argc {
+            args.push(Value::decode(&mut raw)?);
+        }
+        Ok(Call {
+            interface,
+            operation,
+            args,
+            return_id,
+        })
+    }
+
+    /// Type-checks the call against an interface spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first mismatch found.
+    pub fn check_against(&self, spec: &InterfaceSpec) -> Result<(), CallTypeError> {
+        if self.interface != spec.guid {
+            return Err(CallTypeError::WrongInterface {
+                got: self.interface,
+                want: spec.guid,
+            });
+        }
+        let op = spec
+            .operation(&self.operation)
+            .ok_or_else(|| CallTypeError::NoSuchOperation(self.operation.clone()))?;
+        if self.args.len() != op.inputs.len() {
+            return Err(CallTypeError::ArityMismatch {
+                got: self.args.len(),
+                want: op.inputs.len(),
+            });
+        }
+        for (i, (arg, (_, want))) in self.args.iter().zip(&op.inputs).enumerate() {
+            if arg.type_tag() != *want {
+                return Err(CallTypeError::TypeMismatch {
+                    position: i,
+                    got: arg.type_tag(),
+                    want: *want,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Call {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}::{}(", self.interface, self.operation)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_odf::wsdl::OperationSpec;
+
+    fn all_values() -> Vec<Value> {
+        vec![
+            Value::Unit,
+            Value::Bool(true),
+            Value::U32(42),
+            Value::U64(u64::MAX),
+            Value::I64(-7),
+            Value::Bytes(Bytes::from_static(b"data")),
+            Value::Str("héllo".into()),
+        ]
+    }
+
+    #[test]
+    fn call_round_trip_all_types() {
+        let mut call = Call::new(Guid(9), "op").with_return_id(77);
+        for v in all_values() {
+            call = call.with_arg(v);
+        }
+        let decoded = Call::decode(call.encode()).unwrap();
+        assert_eq!(decoded, call);
+    }
+
+    #[test]
+    fn wire_size_matches_encoding() {
+        let mut call = Call::new(Guid(9), "operation_name");
+        for v in all_values() {
+            call = call.with_arg(v);
+        }
+        assert_eq!(call.encode().len(), call.wire_size());
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_prefix() {
+        let call = Call::new(Guid(1), "f")
+            .with_arg(Value::Str("x".into()))
+            .with_arg(Value::U32(5));
+        let raw = call.encode();
+        for cut in 0..raw.len() {
+            assert!(
+                Call::decode(raw.slice(0..cut)).is_err(),
+                "prefix {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let call = Call::new(Guid(1), "f").with_arg(Value::U32(5));
+        let mut raw = call.encode().to_vec();
+        // Flip the type tag (right after the 2-byte arg count).
+        let tag_pos = 8 + 2 + 1 + 8 + 2;
+        raw[tag_pos] = 99;
+        assert_eq!(
+            Call::decode(Bytes::from(raw)),
+            Err(MarshalError::UnknownTag(99))
+        );
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let call = Call::new(Guid(1), "f").with_arg(Value::Str("ab".into()));
+        let mut raw = call.encode().to_vec();
+        let len = raw.len();
+        raw[len - 1] = 0xFF;
+        raw[len - 2] = 0xFE;
+        assert_eq!(Call::decode(Bytes::from(raw)), Err(MarshalError::BadUtf8));
+    }
+
+    fn checksum_spec() -> InterfaceSpec {
+        InterfaceSpec::new("IChecksum", Guid(500)).with_operation(OperationSpec {
+            name: "checksum".into(),
+            inputs: vec![("data".into(), TypeTag::Bytes)],
+            output: TypeTag::U32,
+        })
+    }
+
+    #[test]
+    fn type_check_accepts_valid_call() {
+        let call = Call::new(Guid(500), "checksum")
+            .with_arg(Value::Bytes(Bytes::from_static(b"x")));
+        assert!(call.check_against(&checksum_spec()).is_ok());
+    }
+
+    #[test]
+    fn type_check_rejects_wrong_interface() {
+        let call = Call::new(Guid(501), "checksum");
+        assert!(matches!(
+            call.check_against(&checksum_spec()),
+            Err(CallTypeError::WrongInterface { .. })
+        ));
+    }
+
+    #[test]
+    fn type_check_rejects_unknown_operation() {
+        let call = Call::new(Guid(500), "verify");
+        assert_eq!(
+            call.check_against(&checksum_spec()),
+            Err(CallTypeError::NoSuchOperation("verify".into()))
+        );
+    }
+
+    #[test]
+    fn type_check_rejects_arity() {
+        let call = Call::new(Guid(500), "checksum");
+        assert_eq!(
+            call.check_against(&checksum_spec()),
+            Err(CallTypeError::ArityMismatch { got: 0, want: 1 })
+        );
+    }
+
+    #[test]
+    fn type_check_rejects_wrong_type() {
+        let call = Call::new(Guid(500), "checksum").with_arg(Value::U32(1));
+        assert_eq!(
+            call.check_against(&checksum_spec()),
+            Err(CallTypeError::TypeMismatch {
+                position: 0,
+                got: TypeTag::U32,
+                want: TypeTag::Bytes
+            })
+        );
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::U32(7).as_u64(), Some(7));
+        assert_eq!(Value::U64(9).as_u64(), Some(9));
+        assert_eq!(Value::Str("x".into()).as_u64(), None);
+        let b = Bytes::from_static(b"z");
+        assert_eq!(Value::Bytes(b.clone()).as_bytes(), Some(&b));
+        assert_eq!(Value::Unit.as_bytes(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        let call = Call::new(Guid(1), "f")
+            .with_arg(Value::U32(5))
+            .with_arg(Value::Str("s".into()));
+        assert_eq!(call.to_string(), "guid:1::f(5u32, \"s\")");
+    }
+}

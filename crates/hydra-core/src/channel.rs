@@ -1,0 +1,610 @@
+//! Channels: the communication pathways between Offcodes (paper §3.2,
+//! §4.1).
+//!
+//! A channel is created in two steps — configure + create the local
+//! endpoint, then attach the target Offcode, which implicitly constructs
+//! the far endpoint. Channels are typed by transport (unicast/multicast),
+//! reliability, synchronization and buffering policy. Device-specific
+//! **channel providers** actually realize a channel and advertise a cost
+//! metric ("the 'price' for communicating with the device through a
+//! specific channel, in terms of latency and throughput"); the **Channel
+//! Executive** picks the cheapest capable provider.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use bytes::Bytes;
+use hydra_sim::time::{SimDuration, SimTime};
+
+use crate::device::DeviceId;
+
+/// Channel transport type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transport {
+    /// Exactly two endpoints.
+    Unicast,
+    /// One sender, many receivers.
+    Multicast,
+}
+
+/// Delivery guarantee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Reliability {
+    /// Sends fail (rather than drop) when buffers are exhausted.
+    Reliable,
+    /// Sends drop silently when buffers are exhausted.
+    Unreliable,
+}
+
+/// Synchronization guarantee for handler invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyncPolicy {
+    /// Handlers see messages in send order, one at a time.
+    Sequential,
+    /// Handlers may run concurrently (no ordering guarantee).
+    Concurrent,
+}
+
+/// Buffer management policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Buffering {
+    /// Direct read/write: the device DMAs straight from/to pinned
+    /// application memory; the host CPU never touches the bytes.
+    ZeroCopy,
+    /// Staged through an intermediate kernel buffer (one CPU copy each
+    /// way).
+    Copied,
+}
+
+/// Full channel configuration (the `ChannelConfig` of the paper's
+/// Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChannelConfig {
+    /// Transport type.
+    pub transport: Transport,
+    /// Delivery guarantee.
+    pub reliability: Reliability,
+    /// Synchronization guarantee.
+    pub sync: SyncPolicy,
+    /// Buffer management.
+    pub buffering: Buffering,
+    /// Ring capacity in messages.
+    pub capacity: usize,
+    /// The device hosting the far endpoint.
+    pub target: DeviceId,
+}
+
+impl ChannelConfig {
+    /// The configuration from the paper's Figure 3: reliable unicast,
+    /// sequential synchronization, zero-copy read/write.
+    pub fn figure3(target: DeviceId) -> Self {
+        ChannelConfig {
+            transport: Transport::Unicast,
+            reliability: Reliability::Reliable,
+            sync: SyncPolicy::Sequential,
+            buffering: Buffering::ZeroCopy,
+            capacity: 64,
+            target,
+        }
+    }
+
+    /// The default OOB-channel configuration: unreliable, copied, small.
+    pub fn oob(target: DeviceId) -> Self {
+        ChannelConfig {
+            transport: Transport::Unicast,
+            reliability: Reliability::Reliable,
+            sync: SyncPolicy::Sequential,
+            buffering: Buffering::Copied,
+            capacity: 16,
+            target,
+        }
+    }
+}
+
+/// A provider's cost metric for a channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelCost {
+    /// One-time endpoint construction cost.
+    pub setup: SimDuration,
+    /// Fixed cost per message.
+    pub per_message: SimDuration,
+    /// Sustained payload throughput in bytes per second.
+    pub bytes_per_sec: u64,
+}
+
+impl ChannelCost {
+    /// End-to-end latency for one message of `bytes`.
+    pub fn latency(&self, bytes: usize) -> SimDuration {
+        let wire = (bytes as u128 * 1_000_000_000).div_ceil(self.bytes_per_sec as u128);
+        self.per_message + SimDuration::from_nanos(wire as u64)
+    }
+}
+
+/// A device-specific channel factory with a cost model.
+pub trait ChannelProvider: fmt::Debug {
+    /// Provider name for diagnostics.
+    fn name(&self) -> &str;
+
+    /// Whether this provider can realize `config`.
+    fn supports(&self, config: &ChannelConfig) -> bool;
+
+    /// The price of a channel with this configuration.
+    fn cost(&self, config: &ChannelConfig) -> ChannelCost;
+}
+
+/// The zero-copy DMA descriptor-ring provider of §4.1 (for device
+/// targets).
+#[derive(Debug, Clone)]
+pub struct ZeroCopyDmaProvider;
+
+impl ChannelProvider for ZeroCopyDmaProvider {
+    fn name(&self) -> &str {
+        "zero-copy-dma"
+    }
+
+    fn supports(&self, config: &ChannelConfig) -> bool {
+        !config.target.is_host() && config.buffering == Buffering::ZeroCopy
+    }
+
+    fn cost(&self, config: &ChannelConfig) -> ChannelCost {
+        ChannelCost {
+            setup: SimDuration::from_micros(120), // ring + shared region setup
+            per_message: SimDuration::from_micros(3),
+            bytes_per_sec: match config.transport {
+                Transport::Unicast => 500_000_000,
+                Transport::Multicast => 400_000_000,
+            },
+        }
+    }
+}
+
+/// A staging-buffer provider: works for any target, costs a copy.
+#[derive(Debug, Clone)]
+pub struct KernelCopyProvider;
+
+impl ChannelProvider for KernelCopyProvider {
+    fn name(&self) -> &str {
+        "kernel-copy"
+    }
+
+    fn supports(&self, _config: &ChannelConfig) -> bool {
+        true
+    }
+
+    fn cost(&self, config: &ChannelConfig) -> ChannelCost {
+        ChannelCost {
+            setup: SimDuration::from_micros(30),
+            per_message: SimDuration::from_micros(9),
+            bytes_per_sec: if config.target.is_host() {
+                1_500_000_000
+            } else {
+                250_000_000
+            },
+        }
+    }
+}
+
+/// Identifier of a live channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChannelId(pub u64);
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chan#{}", self.0)
+    }
+}
+
+/// Errors from channel operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelError {
+    /// No provider supports the requested configuration.
+    NoProvider,
+    /// A reliable channel's ring is full; retry after draining.
+    WouldBlock,
+    /// Unknown channel id.
+    NoSuchChannel(ChannelId),
+    /// Attaching more endpoints than the transport allows.
+    TooManyEndpoints,
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::NoProvider => f.write_str("no channel provider supports this config"),
+            ChannelError::WouldBlock => f.write_str("channel ring full (reliable channel)"),
+            ChannelError::NoSuchChannel(id) => write!(f, "no such channel {id}"),
+            ChannelError::TooManyEndpoints => f.write_str("unicast channel already connected"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+/// A message in flight on a channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelMessage {
+    /// Serialized payload (usually an encoded `Call`).
+    pub data: Bytes,
+    /// When the message becomes visible at the receiver.
+    pub deliver_at: SimTime,
+}
+
+/// Per-channel counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChannelStats {
+    /// Messages accepted for delivery.
+    pub sent: u64,
+    /// Messages consumed by receivers.
+    pub received: u64,
+    /// Messages dropped (unreliable channel, ring full).
+    pub dropped: u64,
+    /// Payload bytes accepted.
+    pub bytes: u64,
+}
+
+/// One live channel.
+#[derive(Debug)]
+pub struct Channel {
+    id: ChannelId,
+    config: ChannelConfig,
+    provider_name: String,
+    cost: ChannelCost,
+    /// Next instant the pipe is free (per-channel serialization).
+    busy_until: SimTime,
+    /// One queue per receiving endpoint.
+    queues: Vec<VecDeque<ChannelMessage>>,
+    stats: ChannelStats,
+    handler_installed: bool,
+}
+
+impl Channel {
+    /// The channel id.
+    pub fn id(&self) -> ChannelId {
+        self.id
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ChannelConfig {
+        &self.config
+    }
+
+    /// The chosen provider's name.
+    pub fn provider_name(&self) -> &str {
+        &self.provider_name
+    }
+
+    /// The provider's cost metric.
+    pub fn cost(&self) -> ChannelCost {
+        self.cost
+    }
+
+    /// The counters.
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    /// Number of attached receiving endpoints.
+    pub fn endpoints(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Installs a dispatch handler marker (paper Figure 3:
+    /// `InstallCallHandler`). The runtime invokes handlers instead of
+    /// requiring the application to poll.
+    pub fn install_handler(&mut self) {
+        self.handler_installed = true;
+    }
+
+    /// Whether a dispatch handler is installed.
+    pub fn has_handler(&self) -> bool {
+        self.handler_installed
+    }
+
+    /// Attaches a receiving endpoint (the runtime's `ConnectOffcode`).
+    ///
+    /// # Errors
+    ///
+    /// Unicast channels accept exactly one endpoint.
+    pub fn connect_endpoint(&mut self) -> Result<usize, ChannelError> {
+        if self.config.transport == Transport::Unicast && !self.queues.is_empty() {
+            return Err(ChannelError::TooManyEndpoints);
+        }
+        self.queues.push(VecDeque::new());
+        Ok(self.queues.len() - 1)
+    }
+
+    /// Sends a message at `now`, returning its delivery instant.
+    ///
+    /// Multicast delivers to every endpoint in one send (hardware
+    /// multicast: the cost is charged once, per the paper's note).
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::WouldBlock`] on a full reliable channel. On a full
+    /// unreliable channel the message is counted as dropped and `Ok` is
+    /// returned with the nominal delivery time.
+    pub fn send(&mut self, now: SimTime, data: Bytes) -> Result<SimTime, ChannelError> {
+        let start = self.busy_until.max(now);
+        let deliver_at = start + self.cost.latency(data.len());
+        let any_full = self.queues.iter().any(|q| q.len() >= self.config.capacity);
+        if any_full {
+            match self.config.reliability {
+                Reliability::Reliable => return Err(ChannelError::WouldBlock),
+                Reliability::Unreliable => {
+                    self.stats.dropped += 1;
+                    return Ok(deliver_at);
+                }
+            }
+        }
+        self.busy_until = deliver_at;
+        self.stats.sent += 1;
+        self.stats.bytes += data.len() as u64;
+        for q in &mut self.queues {
+            q.push_back(ChannelMessage {
+                data: data.clone(),
+                deliver_at,
+            });
+        }
+        Ok(deliver_at)
+    }
+
+    /// Receives the oldest message visible at `now` on endpoint `ep`.
+    pub fn recv(&mut self, now: SimTime, ep: usize) -> Option<ChannelMessage> {
+        let q = self.queues.get_mut(ep)?;
+        if q.front().is_some_and(|m| m.deliver_at <= now) {
+            self.stats.received += 1;
+            q.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// Polls whether endpoint `ep` has a visible message at `now` (the
+    /// channel API's `poll`).
+    pub fn poll(&self, now: SimTime, ep: usize) -> bool {
+        self.queues
+            .get(ep)
+            .and_then(|q| q.front())
+            .is_some_and(|m| m.deliver_at <= now)
+    }
+
+    /// Messages queued (visible or not) on endpoint `ep`.
+    pub fn backlog(&self, ep: usize) -> usize {
+        self.queues.get(ep).map_or(0, |q| q.len())
+    }
+}
+
+/// The Channel Executive: provider registry + channel table.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use hydra_core::channel::{ChannelConfig, ChannelExecutive};
+/// use hydra_core::device::DeviceId;
+/// use hydra_sim::time::SimTime;
+///
+/// let mut exec = ChannelExecutive::with_default_providers();
+/// let id = exec.create_channel(ChannelConfig::figure3(DeviceId(1))).unwrap();
+/// exec.get_mut(id).unwrap().connect_endpoint().unwrap();
+/// let t = exec
+///     .get_mut(id).unwrap()
+///     .send(SimTime::ZERO, Bytes::from_static(b"call"))
+///     .unwrap();
+/// assert!(t > SimTime::ZERO);
+/// ```
+#[derive(Debug, Default)]
+pub struct ChannelExecutive {
+    providers: Vec<Box<dyn ChannelProvider>>,
+    channels: HashMap<ChannelId, Channel>,
+    next_id: u64,
+}
+
+impl ChannelExecutive {
+    /// Creates an executive with no providers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an executive with the built-in providers registered.
+    pub fn with_default_providers() -> Self {
+        let mut e = Self::new();
+        e.register_provider(Box::new(ZeroCopyDmaProvider));
+        e.register_provider(Box::new(KernelCopyProvider));
+        e
+    }
+
+    /// Registers a provider (typically from a device driver).
+    pub fn register_provider(&mut self, provider: Box<dyn ChannelProvider>) {
+        self.providers.push(provider);
+    }
+
+    /// Creates a channel, selecting the supporting provider with the
+    /// lowest latency for a nominal 1 kB message.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no provider supports the configuration.
+    pub fn create_channel(&mut self, config: ChannelConfig) -> Result<ChannelId, ChannelError> {
+        let best = self
+            .providers
+            .iter()
+            .filter(|p| p.supports(&config))
+            .min_by_key(|p| p.cost(&config).latency(1024))
+            .ok_or(ChannelError::NoProvider)?;
+        let id = ChannelId(self.next_id);
+        self.next_id += 1;
+        self.channels.insert(
+            id,
+            Channel {
+                id,
+                config,
+                provider_name: best.name().to_owned(),
+                cost: best.cost(&config),
+                busy_until: SimTime::ZERO,
+                queues: Vec::new(),
+                stats: ChannelStats::default(),
+                handler_installed: false,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Shared access to a channel.
+    pub fn get(&self, id: ChannelId) -> Option<&Channel> {
+        self.channels.get(&id)
+    }
+
+    /// Exclusive access to a channel.
+    pub fn get_mut(&mut self, id: ChannelId) -> Option<&mut Channel> {
+        self.channels.get_mut(&id)
+    }
+
+    /// Destroys a channel, returning whether it existed.
+    pub fn destroy(&mut self, id: ChannelId) -> bool {
+        self.channels.remove(&id).is_some()
+    }
+
+    /// Number of live channels.
+    pub fn len(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// True when no channels are live.
+    pub fn is_empty(&self) -> bool {
+        self.channels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exec() -> ChannelExecutive {
+        ChannelExecutive::with_default_providers()
+    }
+
+    #[test]
+    fn executive_picks_cheapest_provider() {
+        let mut e = exec();
+        // Zero-copy to a device: the DMA provider wins.
+        let id = e.create_channel(ChannelConfig::figure3(DeviceId(1))).unwrap();
+        assert_eq!(e.get(id).unwrap().provider_name(), "zero-copy-dma");
+        // Copied buffering: only the kernel provider supports it.
+        let id2 = e.create_channel(ChannelConfig::oob(DeviceId(1))).unwrap();
+        assert_eq!(e.get(id2).unwrap().provider_name(), "kernel-copy");
+    }
+
+    #[test]
+    fn no_provider_is_an_error() {
+        let mut e = ChannelExecutive::new();
+        assert_eq!(
+            e.create_channel(ChannelConfig::figure3(DeviceId(1))),
+            Err(ChannelError::NoProvider)
+        );
+    }
+
+    #[test]
+    fn send_and_receive_in_order() {
+        let mut e = exec();
+        let id = e.create_channel(ChannelConfig::figure3(DeviceId(1))).unwrap();
+        let ch = e.get_mut(id).unwrap();
+        let ep = ch.connect_endpoint().unwrap();
+        let t1 = ch.send(SimTime::ZERO, Bytes::from_static(b"one")).unwrap();
+        let t2 = ch.send(SimTime::ZERO, Bytes::from_static(b"two")).unwrap();
+        assert!(t2 > t1, "messages serialize on the channel");
+        // Not visible before delivery time.
+        assert!(ch.recv(SimTime::ZERO, ep).is_none());
+        assert!(!ch.poll(SimTime::ZERO, ep));
+        let m1 = ch.recv(t1, ep).unwrap();
+        assert_eq!(&m1.data[..], b"one");
+        let m2 = ch.recv(t2, ep).unwrap();
+        assert_eq!(&m2.data[..], b"two");
+        assert_eq!(ch.stats().sent, 2);
+        assert_eq!(ch.stats().received, 2);
+    }
+
+    #[test]
+    fn reliable_full_ring_blocks() {
+        let mut e = exec();
+        let mut cfg = ChannelConfig::figure3(DeviceId(1));
+        cfg.capacity = 2;
+        let id = e.create_channel(cfg).unwrap();
+        let ch = e.get_mut(id).unwrap();
+        ch.connect_endpoint().unwrap();
+        ch.send(SimTime::ZERO, Bytes::from_static(b"a")).unwrap();
+        ch.send(SimTime::ZERO, Bytes::from_static(b"b")).unwrap();
+        assert_eq!(
+            ch.send(SimTime::ZERO, Bytes::from_static(b"c")),
+            Err(ChannelError::WouldBlock)
+        );
+        // Draining unblocks.
+        let t = SimTime::from_secs(1);
+        ch.recv(t, 0).unwrap();
+        assert!(ch.send(t, Bytes::from_static(b"c")).is_ok());
+    }
+
+    #[test]
+    fn unreliable_full_ring_drops() {
+        let mut e = exec();
+        let mut cfg = ChannelConfig::figure3(DeviceId(1));
+        cfg.capacity = 1;
+        cfg.reliability = Reliability::Unreliable;
+        let id = e.create_channel(cfg).unwrap();
+        let ch = e.get_mut(id).unwrap();
+        ch.connect_endpoint().unwrap();
+        ch.send(SimTime::ZERO, Bytes::from_static(b"a")).unwrap();
+        ch.send(SimTime::ZERO, Bytes::from_static(b"b")).unwrap();
+        assert_eq!(ch.stats().dropped, 1);
+        assert_eq!(ch.stats().sent, 1);
+    }
+
+    #[test]
+    fn unicast_allows_single_endpoint() {
+        let mut e = exec();
+        let id = e.create_channel(ChannelConfig::figure3(DeviceId(1))).unwrap();
+        let ch = e.get_mut(id).unwrap();
+        ch.connect_endpoint().unwrap();
+        assert_eq!(ch.connect_endpoint(), Err(ChannelError::TooManyEndpoints));
+    }
+
+    #[test]
+    fn multicast_fans_out_with_single_charge() {
+        let mut e = exec();
+        let mut cfg = ChannelConfig::figure3(DeviceId(1));
+        cfg.transport = Transport::Multicast;
+        let id = e.create_channel(cfg).unwrap();
+        let ch = e.get_mut(id).unwrap();
+        let ep0 = ch.connect_endpoint().unwrap();
+        let ep1 = ch.connect_endpoint().unwrap();
+        let t = ch.send(SimTime::ZERO, Bytes::from_static(b"x")).unwrap();
+        assert_eq!(ch.stats().sent, 1, "one send covers all endpoints");
+        assert!(ch.recv(t, ep0).is_some());
+        assert!(ch.recv(t, ep1).is_some());
+    }
+
+    #[test]
+    fn latency_scales_with_size() {
+        let cost = ZeroCopyDmaProvider.cost(&ChannelConfig::figure3(DeviceId(1)));
+        assert!(cost.latency(1_000_000) > cost.latency(100) * 10);
+    }
+
+    #[test]
+    fn handler_installation_flag() {
+        let mut e = exec();
+        let id = e.create_channel(ChannelConfig::figure3(DeviceId(1))).unwrap();
+        assert!(!e.get(id).unwrap().has_handler());
+        e.get_mut(id).unwrap().install_handler();
+        assert!(e.get(id).unwrap().has_handler());
+    }
+
+    #[test]
+    fn destroy_removes_channel() {
+        let mut e = exec();
+        let id = e.create_channel(ChannelConfig::figure3(DeviceId(1))).unwrap();
+        assert!(e.destroy(id));
+        assert!(!e.destroy(id));
+        assert!(e.get(id).is_none());
+        assert!(e.is_empty());
+    }
+}

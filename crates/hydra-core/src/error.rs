@@ -1,0 +1,89 @@
+//! The runtime's unified error type.
+
+use std::fmt;
+
+use hydra_link::loader::LoadError;
+use hydra_odf::odf::{Guid, OdfError};
+
+use crate::call::{CallTypeError, MarshalError};
+use crate::channel::ChannelError;
+use crate::layout::LayoutError;
+
+/// Any failure surfaced by the HYDRA runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// An ODF could not be parsed or validated.
+    Odf(OdfError),
+    /// Layout construction or resolution failed.
+    Layout(LayoutError),
+    /// Channel creation or use failed.
+    Channel(ChannelError),
+    /// Offcode loading failed (device memory, linking).
+    Load(LoadError),
+    /// Call marshaling failed.
+    Marshal(MarshalError),
+    /// A call failed interface type checking.
+    CallType(CallTypeError),
+    /// No Offcode with this GUID is registered in the depot.
+    NotInDepot(Guid),
+    /// The referenced deployed instance does not exist.
+    NoSuchInstance(u64),
+    /// An Offcode rejected an operation.
+    Rejected(String),
+    /// An Offcode does not implement the requested operation.
+    UnknownOperation(String),
+    /// An entry point was invoked in the wrong lifecycle state.
+    BadState(&'static str),
+}
+
+macro_rules! from_impl {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for RuntimeError {
+            fn from(e: $ty) -> Self {
+                RuntimeError::$variant(e)
+            }
+        }
+    };
+}
+
+from_impl!(Odf, OdfError);
+from_impl!(Layout, LayoutError);
+from_impl!(Channel, ChannelError);
+from_impl!(Load, LoadError);
+from_impl!(Marshal, MarshalError);
+from_impl!(CallType, CallTypeError);
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Odf(e) => write!(f, "odf: {e}"),
+            RuntimeError::Layout(e) => write!(f, "layout: {e}"),
+            RuntimeError::Channel(e) => write!(f, "channel: {e}"),
+            RuntimeError::Load(e) => write!(f, "load: {e}"),
+            RuntimeError::Marshal(e) => write!(f, "marshal: {e}"),
+            RuntimeError::CallType(e) => write!(f, "call type: {e}"),
+            RuntimeError::NotInDepot(g) => write!(f, "offcode {g} not in depot"),
+            RuntimeError::NoSuchInstance(id) => write!(f, "no deployed offcode #{id}"),
+            RuntimeError::Rejected(why) => write!(f, "rejected: {why}"),
+            RuntimeError::UnknownOperation(op) => write!(f, "unknown operation '{op}'"),
+            RuntimeError::BadState(what) => write!(f, "bad lifecycle state: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: RuntimeError = OdfError::Missing("package").into();
+        assert!(e.to_string().contains("package"));
+        let e: RuntimeError = ChannelError::NoProvider.into();
+        assert!(e.to_string().contains("provider"));
+        let e = RuntimeError::NotInDepot(Guid(7));
+        assert!(e.to_string().contains("guid:7"));
+    }
+}

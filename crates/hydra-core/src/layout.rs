@@ -1,0 +1,883 @@
+//! The offloading layout graph and its resolvers (paper §5).
+//!
+//! The runtime turns the ODFs of an application into a [`LayoutGraph`]:
+//! Offcodes as nodes (each with a per-device compatibility vector `C[n][k]`
+//! and a bus-bandwidth price), constraints as edges. Placement is then an
+//! assignment `X[n][k] ∈ {0,1}`:
+//!
+//! * uniqueness — every Offcode lands on exactly one target (eq. 1),
+//! * `Pull` — both endpoints on the *same* device (eq. 2),
+//! * `Gang` — both offloaded, or neither (eq. 3),
+//! * asymmetric `Gang` — offloading the source implies offloading the
+//!   destination (eq. 4).
+//!
+//! Two objectives from §5.1.3 are provided: **maximized offloading** and
+//! **maximize bus usage** (per-Offcode prices under per-device bandwidth
+//! capacities — the paper's capability matrix reduced to its per-device
+//! row sums, which keeps the program linear; see DESIGN.md).
+//!
+//! [`LayoutGraph::resolve_ilp`] solves exactly via `hydra-ilp`;
+//! [`LayoutGraph::resolve_greedy`] is the heuristic the paper notes "is
+//! not always optimal" for complex scenarios.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use hydra_ilp::model::{Direction, Outcome, Problem, Sense, VarId};
+use hydra_ilp::solve_ilp;
+use hydra_odf::odf::{ConstraintKind, Guid, OdfDocument};
+
+use crate::device::{DeviceId, DeviceRegistry};
+
+/// Index of a node within a [`LayoutGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeIdx(pub usize);
+
+/// One Offcode in the layout graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayoutNode {
+    /// The Offcode's GUID.
+    pub guid: Guid,
+    /// Its bind name (diagnostics).
+    pub bind_name: String,
+    /// `compat[k]` — may this Offcode run on device `k`? Index 0 is the
+    /// host and is always `true`.
+    pub compat: Vec<bool>,
+    /// Estimated bus bandwidth demand (the §5 "price"; arbitrary units).
+    pub price: f64,
+}
+
+/// A constraint edge between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayoutEdge {
+    /// Source node (the importing Offcode).
+    pub from: NodeIdx,
+    /// Destination node (the imported Offcode).
+    pub to: NodeIdx,
+    /// The constraint.
+    pub constraint: ConstraintKind,
+}
+
+/// A placement: one device per node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement(pub Vec<DeviceId>);
+
+impl Placement {
+    /// The device hosting node `n`.
+    pub fn device_of(&self, n: NodeIdx) -> DeviceId {
+        self.0[n.0]
+    }
+
+    /// How many Offcodes are offloaded (not on the host).
+    pub fn offloaded_count(&self) -> usize {
+        self.0.iter().filter(|d| !d.is_host()).count()
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Optimization objectives (paper §5.1.3).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Objective {
+    /// Offload as many Offcodes as possible, to minimize host CPU usage
+    /// and memory contention.
+    MaximizeOffloading,
+    /// Maximize the total bus-bandwidth price of offloaded Offcodes,
+    /// subject to per-device bandwidth capacities (`capacities[k]`; the
+    /// host entry is ignored).
+    MaximizeBusUsage {
+        /// Bandwidth capacity per device, indexed like the registry.
+        capacities: Vec<f64>,
+    },
+}
+
+/// Layout failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayoutError {
+    /// An import references a GUID that is not part of the application.
+    UnknownImport {
+        /// The importing Offcode.
+        importer: Guid,
+        /// The missing peer.
+        missing: Guid,
+    },
+    /// Two Offcodes share a GUID.
+    DuplicateGuid(Guid),
+    /// The constraint system is unsatisfiable.
+    Unsatisfiable,
+    /// A placement violates the graph (returned by [`LayoutGraph::check`]).
+    Violation(String),
+    /// An objective's shape does not match the graph (e.g. capacity vector
+    /// of the wrong length).
+    BadObjective(String),
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::UnknownImport { importer, missing } => {
+                write!(f, "{importer} imports unknown offcode {missing}")
+            }
+            LayoutError::DuplicateGuid(g) => write!(f, "duplicate offcode {g}"),
+            LayoutError::Unsatisfiable => f.write_str("layout constraints are unsatisfiable"),
+            LayoutError::Violation(s) => write!(f, "placement violates layout: {s}"),
+            LayoutError::BadObjective(s) => write!(f, "bad objective: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// The `X[n][k]` placement-variable grid produced by [`LayoutGraph::to_ilp`]
+/// (`None` where the compatibility mask forbids the pairing).
+pub type VarGrid = Vec<Vec<Option<VarId>>>;
+
+/// The offloading layout graph.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LayoutGraph {
+    nodes: Vec<LayoutNode>,
+    edges: Vec<LayoutEdge>,
+}
+
+impl LayoutGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node, returning its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the compatibility vector is empty or its host entry is
+    /// `false`.
+    pub fn add_node(&mut self, node: LayoutNode) -> NodeIdx {
+        assert!(
+            node.compat.first() == Some(&true),
+            "compat[0] (host) must be true"
+        );
+        let idx = NodeIdx(self.nodes.len());
+        self.nodes.push(node);
+        idx
+    }
+
+    /// Adds a constraint edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, from: NodeIdx, to: NodeIdx, constraint: ConstraintKind) {
+        assert!(from.0 < self.nodes.len() && to.0 < self.nodes.len());
+        self.edges.push(LayoutEdge {
+            from,
+            to,
+            constraint,
+        });
+    }
+
+    /// The nodes.
+    pub fn nodes(&self) -> &[LayoutNode] {
+        &self.nodes
+    }
+
+    /// The edges.
+    pub fn edges(&self) -> &[LayoutEdge] {
+        &self.edges
+    }
+
+    /// Builds the graph for an application: one node per ODF, edges from
+    /// imports. The node order follows `odfs`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate GUIDs or imports of GUIDs not in `odfs`.
+    pub fn from_odfs(
+        odfs: &[OdfDocument],
+        registry: &DeviceRegistry,
+    ) -> Result<LayoutGraph, LayoutError> {
+        let mut graph = LayoutGraph::new();
+        let mut by_guid: HashMap<Guid, NodeIdx> = HashMap::new();
+        for odf in odfs {
+            if by_guid.contains_key(&odf.guid) {
+                return Err(LayoutError::DuplicateGuid(odf.guid));
+            }
+            let idx = graph.add_node(LayoutNode {
+                guid: odf.guid,
+                bind_name: odf.bind_name.clone(),
+                compat: registry.compatibility(&odf.targets),
+                price: 1.0,
+            });
+            by_guid.insert(odf.guid, idx);
+        }
+        for (i, odf) in odfs.iter().enumerate() {
+            for imp in &odf.imports {
+                let Some(&to) = by_guid.get(&imp.guid) else {
+                    return Err(LayoutError::UnknownImport {
+                        importer: odf.guid,
+                        missing: imp.guid,
+                    });
+                };
+                graph.add_edge(NodeIdx(i), to, imp.constraint);
+            }
+        }
+        Ok(graph)
+    }
+
+    /// Number of deployment targets the compat vectors cover.
+    fn num_devices(&self) -> usize {
+        self.nodes.first().map_or(1, |n| n.compat.len())
+    }
+
+    /// Verifies a placement against compatibility and every constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation, described.
+    pub fn check(&self, placement: &Placement) -> Result<(), LayoutError> {
+        if placement.0.len() != self.nodes.len() {
+            return Err(LayoutError::Violation("wrong placement length".into()));
+        }
+        for (n, node) in self.nodes.iter().enumerate() {
+            let dev = placement.0[n];
+            if dev.0 >= node.compat.len() || !node.compat[dev.0] {
+                return Err(LayoutError::Violation(format!(
+                    "{} cannot run on {dev}",
+                    node.bind_name
+                )));
+            }
+        }
+        for e in &self.edges {
+            let da = placement.device_of(e.from);
+            let db = placement.device_of(e.to);
+            let name = |i: NodeIdx| self.nodes[i.0].bind_name.clone();
+            match e.constraint {
+                ConstraintKind::Link => {}
+                ConstraintKind::Pull => {
+                    if da != db {
+                        return Err(LayoutError::Violation(format!(
+                            "Pull violated: {} on {da}, {} on {db}",
+                            name(e.from),
+                            name(e.to)
+                        )));
+                    }
+                }
+                ConstraintKind::Gang => {
+                    if da.is_host() != db.is_host() {
+                        return Err(LayoutError::Violation(format!(
+                            "Gang violated: {} on {da}, {} on {db}",
+                            name(e.from),
+                            name(e.to)
+                        )));
+                    }
+                }
+                ConstraintKind::AsymGang => {
+                    if !da.is_host() && db.is_host() {
+                        return Err(LayoutError::Violation(format!(
+                            "AsymGang violated: {} offloaded but {} on host",
+                            name(e.from),
+                            name(e.to)
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total price of offloaded Offcodes under a placement.
+    pub fn bus_value(&self, placement: &Placement) -> f64 {
+        self.nodes
+            .iter()
+            .zip(&placement.0)
+            .filter(|(_, d)| !d.is_host())
+            .map(|(n, _)| n.price)
+            .sum()
+    }
+
+    /// Builds the §5 ILP: returns the problem plus the `X[n][k]` variable
+    /// grid (`None` where the compatibility mask forbids the pairing).
+    ///
+    /// # Errors
+    ///
+    /// Fails if an objective's capacity vector has the wrong length.
+    pub fn to_ilp(&self, objective: &Objective) -> Result<(Problem, VarGrid), LayoutError> {
+        let k_count = self.num_devices();
+        if let Objective::MaximizeBusUsage { capacities } = objective {
+            if capacities.len() != k_count {
+                return Err(LayoutError::BadObjective(format!(
+                    "capacity vector has {} entries for {} devices",
+                    capacities.len(),
+                    k_count
+                )));
+            }
+        }
+        let mut p = Problem::new(Direction::Maximize);
+        let mut x: VarGrid = Vec::with_capacity(self.nodes.len());
+        for (n, node) in self.nodes.iter().enumerate() {
+            let mut row = Vec::with_capacity(k_count);
+            for k in 0..k_count {
+                if node.compat[k] {
+                    row.push(Some(p.add_binary(&format!("x_{n}_{k}"))));
+                } else {
+                    row.push(None);
+                }
+            }
+            x.push(row);
+        }
+
+        // Eq. 1 — uniqueness per Offcode.
+        for (n, row) in x.iter().enumerate() {
+            let terms: Vec<(VarId, f64)> =
+                row.iter().flatten().map(|&v| (v, 1.0)).collect();
+            p.add_constraint(&format!("unique_{n}"), terms, Sense::Eq, 1.0);
+        }
+
+        // Constraint edges.
+        for (ei, e) in self.edges.iter().enumerate() {
+            let a = e.from.0;
+            let b = e.to.0;
+            match e.constraint {
+                ConstraintKind::Link => {}
+                // Eq. 2 — same device, coordinate-wise.
+                ConstraintKind::Pull => {
+                    #[allow(clippy::needless_range_loop)]
+                    for k in 0..k_count {
+                        match (x[a][k], x[b][k]) {
+                            (Some(va), Some(vb)) => p.add_constraint(
+                                &format!("pull_{ei}_{k}"),
+                                vec![(va, 1.0), (vb, -1.0)],
+                                Sense::Eq,
+                                0.0,
+                            ),
+                            (Some(v), None) | (None, Some(v)) => {
+                                // One side cannot be there: neither may be.
+                                p.add_constraint(
+                                    &format!("pull_{ei}_{k}"),
+                                    vec![(v, 1.0)],
+                                    Sense::Eq,
+                                    0.0,
+                                )
+                            }
+                            (None, None) => {}
+                        }
+                    }
+                }
+                // Eq. 3 — offloaded-ness equal (sums over k >= 1).
+                ConstraintKind::Gang => {
+                    let mut terms: Vec<(VarId, f64)> = Vec::new();
+                    terms.extend(x[a][1..].iter().flatten().map(|&v| (v, 1.0)));
+                    terms.extend(x[b][1..].iter().flatten().map(|&v| (v, -1.0)));
+                    p.add_constraint(&format!("gang_{ei}"), terms, Sense::Eq, 0.0);
+                }
+                // Eq. 4 — offload(a) <= offload(b).
+                ConstraintKind::AsymGang => {
+                    let mut terms: Vec<(VarId, f64)> = Vec::new();
+                    terms.extend(x[a][1..].iter().flatten().map(|&v| (v, 1.0)));
+                    terms.extend(x[b][1..].iter().flatten().map(|&v| (v, -1.0)));
+                    p.add_constraint(&format!("asym_{ei}"), terms, Sense::Le, 0.0);
+                }
+            }
+        }
+
+        // Objective.
+        match objective {
+            Objective::MaximizeOffloading => {
+                let terms: Vec<(VarId, f64)> = x
+                    .iter()
+                    .flat_map(|row| row[1..].iter().flatten().map(|&v| (v, 1.0)))
+                    .collect();
+                p.set_objective(terms);
+            }
+            Objective::MaximizeBusUsage { capacities } => {
+                let terms: Vec<(VarId, f64)> = x
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(n, row)| {
+                        let price = self.nodes[n].price;
+                        row[1..].iter().flatten().map(move |&v| (v, price))
+                    })
+                    .collect();
+                p.set_objective(terms);
+                for k in 1..k_count {
+                    let terms: Vec<(VarId, f64)> = x
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(n, row)| row[k].map(|v| (v, self.nodes[n].price)))
+                        .collect();
+                    if !terms.is_empty() {
+                        p.add_constraint(
+                            &format!("cap_{k}"),
+                            terms,
+                            Sense::Le,
+                            capacities[k],
+                        );
+                    }
+                }
+            }
+        }
+        Ok((p, x))
+    }
+
+    /// Resolves the layout exactly with branch-and-bound ILP.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the constraints are unsatisfiable.
+    pub fn resolve_ilp(&self, objective: &Objective) -> Result<Placement, LayoutError> {
+        if self.nodes.is_empty() {
+            return Ok(Placement(Vec::new()));
+        }
+        let (problem, x) = self.to_ilp(objective)?;
+        let result = solve_ilp(&problem);
+        let Outcome::Optimal(sol) = result.outcome else {
+            return Err(LayoutError::Unsatisfiable);
+        };
+        let mut devices = Vec::with_capacity(self.nodes.len());
+        for row in &x {
+            let mut chosen = DeviceId::HOST;
+            for (k, v) in row.iter().enumerate() {
+                if let Some(v) = v {
+                    if sol.is_set(*v) {
+                        chosen = DeviceId(k);
+                        break;
+                    }
+                }
+            }
+            devices.push(chosen);
+        }
+        let placement = Placement(devices);
+        debug_assert!(self.check(&placement).is_ok());
+        Ok(placement)
+    }
+
+    /// Greedy heuristic: visit Offcodes in descending price order; place
+    /// each on its first compatible non-host device that keeps all
+    /// constraints toward already-placed neighbours satisfiable and (for
+    /// [`Objective::MaximizeBusUsage`]) fits the device's remaining
+    /// capacity; otherwise fall back to the host.
+    ///
+    /// Greedy is *not always optimal* (the paper's motivation for the ILP
+    /// formulation); `ilp_vs_greedy` in the bench suite quantifies the
+    /// gap.
+    pub fn resolve_greedy(&self, objective: &Objective) -> Placement {
+        let k_count = self.num_devices();
+        let mut remaining: Vec<f64> = match objective {
+            Objective::MaximizeBusUsage { capacities } => capacities.clone(),
+            Objective::MaximizeOffloading => vec![f64::INFINITY; k_count],
+        };
+        let mut order: Vec<usize> = (0..self.nodes.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.nodes[b]
+                .price
+                .partial_cmp(&self.nodes[a].price)
+                .expect("prices are finite")
+                .then(a.cmp(&b))
+        });
+        let mut devices: Vec<Option<DeviceId>> = vec![None; self.nodes.len()];
+        for &n in &order {
+            let node = &self.nodes[n];
+            let mut chosen = DeviceId::HOST;
+            #[allow(clippy::needless_range_loop)]
+            for k in 1..k_count {
+                if !node.compat[k] {
+                    continue;
+                }
+                if node.price > remaining[k] {
+                    continue;
+                }
+                if self.greedy_compatible(n, DeviceId(k), &devices) {
+                    chosen = DeviceId(k);
+                    break;
+                }
+            }
+            if !chosen.is_host() {
+                remaining[chosen.0] -= node.price;
+            } else if !self.greedy_compatible(n, DeviceId::HOST, &devices) {
+                // Host conflicts with a placed neighbour (e.g. Gang with an
+                // offloaded peer). Leave on host anyway: greedy is a
+                // heuristic, and `check` will expose the violation; repair
+                // by pulling the neighbour back would cascade.
+            }
+            devices[n] = Some(chosen);
+        }
+        let mut placement = Placement(devices.into_iter().map(|d| d.expect("all placed")).collect());
+        self.repair_gangs(&mut placement);
+        placement
+    }
+
+    /// Whether placing node `n` on `dev` keeps constraints to already
+    /// placed neighbours satisfied.
+    fn greedy_compatible(&self, n: usize, dev: DeviceId, placed: &[Option<DeviceId>]) -> bool {
+        for e in &self.edges {
+            let (other, constraint, n_is_from) = if e.from.0 == n {
+                (e.to.0, e.constraint, true)
+            } else if e.to.0 == n {
+                (e.from.0, e.constraint, false)
+            } else {
+                continue;
+            };
+            let Some(od) = placed[other] else { continue };
+            let ok = match constraint {
+                ConstraintKind::Link => true,
+                ConstraintKind::Pull => od == dev,
+                ConstraintKind::Gang => od.is_host() == dev.is_host(),
+                ConstraintKind::AsymGang => {
+                    if n_is_from {
+                        // n offloaded requires other offloaded.
+                        dev.is_host() || !od.is_host()
+                    } else {
+                        od.is_host() || !dev.is_host()
+                    }
+                }
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Post-pass: pull offenders of Gang/AsymGang edges back to the host
+    /// until the placement is feasible (always terminates: host-everything
+    /// is feasible).
+    fn repair_gangs(&self, placement: &mut Placement) {
+        loop {
+            let mut changed = false;
+            for e in &self.edges {
+                let da = placement.0[e.from.0];
+                let db = placement.0[e.to.0];
+                match e.constraint {
+                    ConstraintKind::Pull => {
+                        if da != db {
+                            placement.0[e.from.0] = DeviceId::HOST;
+                            placement.0[e.to.0] = DeviceId::HOST;
+                            changed = true;
+                        }
+                    }
+                    ConstraintKind::Gang => {
+                        if da.is_host() != db.is_host() {
+                            placement.0[e.from.0] = DeviceId::HOST;
+                            placement.0[e.to.0] = DeviceId::HOST;
+                            changed = true;
+                        }
+                    }
+                    ConstraintKind::AsymGang => {
+                        if !da.is_host() && db.is_host() {
+                            placement.0[e.from.0] = DeviceId::HOST;
+                            changed = true;
+                        }
+                    }
+                    ConstraintKind::Link => {}
+                }
+            }
+            if !changed {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceDescriptor;
+    use hydra_odf::odf::{class_ids, DeviceClassSpec, Import};
+
+    fn registry() -> DeviceRegistry {
+        let mut reg = DeviceRegistry::new();
+        reg.install(DeviceDescriptor::programmable_nic()); // dev1
+        reg.install(DeviceDescriptor::smart_disk()); // dev2
+        reg.install(DeviceDescriptor::gpu()); // dev3
+        reg
+    }
+
+    fn class(id: u32) -> DeviceClassSpec {
+        DeviceClassSpec {
+            id,
+            name: format!("class-{id}"),
+            bus: None,
+            mac: None,
+            vendor: None,
+        }
+    }
+
+    fn node(guid: u64, compat: Vec<bool>) -> LayoutNode {
+        LayoutNode {
+            guid: Guid(guid),
+            bind_name: format!("oc{guid}"),
+            compat,
+            price: 1.0,
+        }
+    }
+
+    #[test]
+    fn from_odfs_builds_nodes_and_edges() {
+        let streamer = OdfDocument::new("tivo.Streamer", Guid(1))
+            .with_target(class(class_ids::NETWORK))
+            .with_import(Import {
+                file: String::new(),
+                bind_name: "tivo.Decoder".into(),
+                guid: Guid(2),
+                constraint: ConstraintKind::Gang,
+                priority: 0,
+            });
+        let decoder =
+            OdfDocument::new("tivo.Decoder", Guid(2)).with_target(class(class_ids::GPU));
+        let g = LayoutGraph::from_odfs(&[streamer, decoder], &registry()).unwrap();
+        assert_eq!(g.nodes().len(), 2);
+        assert_eq!(g.edges().len(), 1);
+        assert_eq!(g.nodes()[0].compat, vec![true, true, false, false]);
+        assert_eq!(g.nodes()[1].compat, vec![true, false, false, true]);
+        assert_eq!(g.edges()[0].constraint, ConstraintKind::Gang);
+    }
+
+    #[test]
+    fn unknown_import_rejected() {
+        let a = OdfDocument::new("a", Guid(1)).with_import(Import {
+            file: String::new(),
+            bind_name: "ghost".into(),
+            guid: Guid(99),
+            constraint: ConstraintKind::Link,
+            priority: 0,
+        });
+        assert!(matches!(
+            LayoutGraph::from_odfs(&[a], &registry()),
+            Err(LayoutError::UnknownImport { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_guid_rejected() {
+        let a = OdfDocument::new("a", Guid(1));
+        let b = OdfDocument::new("b", Guid(1));
+        assert_eq!(
+            LayoutGraph::from_odfs(&[a, b], &registry()),
+            Err(LayoutError::DuplicateGuid(Guid(1)))
+        );
+    }
+
+    #[test]
+    fn ilp_offloads_everything_when_unconstrained() {
+        let mut g = LayoutGraph::new();
+        g.add_node(node(1, vec![true, true, false, false]));
+        g.add_node(node(2, vec![true, false, true, false]));
+        g.add_node(node(3, vec![true, false, false, true]));
+        let p = g.resolve_ilp(&Objective::MaximizeOffloading).unwrap();
+        assert_eq!(p.offloaded_count(), 3);
+        assert_eq!(p.0, vec![DeviceId(1), DeviceId(2), DeviceId(3)]);
+        g.check(&p).unwrap();
+    }
+
+    #[test]
+    fn pull_forces_same_device() {
+        let mut g = LayoutGraph::new();
+        let a = g.add_node(node(1, vec![true, true, true]));
+        let b = g.add_node(node(2, vec![true, false, true]));
+        g.add_edge(a, b, ConstraintKind::Pull);
+        let p = g.resolve_ilp(&Objective::MaximizeOffloading).unwrap();
+        assert_eq!(p.device_of(a), p.device_of(b));
+        assert_eq!(p.device_of(a), DeviceId(2)); // the only shared device
+        g.check(&p).unwrap();
+    }
+
+    #[test]
+    fn pull_with_no_shared_device_lands_on_host() {
+        let mut g = LayoutGraph::new();
+        let a = g.add_node(node(1, vec![true, true, false]));
+        let b = g.add_node(node(2, vec![true, false, true]));
+        g.add_edge(a, b, ConstraintKind::Pull);
+        let p = g.resolve_ilp(&Objective::MaximizeOffloading).unwrap();
+        assert_eq!(p.device_of(a), DeviceId::HOST);
+        assert_eq!(p.device_of(b), DeviceId::HOST);
+    }
+
+    #[test]
+    fn gang_links_offloadedness() {
+        let mut g = LayoutGraph::new();
+        // a can only be offloaded to dev1; b can only run on host.
+        let a = g.add_node(node(1, vec![true, true]));
+        let b = g.add_node(node(2, vec![true, false]));
+        g.add_edge(a, b, ConstraintKind::Gang);
+        let p = g.resolve_ilp(&Objective::MaximizeOffloading).unwrap();
+        // Gang forces a back to the host.
+        assert_eq!(p.device_of(a), DeviceId::HOST);
+        g.check(&p).unwrap();
+    }
+
+    #[test]
+    fn asym_gang_is_one_directional() {
+        let mut g = LayoutGraph::new();
+        let a = g.add_node(node(1, vec![true, true]));
+        let b = g.add_node(node(2, vec![true, false]));
+        // a -> b: offloading a requires offloading b (impossible).
+        g.add_edge(a, b, ConstraintKind::AsymGang);
+        let p = g.resolve_ilp(&Objective::MaximizeOffloading).unwrap();
+        assert_eq!(p.device_of(a), DeviceId::HOST);
+
+        // Reverse direction: offloading b requires a — b stays on host
+        // anyway, a is free.
+        let mut g2 = LayoutGraph::new();
+        let a2 = g2.add_node(node(1, vec![true, true]));
+        let b2 = g2.add_node(node(2, vec![true, false]));
+        g2.add_edge(b2, a2, ConstraintKind::AsymGang);
+        let p2 = g2.resolve_ilp(&Objective::MaximizeOffloading).unwrap();
+        assert_eq!(p2.device_of(a2), DeviceId(1));
+    }
+
+    #[test]
+    fn bus_usage_objective_respects_capacity() {
+        let mut g = LayoutGraph::new();
+        for guid in 1..=3 {
+            let mut n = node(guid, vec![true, true]);
+            n.price = 2.0;
+            g.add_node(n);
+        }
+        // Device 1 can carry only 4.0 of price: at most two offcodes.
+        let obj = Objective::MaximizeBusUsage {
+            capacities: vec![f64::INFINITY, 4.0],
+        };
+        let p = g.resolve_ilp(&obj).unwrap();
+        assert_eq!(p.offloaded_count(), 2);
+        assert!((g.bus_value(&p) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_capacity_vector_rejected() {
+        let mut g = LayoutGraph::new();
+        g.add_node(node(1, vec![true, true]));
+        let obj = Objective::MaximizeBusUsage {
+            capacities: vec![1.0],
+        };
+        assert!(matches!(
+            g.resolve_ilp(&obj),
+            Err(LayoutError::BadObjective(_))
+        ));
+    }
+
+    #[test]
+    fn greedy_produces_feasible_placements() {
+        let mut g = LayoutGraph::new();
+        let a = g.add_node(node(1, vec![true, true, false]));
+        let b = g.add_node(node(2, vec![true, false, true]));
+        let c = g.add_node(node(3, vec![true, true, true]));
+        g.add_edge(a, b, ConstraintKind::Gang);
+        g.add_edge(b, c, ConstraintKind::Pull);
+        let p = g.resolve_greedy(&Objective::MaximizeOffloading);
+        g.check(&p).unwrap();
+    }
+
+    #[test]
+    fn greedy_is_suboptimal_on_adversarial_graph() {
+        // The classic trap: a high-price node grabs the device another
+        // pair needs for a Pull, forcing both of them to the host.
+        // Devices: host + dev1 (the only device b/c can share).
+        let mut g = LayoutGraph::new();
+        let mut big = node(1, vec![true, true]);
+        big.price = 10.0;
+        let a = g.add_node(big); // greedy places first (highest price)
+        let mut nb = node(2, vec![true, true]);
+        nb.price = 6.0;
+        let b = g.add_node(nb);
+        let mut nc = node(3, vec![true, true]);
+        nc.price = 6.0;
+        let c = g.add_node(nc);
+        g.add_edge(b, c, ConstraintKind::Pull);
+        let _ = a;
+        let obj = Objective::MaximizeBusUsage {
+            capacities: vec![f64::INFINITY, 12.0],
+        };
+        let greedy = g.resolve_greedy(&obj);
+        let exact = g.resolve_ilp(&obj).unwrap();
+        g.check(&greedy).unwrap();
+        g.check(&exact).unwrap();
+        // ILP offloads the b+c pair (6+6 = 12 fits exactly; value 12).
+        // Greedy grabbed the big node first (value 10) and the pair no
+        // longer fits (6 > 12-10).
+        assert!((g.bus_value(&exact) - 12.0).abs() < 1e-9);
+        assert!(g.bus_value(&exact) > g.bus_value(&greedy));
+    }
+
+    #[test]
+    fn ilp_never_worse_than_greedy_on_random_graphs() {
+        use hydra_sim::rng::DetRng;
+        let mut rng = DetRng::new(2024);
+        for trial in 0..15 {
+            let k = 2 + rng.index(3); // 2..4 devices + host
+            let n = 3 + rng.index(5);
+            let mut g = LayoutGraph::new();
+            for i in 0..n {
+                let mut compat = vec![true];
+                for _ in 0..k {
+                    compat.push(rng.chance(0.6));
+                }
+                let mut nd = node(i as u64 + 1, compat);
+                nd.price = 1.0 + rng.index(5) as f64;
+                g.add_node(nd);
+            }
+            for _ in 0..n {
+                let a = NodeIdx(rng.index(n));
+                let b = NodeIdx(rng.index(n));
+                if a == b {
+                    continue;
+                }
+                let c = match rng.index(4) {
+                    0 => ConstraintKind::Link,
+                    1 => ConstraintKind::Pull,
+                    2 => ConstraintKind::Gang,
+                    _ => ConstraintKind::AsymGang,
+                };
+                g.add_edge(a, b, c);
+            }
+            let capacities: Vec<f64> = (0..=k).map(|_| 3.0 + rng.index(8) as f64).collect();
+            let obj = Objective::MaximizeBusUsage { capacities };
+            let greedy = g.resolve_greedy(&obj);
+            let exact = g.resolve_ilp(&obj).unwrap();
+            g.check(&greedy)
+                .unwrap_or_else(|e| panic!("trial {trial}: greedy infeasible: {e}"));
+            g.check(&exact)
+                .unwrap_or_else(|e| panic!("trial {trial}: ilp infeasible: {e}"));
+            assert!(
+                g.bus_value(&exact) >= g.bus_value(&greedy) - 1e-9,
+                "trial {trial}: ilp {} < greedy {}",
+                g.bus_value(&exact),
+                g.bus_value(&greedy)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph_resolves() {
+        let g = LayoutGraph::new();
+        let p = g.resolve_ilp(&Objective::MaximizeOffloading).unwrap();
+        assert!(p.0.is_empty());
+    }
+
+    #[test]
+    fn check_detects_all_violation_kinds() {
+        let mut g = LayoutGraph::new();
+        let a = g.add_node(node(1, vec![true, true]));
+        let b = g.add_node(node(2, vec![true, true]));
+        g.add_edge(a, b, ConstraintKind::Pull);
+        // Compatibility violation.
+        let p = Placement(vec![DeviceId(5), DeviceId(0)]);
+        assert!(g.check(&p).is_err());
+        // Pull violation.
+        let p = Placement(vec![DeviceId(1), DeviceId(0)]);
+        assert!(matches!(g.check(&p), Err(LayoutError::Violation(s)) if s.contains("Pull")));
+        // Wrong length.
+        assert!(g.check(&Placement(vec![DeviceId(0)])).is_err());
+        // Feasible.
+        g.check(&Placement(vec![DeviceId(1), DeviceId(1)])).unwrap();
+    }
+}

@@ -1,0 +1,45 @@
+//! # hydra-core — the HYDRA runtime
+//!
+//! The paper's primary contribution, reproduced as a library: Offcodes and
+//! their two-phase lifecycle ([`offcode`]), marshaled `Call` objects with
+//! interface type checking ([`call`]), typed invocation proxies
+//! ([`proxy`]), communication channels with device-specific providers and
+//! the cost-driven Channel Executive ([`channel`]), the device registry
+//! ([`device`]), hierarchical resource management ([`resource`]), the §5
+//! offloading layout graph with exact-ILP and greedy resolvers
+//! ([`layout`]), the pseudo-Offcodes that bound firmware symbol
+//! resolution ([`pseudo`]), and the deployment pipeline that ties it all
+//! together ([`runtime`]).
+//!
+//! ```text
+//! ODFs ──▶ layout graph ──▶ placement (ILP/greedy) ──▶ link at device
+//!   base ──▶ OOB channel ──▶ initialize ──▶ start ──▶ calls flow
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod call;
+pub mod channel;
+pub mod device;
+pub mod error;
+pub mod layout;
+pub mod offcode;
+pub mod proxy;
+pub mod pseudo;
+pub mod resource;
+pub mod runtime;
+
+pub use call::{Call, CallTypeError, MarshalError, Value};
+pub use channel::{
+    Buffering, Channel, ChannelConfig, ChannelCost, ChannelError, ChannelExecutive, ChannelId,
+    ChannelProvider, Reliability, SyncPolicy, Transport,
+};
+pub use device::{DeviceDescriptor, DeviceId, DeviceRegistry};
+pub use error::RuntimeError;
+pub use layout::{LayoutError, LayoutGraph, LayoutNode, NodeIdx, Objective, Placement};
+pub use offcode::{synthetic_object, Offcode, OffcodeCtx, OffcodeId};
+pub use proxy::Proxy;
+pub use pseudo::{HeapOffcode, RuntimeInfoOffcode, HEAP_GUID, RUNTIME_GUID};
+pub use resource::{ResourceId, ResourceKind, ResourceManager};
+pub use runtime::{Deployment, DispatchResult, Lifecycle, Runtime, RuntimeConfig, SolverKind};

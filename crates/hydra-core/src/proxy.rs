@@ -1,0 +1,136 @@
+//! Transparent invocation proxies (paper §3.1).
+//!
+//! "Achieving syntactic transparency for Offcode invocation requires the
+//! use of some 'proxy' element that has a similar interface as the target
+//! Offcode. … All interface methods return a Call object." [`Proxy`] is
+//! that element: bound to a WSDL-lite interface spec and a target, each
+//! `call` type-checks the arguments and produces a marshaled [`Call`]
+//! with a fresh return descriptor, ready to be sent over a channel (or
+//! passed straight to [`Runtime::invoke`]).
+//!
+//! [`Runtime::invoke`]: crate::runtime::Runtime::invoke
+
+use hydra_odf::wsdl::InterfaceSpec;
+
+use crate::call::{Call, Value};
+use crate::error::RuntimeError;
+use crate::offcode::OffcodeId;
+
+/// A typed call factory for one interface of one deployed Offcode.
+///
+/// # Examples
+///
+/// ```
+/// use hydra_core::call::Value;
+/// use hydra_core::offcode::OffcodeId;
+/// use hydra_core::proxy::Proxy;
+/// use hydra_odf::odf::Guid;
+/// use hydra_odf::wsdl::{InterfaceSpec, OperationSpec, TypeTag};
+///
+/// let spec = InterfaceSpec::new("ICounter", Guid(7)).with_operation(OperationSpec {
+///     name: "add".into(),
+///     inputs: vec![("n".into(), TypeTag::U64)],
+///     output: TypeTag::U64,
+/// });
+/// let mut proxy = Proxy::new(spec, OffcodeId(1));
+/// let call = proxy.call("add", vec![Value::U64(3)]).unwrap();
+/// assert_eq!(call.operation, "add");
+/// assert_eq!(call.return_id, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Proxy {
+    spec: InterfaceSpec,
+    target: OffcodeId,
+    next_return_id: u64,
+}
+
+impl Proxy {
+    /// Binds a proxy to an interface and a deployed target.
+    pub fn new(spec: InterfaceSpec, target: OffcodeId) -> Self {
+        Proxy {
+            spec,
+            target,
+            next_return_id: 1,
+        }
+    }
+
+    /// The target instance.
+    pub fn target(&self) -> OffcodeId {
+        self.target
+    }
+
+    /// The bound interface.
+    pub fn interface(&self) -> &InterfaceSpec {
+        &self.spec
+    }
+
+    /// Builds a type-checked call with a fresh return descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the operation is unknown or the arguments do not match the
+    /// interface.
+    pub fn call(&mut self, operation: &str, args: Vec<Value>) -> Result<Call, RuntimeError> {
+        let mut call = Call::new(self.spec.guid, operation).with_return_id(self.next_return_id);
+        call.args = args;
+        call.check_against(&self.spec)?;
+        self.next_return_id += 1;
+        Ok(call)
+    }
+
+    /// Builds a one-way (no return descriptor) type-checked call.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Proxy::call`].
+    pub fn one_way(&self, operation: &str, args: Vec<Value>) -> Result<Call, RuntimeError> {
+        let mut call = Call::new(self.spec.guid, operation);
+        call.args = args;
+        call.check_against(&self.spec)?;
+        Ok(call)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_odf::odf::Guid;
+    use hydra_odf::wsdl::{OperationSpec, TypeTag};
+
+    fn proxy() -> Proxy {
+        let spec = InterfaceSpec::new("IChecksum", Guid(500)).with_operation(OperationSpec {
+            name: "checksum".into(),
+            inputs: vec![("data".into(), TypeTag::Bytes)],
+            output: TypeTag::U32,
+        });
+        Proxy::new(spec, OffcodeId(9))
+    }
+
+    #[test]
+    fn return_ids_increment() {
+        let mut p = proxy();
+        let arg = || vec![Value::Bytes(bytes::Bytes::from_static(b"x"))];
+        assert_eq!(p.call("checksum", arg()).unwrap().return_id, 1);
+        assert_eq!(p.call("checksum", arg()).unwrap().return_id, 2);
+        assert_eq!(p.one_way("checksum", arg()).unwrap().return_id, 0);
+    }
+
+    #[test]
+    fn type_errors_surface() {
+        let mut p = proxy();
+        assert!(p.call("checksum", vec![Value::U32(1)]).is_err());
+        assert!(p.call("missing", vec![]).is_err());
+        // Failed calls do not consume return ids.
+        let ok = p
+            .call("checksum", vec![Value::Bytes(bytes::Bytes::new())])
+            .unwrap();
+        assert_eq!(ok.return_id, 1);
+    }
+
+    #[test]
+    fn accessors() {
+        let p = proxy();
+        assert_eq!(p.target(), OffcodeId(9));
+        assert_eq!(p.interface().name, "IChecksum");
+    }
+}

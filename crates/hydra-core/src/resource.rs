@@ -1,0 +1,295 @@
+//! Hierarchical resource management.
+//!
+//! Paper §4: "The Resource Management unit keeps track of all active
+//! Offcodes and related resources. Resources are managed hierarchically to
+//! allow for robust clean-up of child resources in the case of a failing
+//! parent object." [`ResourceManager`] is that tree: every resource has a
+//! parent; releasing a node releases its whole subtree, in child-first
+//! order, and reports what was released so owners can reclaim device
+//! memory, rings, and channel endpoints.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a tracked resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(u64);
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "res#{}", self.0)
+    }
+}
+
+/// What kind of thing a resource tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// A deployed Offcode instance.
+    Offcode,
+    /// A communication channel endpoint.
+    Channel,
+    /// Pinned or device memory.
+    Memory,
+    /// Anything else (timers, handles, …).
+    Other,
+}
+
+/// A record of one released resource, handed to the caller on cleanup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Released {
+    /// The released resource.
+    pub id: ResourceId,
+    /// Its kind.
+    pub kind: ResourceKind,
+    /// Its diagnostic label.
+    pub label: String,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    kind: ResourceKind,
+    label: String,
+    parent: Option<ResourceId>,
+    children: Vec<ResourceId>,
+}
+
+/// The hierarchical resource tree.
+///
+/// # Examples
+///
+/// ```
+/// use hydra_core::resource::{ResourceKind, ResourceManager};
+///
+/// let mut rm = ResourceManager::new();
+/// let app = rm.register_root(ResourceKind::Other, "app");
+/// let ocode = rm.register(ResourceKind::Offcode, "streamer", app).unwrap();
+/// let _chan = rm.register(ResourceKind::Channel, "chan0", ocode).unwrap();
+/// // Tearing down the app releases everything beneath it, children first.
+/// let released = rm.release(app).unwrap();
+/// assert_eq!(released.len(), 3);
+/// assert_eq!(released[0].label, "chan0");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ResourceManager {
+    entries: HashMap<ResourceId, Entry>,
+    next: u64,
+}
+
+/// Error: the referenced resource does not exist (already released?).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoSuchResource(pub ResourceId);
+
+impl fmt::Display for NoSuchResource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no such resource {}", self.0)
+    }
+}
+
+impl std::error::Error for NoSuchResource {}
+
+impl ResourceManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live resources.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Registers a resource with no parent (an application or the runtime
+    /// itself).
+    pub fn register_root(&mut self, kind: ResourceKind, label: &str) -> ResourceId {
+        let id = ResourceId(self.next);
+        self.next += 1;
+        self.entries.insert(
+            id,
+            Entry {
+                kind,
+                label: label.to_owned(),
+                parent: None,
+                children: Vec::new(),
+            },
+        );
+        id
+    }
+
+    /// Registers a resource under `parent`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the parent does not exist.
+    pub fn register(
+        &mut self,
+        kind: ResourceKind,
+        label: &str,
+        parent: ResourceId,
+    ) -> Result<ResourceId, NoSuchResource> {
+        if !self.entries.contains_key(&parent) {
+            return Err(NoSuchResource(parent));
+        }
+        let id = ResourceId(self.next);
+        self.next += 1;
+        self.entries.insert(
+            id,
+            Entry {
+                kind,
+                label: label.to_owned(),
+                parent: Some(parent),
+                children: Vec::new(),
+            },
+        );
+        self.entries
+            .get_mut(&parent)
+            .expect("parent checked above")
+            .children
+            .push(id);
+        Ok(id)
+    }
+
+    /// Whether a resource is still live.
+    pub fn contains(&self, id: ResourceId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    /// The label of a live resource.
+    pub fn label(&self, id: ResourceId) -> Option<&str> {
+        self.entries.get(&id).map(|e| e.label.as_str())
+    }
+
+    /// The live children of a resource, in registration order.
+    pub fn children(&self, id: ResourceId) -> Vec<ResourceId> {
+        self.entries
+            .get(&id)
+            .map(|e| e.children.clone())
+            .unwrap_or_default()
+    }
+
+    /// Releases a resource and its entire subtree.
+    ///
+    /// Children are released before parents (deepest first), mirroring
+    /// destructor order, and the full list is returned so owners can undo
+    /// side effects (free device memory, tear down rings).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the resource does not exist.
+    pub fn release(&mut self, id: ResourceId) -> Result<Vec<Released>, NoSuchResource> {
+        if !self.entries.contains_key(&id) {
+            return Err(NoSuchResource(id));
+        }
+        // Detach from parent.
+        if let Some(parent) = self.entries[&id].parent {
+            if let Some(p) = self.entries.get_mut(&parent) {
+                p.children.retain(|&c| c != id);
+            }
+        }
+        let mut released = Vec::new();
+        self.release_rec(id, &mut released);
+        Ok(released)
+    }
+
+    fn release_rec(&mut self, id: ResourceId, out: &mut Vec<Released>) {
+        let entry = self.entries.remove(&id).expect("caller verified presence");
+        for child in entry.children {
+            self.release_rec(child, out);
+        }
+        out.push(Released {
+            id,
+            kind: entry.kind,
+            label: entry.label,
+        });
+    }
+
+    /// All live resources of a kind.
+    pub fn by_kind(&self, kind: ResourceKind) -> Vec<ResourceId> {
+        let mut v: Vec<ResourceId> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.kind == kind)
+            .map(|(&id, _)| id)
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn release_is_child_first() {
+        let mut rm = ResourceManager::new();
+        let app = rm.register_root(ResourceKind::Other, "app");
+        let oc1 = rm.register(ResourceKind::Offcode, "oc1", app).unwrap();
+        let oc2 = rm.register(ResourceKind::Offcode, "oc2", app).unwrap();
+        let ch = rm.register(ResourceKind::Channel, "ch", oc1).unwrap();
+        let mem = rm.register(ResourceKind::Memory, "mem", ch).unwrap();
+        let _ = (oc2, mem);
+        let order: Vec<String> = rm
+            .release(app)
+            .unwrap()
+            .into_iter()
+            .map(|r| r.label)
+            .collect();
+        assert_eq!(order, vec!["mem", "ch", "oc1", "oc2", "app"]);
+        assert!(rm.is_empty());
+    }
+
+    #[test]
+    fn partial_release_detaches_from_parent() {
+        let mut rm = ResourceManager::new();
+        let app = rm.register_root(ResourceKind::Other, "app");
+        let oc = rm.register(ResourceKind::Offcode, "oc", app).unwrap();
+        rm.release(oc).unwrap();
+        assert!(rm.contains(app));
+        assert!(!rm.contains(oc));
+        assert!(rm.children(app).is_empty());
+        // Releasing the app afterwards only frees the app.
+        assert_eq!(rm.release(app).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn double_release_fails() {
+        let mut rm = ResourceManager::new();
+        let app = rm.register_root(ResourceKind::Other, "app");
+        rm.release(app).unwrap();
+        assert_eq!(rm.release(app), Err(NoSuchResource(app)));
+    }
+
+    #[test]
+    fn register_under_missing_parent_fails() {
+        let mut rm = ResourceManager::new();
+        let app = rm.register_root(ResourceKind::Other, "app");
+        rm.release(app).unwrap();
+        assert!(rm.register(ResourceKind::Memory, "m", app).is_err());
+    }
+
+    #[test]
+    fn by_kind_filters() {
+        let mut rm = ResourceManager::new();
+        let app = rm.register_root(ResourceKind::Other, "app");
+        let oc = rm.register(ResourceKind::Offcode, "oc", app).unwrap();
+        rm.register(ResourceKind::Channel, "c1", oc).unwrap();
+        rm.register(ResourceKind::Channel, "c2", oc).unwrap();
+        assert_eq!(rm.by_kind(ResourceKind::Channel).len(), 2);
+        assert_eq!(rm.by_kind(ResourceKind::Offcode), vec![oc]);
+        assert_eq!(rm.by_kind(ResourceKind::Memory).len(), 0);
+    }
+
+    #[test]
+    fn labels_accessible() {
+        let mut rm = ResourceManager::new();
+        let app = rm.register_root(ResourceKind::Other, "my-app");
+        assert_eq!(rm.label(app), Some("my-app"));
+        rm.release(app).unwrap();
+        assert_eq!(rm.label(app), None);
+    }
+}

@@ -1,0 +1,1004 @@
+//! The HYDRA runtime: depot, deployment pipeline, invocation.
+//!
+//! This is the paper's §3.4/§4 machinery end to end. Applications register
+//! Offcode implementations (with their ODFs) in the **depot**, then call
+//! [`Runtime::create_offcode`]. The runtime gathers the transitive import
+//! closure, builds the offloading layout graph, resolves placement (exact
+//! ILP or greedy), links each Offcode's object file at a device-allocated
+//! base address (falling back to the host CPU when a device cannot take
+//! it, per §3.4), constructs OOB channels, registers everything in the
+//! hierarchical resource tree, and drives the two-phase
+//! `initialize`/`start` protocol.
+//!
+//! Channels created here are one-directional sender → connected
+//! Offcode(s); return values travel through the `Call`'s return
+//! descriptor (the runtime hands them back from [`Runtime::invoke`] and
+//! [`Runtime::pump`]).
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use hydra_hw::cpu::Cycles;
+use hydra_link::linker::LinkedImage;
+use hydra_link::loader::{
+    load_device_side, load_host_side, DeviceMemoryAllocator, LoadError, LoadPlan, LoadStrategy,
+};
+use hydra_odf::odf::{Guid, OdfDocument};
+use hydra_sim::time::SimTime;
+
+use crate::call::{Call, Value};
+use crate::channel::{ChannelConfig, ChannelError, ChannelExecutive, ChannelId};
+use crate::device::{DeviceId, DeviceRegistry};
+use crate::error::RuntimeError;
+use crate::layout::{LayoutGraph, Objective, Placement};
+use crate::offcode::{Offcode, OffcodeCtx, OffcodeId};
+use crate::resource::{ResourceId, ResourceKind, ResourceManager};
+
+/// Which layout resolver to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolverKind {
+    /// Exact branch-and-bound ILP (paper §5).
+    Ilp,
+    /// The greedy heuristic.
+    Greedy,
+}
+
+/// Runtime policy knobs.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Layout objective.
+    pub objective: Objective,
+    /// Layout resolver.
+    pub solver: SolverKind,
+    /// Offcode loading strategy (§4.2).
+    pub load_strategy: LoadStrategy,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            objective: Objective::MaximizeOffloading,
+            solver: SolverKind::Ilp,
+            load_strategy: LoadStrategy::HostSideLink,
+        }
+    }
+}
+
+/// Lifecycle state of a deployed Offcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lifecycle {
+    /// Linked and placed; `initialize` not yet called.
+    Loaded,
+    /// `initialize` succeeded.
+    Initialized,
+    /// `start` succeeded; fully operational.
+    Started,
+}
+
+struct DepotEntry {
+    odf: OdfDocument,
+    factory: Box<dyn Fn() -> Box<dyn Offcode>>,
+}
+
+impl std::fmt::Debug for DepotEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DepotEntry")
+            .field("odf", &self.odf.bind_name)
+            .finish()
+    }
+}
+
+/// A deployed instance's public record.
+#[derive(Debug)]
+pub struct Deployment {
+    /// The instance id.
+    pub id: OffcodeId,
+    /// Where it landed.
+    pub device: DeviceId,
+    /// Its lifecycle state.
+    pub state: Lifecycle,
+    /// Its default out-of-band channel.
+    pub oob: ChannelId,
+    /// The load-cost accounting.
+    pub plan: LoadPlan,
+}
+
+#[derive(Debug)]
+struct Instance {
+    offcode: Box<dyn Offcode>,
+    guid: Guid,
+    device: DeviceId,
+    state: Lifecycle,
+    oob: ChannelId,
+    resource: ResourceId,
+    plan: LoadPlan,
+    #[allow(dead_code)]
+    image: LinkedImage,
+}
+
+/// A value returned through a channel dispatch (see [`Runtime::pump`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchResult {
+    /// The Offcode that handled the call.
+    pub handler: OffcodeId,
+    /// The call's return descriptor id.
+    pub return_id: u64,
+    /// The returned value (or the error, stringified).
+    pub result: Result<Value, String>,
+}
+
+/// The HYDRA runtime.
+///
+/// # Examples
+///
+/// See `examples/quickstart.rs` for the full Figure-3 flow; the unit
+/// tests below deploy multi-Offcode applications with constraints.
+#[derive(Debug)]
+pub struct Runtime {
+    devices: DeviceRegistry,
+    config: RuntimeConfig,
+    executive: ChannelExecutive,
+    resources: ResourceManager,
+    app_root: ResourceId,
+    depot: HashMap<Guid, DepotEntry>,
+    bind_names: HashMap<String, Guid>,
+    instances: HashMap<OffcodeId, Instance>,
+    deployed_by_guid: HashMap<Guid, OffcodeId>,
+    allocators: Vec<DeviceMemoryAllocator>,
+    connections: HashMap<ChannelId, Vec<(usize, OffcodeId)>>,
+    device_work: HashMap<DeviceId, Cycles>,
+    next_offcode: u64,
+}
+
+impl Runtime {
+    /// Creates a runtime over a set of installed devices.
+    pub fn new(devices: DeviceRegistry, config: RuntimeConfig) -> Self {
+        let mut resources = ResourceManager::new();
+        let app_root = resources.register_root(ResourceKind::Other, "oa-application");
+        let allocators = devices
+            .iter()
+            .map(|(_, d)| DeviceMemoryAllocator::new(0x1_0000, d.offcode_memory))
+            .collect();
+        Runtime {
+            devices,
+            config,
+            executive: ChannelExecutive::with_default_providers(),
+            resources,
+            app_root,
+            depot: HashMap::new(),
+            bind_names: HashMap::new(),
+            instances: HashMap::new(),
+            deployed_by_guid: HashMap::new(),
+            allocators,
+            connections: HashMap::new(),
+            device_work: HashMap::new(),
+            next_offcode: 1,
+        }
+    }
+
+    /// The device registry.
+    pub fn devices(&self) -> &DeviceRegistry {
+        &self.devices
+    }
+
+    /// The channel executive (e.g. to register device-specific providers).
+    pub fn executive_mut(&mut self) -> &mut ChannelExecutive {
+        &mut self.executive
+    }
+
+    /// The resource tree.
+    pub fn resources(&self) -> &ResourceManager {
+        &self.resources
+    }
+
+    /// Registers and deploys the standard pseudo-Offcodes (`hydra.Heap`,
+    /// `hydra.Runtime` — paper §4) so applications can `GetOffcode` them
+    /// by bind name, exactly like the paper's Figure 3 obtains
+    /// `hydra.ChannelExecutive`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pseudo GUIDs are already taken or deployment fails.
+    pub fn install_pseudo_offcodes(&mut self, now: SimTime) -> Result<(), RuntimeError> {
+        self.register_offcode(crate::pseudo::HeapOffcode::odf(), || {
+            Box::new(crate::pseudo::HeapOffcode::new(1 << 20))
+        })?;
+        self.register_offcode(crate::pseudo::RuntimeInfoOffcode::odf(), || {
+            Box::new(crate::pseudo::RuntimeInfoOffcode::new())
+        })?;
+        self.create_offcode(crate::pseudo::HEAP_GUID, now)?;
+        self.create_offcode(crate::pseudo::RUNTIME_GUID, now)?;
+        Ok(())
+    }
+
+    /// Registers an Offcode implementation with its ODF in the depot.
+    ///
+    /// # Errors
+    ///
+    /// Rejects duplicate GUIDs.
+    pub fn register_offcode(
+        &mut self,
+        odf: OdfDocument,
+        factory: impl Fn() -> Box<dyn Offcode> + 'static,
+    ) -> Result<(), RuntimeError> {
+        if self.depot.contains_key(&odf.guid) {
+            return Err(RuntimeError::Rejected(format!(
+                "guid {} already in depot",
+                odf.guid
+            )));
+        }
+        self.bind_names.insert(odf.bind_name.clone(), odf.guid);
+        self.depot.insert(
+            odf.guid,
+            DepotEntry {
+                odf,
+                factory: Box::new(factory),
+            },
+        );
+        Ok(())
+    }
+
+    /// Resolves a bind name to a depot GUID (`hydra.Runtime`'s
+    /// `GetOffcode` by name).
+    pub fn lookup_bind_name(&self, bind_name: &str) -> Option<Guid> {
+        self.bind_names.get(bind_name).copied()
+    }
+
+    /// The deployed instance implementing `guid`, if any.
+    pub fn get_offcode(&self, guid: Guid) -> Option<OffcodeId> {
+        self.deployed_by_guid.get(&guid).copied()
+    }
+
+    /// The device hosting a deployed instance.
+    pub fn device_of(&self, id: OffcodeId) -> Option<DeviceId> {
+        self.instances.get(&id).map(|i| i.device)
+    }
+
+    /// Public deployment records, ordered by instance id.
+    pub fn deployments(&self) -> Vec<Deployment> {
+        let mut v: Vec<Deployment> = self
+            .instances
+            .iter()
+            .map(|(&id, inst)| Deployment {
+                id,
+                device: inst.device,
+                state: inst.state,
+                oob: inst.oob,
+                plan: inst.plan,
+            })
+            .collect();
+        v.sort_by_key(|d| d.id);
+        v
+    }
+
+    /// Cycles charged per device so far.
+    pub fn device_work(&self, device: DeviceId) -> Cycles {
+        self.device_work.get(&device).copied().unwrap_or(Cycles::ZERO)
+    }
+
+    /// The `CreateOffcode` API: deploys the Offcode identified by `guid`
+    /// together with the transitive closure of its imports, returning the
+    /// root instance id.
+    ///
+    /// Already-deployed Offcodes in the closure are reused (the paper's
+    /// component-reuse motivation); their placement is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any Offcode in the closure is missing from the depot, the
+    /// layout is unsatisfiable, loading fails even after the host
+    /// fallback, or an `initialize`/`start` hook rejects. On failure all
+    /// partially deployed instances are rolled back.
+    pub fn create_offcode(&mut self, guid: Guid, now: SimTime) -> Result<OffcodeId, RuntimeError> {
+        if let Some(existing) = self.deployed_by_guid.get(&guid) {
+            return Ok(*existing);
+        }
+        // 1. Transitive closure, root first (DFS, de-duplicated).
+        let mut order: Vec<Guid> = Vec::new();
+        let mut stack = vec![guid];
+        while let Some(g) = stack.pop() {
+            if order.contains(&g) || self.deployed_by_guid.contains_key(&g) {
+                continue;
+            }
+            let entry = self.depot.get(&g).ok_or(RuntimeError::NotInDepot(g))?;
+            order.push(g);
+            for imp in &entry.odf.imports {
+                stack.push(imp.guid);
+            }
+        }
+
+        // 2. Layout graph over the not-yet-deployed closure. Imports that
+        // point outside the set (already deployed) are dropped from the
+        // graph: their constraints were satisfied at their own deployment.
+        let odfs: Vec<OdfDocument> = order
+            .iter()
+            .map(|g| {
+                let mut odf = self.depot[g].odf.clone();
+                odf.imports.retain(|imp| order.contains(&imp.guid));
+                odf
+            })
+            .collect();
+        let graph = LayoutGraph::from_odfs(&odfs, &self.devices)?;
+
+        // 3. Resolve placement.
+        let placement = match self.config.solver {
+            SolverKind::Ilp => graph.resolve_ilp(&self.config.objective)?,
+            SolverKind::Greedy => graph.resolve_greedy(&self.config.objective),
+        };
+        graph.check(&placement)?;
+
+        // 4. Load + instantiate each, with host fallback on device OOM.
+        let mut created: Vec<OffcodeId> = Vec::new();
+        let result = self.deploy_all(&order, &placement, now, &mut created);
+        match result {
+            Ok(()) => Ok(*created.first().expect("closure is non-empty")),
+            Err(e) => {
+                // Roll back everything created in this call.
+                for id in created {
+                    self.teardown(id);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Convenience: `create_offcode` by bind name.
+    ///
+    /// # Errors
+    ///
+    /// As [`Runtime::create_offcode`]; also fails if the name is unknown.
+    pub fn create_offcode_by_name(
+        &mut self,
+        bind_name: &str,
+        now: SimTime,
+    ) -> Result<OffcodeId, RuntimeError> {
+        let guid = self
+            .lookup_bind_name(bind_name)
+            .ok_or_else(|| RuntimeError::Rejected(format!("unknown bind name '{bind_name}'")))?;
+        self.create_offcode(guid, now)
+    }
+
+    fn deploy_all(
+        &mut self,
+        order: &[Guid],
+        placement: &Placement,
+        now: SimTime,
+        created: &mut Vec<OffcodeId>,
+    ) -> Result<(), RuntimeError> {
+        for (n, &g) in order.iter().enumerate() {
+            let device = placement.0[n];
+            let id = self.deploy_one(g, device)?;
+            created.push(id);
+        }
+        // Phase 1: initialize leaves first (imports precede importers in
+        // reverse order).
+        for &id in created.iter().rev() {
+            self.run_phase(id, now, Phase::Initialize)?;
+        }
+        // Phase 2: start, same order.
+        for &id in created.iter().rev() {
+            self.run_phase(id, now, Phase::Start)?;
+        }
+        Ok(())
+    }
+
+    fn deploy_one(&mut self, guid: Guid, device: DeviceId) -> Result<OffcodeId, RuntimeError> {
+        let entry = &self.depot[&guid];
+        let offcode = (entry.factory)();
+        let object = offcode.object_file();
+        let bind_name = entry.odf.bind_name.clone();
+
+        // Try the chosen device; fall back to the host on OOM (§3.4).
+        let (device, image, plan) = {
+            let exports = self.devices.get(device).exports.clone();
+            let attempt = match self.config.load_strategy {
+                LoadStrategy::HostSideLink => load_host_side(
+                    std::slice::from_ref(&object),
+                    &mut self.allocators[device.0],
+                    &exports,
+                ),
+                LoadStrategy::DeviceSideLink => load_device_side(
+                    std::slice::from_ref(&object),
+                    &mut self.allocators[device.0],
+                    &exports,
+                ),
+            };
+            match attempt {
+                Ok((image, plan)) => (device, image, plan),
+                Err(LoadError::Memory(_)) if !device.is_host() => {
+                    let exports = self.devices.get(DeviceId::HOST).exports.clone();
+                    let (image, plan) = load_host_side(
+                        &[object],
+                        &mut self.allocators[DeviceId::HOST.0],
+                        &exports,
+                    )?;
+                    (DeviceId::HOST, image, plan)
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
+
+        let id = OffcodeId(self.next_offcode);
+        self.next_offcode += 1;
+        let resource = self
+            .resources
+            .register(ResourceKind::Offcode, &bind_name, self.app_root)
+            .expect("app root is live");
+        self.resources
+            .register(
+                ResourceKind::Memory,
+                &format!("{bind_name}.image"),
+                resource,
+            )
+            .expect("offcode resource is live");
+        let oob = self.executive.create_channel(ChannelConfig::oob(device))?;
+        let ep = self
+            .executive
+            .get_mut(oob)
+            .expect("channel just created")
+            .connect_endpoint()
+            .expect("first endpoint");
+        self.connections.entry(oob).or_default().push((ep, id));
+        self.resources
+            .register(ResourceKind::Channel, &format!("{bind_name}.oob"), resource)
+            .expect("offcode resource is live");
+
+        self.instances.insert(
+            id,
+            Instance {
+                offcode,
+                guid,
+                device,
+                state: Lifecycle::Loaded,
+                oob,
+                resource,
+                plan,
+                image,
+            },
+        );
+        self.deployed_by_guid.insert(guid, id);
+        Ok(id)
+    }
+
+    fn run_phase(&mut self, id: OffcodeId, now: SimTime, phase: Phase) -> Result<(), RuntimeError> {
+        let inst = self
+            .instances
+            .get_mut(&id)
+            .ok_or(RuntimeError::NoSuchInstance(id.0))?;
+        let expected = match phase {
+            Phase::Initialize => Lifecycle::Loaded,
+            Phase::Start => Lifecycle::Initialized,
+        };
+        if inst.state != expected {
+            return Err(RuntimeError::BadState("phase out of order"));
+        }
+        let mut ctx = OffcodeCtx::new(now, inst.device);
+        let r = match phase {
+            Phase::Initialize => inst.offcode.initialize(&mut ctx),
+            Phase::Start => inst.offcode.start(&mut ctx),
+        };
+        let device = inst.device;
+        let charged = ctx.charged();
+        let outbox = ctx.take_outbox();
+        match r {
+            Ok(()) => {
+                inst.state = match phase {
+                    Phase::Initialize => Lifecycle::Initialized,
+                    Phase::Start => Lifecycle::Started,
+                };
+                self.book_work(device, charged);
+                self.deliver_outbox(outbox, now);
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn book_work(&mut self, device: DeviceId, work: Cycles) {
+        *self.device_work.entry(device).or_insert(Cycles::ZERO) += work;
+    }
+
+    fn deliver_outbox(&mut self, outbox: Vec<(ChannelId, Bytes)>, now: SimTime) {
+        for (chan, data) in outbox {
+            if let Some(ch) = self.executive.get_mut(chan) {
+                // Errors (ring full on a reliable channel) are surfaced as
+                // drop statistics; a production system would back-pressure.
+                let _ = ch.send(now, data);
+            }
+        }
+    }
+
+    /// Creates a channel (the application-side `CreateChannel`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if no provider supports the configuration.
+    pub fn create_channel(&mut self, config: ChannelConfig) -> Result<ChannelId, RuntimeError> {
+        Ok(self.executive.create_channel(config)?)
+    }
+
+    /// Connects a deployed Offcode as a receiver on a channel (the
+    /// channel's `ConnectOffcode`).
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown channels/instances or over-connected unicast
+    /// channels.
+    pub fn connect_offcode(
+        &mut self,
+        channel: ChannelId,
+        id: OffcodeId,
+    ) -> Result<(), RuntimeError> {
+        let Some(inst) = self.instances.get(&id) else {
+            return Err(RuntimeError::NoSuchInstance(id.0));
+        };
+        let device = inst.device;
+        let ch = self
+            .executive
+            .get_mut(channel)
+            .ok_or(RuntimeError::Channel(ChannelError::NoSuchChannel(channel)))?;
+        if ch.config().target != device {
+            return Err(RuntimeError::Rejected(format!(
+                "channel targets {} but {id} runs on {device}",
+                ch.config().target
+            )));
+        }
+        let ep = ch.connect_endpoint()?;
+        self.connections.entry(channel).or_default().push((ep, id));
+        let resource = self.instances[&id].resource;
+        self.resources
+            .register(ResourceKind::Channel, &format!("{channel}"), resource)
+            .expect("instance resource is live");
+        Ok(())
+    }
+
+    /// Sends an encoded call from the application side of a channel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates channel errors (unknown channel, ring full).
+    pub fn send_call(
+        &mut self,
+        channel: ChannelId,
+        call: &Call,
+        now: SimTime,
+    ) -> Result<SimTime, RuntimeError> {
+        let ch = self
+            .executive
+            .get_mut(channel)
+            .ok_or(RuntimeError::Channel(ChannelError::NoSuchChannel(channel)))?;
+        Ok(ch.send(now, call.encode())?)
+    }
+
+    /// Synchronously invokes a deployed Offcode (the proxy's transparent
+    /// invocation path collapses to this once the Call reaches the
+    /// target device).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the Offcode's own error.
+    pub fn invoke(
+        &mut self,
+        id: OffcodeId,
+        call: &Call,
+        now: SimTime,
+    ) -> Result<Value, RuntimeError> {
+        let inst = self
+            .instances
+            .get_mut(&id)
+            .ok_or(RuntimeError::NoSuchInstance(id.0))?;
+        if inst.state != Lifecycle::Started {
+            return Err(RuntimeError::BadState("offcode not started"));
+        }
+        let device = inst.device;
+        let mut ctx = OffcodeCtx::new(now, device);
+        let result = inst.offcode.handle_call(&mut ctx, call);
+        let charged = ctx.charged();
+        let outbox = ctx.take_outbox();
+        self.book_work(device, charged);
+        self.deliver_outbox(outbox, now);
+        result
+    }
+
+    /// Delivers every visible channel message to its connected Offcodes,
+    /// cascading until quiescent (bounded). Returns the dispatch results
+    /// in delivery order.
+    pub fn pump(&mut self, now: SimTime) -> Vec<DispatchResult> {
+        let mut results = Vec::new();
+        for _round in 0..64 {
+            let mut progressed = false;
+            let channels: Vec<ChannelId> = self.connections.keys().copied().collect();
+            for chan in channels {
+                let bindings = self.connections[&chan].clone();
+                for (ep, id) in bindings {
+                    while let Some(msg) = self
+                        .executive
+                        .get_mut(chan)
+                        .and_then(|ch| ch.recv(now, ep))
+                    {
+                        progressed = true;
+                        let result = match Call::decode(msg.data) {
+                            Err(e) => Err(RuntimeError::from(e).to_string()),
+                            Ok(call) => {
+                                let return_id = call.return_id;
+                                let r = self
+                                    .invoke(id, &call, now)
+                                    .map_err(|e| e.to_string());
+                                results.push(DispatchResult {
+                                    handler: id,
+                                    return_id,
+                                    result: r,
+                                });
+                                continue;
+                            }
+                        };
+                        results.push(DispatchResult {
+                            handler: id,
+                            return_id: 0,
+                            result,
+                        });
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        results
+    }
+
+    /// Migrates a deployed Offcode to another device, carrying its state
+    /// through [`Offcode::snapshot`]/[`Offcode::restore`].
+    ///
+    /// The Offcode is stopped, its resources and channels are released (a
+    /// real system would quiesce in-flight calls first), a fresh copy is
+    /// linked and loaded at `target`, and the snapshot is restored before
+    /// the two-phase startup completes.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the instance does not exist, the Offcode is not
+    /// migratable (no snapshot), the target is incompatible with the
+    /// Offcode's ODF, or loading at the target fails. On a load failure
+    /// the Offcode ends up freshly deployed wherever the usual host
+    /// fallback puts it.
+    pub fn migrate(
+        &mut self,
+        id: OffcodeId,
+        target: DeviceId,
+        now: SimTime,
+    ) -> Result<OffcodeId, RuntimeError> {
+        let inst = self
+            .instances
+            .get(&id)
+            .ok_or(RuntimeError::NoSuchInstance(id.0))?;
+        let guid = inst.guid;
+        let state = inst
+            .offcode
+            .snapshot()
+            .ok_or_else(|| RuntimeError::Rejected("offcode is not migratable".into()))?;
+        // Validate the target against the ODF's device classes.
+        let odf = &self.depot[&guid].odf;
+        let compat = self.devices.compatibility(&odf.targets);
+        if target.0 >= compat.len() || !compat[target.0] {
+            return Err(RuntimeError::Rejected(format!(
+                "{} is not a compatible target for {}",
+                target, odf.bind_name
+            )));
+        }
+        self.teardown(id);
+        let new_id = self.deploy_one(guid, target)?;
+        let inst = self
+            .instances
+            .get_mut(&new_id)
+            .expect("just deployed");
+        inst.offcode.restore(state)?;
+        self.run_phase(new_id, now, Phase::Initialize)?;
+        self.run_phase(new_id, now, Phase::Start)?;
+        Ok(new_id)
+    }
+
+    /// Tears down a deployed Offcode: releases its resource subtree,
+    /// destroys its channels, and forgets the instance.
+    pub fn teardown(&mut self, id: OffcodeId) -> bool {
+        let Some(inst) = self.instances.remove(&id) else {
+            return false;
+        };
+        self.deployed_by_guid.remove(&inst.guid);
+        let _ = self.resources.release(inst.resource);
+        self.executive.destroy(inst.oob);
+        self.connections.remove(&inst.oob);
+        for bindings in self.connections.values_mut() {
+            bindings.retain(|(_, oc)| *oc != id);
+        }
+        true
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Initialize,
+    Start,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceDescriptor;
+    use hydra_odf::odf::{class_ids, ConstraintKind, DeviceClassSpec, Import};
+
+    fn class(id: u32) -> DeviceClassSpec {
+        DeviceClassSpec {
+            id,
+            name: format!("class-{id}"),
+            bus: None,
+            mac: None,
+            vendor: None,
+        }
+    }
+
+    #[derive(Debug)]
+    struct Counter {
+        guid: Guid,
+        name: String,
+        initialized: bool,
+        started: bool,
+        count: u64,
+    }
+
+    impl Counter {
+        fn boxed(guid: u64, name: &str) -> Box<dyn Offcode> {
+            Box::new(Counter {
+                guid: Guid(guid),
+                name: name.to_owned(),
+                initialized: false,
+                started: false,
+                count: 0,
+            })
+        }
+    }
+
+    impl Offcode for Counter {
+        fn guid(&self) -> Guid {
+            self.guid
+        }
+        fn bind_name(&self) -> &str {
+            &self.name
+        }
+        fn initialize(&mut self, _ctx: &mut OffcodeCtx) -> Result<(), RuntimeError> {
+            self.initialized = true;
+            Ok(())
+        }
+        fn start(&mut self, _ctx: &mut OffcodeCtx) -> Result<(), RuntimeError> {
+            if !self.initialized {
+                return Err(RuntimeError::BadState("start before initialize"));
+            }
+            self.started = true;
+            Ok(())
+        }
+        fn handle_call(&mut self, ctx: &mut OffcodeCtx, call: &Call) -> Result<Value, RuntimeError> {
+            ctx.charge(Cycles::new(1_000));
+            match call.operation.as_str() {
+                "incr" => {
+                    self.count += 1;
+                    Ok(Value::U64(self.count))
+                }
+                "get" => Ok(Value::U64(self.count)),
+                other => Err(RuntimeError::UnknownOperation(other.to_owned())),
+            }
+        }
+    }
+
+    fn full_registry() -> DeviceRegistry {
+        let mut reg = DeviceRegistry::new();
+        reg.install(DeviceDescriptor::programmable_nic()); // dev1
+        reg.install(DeviceDescriptor::smart_disk()); // dev2
+        reg.install(DeviceDescriptor::gpu()); // dev3
+        reg
+    }
+
+    fn runtime() -> Runtime {
+        Runtime::new(full_registry(), RuntimeConfig::default())
+    }
+
+    #[test]
+    fn deploys_single_offcode_to_matching_device() {
+        let mut rt = runtime();
+        let odf = OdfDocument::new("t.Checksum", Guid(1)).with_target(class(class_ids::NETWORK));
+        rt.register_offcode(odf, || Counter::boxed(1, "t.Checksum"))
+            .unwrap();
+        let id = rt.create_offcode(Guid(1), SimTime::ZERO).unwrap();
+        assert_eq!(rt.device_of(id), Some(DeviceId(1)));
+        let deps = rt.deployments();
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].state, Lifecycle::Started);
+    }
+
+    #[test]
+    fn create_is_idempotent_per_guid() {
+        let mut rt = runtime();
+        rt.register_offcode(OdfDocument::new("a", Guid(1)), || Counter::boxed(1, "a"))
+            .unwrap();
+        let id1 = rt.create_offcode(Guid(1), SimTime::ZERO).unwrap();
+        let id2 = rt.create_offcode(Guid(1), SimTime::ZERO).unwrap();
+        assert_eq!(id1, id2);
+        assert_eq!(rt.deployments().len(), 1);
+    }
+
+    #[test]
+    fn deploys_import_closure_with_constraints() {
+        let mut rt = runtime();
+        let streamer = OdfDocument::new("t.Streamer", Guid(1))
+            .with_target(class(class_ids::NETWORK))
+            .with_import(Import {
+                file: String::new(),
+                bind_name: "t.Decoder".into(),
+                guid: Guid(2),
+                constraint: ConstraintKind::Gang,
+                priority: 0,
+            });
+        let decoder = OdfDocument::new("t.Decoder", Guid(2))
+            .with_target(class(class_ids::GPU))
+            .with_import(Import {
+                file: String::new(),
+                bind_name: "t.Display".into(),
+                guid: Guid(3),
+                constraint: ConstraintKind::Pull,
+                priority: 0,
+            });
+        let display = OdfDocument::new("t.Display", Guid(3)).with_target(class(class_ids::GPU));
+        rt.register_offcode(streamer, || Counter::boxed(1, "t.Streamer")).unwrap();
+        rt.register_offcode(decoder, || Counter::boxed(2, "t.Decoder")).unwrap();
+        rt.register_offcode(display, || Counter::boxed(3, "t.Display")).unwrap();
+
+        let root = rt.create_offcode(Guid(1), SimTime::ZERO).unwrap();
+        assert_eq!(rt.deployments().len(), 3);
+        assert_eq!(rt.device_of(root), Some(DeviceId(1))); // NIC
+        let dec = rt.get_offcode(Guid(2)).unwrap();
+        let dis = rt.get_offcode(Guid(3)).unwrap();
+        // Pull: decoder and display together on the GPU.
+        assert_eq!(rt.device_of(dec), Some(DeviceId(3)));
+        assert_eq!(rt.device_of(dis), Some(DeviceId(3)));
+    }
+
+    #[test]
+    fn missing_import_fails_cleanly() {
+        let mut rt = runtime();
+        let a = OdfDocument::new("a", Guid(1)).with_import(Import {
+            file: String::new(),
+            bind_name: "ghost".into(),
+            guid: Guid(99),
+            constraint: ConstraintKind::Link,
+            priority: 0,
+        });
+        rt.register_offcode(a, || Counter::boxed(1, "a")).unwrap();
+        assert_eq!(
+            rt.create_offcode(Guid(1), SimTime::ZERO),
+            Err(RuntimeError::NotInDepot(Guid(99)))
+        );
+        assert!(rt.deployments().is_empty());
+    }
+
+    #[test]
+    fn oom_falls_back_to_host() {
+        let mut reg = DeviceRegistry::new();
+        let mut tiny_nic = DeviceDescriptor::programmable_nic();
+        tiny_nic.offcode_memory = 64; // cannot hold anything
+        reg.install(tiny_nic);
+        let mut rt = Runtime::new(reg, RuntimeConfig::default());
+        let odf = OdfDocument::new("t.Big", Guid(1)).with_target(class(class_ids::NETWORK));
+        rt.register_offcode(odf, || Counter::boxed(1, "t.Big")).unwrap();
+        let id = rt.create_offcode(Guid(1), SimTime::ZERO).unwrap();
+        assert_eq!(rt.device_of(id), Some(DeviceId::HOST));
+    }
+
+    #[test]
+    fn invoke_routes_to_offcode_and_books_work() {
+        let mut rt = runtime();
+        rt.register_offcode(
+            OdfDocument::new("c", Guid(1)).with_target(class(class_ids::NETWORK)),
+            || Counter::boxed(1, "c"),
+        )
+        .unwrap();
+        let id = rt.create_offcode(Guid(1), SimTime::ZERO).unwrap();
+        let call = Call::new(Guid(1), "incr");
+        assert_eq!(rt.invoke(id, &call, SimTime::ZERO).unwrap(), Value::U64(1));
+        assert_eq!(rt.invoke(id, &call, SimTime::ZERO).unwrap(), Value::U64(2));
+        assert_eq!(rt.device_work(DeviceId(1)), Cycles::new(2_000));
+        assert!(matches!(
+            rt.invoke(id, &Call::new(Guid(1), "nope"), SimTime::ZERO),
+            Err(RuntimeError::UnknownOperation(_))
+        ));
+    }
+
+    #[test]
+    fn channel_dispatch_via_pump() {
+        let mut rt = runtime();
+        rt.register_offcode(
+            OdfDocument::new("c", Guid(1)).with_target(class(class_ids::NETWORK)),
+            || Counter::boxed(1, "c"),
+        )
+        .unwrap();
+        let id = rt.create_offcode(Guid(1), SimTime::ZERO).unwrap();
+        let chan = rt
+            .create_channel(ChannelConfig::figure3(DeviceId(1)))
+            .unwrap();
+        rt.connect_offcode(chan, id).unwrap();
+        let call = Call::new(Guid(1), "incr").with_return_id(42);
+        let deliver_at = rt.send_call(chan, &call, SimTime::ZERO).unwrap();
+        // Nothing visible before delivery.
+        assert!(rt.pump(SimTime::ZERO).is_empty());
+        let results = rt.pump(deliver_at);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].handler, id);
+        assert_eq!(results[0].return_id, 42);
+        assert_eq!(results[0].result, Ok(Value::U64(1)));
+    }
+
+    #[test]
+    fn teardown_releases_resources_and_instances() {
+        let mut rt = runtime();
+        rt.register_offcode(
+            OdfDocument::new("c", Guid(1)).with_target(class(class_ids::NETWORK)),
+            || Counter::boxed(1, "c"),
+        )
+        .unwrap();
+        let id = rt.create_offcode(Guid(1), SimTime::ZERO).unwrap();
+        let live_before = rt.resources().len();
+        assert!(rt.teardown(id));
+        assert!(!rt.teardown(id));
+        assert!(rt.resources().len() < live_before);
+        assert_eq!(rt.get_offcode(Guid(1)), None);
+        assert!(matches!(
+            rt.invoke(id, &Call::new(Guid(1), "incr"), SimTime::ZERO),
+            Err(RuntimeError::NoSuchInstance(_))
+        ));
+    }
+
+    #[test]
+    fn greedy_solver_also_deploys() {
+        let mut rt = Runtime::new(
+            full_registry(),
+            RuntimeConfig {
+                solver: SolverKind::Greedy,
+                ..RuntimeConfig::default()
+            },
+        );
+        rt.register_offcode(
+            OdfDocument::new("c", Guid(1)).with_target(class(class_ids::GPU)),
+            || Counter::boxed(1, "c"),
+        )
+        .unwrap();
+        let id = rt.create_offcode(Guid(1), SimTime::ZERO).unwrap();
+        assert_eq!(rt.device_of(id), Some(DeviceId(3)));
+    }
+
+    #[test]
+    fn device_side_loading_strategy_works() {
+        let mut rt = Runtime::new(
+            full_registry(),
+            RuntimeConfig {
+                load_strategy: LoadStrategy::DeviceSideLink,
+                ..RuntimeConfig::default()
+            },
+        );
+        rt.register_offcode(
+            OdfDocument::new("c", Guid(1)).with_target(class(class_ids::NETWORK)),
+            || Counter::boxed(1, "c"),
+        )
+        .unwrap();
+        let id = rt.create_offcode(Guid(1), SimTime::ZERO).unwrap();
+        let dep = rt.deployments().into_iter().find(|d| d.id == id).unwrap();
+        assert_eq!(dep.plan.strategy, LoadStrategy::DeviceSideLink);
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut rt = runtime();
+        rt.register_offcode(OdfDocument::new("a", Guid(1)), || Counter::boxed(1, "a"))
+            .unwrap();
+        assert!(rt
+            .register_offcode(OdfDocument::new("b", Guid(1)), || Counter::boxed(1, "b"))
+            .is_err());
+    }
+}

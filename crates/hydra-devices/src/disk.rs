@@ -1,0 +1,329 @@
+//! The "smart disk" model.
+//!
+//! The paper emulated a programmable disk controller with a second
+//! programmable NIC exporting a block device whose blocks actually live on
+//! a NAS reached over NFS (§6.1). [`SmartDiskModel`] reproduces exactly
+//! that: an XScale-class controller CPU, a block API, and an NFS-lite
+//! client bound to a [`NasServer`] over a private link. Offcodes hosted on
+//! the controller (the playback Streamer, the File Offcode) do their work
+//! here without touching the host.
+//!
+//! [`NasServer`]: hydra_net::nfs::NasServer
+
+use bytes::Bytes;
+use hydra_hw::cpu::{Cpu, CpuSpec, Cycles, Reservation};
+use hydra_net::link::{Link, LinkSpec};
+use hydra_net::nfs::{FileHandle, NasServer, NfsError, NfsRequest, NfsResponse};
+use hydra_sim::time::{SimDuration, SimTime};
+
+/// Block size of the exported block device.
+pub const BLOCK_BYTES: usize = 4096;
+
+/// Lifetime statistics of the smart disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiskStats {
+    /// Blocks written through the controller.
+    pub blocks_written: u64,
+    /// Blocks read through the controller.
+    pub blocks_read: u64,
+    /// NFS round trips issued to the NAS.
+    pub nfs_round_trips: u64,
+}
+
+/// Errors from the smart disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiskError {
+    /// The backing NAS rejected an operation.
+    Nfs(NfsError),
+    /// No backing file is open.
+    NotOpen,
+}
+
+impl From<NfsError> for DiskError {
+    fn from(e: NfsError) -> Self {
+        DiskError::Nfs(e)
+    }
+}
+
+impl std::fmt::Display for DiskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiskError::Nfs(e) => write!(f, "nas: {e}"),
+            DiskError::NotOpen => f.write_str("no backing file open"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+/// A completed disk operation: when it finished and what it cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskOp {
+    /// Controller-CPU reservation for the operation.
+    pub controller: Reservation,
+    /// Instant the data is durable on (or available from) the NAS.
+    pub complete_at: SimTime,
+}
+
+/// The programmable "smart disk": block device over NFS.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use hydra_devices::disk::SmartDiskModel;
+/// use hydra_net::nfs::NasServer;
+/// use hydra_sim::time::SimTime;
+///
+/// let mut nas = NasServer::default();
+/// let mut disk = SmartDiskModel::new();
+/// disk.open(&mut nas, "/dvr/stream0");
+/// let op = disk.write_block(SimTime::ZERO, &mut nas, 0, Bytes::from_static(b"gop")).unwrap();
+/// assert!(op.complete_at > SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SmartDiskModel {
+    /// The controller's embedded CPU.
+    pub cpu: Cpu,
+    /// The private link to the NAS (one direction; round trips double it).
+    pub nas_link: Link,
+    backing: Option<FileHandle>,
+    stats: DiskStats,
+    /// Controller firmware cost per block (checksums, mapping).
+    per_block: Cycles,
+}
+
+impl Default for SmartDiskModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SmartDiskModel {
+    /// Creates a controller with a gigabit NAS path.
+    pub fn new() -> Self {
+        SmartDiskModel {
+            cpu: Cpu::new(CpuSpec::xscale()),
+            nas_link: Link::new(LinkSpec::gigabit()),
+            backing: None,
+            stats: DiskStats::default(),
+            per_block: Cycles::new(2_000),
+        }
+    }
+
+    /// The statistics.
+    pub fn stats(&self) -> DiskStats {
+        self.stats
+    }
+
+    /// Opens (creating if needed) the backing file on the NAS.
+    pub fn open(&mut self, nas: &mut NasServer, path: &str) -> FileHandle {
+        let (resp, _) = nas.handle(&NfsRequest::Create {
+            path: path.to_owned(),
+        });
+        let NfsResponse::Handle(fh) = resp else {
+            unreachable!("create never fails in NFS-lite")
+        };
+        self.backing = Some(fh);
+        fh
+    }
+
+    /// Attaches to an existing NAS file (for playback of a prior
+    /// recording).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the path does not exist.
+    pub fn open_existing(&mut self, nas: &mut NasServer, path: &str) -> Result<FileHandle, DiskError> {
+        let (resp, _) = nas.handle(&NfsRequest::Lookup {
+            path: path.to_owned(),
+        });
+        match resp {
+            NfsResponse::Handle(fh) => {
+                self.backing = Some(fh);
+                Ok(fh)
+            }
+            NfsResponse::Error(e) => Err(e.into()),
+            _ => unreachable!("lookup returns handle or error"),
+        }
+    }
+
+    fn nfs_round_trip(
+        &mut self,
+        start: SimTime,
+        nas: &mut NasServer,
+        req: &NfsRequest,
+        wire_bytes: usize,
+    ) -> (NfsResponse, SimTime) {
+        // Request on the wire, service at the NAS, response back.
+        let arrive = self.nas_link.transmit(start, wire_bytes.max(64));
+        let (resp, service) = nas.handle(req);
+        let resp_bytes = match &resp {
+            NfsResponse::Data(d) => d.len() + 64,
+            _ => 64,
+        };
+        let done = self.nas_link.transmit(arrive + service, resp_bytes);
+        self.stats.nfs_round_trips += 1;
+        (resp, done)
+    }
+
+    /// Writes one block at block index `idx`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no backing file is open or the NAS rejects the write.
+    pub fn write_block(
+        &mut self,
+        now: SimTime,
+        nas: &mut NasServer,
+        idx: u64,
+        data: Bytes,
+    ) -> Result<DiskOp, DiskError> {
+        let fh = self.backing.ok_or(DiskError::NotOpen)?;
+        let controller = self.cpu.reserve(now, self.per_block);
+        let wire = data.len() + 96;
+        let req = NfsRequest::Write {
+            fh,
+            offset: idx * BLOCK_BYTES as u64,
+            data,
+        };
+        let (resp, complete_at) = self.nfs_round_trip(controller.end, nas, &req, wire);
+        match resp {
+            NfsResponse::Written(_) => {
+                self.stats.blocks_written += 1;
+                Ok(DiskOp {
+                    controller,
+                    complete_at,
+                })
+            }
+            NfsResponse::Error(e) => Err(e.into()),
+            _ => unreachable!("write returns written or error"),
+        }
+    }
+
+    /// Reads one block at block index `idx`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no backing file is open or the NAS rejects the read.
+    pub fn read_block(
+        &mut self,
+        now: SimTime,
+        nas: &mut NasServer,
+        idx: u64,
+    ) -> Result<(Bytes, DiskOp), DiskError> {
+        let fh = self.backing.ok_or(DiskError::NotOpen)?;
+        let controller = self.cpu.reserve(now, self.per_block);
+        let req = NfsRequest::Read {
+            fh,
+            offset: idx * BLOCK_BYTES as u64,
+            len: BLOCK_BYTES as u32,
+        };
+        let (resp, complete_at) = self.nfs_round_trip(controller.end, nas, &req, 96);
+        match resp {
+            NfsResponse::Data(d) => {
+                self.stats.blocks_read += 1;
+                Ok((
+                    d,
+                    DiskOp {
+                        controller,
+                        complete_at,
+                    },
+                ))
+            }
+            NfsResponse::Error(e) => Err(e.into()),
+            _ => unreachable!("read returns data or error"),
+        }
+    }
+
+    /// Runs Offcode work on the controller CPU (e.g. the playback
+    /// Streamer's pacing loop).
+    pub fn offcode_work(&mut self, now: SimTime, work: Cycles) -> Reservation {
+        self.cpu.reserve(now, work)
+    }
+
+    /// Size of the backing file, if open.
+    pub fn backing_size(&self, nas: &NasServer) -> Option<u64> {
+        self.backing.and_then(|fh| nas.file_size(fh))
+    }
+
+    /// Typical per-block end-to-end latency (controller + NAS round trip),
+    /// useful for pacing decisions.
+    pub fn nominal_block_latency(&self) -> SimDuration {
+        SimDuration::from_micros(200)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut nas = NasServer::default();
+        let mut disk = SmartDiskModel::new();
+        disk.open(&mut nas, "/dvr/s0");
+        let payload = Bytes::from(vec![7u8; BLOCK_BYTES]);
+        let w = disk
+            .write_block(SimTime::ZERO, &mut nas, 3, payload.clone())
+            .unwrap();
+        let (data, r) = disk.read_block(w.complete_at, &mut nas, 3).unwrap();
+        assert_eq!(data, payload);
+        assert!(r.complete_at > w.complete_at);
+        assert_eq!(disk.stats().blocks_written, 1);
+        assert_eq!(disk.stats().blocks_read, 1);
+        assert_eq!(disk.stats().nfs_round_trips, 2);
+    }
+
+    #[test]
+    fn unopened_disk_rejects_io() {
+        let mut nas = NasServer::default();
+        let mut disk = SmartDiskModel::new();
+        assert_eq!(
+            disk.write_block(SimTime::ZERO, &mut nas, 0, Bytes::new()),
+            Err(DiskError::NotOpen)
+        );
+        assert!(matches!(
+            disk.read_block(SimTime::ZERO, &mut nas, 0),
+            Err(DiskError::NotOpen)
+        ));
+    }
+
+    #[test]
+    fn open_existing_finds_prior_recording() {
+        let mut nas = NasServer::default();
+        let mut writer = SmartDiskModel::new();
+        writer.open(&mut nas, "/dvr/movie");
+        writer
+            .write_block(SimTime::ZERO, &mut nas, 0, Bytes::from_static(b"x"))
+            .unwrap();
+        let mut reader = SmartDiskModel::new();
+        reader.open_existing(&mut nas, "/dvr/movie").unwrap();
+        assert!(reader.backing_size(&nas).unwrap() > 0);
+        assert!(matches!(
+            reader.open_existing(&mut nas, "/dvr/nope"),
+            Err(DiskError::Nfs(NfsError::NotFound))
+        ));
+    }
+
+    #[test]
+    fn controller_work_serializes_with_io() {
+        let mut nas = NasServer::default();
+        let mut disk = SmartDiskModel::new();
+        disk.open(&mut nas, "/f");
+        let r1 = disk.offcode_work(SimTime::ZERO, Cycles::new(60_000)); // 100us at 600MHz
+        let op = disk
+            .write_block(SimTime::ZERO, &mut nas, 0, Bytes::from_static(b"y"))
+            .unwrap();
+        assert!(op.controller.start >= r1.end);
+    }
+
+    #[test]
+    fn reads_of_sparse_blocks_return_short_data() {
+        let mut nas = NasServer::default();
+        let mut disk = SmartDiskModel::new();
+        disk.open(&mut nas, "/f");
+        let (data, _) = disk.read_block(SimTime::ZERO, &mut nas, 9).unwrap();
+        assert!(data.is_empty());
+    }
+}

@@ -1,0 +1,158 @@
+//! The GPU model.
+//!
+//! A graphics adapter with dedicated MPEG decode hardware and an on-board
+//! framebuffer. In the offloaded TiVoPC the Decoder Offcode runs here:
+//! encoded frames arrive over the bus, the decode engine reconstructs
+//! them, and the result lands directly in the framebuffer "without
+//! involving the host CPU at all" (paper §1.1). In the user-space client
+//! the host decodes in software and must *blit* each raw frame across the
+//! bus instead.
+
+use hydra_hw::cpu::{Cpu, CpuSpec, Reservation};
+use hydra_media::codec::EncodedFrame;
+use hydra_media::cost::DecodeCostModel;
+use hydra_sim::time::SimTime;
+
+/// Lifetime statistics of a GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GpuStats {
+    /// Frames decoded by the on-board engine.
+    pub frames_decoded: u64,
+    /// Raw frames blitted in from the host.
+    pub frames_blitted: u64,
+    /// Frames scanned out to the display.
+    pub frames_displayed: u64,
+}
+
+/// A GPU with hardware MPEG decode and a framebuffer.
+///
+/// # Examples
+///
+/// ```
+/// use hydra_devices::gpu::GpuModel;
+/// let gpu = GpuModel::new();
+/// assert_eq!(gpu.stats().frames_decoded, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GpuModel {
+    /// The GPU's command/decode processor.
+    pub cpu: Cpu,
+    decode_model: DecodeCostModel,
+    stats: GpuStats,
+    /// Display index of the frame currently scanned out.
+    current_frame: Option<u64>,
+}
+
+impl Default for GpuModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GpuModel {
+    /// Creates a GPU with the hardware decode cost model.
+    pub fn new() -> Self {
+        GpuModel {
+            cpu: Cpu::new(CpuSpec::gpu_core()),
+            decode_model: DecodeCostModel::gpu_hardware(),
+            stats: GpuStats::default(),
+            current_frame: None,
+        }
+    }
+
+    /// The statistics.
+    pub fn stats(&self) -> GpuStats {
+        self.stats
+    }
+
+    /// Decodes an encoded frame on the hardware engine, writing straight
+    /// to the framebuffer. Returns the engine reservation.
+    pub fn hw_decode(&mut self, now: SimTime, frame: &EncodedFrame) -> Reservation {
+        let cycles = self.decode_model.cycles(frame);
+        self.stats.frames_decoded += 1;
+        let r = self
+            .cpu
+            .reserve(now, hydra_hw::cpu::Cycles::new(cycles));
+        self.current_frame = Some(frame.display_index);
+        r
+    }
+
+    /// Accepts a raw frame blitted from the host (the bus transfer is the
+    /// caller's business; this charges the framebuffer write).
+    pub fn blit_raw(&mut self, now: SimTime, display_index: u64, raw_bytes: usize) -> Reservation {
+        self.stats.frames_blitted += 1;
+        self.current_frame = Some(display_index);
+        // Framebuffer writes: ~1 cycle per 16 bytes on the GPU side.
+        let work = hydra_hw::cpu::Cycles::new(raw_bytes as u64 / 16);
+        self.cpu.reserve(now, work)
+    }
+
+    /// Scans out the current frame (vsync). Returns its display index.
+    pub fn display(&mut self) -> Option<u64> {
+        if self.current_frame.is_some() {
+            self.stats.frames_displayed += 1;
+        }
+        self.current_frame
+    }
+
+    /// Raw size of a decoded frame in bytes (one luma plane).
+    pub fn raw_frame_bytes(frame: &EncodedFrame) -> usize {
+        frame.width as usize * frame.height as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_media::codec::{CodecConfig, Encoder, GopConfig};
+    use hydra_media::frame::SyntheticVideo;
+
+    fn frames() -> Vec<EncodedFrame> {
+        let video = SyntheticVideo::new(64, 48);
+        let raw: Vec<_> = (0..4).map(|i| video.frame(i)).collect();
+        Encoder::new(CodecConfig {
+            quantizer: 4,
+            gop: GopConfig::ipp(),
+        })
+        .encode_sequence(&raw)
+    }
+
+    #[test]
+    fn hw_decode_is_fast_and_counts() {
+        let mut gpu = GpuModel::new();
+        for f in &frames() {
+            let r = gpu.hw_decode(SimTime::ZERO, f);
+            assert!(r.end > r.start);
+        }
+        assert_eq!(gpu.stats().frames_decoded, 4);
+        assert_eq!(gpu.display(), Some(3));
+        assert_eq!(gpu.stats().frames_displayed, 1);
+    }
+
+    #[test]
+    fn blit_path_counts_separately() {
+        let mut gpu = GpuModel::new();
+        let f = &frames()[0];
+        gpu.blit_raw(SimTime::ZERO, 0, GpuModel::raw_frame_bytes(f));
+        assert_eq!(gpu.stats().frames_blitted, 1);
+        assert_eq!(gpu.stats().frames_decoded, 0);
+        assert_eq!(gpu.display(), Some(0));
+    }
+
+    #[test]
+    fn empty_gpu_displays_nothing() {
+        let mut gpu = GpuModel::new();
+        assert_eq!(gpu.display(), None);
+        assert_eq!(gpu.stats().frames_displayed, 0);
+    }
+
+    #[test]
+    fn hw_decode_cheaper_than_host_software_decode() {
+        let f = &frames()[0];
+        let hw = DecodeCostModel::gpu_hardware().cycles(f) as f64
+            / CpuSpec::gpu_core().freq_hz as f64;
+        let sw = DecodeCostModel::software().cycles(f) as f64
+            / CpuSpec::pentium4().freq_hz as f64;
+        assert!(sw > 3.0 * hw, "sw {sw}s vs hw {hw}s");
+    }
+}

@@ -1,0 +1,26 @@
+//! # hydra-devices — programmable device models
+//!
+//! The simulated machines of the TiVoPC testbed: the full host model
+//! (CPU + L2 memory system + OS timing + PCI bus) in [`host`], the
+//! programmable 3Com-class NIC with DMA, interrupt coalescing and a
+//! microsecond firmware timer in [`nic`], the GPU with hardware MPEG
+//! decode and framebuffer in [`gpu`], and the "smart disk" controller
+//! that exports a block device backed by an NFS-lite NAS in [`disk`] —
+//! the same emulation trick the paper's authors used.
+//!
+//! All models follow the `hydra-hw` convention: passive accounting
+//! objects with busy-until processors, driven from a `hydra-sim` event
+//! loop by the scenario code in `hydra-tivo`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod disk;
+pub mod gpu;
+pub mod host;
+pub mod nic;
+
+pub use disk::{DiskError, DiskOp, DiskStats, SmartDiskModel, BLOCK_BYTES};
+pub use gpu::{GpuModel, GpuStats};
+pub use host::HostModel;
+pub use nic::{NicCosts, NicModel, NicStats};

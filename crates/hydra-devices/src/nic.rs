@@ -1,0 +1,231 @@
+//! The programmable NIC model.
+//!
+//! Modelled on the testbed's 3Com 3C985B: an XScale-class processor next
+//! to the MAC, local SRAM, a bus-master DMA engine, and interrupt
+//! coalescing toward the host. The NIC can host Offcodes — that is the
+//! whole point — and the model exposes both the *conventional* path
+//! (frame → DMA to host ring → interrupt) and the *offloaded* path
+//! (frame → local Offcode work → forward over the bus to a peer device or
+//! the wire, host untouched).
+
+use hydra_hw::bus::{Bus, BusXfer};
+use hydra_hw::cpu::{Cpu, CpuSpec, Cycles, Reservation};
+use hydra_hw::dma::{DmaDirection, DmaEngine};
+use hydra_hw::irq::{CoalescePolicy, IrqCoalescer, IrqDecision};
+use hydra_hw::mem::Region;
+use hydra_hw::os::TimerModel;
+use hydra_sim::time::SimTime;
+
+/// Fixed MAC/firmware costs of the NIC datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NicCosts {
+    /// Firmware cycles per received frame (MAC handling, filtering).
+    pub rx_frame: Cycles,
+    /// Firmware cycles per transmitted frame.
+    pub tx_frame: Cycles,
+    /// Firmware cycles per payload byte touched by an Offcode on the NIC.
+    pub offcode_per_byte: Cycles,
+}
+
+impl Default for NicCosts {
+    fn default() -> Self {
+        NicCosts {
+            rx_frame: Cycles::new(600),
+            tx_frame: Cycles::new(500),
+            offcode_per_byte: Cycles::new(1),
+        }
+    }
+}
+
+/// Lifetime statistics of a NIC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NicStats {
+    /// Frames received from the wire.
+    pub rx_frames: u64,
+    /// Frames sent to the wire.
+    pub tx_frames: u64,
+    /// Bytes DMA'd to/from host memory.
+    pub host_dma_bytes: u64,
+    /// Bytes forwarded device-to-device over the bus.
+    pub peer_bytes: u64,
+}
+
+/// A programmable NIC.
+///
+/// # Examples
+///
+/// ```
+/// use hydra_devices::nic::NicModel;
+/// use hydra_sim::time::SimTime;
+///
+/// let mut nic = NicModel::new_3c985b(7);
+/// let done = nic.rx_process(SimTime::ZERO, 1024);
+/// assert!(done.end > SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NicModel {
+    /// The NIC's embedded processor.
+    pub cpu: Cpu,
+    /// Its DMA engine (bus master).
+    pub dma: DmaEngine,
+    /// Interrupt coalescing toward the host.
+    pub coalescer: IrqCoalescer,
+    /// Its firmware timer (microsecond-class, used by offloaded pacing
+    /// loops — the source of the offloaded server's tiny jitter).
+    pub timer: TimerModel,
+    costs: NicCosts,
+    stats: NicStats,
+    rng: hydra_sim::rng::DetRng,
+}
+
+impl NicModel {
+    /// The testbed NIC with default costs and typical coalescing.
+    pub fn new_3c985b(seed: u64) -> Self {
+        NicModel {
+            cpu: Cpu::new(CpuSpec::xscale()),
+            dma: DmaEngine::new(),
+            coalescer: IrqCoalescer::new(CoalescePolicy::typical_nic()),
+            timer: TimerModel::device_firmware(),
+            costs: NicCosts::default(),
+            stats: NicStats::default(),
+            rng: hydra_sim::rng::DetRng::new(seed ^ 0x3c98_5b00),
+        }
+    }
+
+    /// The statistics.
+    pub fn stats(&self) -> NicStats {
+        self.stats
+    }
+
+    /// Processes a received frame in firmware (MAC + filtering), returning
+    /// the reservation on the NIC CPU.
+    pub fn rx_process(&mut self, now: SimTime, bytes: usize) -> Reservation {
+        self.stats.rx_frames += 1;
+        let _ = bytes; // MAC cost is per frame; payload moves by DMA.
+        self.cpu.reserve(now, self.costs.rx_frame)
+    }
+
+    /// Processes a frame for transmission, returning the NIC CPU
+    /// reservation (the wire time is the link's business).
+    pub fn tx_process(&mut self, now: SimTime, bytes: usize) -> Reservation {
+        self.stats.tx_frames += 1;
+        let _ = bytes;
+        self.cpu.reserve(now, self.costs.tx_frame)
+    }
+
+    /// DMAs a payload into host memory (the conventional receive path),
+    /// then reports the completion to the coalescer. Returns the bus
+    /// transfer and the interrupt decision.
+    pub fn dma_to_host(
+        &mut self,
+        now: SimTime,
+        bus: &mut Bus,
+        region: Region,
+    ) -> (BusXfer, IrqDecision) {
+        let xfer = self.dma.transfer(bus, now, region, DmaDirection::ToHost);
+        self.stats.host_dma_bytes += region.len() as u64;
+        let decision = self.coalescer.on_completion(xfer.end);
+        (xfer, decision)
+    }
+
+    /// DMAs a payload from host memory (the conventional transmit path).
+    pub fn dma_from_host(&mut self, now: SimTime, bus: &mut Bus, region: Region) -> BusXfer {
+        let xfer = self.dma.transfer(bus, now, region, DmaDirection::FromHost);
+        self.stats.host_dma_bytes += region.len() as u64;
+        xfer
+    }
+
+    /// Forwards a payload directly to a peer device over the bus (the
+    /// offloaded path: NIC → GPU / NIC → disk without host involvement).
+    /// `hops` is [`Bus::peer_to_peer_hops`] of the interconnect.
+    pub fn forward_to_peer(&mut self, now: SimTime, bus: &mut Bus, bytes: usize) -> BusXfer {
+        let hops = bus.peer_to_peer_hops();
+        let mut xfer = bus.transfer(now, bytes);
+        for _ in 1..hops {
+            xfer = bus.transfer(xfer.end, bytes);
+        }
+        self.stats.peer_bytes += bytes as u64;
+        xfer
+    }
+
+    /// Runs Offcode work over a payload on the NIC CPU (e.g. the Streamer
+    /// extracting MPEG payloads): per-byte firmware cost plus declared
+    /// extra cycles.
+    pub fn offcode_work(&mut self, now: SimTime, bytes: usize, extra: Cycles) -> Reservation {
+        let work = self.costs.offcode_per_byte * bytes as u64 + extra;
+        self.cpu.reserve(now, work)
+    }
+
+    /// The firmware timer's actual fire time for a target instant — the
+    /// offloaded server's pacing source.
+    pub fn timer_fire(&mut self, target: SimTime) -> SimTime {
+        self.timer.wakeup(target, &mut self.rng).max(self.cpu.busy_until())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_hw::bus::BusSpec;
+    use hydra_hw::mem::AddressSpace;
+
+    #[test]
+    fn rx_tx_charge_nic_cpu() {
+        let mut nic = NicModel::new_3c985b(1);
+        let r1 = nic.rx_process(SimTime::ZERO, 1024);
+        let r2 = nic.tx_process(SimTime::ZERO, 1024);
+        assert!(r2.start >= r1.end, "NIC firmware serializes");
+        assert_eq!(nic.stats().rx_frames, 1);
+        assert_eq!(nic.stats().tx_frames, 1);
+    }
+
+    #[test]
+    fn dma_to_host_raises_coalesced_interrupts() {
+        let mut nic = NicModel::new_3c985b(2);
+        let mut bus = Bus::new(BusSpec::pci64());
+        let mut space = AddressSpace::new();
+        let buf = space.alloc("pkt", 1024);
+        let mut fires = 0;
+        for _ in 0..16 {
+            let (_, d) = nic.dma_to_host(SimTime::ZERO, &mut bus, buf);
+            if matches!(d, IrqDecision::Fire { .. }) {
+                fires += 1;
+            }
+        }
+        // Default policy: 8 frames per interrupt.
+        assert_eq!(fires, 2);
+        assert_eq!(nic.stats().host_dma_bytes, 16 * 1024);
+    }
+
+    #[test]
+    fn peer_forwarding_counts_hops() {
+        let mut nic = NicModel::new_3c985b(3);
+        let mut pci = Bus::new(BusSpec::pci64());
+        let x_pci = nic.forward_to_peer(SimTime::ZERO, &mut pci, 1024);
+        let mut nic2 = NicModel::new_3c985b(3);
+        let mut pcie = Bus::new(BusSpec::pcie_x4());
+        let x_pcie = nic2.forward_to_peer(SimTime::ZERO, &mut pcie, 1024);
+        assert_eq!(pci.transactions(), 2, "PCI needs two hops");
+        assert_eq!(pcie.transactions(), 1, "PCIe peer-to-peer is one hop");
+        assert!(x_pci.end > x_pcie.end);
+    }
+
+    #[test]
+    fn offcode_work_scales_with_bytes() {
+        let mut nic = NicModel::new_3c985b(4);
+        let r_small = nic.offcode_work(SimTime::ZERO, 100, Cycles::ZERO);
+        let d_small = r_small.end.duration_since(r_small.start);
+        let r_big = nic.offcode_work(r_small.end, 10_000, Cycles::ZERO);
+        let d_big = r_big.end.duration_since(r_big.start);
+        assert!(d_big > d_small * 50);
+    }
+
+    #[test]
+    fn firmware_timer_is_tight() {
+        let mut nic = NicModel::new_3c985b(5);
+        let target = SimTime::from_millis(5);
+        let fire = nic.timer_fire(target);
+        assert!(fire >= target);
+        assert!(fire.duration_since(target) < hydra_sim::time::SimDuration::from_micros(200));
+    }
+}

@@ -1,0 +1,255 @@
+//! I/O interconnect (PCI / PCIe) transaction model.
+//!
+//! The paper's core quantitative argument is about **bus crossings**: every
+//! time a packet moves between a device and host memory (or between two
+//! devices through the host) it occupies the interconnect and, in the
+//! non-offloaded design, also the host memory bus. [`Bus`] models a shared
+//! half-duplex interconnect with per-transaction arbitration overhead and a
+//! per-byte cost; [`BusKind::PciExpress`] supports direct peer-to-peer
+//! transfers (the paper's footnote 2: on PCIe a NIC→GPU packet can be one
+//! transaction).
+
+use std::fmt;
+
+use hydra_sim::stats::TimeWeighted;
+use hydra_sim::time::{SimDuration, SimTime};
+
+/// Interconnect generation, which determines peer-to-peer capability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BusKind {
+    /// Classic shared parallel PCI: all traffic crosses the host bridge;
+    /// device-to-device transfers are two transactions.
+    Pci,
+    /// Point-to-point PCI Express: device-to-device transfers can be routed
+    /// directly as a single transaction.
+    PciExpress,
+}
+
+/// Static parameters of the interconnect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BusSpec {
+    /// Generation.
+    pub kind: BusKind,
+    /// Fixed arbitration/setup overhead per transaction.
+    pub per_transaction: SimDuration,
+    /// Payload bandwidth in bytes per second.
+    pub bytes_per_sec: u64,
+}
+
+impl BusSpec {
+    /// 64-bit/66 MHz PCI (~533 MB/s peak, ~1 µs arbitration).
+    pub fn pci64() -> Self {
+        BusSpec {
+            kind: BusKind::Pci,
+            per_transaction: SimDuration::from_nanos(1_000),
+            bytes_per_sec: 533_000_000,
+        }
+    }
+
+    /// PCIe x4 gen1 (~1 GB/s, 250 ns setup).
+    pub fn pcie_x4() -> Self {
+        BusSpec {
+            kind: BusKind::PciExpress,
+            per_transaction: SimDuration::from_nanos(250),
+            bytes_per_sec: 1_000_000_000,
+        }
+    }
+
+    /// Pure wire time for a payload of `bytes` (no arbitration, no queueing).
+    pub fn wire_time(&self, bytes: usize) -> SimDuration {
+        if bytes == 0 {
+            return SimDuration::ZERO;
+        }
+        let ns = (bytes as u128 * 1_000_000_000).div_ceil(self.bytes_per_sec as u128);
+        SimDuration::from_nanos(ns as u64)
+    }
+}
+
+/// A completed bus transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusXfer {
+    /// When the transaction won arbitration and started moving bytes.
+    pub start: SimTime,
+    /// When the last byte arrived.
+    pub end: SimTime,
+    /// Payload size.
+    pub bytes: usize,
+}
+
+impl BusXfer {
+    /// Queueing delay before the transaction started.
+    pub fn queueing(&self, requested: SimTime) -> SimDuration {
+        self.start.saturating_duration_since(requested)
+    }
+}
+
+/// A shared interconnect with utilization and byte accounting.
+///
+/// # Examples
+///
+/// ```
+/// use hydra_hw::bus::{Bus, BusSpec};
+/// use hydra_sim::time::SimTime;
+///
+/// let mut bus = Bus::new(BusSpec::pci64());
+/// let x = bus.transfer(SimTime::ZERO, 1024);
+/// assert!(x.end > x.start);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bus {
+    spec: BusSpec,
+    busy_until: SimTime,
+    busy: TimeWeighted,
+    bytes_moved: u64,
+    transactions: u64,
+}
+
+impl Bus {
+    /// Creates an idle bus.
+    pub fn new(spec: BusSpec) -> Self {
+        Bus {
+            spec,
+            busy_until: SimTime::ZERO,
+            busy: TimeWeighted::new(SimTime::ZERO, 0.0),
+            bytes_moved: 0,
+            transactions: 0,
+        }
+    }
+
+    /// The static parameters.
+    pub fn spec(&self) -> &BusSpec {
+        &self.spec
+    }
+
+    /// Instant at which all queued transactions complete.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Total payload bytes moved.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    /// Total transactions performed.
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+
+    /// Performs one transaction of `bytes`, queueing behind earlier traffic.
+    pub fn transfer(&mut self, now: SimTime, bytes: usize) -> BusXfer {
+        let start = self.busy_until.max(now);
+        let dur = self.spec.per_transaction + self.spec.wire_time(bytes);
+        let end = start + dur;
+        if start > self.busy_until && self.busy.level() != 0.0 {
+            self.busy.set(self.busy_until, 0.0);
+        }
+        self.busy.set(start, 1.0);
+        self.busy_until = end;
+        self.bytes_moved += bytes as u64;
+        self.transactions += 1;
+        BusXfer { start, end, bytes }
+    }
+
+    /// Number of bus transactions required to move a payload between two
+    /// devices on this interconnect (the paper's footnote 2).
+    pub fn peer_to_peer_hops(&self) -> u32 {
+        match self.spec.kind {
+            BusKind::Pci => 2,
+            BusKind::PciExpress => 1,
+        }
+    }
+
+    /// Fraction of wall-clock time the bus was occupied, over `[0, now]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now <= self.busy_until {
+            self.busy.mean_until(now)
+        } else {
+            let mut g = self.busy.clone();
+            g.set(self.busy_until, 0.0);
+            g.mean_until(now)
+        }
+    }
+
+    /// Achieved throughput in bytes/second over `[0, now]`.
+    pub fn throughput(&self, now: SimTime) -> f64 {
+        let secs = now.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.bytes_moved as f64 / secs
+        }
+    }
+}
+
+impl fmt::Display for Bus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} bus: {} transactions, {} bytes",
+            self.spec.kind, self.transactions, self.bytes_moved
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bus() -> Bus {
+        Bus::new(BusSpec {
+            kind: BusKind::Pci,
+            per_transaction: SimDuration::from_nanos(100),
+            bytes_per_sec: 1_000_000_000, // 1 B/ns
+        })
+    }
+
+    #[test]
+    fn wire_time_scales_with_bytes() {
+        let b = bus();
+        assert_eq!(b.spec().wire_time(1_000), SimDuration::from_micros(1));
+        assert_eq!(b.spec().wire_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn transfer_includes_overhead() {
+        let mut b = bus();
+        let x = b.transfer(SimTime::ZERO, 1_000);
+        assert_eq!(x.start, SimTime::ZERO);
+        assert_eq!(x.end, SimTime::from_nanos(1_100));
+    }
+
+    #[test]
+    fn transfers_queue() {
+        let mut b = bus();
+        let x1 = b.transfer(SimTime::ZERO, 1_000);
+        let x2 = b.transfer(SimTime::ZERO, 1_000);
+        assert_eq!(x2.start, x1.end);
+        assert_eq!(x2.queueing(SimTime::ZERO), SimDuration::from_nanos(1_100));
+        assert_eq!(b.transactions(), 2);
+        assert_eq!(b.bytes_moved(), 2_000);
+    }
+
+    #[test]
+    fn utilization_counts_gaps() {
+        let mut b = bus();
+        b.transfer(SimTime::ZERO, 900); // busy 0..1000ns
+        let u = b.utilization(SimTime::from_micros(2));
+        assert!((u - 0.5).abs() < 1e-9, "utilization {u}");
+    }
+
+    #[test]
+    fn throughput_accounting() {
+        let mut b = bus();
+        b.transfer(SimTime::ZERO, 500_000);
+        let tp = b.throughput(SimTime::from_millis(1));
+        assert!((tp - 5e8).abs() < 1.0, "throughput {tp}");
+        assert_eq!(b.throughput(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn pcie_allows_single_hop_peer_transfers() {
+        assert_eq!(Bus::new(BusSpec::pci64()).peer_to_peer_hops(), 2);
+        assert_eq!(Bus::new(BusSpec::pcie_x4()).peer_to_peer_hops(), 1);
+    }
+}

@@ -1,0 +1,371 @@
+//! Host and device CPU cost models.
+//!
+//! The reproduction does not execute instructions; it accounts for them. A
+//! [`Cpu`] is a resource with a clock frequency and a *busy-until* horizon:
+//! callers reserve spans of work expressed in [`Cycles`] and the CPU returns
+//! when that work starts and finishes, serializing overlapping requests the
+//! way a real core serializes runnable tasks. Utilization is integrated over
+//! simulated time, which is exactly the quantity Tables 3 and 4 of the paper
+//! report.
+
+use std::fmt;
+
+use hydra_sim::stats::TimeWeighted;
+use hydra_sim::time::{SimDuration, SimTime};
+
+/// An amount of CPU work, in clock cycles.
+///
+/// # Examples
+///
+/// ```
+/// use hydra_hw::cpu::Cycles;
+///
+/// let c = Cycles::new(2_400) * 5;
+/// assert_eq!(c.get(), 12_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero work.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a cycle count.
+    pub const fn new(n: u64) -> Self {
+        Cycles(n)
+    }
+
+    /// The raw count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// True if the count is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::ops::Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::ops::Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+/// Static description of a processor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuSpec {
+    /// Human-readable name ("Pentium 4", "XScale").
+    pub name: String,
+    /// Clock frequency in Hz.
+    pub freq_hz: u64,
+    /// Cost of a context switch.
+    pub context_switch: Cycles,
+    /// Cost of entering and leaving the kernel for a system call.
+    pub syscall: Cycles,
+    /// Cost of taking an interrupt (dispatch + handler prologue).
+    pub interrupt: Cycles,
+    /// Electrical power when busy, in watts (paper §1.1 argument 3).
+    pub power_busy_watts: f64,
+    /// Electrical power when idle, in watts.
+    pub power_idle_watts: f64,
+}
+
+impl CpuSpec {
+    /// The paper's host: a 2.4 GHz Intel Pentium 4.
+    pub fn pentium4() -> Self {
+        CpuSpec {
+            name: "Pentium 4".into(),
+            freq_hz: 2_400_000_000,
+            context_switch: Cycles::new(4_000),
+            syscall: Cycles::new(1_200),
+            interrupt: Cycles::new(6_000),
+            power_busy_watts: 68.0,
+            power_idle_watts: 30.0,
+        }
+    }
+
+    /// A peripheral-class processor: an Intel XScale at 600 MHz
+    /// (the paper's two-orders-of-magnitude power example).
+    pub fn xscale() -> Self {
+        CpuSpec {
+            name: "XScale".into(),
+            freq_hz: 600_000_000,
+            context_switch: Cycles::new(800),
+            syscall: Cycles::new(0),
+            interrupt: Cycles::new(1_000),
+            power_busy_watts: 0.5,
+            power_idle_watts: 0.1,
+        }
+    }
+
+    /// A GPU shader/decode engine abstracted as one fast vector core.
+    pub fn gpu_core() -> Self {
+        CpuSpec {
+            name: "GPU core".into(),
+            freq_hz: 1_200_000_000,
+            context_switch: Cycles::new(0),
+            syscall: Cycles::new(0),
+            interrupt: Cycles::new(500),
+            power_busy_watts: 25.0,
+            power_idle_watts: 5.0,
+        }
+    }
+
+    /// Converts work to wall-clock time at this frequency (rounded up to a
+    /// whole nanosecond so repeated small costs never vanish).
+    pub fn duration_of(&self, work: Cycles) -> SimDuration {
+        if work.is_zero() {
+            return SimDuration::ZERO;
+        }
+        let ns = (work.get() as u128 * 1_000_000_000).div_ceil(self.freq_hz as u128);
+        SimDuration::from_nanos(ns as u64)
+    }
+
+    /// Converts a wall-clock span to the cycles this CPU retires in it.
+    pub fn cycles_in(&self, span: SimDuration) -> Cycles {
+        Cycles::new((span.as_nanos() as u128 * self.freq_hz as u128 / 1_000_000_000) as u64)
+    }
+}
+
+/// Outcome of reserving CPU time: when the work starts and ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reservation {
+    /// Instant the work begins (≥ the request instant).
+    pub start: SimTime,
+    /// Instant the work completes.
+    pub end: SimTime,
+}
+
+impl Reservation {
+    /// Time spent waiting for the CPU before the work began.
+    pub fn queueing(&self, requested: SimTime) -> SimDuration {
+        self.start.saturating_duration_since(requested)
+    }
+}
+
+/// A processor with utilization accounting.
+///
+/// # Examples
+///
+/// ```
+/// use hydra_hw::cpu::{Cpu, CpuSpec, Cycles};
+/// use hydra_sim::time::SimTime;
+///
+/// let mut cpu = Cpu::new(CpuSpec::pentium4());
+/// let r = cpu.reserve(SimTime::ZERO, Cycles::new(2_400_000)); // 1 ms of work
+/// assert_eq!(r.end.as_millis(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    spec: CpuSpec,
+    busy_until: SimTime,
+    busy: TimeWeighted,
+    retired: Cycles,
+}
+
+impl Cpu {
+    /// Creates an idle CPU at time zero.
+    pub fn new(spec: CpuSpec) -> Self {
+        Cpu {
+            spec,
+            busy_until: SimTime::ZERO,
+            busy: TimeWeighted::new(SimTime::ZERO, 0.0),
+            retired: Cycles::ZERO,
+        }
+    }
+
+    /// The static description.
+    pub fn spec(&self) -> &CpuSpec {
+        &self.spec
+    }
+
+    /// Instant at which all reserved work completes.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// True if the CPU has no reserved work at `now`.
+    pub fn is_idle(&self, now: SimTime) -> bool {
+        self.busy_until <= now
+    }
+
+    /// Total cycles retired.
+    pub fn retired(&self) -> Cycles {
+        self.retired
+    }
+
+    /// Reserves `work` starting no earlier than `now`; overlapping requests
+    /// are serialized in arrival order.
+    pub fn reserve(&mut self, now: SimTime, work: Cycles) -> Reservation {
+        let start = self.busy_until.max(now);
+        let dur = self.spec.duration_of(work);
+        let end = start + dur;
+        if start > self.busy_until && self.busy.level() != 0.0 {
+            // The CPU went idle between the previous horizon and `start`.
+            self.busy.set(self.busy_until, 0.0);
+        }
+        if self.busy_until < start {
+            self.busy.set(start, 1.0);
+        } else {
+            // Contiguous with previous work: ensure the level is busy.
+            self.busy.set(start.max(self.busy_until), 1.0);
+        }
+        self.busy_until = end;
+        self.retired += work;
+        Reservation { start, end }
+    }
+
+    /// Utilization (fraction of wall-clock busy) from time zero until `now`.
+    ///
+    /// `now` must be at or after the last reservation's start.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        // The busy gauge currently reads 1.0 through `busy_until`; clamp the
+        // query so un-elapsed busy time and trailing idle time are handled.
+        if now <= self.busy_until {
+            self.busy.mean_until(now)
+        } else {
+            let mut g = self.busy.clone();
+            g.set(self.busy_until, 0.0);
+            g.mean_until(now)
+        }
+    }
+
+    /// Average electrical power over `[0, now]`, in watts.
+    pub fn mean_power(&self, now: SimTime) -> f64 {
+        let u = self.utilization(now);
+        u * self.spec.power_busy_watts + (1.0 - u) * self.spec.power_idle_watts
+    }
+
+    /// Energy consumed over `[0, now]`, in joules.
+    pub fn energy(&self, now: SimTime) -> f64 {
+        self.mean_power(now) * now.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ghz_cpu() -> Cpu {
+        Cpu::new(CpuSpec {
+            name: "test".into(),
+            freq_hz: 1_000_000_000,
+            context_switch: Cycles::new(100),
+            syscall: Cycles::new(10),
+            interrupt: Cycles::new(50),
+            power_busy_watts: 10.0,
+            power_idle_watts: 1.0,
+        })
+    }
+
+    #[test]
+    fn duration_of_is_exact_at_1ghz() {
+        let cpu = ghz_cpu();
+        assert_eq!(
+            cpu.spec().duration_of(Cycles::new(1_000)),
+            SimDuration::from_micros(1)
+        );
+        assert_eq!(cpu.spec().duration_of(Cycles::ZERO), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_rounds_up() {
+        let spec = CpuSpec {
+            freq_hz: 3_000_000_000,
+            ..ghz_cpu().spec.clone()
+        };
+        // 1 cycle at 3 GHz is 0.33 ns; must not round to zero.
+        assert_eq!(spec.duration_of(Cycles::new(1)), SimDuration::from_nanos(1));
+    }
+
+    #[test]
+    fn cycles_in_round_trip() {
+        let spec = ghz_cpu().spec.clone();
+        assert_eq!(
+            spec.cycles_in(SimDuration::from_micros(5)),
+            Cycles::new(5_000)
+        );
+    }
+
+    #[test]
+    fn reservations_serialize() {
+        let mut cpu = ghz_cpu();
+        let r1 = cpu.reserve(SimTime::ZERO, Cycles::new(1_000)); // 1 us
+        let r2 = cpu.reserve(SimTime::ZERO, Cycles::new(1_000));
+        assert_eq!(r1.start, SimTime::ZERO);
+        assert_eq!(r1.end, SimTime::from_micros(1));
+        assert_eq!(r2.start, SimTime::from_micros(1));
+        assert_eq!(r2.end, SimTime::from_micros(2));
+        assert_eq!(r2.queueing(SimTime::ZERO), SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn idle_gap_reduces_utilization() {
+        let mut cpu = ghz_cpu();
+        cpu.reserve(SimTime::ZERO, Cycles::new(1_000)); // busy 0..1us
+        cpu.reserve(SimTime::from_micros(3), Cycles::new(1_000)); // busy 3..4us
+        let u = cpu.utilization(SimTime::from_micros(4));
+        assert!((u - 0.5).abs() < 1e-9, "utilization {u}");
+    }
+
+    #[test]
+    fn utilization_beyond_horizon_counts_idle_tail() {
+        let mut cpu = ghz_cpu();
+        cpu.reserve(SimTime::ZERO, Cycles::new(1_000)); // busy 0..1us
+        let u = cpu.utilization(SimTime::from_micros(10));
+        assert!((u - 0.1).abs() < 1e-9, "utilization {u}");
+    }
+
+    #[test]
+    fn idle_cpu_reports_zero_utilization() {
+        let cpu = ghz_cpu();
+        assert_eq!(cpu.utilization(SimTime::from_secs(1)), 0.0);
+        assert!(cpu.is_idle(SimTime::ZERO));
+    }
+
+    #[test]
+    fn retired_accumulates() {
+        let mut cpu = ghz_cpu();
+        cpu.reserve(SimTime::ZERO, Cycles::new(123));
+        cpu.reserve(SimTime::ZERO, Cycles::new(77));
+        assert_eq!(cpu.retired(), Cycles::new(200));
+    }
+
+    #[test]
+    fn power_interpolates_between_idle_and_busy() {
+        let mut cpu = ghz_cpu();
+        cpu.reserve(SimTime::ZERO, Cycles::new(500_000)); // 0.5 ms busy
+        let p = cpu.mean_power(SimTime::from_millis(1)); // 50% utilized
+        assert!((p - 5.5).abs() < 1e-9, "power {p}");
+        let e = cpu.energy(SimTime::from_millis(1));
+        assert!((e - 5.5e-3).abs() < 1e-9, "energy {e}");
+    }
+
+    #[test]
+    fn paper_power_ratio_is_two_orders_of_magnitude() {
+        let p4 = CpuSpec::pentium4();
+        let xs = CpuSpec::xscale();
+        assert!(p4.power_busy_watts / xs.power_busy_watts > 100.0);
+    }
+}

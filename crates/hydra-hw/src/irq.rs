@@ -1,0 +1,240 @@
+//! Interrupt delivery with coalescing.
+//!
+//! Device completions notify the host through interrupts. Each interrupt
+//! costs host CPU cycles (dispatch, handler, cache disturbance), which is
+//! one of the per-packet overheads that make small-packet networking so
+//! expensive in Figure 1. Real NICs mitigate with *coalescing*: holding a
+//! pending interrupt until either `max_frames` completions have accumulated
+//! or `max_wait` has elapsed. [`IrqCoalescer`] reproduces that policy.
+
+use hydra_sim::time::{SimDuration, SimTime};
+
+/// Interrupt coalescing policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoalescePolicy {
+    /// Fire after this many pending completions.
+    pub max_frames: u32,
+    /// Fire at most this long after the first pending completion.
+    pub max_wait: SimDuration,
+}
+
+impl CoalescePolicy {
+    /// No coalescing: every completion interrupts immediately.
+    pub fn immediate() -> Self {
+        CoalescePolicy {
+            max_frames: 1,
+            max_wait: SimDuration::ZERO,
+        }
+    }
+
+    /// A typical NIC default: up to 8 frames or 100 µs.
+    pub fn typical_nic() -> Self {
+        CoalescePolicy {
+            max_frames: 8,
+            max_wait: SimDuration::from_micros(100),
+        }
+    }
+}
+
+/// Decision returned by [`IrqCoalescer::on_completion`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IrqDecision {
+    /// Raise the interrupt now, covering `frames` completions.
+    Fire {
+        /// Number of completions this interrupt covers.
+        frames: u32,
+    },
+    /// Hold; an interrupt is due no later than the contained deadline.
+    Hold {
+        /// Latest instant by which the interrupt must fire.
+        deadline: SimTime,
+    },
+}
+
+/// State machine implementing interrupt coalescing.
+///
+/// The caller reports completions via [`IrqCoalescer::on_completion`] and
+/// must also poll [`IrqCoalescer::on_deadline`] when a previously returned
+/// deadline arrives.
+///
+/// # Examples
+///
+/// ```
+/// use hydra_hw::irq::{CoalescePolicy, IrqCoalescer, IrqDecision};
+/// use hydra_sim::time::SimTime;
+///
+/// let mut c = IrqCoalescer::new(CoalescePolicy::immediate());
+/// assert_eq!(c.on_completion(SimTime::ZERO), IrqDecision::Fire { frames: 1 });
+/// ```
+#[derive(Debug, Clone)]
+pub struct IrqCoalescer {
+    policy: CoalescePolicy,
+    pending: u32,
+    first_pending_at: Option<SimTime>,
+    fired: u64,
+    completions: u64,
+}
+
+impl IrqCoalescer {
+    /// Creates a coalescer with the given policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_frames` is zero.
+    pub fn new(policy: CoalescePolicy) -> Self {
+        assert!(policy.max_frames > 0, "max_frames must be positive");
+        IrqCoalescer {
+            policy,
+            pending: 0,
+            first_pending_at: None,
+            fired: 0,
+            completions: 0,
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> CoalescePolicy {
+        self.policy
+    }
+
+    /// Completions reported so far.
+    pub fn completions(&self) -> u64 {
+        self.completions
+    }
+
+    /// Interrupts actually raised so far.
+    pub fn interrupts_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Mean completions per interrupt (the coalescing factor).
+    pub fn coalescing_factor(&self) -> f64 {
+        if self.fired == 0 {
+            0.0
+        } else {
+            self.completions as f64 / self.fired as f64
+        }
+    }
+
+    /// Reports one completion at `now` and decides whether to interrupt.
+    pub fn on_completion(&mut self, now: SimTime) -> IrqDecision {
+        self.completions += 1;
+        self.pending += 1;
+        let first = *self.first_pending_at.get_or_insert(now);
+        if self.pending >= self.policy.max_frames || now >= first + self.policy.max_wait {
+            self.fire()
+        } else {
+            IrqDecision::Hold {
+                deadline: first + self.policy.max_wait,
+            }
+        }
+    }
+
+    /// Checks the timer path: called when a previously returned deadline is
+    /// reached. Fires if completions are still pending and due.
+    pub fn on_deadline(&mut self, now: SimTime) -> Option<IrqDecision> {
+        let first = self.first_pending_at?;
+        if now >= first + self.policy.max_wait {
+            Some(self.fire())
+        } else {
+            None
+        }
+    }
+
+    fn fire(&mut self) -> IrqDecision {
+        let frames = self.pending;
+        self.pending = 0;
+        self.first_pending_at = None;
+        self.fired += 1;
+        IrqDecision::Fire { frames }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediate_policy_fires_every_time() {
+        let mut c = IrqCoalescer::new(CoalescePolicy::immediate());
+        for i in 0..5 {
+            let d = c.on_completion(SimTime::from_micros(i));
+            assert_eq!(d, IrqDecision::Fire { frames: 1 });
+        }
+        assert_eq!(c.interrupts_fired(), 5);
+        assert_eq!(c.coalescing_factor(), 1.0);
+    }
+
+    #[test]
+    fn frame_threshold_fires() {
+        let mut c = IrqCoalescer::new(CoalescePolicy {
+            max_frames: 3,
+            max_wait: SimDuration::from_millis(1),
+        });
+        assert!(matches!(
+            c.on_completion(SimTime::ZERO),
+            IrqDecision::Hold { .. }
+        ));
+        assert!(matches!(
+            c.on_completion(SimTime::ZERO),
+            IrqDecision::Hold { .. }
+        ));
+        assert_eq!(c.on_completion(SimTime::ZERO), IrqDecision::Fire { frames: 3 });
+        assert_eq!(c.coalescing_factor(), 3.0);
+    }
+
+    #[test]
+    fn wait_threshold_fires_on_late_completion() {
+        let mut c = IrqCoalescer::new(CoalescePolicy {
+            max_frames: 100,
+            max_wait: SimDuration::from_micros(10),
+        });
+        c.on_completion(SimTime::ZERO);
+        let d = c.on_completion(SimTime::from_micros(10));
+        assert_eq!(d, IrqDecision::Fire { frames: 2 });
+    }
+
+    #[test]
+    fn deadline_path_fires_pending() {
+        let mut c = IrqCoalescer::new(CoalescePolicy {
+            max_frames: 100,
+            max_wait: SimDuration::from_micros(10),
+        });
+        let IrqDecision::Hold { deadline } = c.on_completion(SimTime::ZERO) else {
+            panic!("expected hold");
+        };
+        assert_eq!(deadline, SimTime::from_micros(10));
+        assert!(c.on_deadline(SimTime::from_micros(5)).is_none());
+        assert_eq!(
+            c.on_deadline(SimTime::from_micros(10)),
+            Some(IrqDecision::Fire { frames: 1 })
+        );
+        // Nothing pending anymore.
+        assert!(c.on_deadline(SimTime::from_micros(20)).is_none());
+    }
+
+    #[test]
+    fn hold_deadline_is_anchored_to_first_completion() {
+        let mut c = IrqCoalescer::new(CoalescePolicy {
+            max_frames: 100,
+            max_wait: SimDuration::from_micros(10),
+        });
+        c.on_completion(SimTime::ZERO);
+        let d = c.on_completion(SimTime::from_micros(5));
+        assert_eq!(
+            d,
+            IrqDecision::Hold {
+                deadline: SimTime::from_micros(10)
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "max_frames")]
+    fn zero_frames_panics() {
+        IrqCoalescer::new(CoalescePolicy {
+            max_frames: 0,
+            max_wait: SimDuration::ZERO,
+        });
+    }
+}

@@ -1,0 +1,35 @@
+//! # hydra-hw — host hardware models
+//!
+//! Cost-model hardware for the HYDRA reproduction: CPUs with busy-until
+//! reservation and utilization accounting ([`cpu`]), a set-associative LRU
+//! L2 cache fed by address-level traces ([`cache`]), the host memory system
+//! that turns buffer touches into time and misses ([`mem`]), a shared I/O
+//! interconnect with arbitration and bandwidth ([`bus`]), descriptor-ring
+//! DMA ([`dma`]), interrupt coalescing ([`irq`]), and the OS timing model
+//! whose tick quantization and scheduler noise produce the jitter the
+//! paper measures ([`os`]).
+//!
+//! None of these structs schedule events themselves: they are passive
+//! accounting objects that compute *when things finish* and record
+//! statistics, which keeps them independently testable. The machine models
+//! in `hydra-devices` and `hydra-tivo` drive them from the `hydra-sim`
+//! event loop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod cache;
+pub mod cpu;
+pub mod dma;
+pub mod irq;
+pub mod mem;
+pub mod os;
+
+pub use bus::{Bus, BusKind, BusSpec};
+pub use cache::{AccessKind, AccessOutcome, Cache, CacheConfig, CacheStats};
+pub use cpu::{Cpu, CpuSpec, Cycles};
+pub use dma::{Descriptor, DescriptorRing, DmaDirection, DmaEngine};
+pub use irq::{CoalescePolicy, IrqCoalescer, IrqDecision};
+pub use mem::{AddressSpace, MemLatency, MemorySystem, Region};
+pub use os::{BackgroundLoad, TimerModel};

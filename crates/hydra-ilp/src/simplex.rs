@@ -1,0 +1,455 @@
+//! A dense two-phase primal simplex solver.
+//!
+//! Solves the LP relaxation of a [`Problem`]: maximize (or minimize) a
+//! linear objective over non-negative variables with linear constraints
+//! and finite bounds. Bounds are folded into explicit constraints — layout
+//! ILPs are small (tens of variables), so the dense tableau with Bland's
+//! anti-cycling rule is simple, exact enough at `f64`, and fast.
+
+use crate::model::{Direction, Outcome, Problem, Sense, Solution};
+
+/// One normalized constraint row: sparse terms, sense, right-hand side.
+type Row = (Vec<(usize, f64)>, Sense, f64);
+
+const EPS: f64 = 1e-9;
+const MAX_ITER: usize = 50_000;
+
+/// Solves the LP relaxation of `problem` (integrality is ignored).
+///
+/// # Examples
+///
+/// ```
+/// use hydra_ilp::model::{Direction, Problem, Sense};
+/// use hydra_ilp::simplex::solve_lp;
+///
+/// let mut p = Problem::new(Direction::Maximize);
+/// let x = p.add_var("x", 0.0, f64::INFINITY, false);
+/// let y = p.add_var("y", 0.0, f64::INFINITY, false);
+/// p.set_objective(vec![(x, 3.0), (y, 2.0)]);
+/// p.add_constraint("c1", vec![(x, 1.0), (y, 1.0)], Sense::Le, 4.0);
+/// p.add_constraint("c2", vec![(x, 1.0)], Sense::Le, 2.0);
+/// let sol = solve_lp(&p).solution().unwrap().clone();
+/// assert!((sol.objective - 10.0).abs() < 1e-6); // x=2, y=2
+/// ```
+pub fn solve_lp(problem: &Problem) -> Outcome {
+    // Gather constraints: user constraints plus bound constraints.
+    let n = problem.num_vars();
+    let mut rows: Vec<Row> = Vec::new();
+    for c in problem.constraints() {
+        let terms = c.terms.iter().map(|(v, k)| (v.index(), *k)).collect();
+        rows.push((terms, c.sense, c.rhs));
+    }
+    for (j, v) in problem.variables().iter().enumerate() {
+        if v.upper.is_finite() {
+            rows.push((vec![(j, 1.0)], Sense::Le, v.upper));
+        }
+        if v.lower > 0.0 {
+            rows.push((vec![(j, 1.0)], Sense::Ge, v.lower));
+        }
+    }
+
+    // Objective as a dense vector, negated for minimization.
+    let mut c = vec![0.0f64; n];
+    for (v, k) in problem.objective() {
+        c[v.index()] += *k;
+    }
+    let sign = match problem.direction() {
+        Direction::Maximize => 1.0,
+        Direction::Minimize => -1.0,
+    };
+    for cj in c.iter_mut() {
+        *cj *= sign;
+    }
+
+    match simplex_maximize(n, &rows, &c) {
+        RawOutcome::Optimal { values, objective } => Outcome::Optimal(Solution {
+            values,
+            objective: objective * sign,
+        }),
+        RawOutcome::Infeasible => Outcome::Infeasible,
+        RawOutcome::Unbounded => Outcome::Unbounded,
+    }
+}
+
+enum RawOutcome {
+    Optimal { values: Vec<f64>, objective: f64 },
+    Infeasible,
+    Unbounded,
+}
+
+/// Core tableau simplex: maximize c'x s.t. rows, x >= 0.
+fn simplex_maximize(n: usize, rows: &[Row], c: &[f64]) -> RawOutcome {
+    let m = rows.len();
+    // Normalize rows to rhs >= 0 up front so the slack/artificial column
+    // counts match what the fill loop will actually allocate.
+    let rows: Vec<Row> = rows
+        .iter()
+        .map(|(terms, sense, rhs)| {
+            if *rhs < 0.0 {
+                let s = match sense {
+                    Sense::Le => Sense::Ge,
+                    Sense::Ge => Sense::Le,
+                    Sense::Eq => Sense::Eq,
+                };
+                (
+                    terms.iter().map(|(j, k)| (*j, -k)).collect(),
+                    s,
+                    -rhs,
+                )
+            } else {
+                (terms.clone(), *sense, *rhs)
+            }
+        })
+        .collect();
+    // Column layout: [0, n) structural; then one slack/surplus per
+    // inequality; then one artificial per Ge/Eq row; last column rhs.
+    let mut n_slack = 0;
+    let mut n_art = 0;
+    for (_, sense, _) in &rows {
+        match sense {
+            Sense::Le | Sense::Ge => n_slack += 1,
+            Sense::Eq => {}
+        }
+        match sense {
+            Sense::Ge | Sense::Eq => n_art += 1,
+            Sense::Le => {}
+        }
+    }
+    let ncols = n + n_slack + n_art;
+    let rhs_col = ncols;
+    let mut t = vec![vec![0.0f64; ncols + 1]; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut slack_idx = n;
+    let mut art_idx = n + n_slack;
+    let mut artificial_cols: Vec<usize> = Vec::new();
+
+    for (i, (terms, sense, rhs)) in rows.iter().enumerate() {
+        let (sense, rhs) = (*sense, *rhs);
+        for (j, k) in terms {
+            t[i][*j] += *k;
+        }
+        t[i][rhs_col] = rhs;
+        match sense {
+            Sense::Le => {
+                t[i][slack_idx] = 1.0;
+                basis[i] = slack_idx;
+                slack_idx += 1;
+            }
+            Sense::Ge => {
+                t[i][slack_idx] = -1.0;
+                slack_idx += 1;
+                t[i][art_idx] = 1.0;
+                basis[i] = art_idx;
+                artificial_cols.push(art_idx);
+                art_idx += 1;
+            }
+            Sense::Eq => {
+                t[i][art_idx] = 1.0;
+                basis[i] = art_idx;
+                artificial_cols.push(art_idx);
+                art_idx += 1;
+            }
+        }
+    }
+
+    // Phase 1: maximize -(sum of artificials).
+    if !artificial_cols.is_empty() {
+        let mut c1 = vec![0.0f64; ncols];
+        for &a in &artificial_cols {
+            c1[a] = -1.0;
+        }
+        let mut zrow = build_zrow(&t, &basis, &c1, ncols);
+        if !pivot_to_optimality(&mut t, &mut basis, &mut zrow, ncols) {
+            // Phase 1 cannot be unbounded (objective bounded by 0); treat
+            // as numerical failure -> infeasible.
+            return RawOutcome::Infeasible;
+        }
+        if zrow[rhs_col] < -EPS {
+            return RawOutcome::Infeasible;
+        }
+        // Drive artificials out of the basis.
+        for i in 0..m {
+            if artificial_cols.contains(&basis[i]) {
+                let mut pivoted = false;
+                for j in 0..n + n_slack {
+                    if t[i][j].abs() > EPS {
+                        pivot(&mut t, &mut basis, &mut zrow, i, j, ncols);
+                        pivoted = true;
+                        break;
+                    }
+                }
+                if !pivoted {
+                    // Redundant row: zero it (keep artificial basic at 0).
+                    t[i][..=ncols].fill(0.0);
+                }
+            }
+        }
+        // Forbid artificials from re-entering: clear their columns.
+        for &a in &artificial_cols {
+            for row in t.iter_mut() {
+                row[a] = 0.0;
+            }
+        }
+    }
+
+    // Phase 2: original objective.
+    let mut c2 = vec![0.0f64; ncols];
+    c2[..n].copy_from_slice(&c[..n]);
+    let mut zrow = build_zrow(&t, &basis, &c2, ncols);
+    if !pivot_to_optimality(&mut t, &mut basis, &mut zrow, ncols) {
+        return RawOutcome::Unbounded;
+    }
+
+    let mut values = vec![0.0f64; n];
+    for (i, &b) in basis.iter().enumerate() {
+        if b < n {
+            values[b] = t[i][rhs_col];
+        }
+    }
+    let objective = values
+        .iter()
+        .zip(c.iter())
+        .map(|(x, k)| x * k)
+        .sum::<f64>();
+    RawOutcome::Optimal { values, objective }
+}
+
+/// Builds the reduced-cost row ζ_j = c_B·B⁻¹A_j − c_j and the objective
+/// value in the rhs slot.
+fn build_zrow(t: &[Vec<f64>], basis: &[usize], c: &[f64], ncols: usize) -> Vec<f64> {
+    let mut z = vec![0.0f64; ncols + 1];
+    for (zj, cj) in z.iter_mut().zip(c.iter()) {
+        *zj = -cj;
+    }
+    for (i, &b) in basis.iter().enumerate() {
+        let cb = if b < ncols { c[b] } else { 0.0 };
+        if cb != 0.0 {
+            for j in 0..=ncols {
+                z[j] += cb * t[i][j];
+            }
+        }
+    }
+    z
+}
+
+/// Pivots until all reduced costs are ≥ −EPS. Returns false if unbounded
+/// (or iteration limit hit).
+fn pivot_to_optimality(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    zrow: &mut [f64],
+    ncols: usize,
+) -> bool {
+    let rhs_col = ncols;
+    for _ in 0..MAX_ITER {
+        // Bland's rule: entering = smallest index with negative reduced cost.
+        let Some(enter) = (0..ncols).find(|&j| zrow[j] < -EPS) else {
+            return true;
+        };
+        // Ratio test with Bland tie-break on smallest basis index.
+        let mut leave: Option<usize> = None;
+        let mut best = f64::INFINITY;
+        for (i, row) in t.iter().enumerate() {
+            if row[enter] > EPS {
+                let ratio = row[rhs_col] / row[enter];
+                let better = ratio < best - EPS
+                    || (ratio < best + EPS
+                        && leave.is_none_or(|l| basis[i] < basis[l]));
+                if better {
+                    best = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(leave) = leave else {
+            return false; // unbounded
+        };
+        pivot(t, basis, zrow, leave, enter, ncols);
+    }
+    false
+}
+
+fn pivot(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    zrow: &mut [f64],
+    row: usize,
+    col: usize,
+    ncols: usize,
+) {
+    let p = t[row][col];
+    debug_assert!(p.abs() > EPS, "pivot on ~zero element");
+    for v in t[row].iter_mut().take(ncols + 1) {
+        *v /= p;
+    }
+    let pivot_row = t[row].clone();
+    for (i, r) in t.iter_mut().enumerate() {
+        if i != row && r[col].abs() > EPS {
+            let f = r[col];
+            for (v, pv) in r.iter_mut().zip(pivot_row.iter()).take(ncols + 1) {
+                *v -= f * pv;
+            }
+        }
+    }
+    if zrow[col].abs() > EPS {
+        let f = zrow[col];
+        for (zj, tj) in zrow.iter_mut().zip(t[row].iter()).take(ncols + 1) {
+            *zj -= f * tj;
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Direction, Problem, Sense};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (answer 36)
+        let mut p = Problem::new(Direction::Maximize);
+        let x = p.add_var("x", 0.0, f64::INFINITY, false);
+        let y = p.add_var("y", 0.0, f64::INFINITY, false);
+        p.set_objective(vec![(x, 3.0), (y, 5.0)]);
+        p.add_constraint("a", vec![(x, 1.0)], Sense::Le, 4.0);
+        p.add_constraint("b", vec![(y, 2.0)], Sense::Le, 12.0);
+        p.add_constraint("c", vec![(x, 3.0), (y, 2.0)], Sense::Le, 18.0);
+        let sol = solve_lp(&p).solution().unwrap().clone();
+        assert_close(sol.objective, 36.0);
+        assert_close(sol.value(x), 2.0);
+        assert_close(sol.value(y), 6.0);
+        assert!(p.check_feasible(&sol.values, 1e-6).is_ok());
+    }
+
+    #[test]
+    fn minimization_with_ge() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2  (answer: x=10,y=0 -> 20)
+        let mut p = Problem::new(Direction::Minimize);
+        let x = p.add_var("x", 0.0, f64::INFINITY, false);
+        let y = p.add_var("y", 0.0, f64::INFINITY, false);
+        p.set_objective(vec![(x, 2.0), (y, 3.0)]);
+        p.add_constraint("cover", vec![(x, 1.0), (y, 1.0)], Sense::Ge, 10.0);
+        p.add_constraint("xmin", vec![(x, 1.0)], Sense::Ge, 2.0);
+        let sol = solve_lp(&p).solution().unwrap().clone();
+        assert_close(sol.objective, 20.0);
+        assert_close(sol.value(x), 10.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + y s.t. x + y = 5, x - y = 1 -> x=3, y=2
+        let mut p = Problem::new(Direction::Maximize);
+        let x = p.add_var("x", 0.0, f64::INFINITY, false);
+        let y = p.add_var("y", 0.0, f64::INFINITY, false);
+        p.set_objective(vec![(x, 1.0), (y, 1.0)]);
+        p.add_constraint("s", vec![(x, 1.0), (y, 1.0)], Sense::Eq, 5.0);
+        p.add_constraint("d", vec![(x, 1.0), (y, -1.0)], Sense::Eq, 1.0);
+        let sol = solve_lp(&p).solution().unwrap().clone();
+        assert_close(sol.value(x), 3.0);
+        assert_close(sol.value(y), 2.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = Problem::new(Direction::Maximize);
+        let x = p.add_var("x", 0.0, f64::INFINITY, false);
+        p.set_objective(vec![(x, 1.0)]);
+        p.add_constraint("lo", vec![(x, 1.0)], Sense::Ge, 5.0);
+        p.add_constraint("hi", vec![(x, 1.0)], Sense::Le, 3.0);
+        assert_eq!(solve_lp(&p), Outcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = Problem::new(Direction::Maximize);
+        let x = p.add_var("x", 0.0, f64::INFINITY, false);
+        let y = p.add_var("y", 0.0, f64::INFINITY, false);
+        p.set_objective(vec![(x, 1.0)]);
+        p.add_constraint("c", vec![(x, 1.0), (y, -1.0)], Sense::Le, 1.0);
+        assert_eq!(solve_lp(&p), Outcome::Unbounded);
+    }
+
+    #[test]
+    fn upper_bounds_respected() {
+        let mut p = Problem::new(Direction::Maximize);
+        let x = p.add_var("x", 0.0, 2.5, false);
+        p.set_objective(vec![(x, 1.0)]);
+        let sol = solve_lp(&p).solution().unwrap().clone();
+        assert_close(sol.objective, 2.5);
+    }
+
+    #[test]
+    fn lower_bounds_respected() {
+        let mut p = Problem::new(Direction::Minimize);
+        let x = p.add_var("x", 1.5, 10.0, false);
+        p.set_objective(vec![(x, 1.0)]);
+        let sol = solve_lp(&p).solution().unwrap().clone();
+        assert_close(sol.objective, 1.5);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // x - y <= -2 with max x, x <= 10 -> x=10 needs y >= 12; feasible.
+        let mut p = Problem::new(Direction::Maximize);
+        let x = p.add_var("x", 0.0, 10.0, false);
+        let y = p.add_var("y", 0.0, f64::INFINITY, false);
+        p.set_objective(vec![(x, 1.0)]);
+        p.add_constraint("c", vec![(x, 1.0), (y, -1.0)], Sense::Le, -2.0);
+        let sol = solve_lp(&p).solution().unwrap().clone();
+        assert_close(sol.objective, 10.0);
+        assert!(sol.value(y) >= 12.0 - 1e-6);
+    }
+
+    #[test]
+    fn zero_objective_returns_feasible_point() {
+        let mut p = Problem::new(Direction::Maximize);
+        let x = p.add_var("x", 0.0, 1.0, false);
+        p.add_constraint("c", vec![(x, 1.0)], Sense::Ge, 0.5);
+        let sol = solve_lp(&p).solution().unwrap().clone();
+        assert!(p.check_feasible(&sol.values, 1e-6).is_ok());
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic cycling-prone setup; Bland's rule must terminate.
+        let mut p = Problem::new(Direction::Maximize);
+        let x1 = p.add_var("x1", 0.0, f64::INFINITY, false);
+        let x2 = p.add_var("x2", 0.0, f64::INFINITY, false);
+        let x3 = p.add_var("x3", 0.0, f64::INFINITY, false);
+        let x4 = p.add_var("x4", 0.0, f64::INFINITY, false);
+        p.set_objective(vec![(x1, 0.75), (x2, -150.0), (x3, 0.02), (x4, -6.0)]);
+        p.add_constraint(
+            "r1",
+            vec![(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+            Sense::Le,
+            0.0,
+        );
+        p.add_constraint(
+            "r2",
+            vec![(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+            Sense::Le,
+            0.0,
+        );
+        p.add_constraint("r3", vec![(x3, 1.0)], Sense::Le, 1.0);
+        let sol = solve_lp(&p).solution().unwrap().clone();
+        assert_close(sol.objective, 0.05);
+    }
+
+    #[test]
+    fn redundant_equality_rows_handled() {
+        // x + y = 4 stated twice.
+        let mut p = Problem::new(Direction::Maximize);
+        let x = p.add_var("x", 0.0, f64::INFINITY, false);
+        let y = p.add_var("y", 0.0, f64::INFINITY, false);
+        p.set_objective(vec![(x, 1.0)]);
+        p.add_constraint("a", vec![(x, 1.0), (y, 1.0)], Sense::Eq, 4.0);
+        p.add_constraint("b", vec![(x, 1.0), (y, 1.0)], Sense::Eq, 4.0);
+        let sol = solve_lp(&p).solution().unwrap().clone();
+        assert_close(sol.objective, 4.0);
+    }
+}

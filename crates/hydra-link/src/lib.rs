@@ -1,0 +1,25 @@
+//! # hydra-link — object format, linker, and dynamic Offcode loading
+//!
+//! The firmware-toolchain substrate of the reproduction: the HOF
+//! relocatable object format with a complete binary encoding ([`object`]),
+//! a host-side linker with cross-object symbol resolution, firmware-export
+//! tables and Abs64/Rel32 relocations ([`linker`]), and the paper's two
+//! dynamic-loading strategies with cost accounting ([`loader`]).
+//!
+//! Real HYDRA linked Offcodes against a programmable NIC's firmware; this
+//! crate reproduces the mechanism — `AllocateOffcodeMemory`, base-adjusted
+//! linking, pseudo-Offcode export tables — over simulated device memory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod linker;
+pub mod loader;
+pub mod object;
+
+pub use linker::{ExportTable, LinkError, LinkedImage, Linker};
+pub use loader::{
+    load_device_side, load_host_side, DeviceMemoryAllocator, LoadError, LoadPlan, LoadStrategy,
+    OutOfDeviceMemory,
+};
+pub use object::{HofError, HofObject, RelocKind, Relocation, Section, SectionKind, Symbol, SymbolKind};

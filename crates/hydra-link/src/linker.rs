@@ -1,0 +1,416 @@
+//! The host-side linker.
+//!
+//! Paper §4.2: "The host-based loader dynamically generates a linker file
+//! adjusted by the returned address and links the Offcode object." The
+//! [`Linker`] lays sections out at a device-provided base address, merges
+//! symbol tables across objects, resolves remaining undefined symbols
+//! against firmware exports (the pseudo-Offcode trick that bounds the
+//! symbol set), applies relocations, and emits a ready-to-run
+//! [`LinkedImage`].
+
+use std::collections::HashMap;
+
+use crate::object::{HofObject, RelocKind, SectionKind, Symbol, SymbolKind};
+
+/// Exports offered by the target environment (firmware / pseudo-Offcodes).
+///
+/// # Examples
+///
+/// ```
+/// use hydra_link::linker::ExportTable;
+///
+/// let mut exports = ExportTable::new();
+/// exports.insert("hydra_heap_alloc", 0x1000);
+/// assert_eq!(exports.resolve("hydra_heap_alloc"), Some(0x1000));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ExportTable {
+    entries: HashMap<String, u64>,
+}
+
+impl ExportTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an export.
+    pub fn insert(&mut self, name: &str, addr: u64) {
+        self.entries.insert(name.to_owned(), addr);
+    }
+
+    /// Looks up an export.
+    pub fn resolve(&self, name: &str) -> Option<u64> {
+        self.entries.get(name).copied()
+    }
+
+    /// Number of exports.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no exports are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A fully linked, position-fixed image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkedImage {
+    /// Load address of the first byte.
+    pub base: u64,
+    /// The image contents (text + data; BSS is zero-filled at the end).
+    pub bytes: Vec<u8>,
+    /// Addresses of all global symbols defined by the image.
+    pub symbols: HashMap<String, u64>,
+    /// Total memory footprint including BSS.
+    pub memory_size: u64,
+}
+
+impl LinkedImage {
+    /// The address of a defined symbol.
+    pub fn symbol(&self, name: &str) -> Option<u64> {
+        self.symbols.get(name).copied()
+    }
+}
+
+/// Linker failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkError {
+    /// The same symbol is defined by two objects.
+    DuplicateSymbol(String),
+    /// A symbol could not be resolved anywhere.
+    Unresolved(String),
+    /// A PC-relative relocation target is out of ±2 GiB range.
+    RelocOutOfRange {
+        /// The symbol being referenced.
+        symbol: String,
+    },
+    /// An input object failed validation.
+    BadObject(&'static str),
+}
+
+impl std::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkError::DuplicateSymbol(s) => write!(f, "duplicate symbol '{s}'"),
+            LinkError::Unresolved(s) => write!(f, "unresolved symbol '{s}'"),
+            LinkError::RelocOutOfRange { symbol } => {
+                write!(f, "relocation to '{symbol}' out of range")
+            }
+            LinkError::BadObject(what) => write!(f, "bad input object: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// The host-side linker.
+#[derive(Debug, Clone, Default)]
+pub struct Linker;
+
+impl Linker {
+    /// Creates a linker.
+    pub fn new() -> Self {
+        Linker
+    }
+
+    /// Links `objects` at `base`, resolving leftover undefined symbols via
+    /// `exports`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid inputs, duplicate or unresolved symbols, and
+    /// out-of-range PC-relative relocations.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hydra_link::linker::{ExportTable, Linker};
+    /// use hydra_link::object::{HofObject, Section, Symbol, SymbolKind};
+    ///
+    /// let obj = HofObject::new("m")
+    ///     .with_section(Section::text(vec![0; 8]))
+    ///     .with_symbol(Symbol {
+    ///         name: "entry".into(),
+    ///         kind: SymbolKind::Defined { section: 0, offset: 0 },
+    ///     });
+    /// let image = Linker::new().link(&[obj], 0x4000, &ExportTable::new()).unwrap();
+    /// assert_eq!(image.symbol("entry"), Some(0x4000));
+    /// ```
+    pub fn link(
+        &self,
+        objects: &[HofObject],
+        base: u64,
+        exports: &ExportTable,
+    ) -> Result<LinkedImage, LinkError> {
+        for obj in objects {
+            obj.validate().map_err(|_| LinkError::BadObject("validation failed"))?;
+        }
+
+        // Pass 1: lay out sections. Text of all objects first, then data,
+        // then BSS, preserving object order within each class.
+        let mut addr = base;
+        // (object index, section index) -> absolute address
+        let mut section_addr: HashMap<(usize, usize), u64> = HashMap::new();
+        let mut image_len = 0u64; // bytes actually materialized (text+data)
+        for class in [SectionKind::Text, SectionKind::Data, SectionKind::Bss] {
+            for (oi, obj) in objects.iter().enumerate() {
+                for (si, sec) in obj.sections.iter().enumerate() {
+                    if sec.kind != class {
+                        continue;
+                    }
+                    let align = sec.align.max(1) as u64;
+                    addr = addr.div_ceil(align) * align;
+                    section_addr.insert((oi, si), addr);
+                    addr += sec.size as u64;
+                    if class != SectionKind::Bss {
+                        image_len = addr - base;
+                    }
+                }
+            }
+        }
+        let memory_size = addr - base;
+
+        // Pass 2: global symbol table.
+        let mut globals: HashMap<String, u64> = HashMap::new();
+        for (oi, obj) in objects.iter().enumerate() {
+            for Symbol { name, kind } in &obj.symbols {
+                if let SymbolKind::Defined { section, offset } = kind {
+                    let sec_base = section_addr[&(oi, *section as usize)];
+                    if globals.contains_key(name) {
+                        return Err(LinkError::DuplicateSymbol(name.clone()));
+                    }
+                    if exports.resolve(name).is_some() {
+                        return Err(LinkError::DuplicateSymbol(name.clone()));
+                    }
+                    globals.insert(name.clone(), sec_base + *offset as u64);
+                }
+            }
+        }
+
+        // Pass 3: materialize the image.
+        let mut bytes = vec![0u8; image_len as usize];
+        for (oi, obj) in objects.iter().enumerate() {
+            for (si, sec) in obj.sections.iter().enumerate() {
+                if sec.kind == SectionKind::Bss {
+                    continue;
+                }
+                let at = (section_addr[&(oi, si)] - base) as usize;
+                bytes[at..at + sec.bytes.len()].copy_from_slice(&sec.bytes);
+            }
+        }
+
+        // Pass 4: relocations.
+        for (oi, obj) in objects.iter().enumerate() {
+            for r in &obj.relocations {
+                let sym = &obj.symbols[r.symbol as usize];
+                let target = match &sym.kind {
+                    SymbolKind::Defined { .. } => globals[&sym.name],
+                    SymbolKind::Undefined => globals
+                        .get(&sym.name)
+                        .copied()
+                        .or_else(|| exports.resolve(&sym.name))
+                        .ok_or_else(|| LinkError::Unresolved(sym.name.clone()))?,
+                };
+                let target = (target as i64 + r.addend) as u64;
+                let site_addr = section_addr[&(oi, r.section as usize)] + r.offset as u64;
+                let site = (site_addr - base) as usize;
+                match r.kind {
+                    RelocKind::Abs64 => {
+                        bytes[site..site + 8].copy_from_slice(&target.to_le_bytes());
+                    }
+                    RelocKind::Rel32 => {
+                        let rel = target as i64 - (site_addr as i64 + 4);
+                        let rel32 = i32::try_from(rel).map_err(|_| LinkError::RelocOutOfRange {
+                            symbol: sym.name.clone(),
+                        })?;
+                        bytes[site..site + 4].copy_from_slice(&rel32.to_le_bytes());
+                    }
+                }
+            }
+        }
+
+        Ok(LinkedImage {
+            base,
+            bytes,
+            symbols: globals,
+            memory_size,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{Relocation, Section};
+
+    fn defined(name: &str, section: u32, offset: u32) -> Symbol {
+        Symbol {
+            name: name.into(),
+            kind: SymbolKind::Defined { section, offset },
+        }
+    }
+
+    fn undefined(name: &str) -> Symbol {
+        Symbol {
+            name: name.into(),
+            kind: SymbolKind::Undefined,
+        }
+    }
+
+    #[test]
+    fn single_object_layout() {
+        let obj = HofObject::new("m")
+            .with_section(Section::text(vec![1; 20]))
+            .with_section(Section::data(vec![2; 10]))
+            .with_section(Section::bss(100))
+            .with_symbol(defined("entry", 0, 4))
+            .with_symbol(defined("state", 2, 8));
+        let img = Linker::new().link(&[obj], 0x1000, &ExportTable::new()).unwrap();
+        assert_eq!(img.base, 0x1000);
+        assert_eq!(img.symbol("entry"), Some(0x1004));
+        // text 20 @0x1000, data @0x1018 (aligned 8), bss @0x1028
+        assert_eq!(img.symbol("state"), Some(0x1028 + 8));
+        assert_eq!(img.bytes.len(), 0x22); // through end of data (0x1018+10)
+        assert_eq!(img.memory_size, 0x28 + 100);
+        assert_eq!(&img.bytes[0..20], &[1u8; 20][..]);
+        assert_eq!(&img.bytes[0x18..0x22], &[2u8; 10][..]);
+    }
+
+    #[test]
+    fn cross_object_symbol_resolution() {
+        let a = HofObject::new("a")
+            .with_section(Section::text(vec![0; 16]))
+            .with_symbol(undefined("b_fn"))
+            .with_relocation(Relocation {
+                section: 0,
+                offset: 0,
+                symbol: 0,
+                addend: 0,
+                kind: RelocKind::Abs64,
+            });
+        let b = HofObject::new("b")
+            .with_section(Section::text(vec![0; 16]))
+            .with_symbol(defined("b_fn", 0, 8));
+        let img = Linker::new().link(&[a, b], 0x2000, &ExportTable::new()).unwrap();
+        // b's text follows a's text: 0x2000 + 16 aligned to 16 = 0x2010.
+        let expect = 0x2010u64 + 8;
+        assert_eq!(img.symbol("b_fn"), Some(expect));
+        assert_eq!(&img.bytes[0..8], &expect.to_le_bytes());
+    }
+
+    #[test]
+    fn firmware_export_resolution() {
+        let obj = HofObject::new("m")
+            .with_section(Section::text(vec![0; 8]))
+            .with_symbol(undefined("hydra_heap_alloc"))
+            .with_relocation(Relocation {
+                section: 0,
+                offset: 0,
+                symbol: 0,
+                addend: 16,
+                kind: RelocKind::Abs64,
+            });
+        let mut exports = ExportTable::new();
+        exports.insert("hydra_heap_alloc", 0xF000);
+        let img = Linker::new().link(&[obj], 0x1000, &exports).unwrap();
+        assert_eq!(&img.bytes[0..8], &0xF010u64.to_le_bytes());
+    }
+
+    #[test]
+    fn rel32_is_pc_relative() {
+        let obj = HofObject::new("m")
+            .with_section(Section::text(vec![0; 32]))
+            .with_symbol(defined("target", 0, 24))
+            .with_relocation(Relocation {
+                section: 0,
+                offset: 4,
+                symbol: 0,
+                addend: 0,
+                kind: RelocKind::Rel32,
+            });
+        let img = Linker::new().link(&[obj], 0x1000, &ExportTable::new()).unwrap();
+        // target = 0x1018; site end = 0x1004 + 4 = 0x1008; rel = 0x10.
+        let rel = i32::from_le_bytes(img.bytes[4..8].try_into().unwrap());
+        assert_eq!(rel, 0x10);
+    }
+
+    #[test]
+    fn unresolved_symbol_fails() {
+        let obj = HofObject::new("m")
+            .with_section(Section::text(vec![0; 8]))
+            .with_symbol(undefined("missing"))
+            .with_relocation(Relocation {
+                section: 0,
+                offset: 0,
+                symbol: 0,
+                addend: 0,
+                kind: RelocKind::Abs64,
+            });
+        assert_eq!(
+            Linker::new().link(&[obj], 0, &ExportTable::new()),
+            Err(LinkError::Unresolved("missing".into()))
+        );
+    }
+
+    #[test]
+    fn duplicate_symbol_fails() {
+        let mk = || {
+            HofObject::new("m")
+                .with_section(Section::text(vec![0; 8]))
+                .with_symbol(defined("f", 0, 0))
+        };
+        assert_eq!(
+            Linker::new().link(&[mk(), mk()], 0, &ExportTable::new()),
+            Err(LinkError::DuplicateSymbol("f".into()))
+        );
+    }
+
+    #[test]
+    fn duplicate_with_export_fails() {
+        let obj = HofObject::new("m")
+            .with_section(Section::text(vec![0; 8]))
+            .with_symbol(defined("hydra_heap_alloc", 0, 0));
+        let mut exports = ExportTable::new();
+        exports.insert("hydra_heap_alloc", 0xF000);
+        assert_eq!(
+            Linker::new().link(&[obj], 0, &exports),
+            Err(LinkError::DuplicateSymbol("hydra_heap_alloc".into()))
+        );
+    }
+
+    #[test]
+    fn rel32_out_of_range_fails() {
+        let obj = HofObject::new("m")
+            .with_section(Section::text(vec![0; 8]))
+            .with_symbol(undefined("far"))
+            .with_relocation(Relocation {
+                section: 0,
+                offset: 0,
+                symbol: 0,
+                addend: 0,
+                kind: RelocKind::Rel32,
+            });
+        let mut exports = ExportTable::new();
+        exports.insert("far", 0x1_0000_0000_0000);
+        assert!(matches!(
+            Linker::new().link(&[obj], 0, &exports),
+            Err(LinkError::RelocOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn base_address_shifts_everything() {
+        let obj = || {
+            HofObject::new("m")
+                .with_section(Section::text(vec![0; 8]))
+                .with_symbol(defined("entry", 0, 0))
+        };
+        let img1 = Linker::new().link(&[obj()], 0x1000, &ExportTable::new()).unwrap();
+        let img2 = Linker::new().link(&[obj()], 0x8000, &ExportTable::new()).unwrap();
+        assert_eq!(img1.symbol("entry"), Some(0x1000));
+        assert_eq!(img2.symbol("entry"), Some(0x8000));
+    }
+}

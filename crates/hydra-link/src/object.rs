@@ -1,0 +1,571 @@
+//! The HOF (Hydra Object Format) relocatable object file.
+//!
+//! Offcodes ship as object files that are linked against a device's
+//! firmware exports before execution (paper §3.1, §4.2). HOF is a small
+//! ELF-shaped format: sections of code/data, a symbol table with defined
+//! and undefined entries, and relocations that patch section contents once
+//! addresses are known. The format has a complete binary encoding so the
+//! loader path can "transfer the Offcode as is" byte-for-byte.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Section classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SectionKind {
+    /// Executable code.
+    Text,
+    /// Initialized data.
+    Data,
+    /// Zero-initialized data (occupies no file space).
+    Bss,
+}
+
+/// One section of an object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Section {
+    /// Section class.
+    pub kind: SectionKind,
+    /// Contents; for [`SectionKind::Bss`] this must be empty.
+    pub bytes: Vec<u8>,
+    /// Size; equals `bytes.len()` except for BSS.
+    pub size: u32,
+    /// Required alignment (power of two).
+    pub align: u32,
+}
+
+impl Section {
+    /// A text section with the given contents.
+    pub fn text(bytes: Vec<u8>) -> Self {
+        let size = bytes.len() as u32;
+        Section {
+            kind: SectionKind::Text,
+            bytes,
+            size,
+            align: 16,
+        }
+    }
+
+    /// A data section with the given contents.
+    pub fn data(bytes: Vec<u8>) -> Self {
+        let size = bytes.len() as u32;
+        Section {
+            kind: SectionKind::Data,
+            bytes,
+            size,
+            align: 8,
+        }
+    }
+
+    /// A BSS section of the given size.
+    pub fn bss(size: u32) -> Self {
+        Section {
+            kind: SectionKind::Bss,
+            bytes: Vec::new(),
+            size,
+            align: 8,
+        }
+    }
+}
+
+/// Symbol binding/definition state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SymbolKind {
+    /// Defined at (section, offset) in this object.
+    Defined {
+        /// Index into the object's section list.
+        section: u32,
+        /// Offset within that section.
+        offset: u32,
+    },
+    /// Referenced here, defined elsewhere (another object or a firmware
+    /// export).
+    Undefined,
+}
+
+/// A symbol-table entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbol {
+    /// Symbol name (globally scoped).
+    pub name: String,
+    /// Definition state.
+    pub kind: SymbolKind,
+}
+
+/// Relocation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RelocKind {
+    /// Write the symbol's absolute 64-bit address (little endian).
+    Abs64,
+    /// Write a signed 32-bit offset from the end of the field to the
+    /// symbol (PC-relative call/jump).
+    Rel32,
+}
+
+/// One relocation record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Relocation {
+    /// Section whose contents are patched.
+    pub section: u32,
+    /// Byte offset of the patch site within the section.
+    pub offset: u32,
+    /// Index into the object's symbol table.
+    pub symbol: u32,
+    /// Constant added to the resolved address.
+    pub addend: i64,
+    /// Patch kind.
+    pub kind: RelocKind,
+}
+
+/// A relocatable object file.
+///
+/// # Examples
+///
+/// ```
+/// use hydra_link::object::{HofObject, Section, Symbol, SymbolKind};
+///
+/// let obj = HofObject::new("checksum")
+///     .with_section(Section::text(vec![0x90; 16]))
+///     .with_symbol(Symbol {
+///         name: "checksum_run".into(),
+///         kind: SymbolKind::Defined { section: 0, offset: 0 },
+///     });
+/// let decoded = HofObject::decode(obj.encode()).unwrap();
+/// assert_eq!(decoded, obj);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HofObject {
+    /// Object (module) name.
+    pub name: String,
+    /// Sections in order.
+    pub sections: Vec<Section>,
+    /// Symbol table.
+    pub symbols: Vec<Symbol>,
+    /// Relocations.
+    pub relocations: Vec<Relocation>,
+}
+
+/// Errors decoding a HOF byte stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HofError {
+    /// Wrong magic number.
+    BadMagic,
+    /// Stream ended early.
+    Truncated,
+    /// A field had an invalid value.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for HofError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HofError::BadMagic => f.write_str("not a HOF object (bad magic)"),
+            HofError::Truncated => f.write_str("object file truncated"),
+            HofError::Corrupt(what) => write!(f, "corrupt object file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for HofError {}
+
+const HOF_MAGIC: u32 = 0x484F_4631; // "HOF1"
+
+impl HofObject {
+    /// Creates an empty object.
+    pub fn new(name: impl Into<String>) -> Self {
+        HofObject {
+            name: name.into(),
+            sections: Vec::new(),
+            symbols: Vec::new(),
+            relocations: Vec::new(),
+        }
+    }
+
+    /// Adds a section.
+    pub fn with_section(mut self, section: Section) -> Self {
+        self.sections.push(section);
+        self
+    }
+
+    /// Adds a symbol.
+    pub fn with_symbol(mut self, symbol: Symbol) -> Self {
+        self.symbols.push(symbol);
+        self
+    }
+
+    /// Adds a relocation.
+    pub fn with_relocation(mut self, reloc: Relocation) -> Self {
+        self.relocations.push(reloc);
+        self
+    }
+
+    /// Total loaded size (sections padded to their alignment), the number
+    /// the device's `AllocateOffcodeMemory` is asked for.
+    pub fn load_size(&self) -> u32 {
+        let mut addr = 0u32;
+        for s in &self.sections {
+            let align = s.align.max(1);
+            addr = addr.div_ceil(align) * align;
+            addr += s.size;
+        }
+        addr
+    }
+
+    /// Names of symbols this object needs resolved externally.
+    pub fn undefined_symbols(&self) -> Vec<&str> {
+        self.symbols
+            .iter()
+            .filter(|s| s.kind == SymbolKind::Undefined)
+            .map(|s| s.name.as_str())
+            .collect()
+    }
+
+    /// Validates internal consistency (indices in range, BSS empty).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency.
+    pub fn validate(&self) -> Result<(), HofError> {
+        for s in &self.sections {
+            match s.kind {
+                SectionKind::Bss => {
+                    if !s.bytes.is_empty() {
+                        return Err(HofError::Corrupt("bss section with contents"));
+                    }
+                }
+                _ => {
+                    if s.bytes.len() != s.size as usize {
+                        return Err(HofError::Corrupt("section size mismatch"));
+                    }
+                }
+            }
+            if s.align == 0 || !s.align.is_power_of_two() {
+                return Err(HofError::Corrupt("alignment not a power of two"));
+            }
+        }
+        for sym in &self.symbols {
+            if let SymbolKind::Defined { section, offset } = sym.kind {
+                let Some(s) = self.sections.get(section as usize) else {
+                    return Err(HofError::Corrupt("symbol section out of range"));
+                };
+                if offset > s.size {
+                    return Err(HofError::Corrupt("symbol offset out of range"));
+                }
+            }
+        }
+        for r in &self.relocations {
+            let Some(s) = self.sections.get(r.section as usize) else {
+                return Err(HofError::Corrupt("relocation section out of range"));
+            };
+            if s.kind == SectionKind::Bss {
+                return Err(HofError::Corrupt("relocation in bss"));
+            }
+            let field = match r.kind {
+                RelocKind::Abs64 => 8,
+                RelocKind::Rel32 => 4,
+            };
+            if r.offset as usize + field > s.bytes.len() {
+                return Err(HofError::Corrupt("relocation site out of range"));
+            }
+            if r.symbol as usize >= self.symbols.len() {
+                return Err(HofError::Corrupt("relocation symbol out of range"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Encodes to the binary format.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        b.put_u32(HOF_MAGIC);
+        put_str(&mut b, &self.name);
+        b.put_u32(self.sections.len() as u32);
+        for s in &self.sections {
+            b.put_u8(match s.kind {
+                SectionKind::Text => 0,
+                SectionKind::Data => 1,
+                SectionKind::Bss => 2,
+            });
+            b.put_u32(s.size);
+            b.put_u32(s.align);
+            b.put_u32(s.bytes.len() as u32);
+            b.put_slice(&s.bytes);
+        }
+        b.put_u32(self.symbols.len() as u32);
+        for sym in &self.symbols {
+            put_str(&mut b, &sym.name);
+            match sym.kind {
+                SymbolKind::Defined { section, offset } => {
+                    b.put_u8(1);
+                    b.put_u32(section);
+                    b.put_u32(offset);
+                }
+                SymbolKind::Undefined => b.put_u8(0),
+            }
+        }
+        b.put_u32(self.relocations.len() as u32);
+        for r in &self.relocations {
+            b.put_u32(r.section);
+            b.put_u32(r.offset);
+            b.put_u32(r.symbol);
+            b.put_i64(r.addend);
+            b.put_u8(match r.kind {
+                RelocKind::Abs64 => 0,
+                RelocKind::Rel32 => 1,
+            });
+        }
+        b.freeze()
+    }
+
+    /// Decodes from the binary format and validates.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad magic, truncation, or inconsistent indices.
+    pub fn decode(mut raw: Bytes) -> Result<HofObject, HofError> {
+        if raw.remaining() < 4 {
+            return Err(HofError::Truncated);
+        }
+        if raw.get_u32() != HOF_MAGIC {
+            return Err(HofError::BadMagic);
+        }
+        let name = get_str(&mut raw)?;
+        let nsec = get_u32(&mut raw)? as usize;
+        if nsec > 1 << 16 {
+            return Err(HofError::Corrupt("unreasonable section count"));
+        }
+        let mut sections = Vec::with_capacity(nsec);
+        for _ in 0..nsec {
+            if raw.remaining() < 1 {
+                return Err(HofError::Truncated);
+            }
+            let kind = match raw.get_u8() {
+                0 => SectionKind::Text,
+                1 => SectionKind::Data,
+                2 => SectionKind::Bss,
+                _ => return Err(HofError::Corrupt("unknown section kind")),
+            };
+            let size = get_u32(&mut raw)?;
+            let align = get_u32(&mut raw)?;
+            let blen = get_u32(&mut raw)? as usize;
+            if raw.remaining() < blen {
+                return Err(HofError::Truncated);
+            }
+            let bytes = raw.split_to(blen).to_vec();
+            sections.push(Section {
+                kind,
+                bytes,
+                size,
+                align,
+            });
+        }
+        let nsym = get_u32(&mut raw)? as usize;
+        if nsym > 1 << 20 {
+            return Err(HofError::Corrupt("unreasonable symbol count"));
+        }
+        let mut symbols = Vec::with_capacity(nsym);
+        for _ in 0..nsym {
+            let name = get_str(&mut raw)?;
+            if raw.remaining() < 1 {
+                return Err(HofError::Truncated);
+            }
+            let kind = match raw.get_u8() {
+                1 => SymbolKind::Defined {
+                    section: get_u32(&mut raw)?,
+                    offset: get_u32(&mut raw)?,
+                },
+                0 => SymbolKind::Undefined,
+                _ => return Err(HofError::Corrupt("unknown symbol kind")),
+            };
+            symbols.push(Symbol { name, kind });
+        }
+        let nrel = get_u32(&mut raw)? as usize;
+        if nrel > 1 << 20 {
+            return Err(HofError::Corrupt("unreasonable relocation count"));
+        }
+        let mut relocations = Vec::with_capacity(nrel);
+        for _ in 0..nrel {
+            let section = get_u32(&mut raw)?;
+            let offset = get_u32(&mut raw)?;
+            let symbol = get_u32(&mut raw)?;
+            if raw.remaining() < 9 {
+                return Err(HofError::Truncated);
+            }
+            let addend = raw.get_i64();
+            let kind = match raw.get_u8() {
+                0 => RelocKind::Abs64,
+                1 => RelocKind::Rel32,
+                _ => return Err(HofError::Corrupt("unknown relocation kind")),
+            };
+            relocations.push(Relocation {
+                section,
+                offset,
+                symbol,
+                addend,
+                kind,
+            });
+        }
+        let obj = HofObject {
+            name,
+            sections,
+            symbols,
+            relocations,
+        };
+        obj.validate()?;
+        Ok(obj)
+    }
+}
+
+fn put_str(b: &mut BytesMut, s: &str) {
+    b.put_u16(s.len() as u16);
+    b.put_slice(s.as_bytes());
+}
+
+fn get_str(raw: &mut Bytes) -> Result<String, HofError> {
+    if raw.remaining() < 2 {
+        return Err(HofError::Truncated);
+    }
+    let n = raw.get_u16() as usize;
+    if raw.remaining() < n {
+        return Err(HofError::Truncated);
+    }
+    String::from_utf8(raw.split_to(n).to_vec()).map_err(|_| HofError::Corrupt("non-utf8 name"))
+}
+
+fn get_u32(raw: &mut Bytes) -> Result<u32, HofError> {
+    if raw.remaining() < 4 {
+        return Err(HofError::Truncated);
+    }
+    Ok(raw.get_u32())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HofObject {
+        HofObject::new("streamer")
+            .with_section(Section::text(vec![0xAA; 100]))
+            .with_section(Section::data(vec![0xBB; 40]))
+            .with_section(Section::bss(64))
+            .with_symbol(Symbol {
+                name: "streamer_entry".into(),
+                kind: SymbolKind::Defined {
+                    section: 0,
+                    offset: 0,
+                },
+            })
+            .with_symbol(Symbol {
+                name: "hydra_heap_alloc".into(),
+                kind: SymbolKind::Undefined,
+            })
+            .with_relocation(Relocation {
+                section: 0,
+                offset: 16,
+                symbol: 1,
+                addend: 0,
+                kind: RelocKind::Abs64,
+            })
+            .with_relocation(Relocation {
+                section: 0,
+                offset: 32,
+                symbol: 0,
+                addend: 4,
+                kind: RelocKind::Rel32,
+            })
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let obj = sample();
+        assert_eq!(HofObject::decode(obj.encode()).unwrap(), obj);
+    }
+
+    #[test]
+    fn load_size_respects_alignment() {
+        // text 100 @16 -> 0..100; data 40 @8 -> 104..144; bss 64 @8 -> 144..208
+        assert_eq!(sample().load_size(), 208);
+        assert_eq!(HofObject::new("empty").load_size(), 0);
+    }
+
+    #[test]
+    fn undefined_symbols_listed() {
+        assert_eq!(sample().undefined_symbols(), vec!["hydra_heap_alloc"]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut raw = sample().encode().to_vec();
+        raw[0] = 0;
+        assert_eq!(
+            HofObject::decode(Bytes::from(raw)),
+            Err(HofError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_length() {
+        let raw = sample().encode();
+        for cut in 0..raw.len() {
+            let r = HofObject::decode(raw.slice(0..cut));
+            assert!(r.is_err(), "decode succeeded on {cut}-byte prefix");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bss_with_contents() {
+        let mut obj = sample();
+        obj.sections[2].bytes = vec![1];
+        assert_eq!(
+            obj.validate(),
+            Err(HofError::Corrupt("bss section with contents"))
+        );
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_symbol() {
+        let obj = HofObject::new("x")
+            .with_section(Section::text(vec![0; 8]))
+            .with_symbol(Symbol {
+                name: "s".into(),
+                kind: SymbolKind::Defined {
+                    section: 5,
+                    offset: 0,
+                },
+            });
+        assert_eq!(
+            obj.validate(),
+            Err(HofError::Corrupt("symbol section out of range"))
+        );
+    }
+
+    #[test]
+    fn validate_rejects_reloc_site_past_end() {
+        let obj = HofObject::new("x")
+            .with_section(Section::text(vec![0; 8]))
+            .with_symbol(Symbol {
+                name: "s".into(),
+                kind: SymbolKind::Undefined,
+            })
+            .with_relocation(Relocation {
+                section: 0,
+                offset: 4, // Abs64 needs 8 bytes; only 4 remain
+                symbol: 0,
+                addend: 0,
+                kind: RelocKind::Abs64,
+            });
+        assert_eq!(
+            obj.validate(),
+            Err(HofError::Corrupt("relocation site out of range"))
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_alignment() {
+        let mut obj = sample();
+        obj.sections[0].align = 3;
+        assert_eq!(
+            obj.validate(),
+            Err(HofError::Corrupt("alignment not a power of two"))
+        );
+    }
+}

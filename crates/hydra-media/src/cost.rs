@@ -1,0 +1,166 @@
+//! Decode/encode cost models.
+//!
+//! The simulator needs to know *how many cycles* decoding a frame costs on
+//! a given processor. [`DecodeCostModel`] charges per frame, per block,
+//! per coded block and per non-zero coefficient, with a multiplier per
+//! frame kind (B frames do bidirectional prediction). The GPU's dedicated
+//! MPEG hardware is the same model scaled down by a large constant — the
+//! "specialized capabilities that exist only at a peripheral device" the
+//! paper's §6.2 invokes for placing the Decoder Offcode on the GPU.
+
+use crate::codec::{EncodedFrame, FrameKind};
+
+/// Cycle-cost model for decoding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodeCostModel {
+    /// Fixed cycles per frame (header parsing, buffer management).
+    pub per_frame: u64,
+    /// Cycles per block in the frame (prediction, reconstruction writes).
+    pub per_block: u64,
+    /// Extra cycles per coded (non-skipped) block (inverse transform).
+    pub per_coded_block: u64,
+    /// Cycles per non-zero coefficient (entropy decode).
+    pub per_coeff: u64,
+    /// Multiplier applied to B frames (two references to fetch and blend).
+    pub b_factor_percent: u64,
+}
+
+impl DecodeCostModel {
+    /// Software decoding on a host CPU.
+    pub fn software() -> Self {
+        DecodeCostModel {
+            per_frame: 20_000,
+            per_block: 450,
+            per_coded_block: 1_400,
+            per_coeff: 60,
+            b_factor_percent: 130,
+        }
+    }
+
+    /// Hardware-assisted decoding (a GPU's MPEG engine): ~25× cheaper.
+    pub fn gpu_hardware() -> Self {
+        DecodeCostModel {
+            per_frame: 2_000,
+            per_block: 18,
+            per_coded_block: 55,
+            per_coeff: 2,
+            b_factor_percent: 110,
+        }
+    }
+
+    /// Cycles to decode one frame under this model.
+    pub fn cycles(&self, frame: &EncodedFrame) -> u64 {
+        let base = self.per_frame
+            + self.per_block * frame.total_blocks() as u64
+            + self.per_coded_block * frame.coded_blocks as u64
+            + self.per_coeff * frame.nonzero_coeffs as u64;
+        match frame.kind {
+            FrameKind::B => base * self.b_factor_percent / 100,
+            _ => base,
+        }
+    }
+}
+
+/// Cycle-cost model for network protocol processing (per packet + per
+/// byte): the basis of the paper's Figure 1 GHz/Gbps argument.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketCostModel {
+    /// Cycles per packet regardless of size (syscall, interrupt, protocol
+    /// headers, socket bookkeeping).
+    pub per_packet: u64,
+    /// Cycles per payload byte (copies and checksums).
+    pub per_byte: u64,
+}
+
+impl PacketCostModel {
+    /// Host-side transmit path (one copy into kernel buffers + checksum).
+    pub fn host_transmit() -> Self {
+        PacketCostModel {
+            per_packet: 9_000,
+            per_byte: 2,
+        }
+    }
+
+    /// Host-side receive path: more expensive than transmit — the kernel
+    /// takes an interrupt, cannot steer data, and copies to user space
+    /// (Foong et al.'s observation that receive dominates).
+    pub fn host_receive() -> Self {
+        PacketCostModel {
+            per_packet: 14_000,
+            per_byte: 4,
+        }
+    }
+
+    /// Cycles to process one packet of `bytes` payload.
+    pub fn cycles(&self, bytes: usize) -> u64 {
+        self.per_packet + self.per_byte * bytes as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{CodecConfig, Encoder, GopConfig};
+    use crate::frame::SyntheticVideo;
+
+    fn frames() -> Vec<EncodedFrame> {
+        let video = SyntheticVideo::new(48, 32);
+        let raw: Vec<_> = (0..7).map(|i| video.frame(i)).collect();
+        Encoder::new(CodecConfig {
+            quantizer: 4,
+            gop: GopConfig::ibbp(),
+        })
+        .encode_sequence(&raw)
+    }
+
+    #[test]
+    fn i_frames_cost_more_than_p_frames() {
+        let fs = frames();
+        let model = DecodeCostModel::software();
+        let i_cost = model.cycles(&fs[0]);
+        let p = fs.iter().find(|f| f.kind == FrameKind::P).unwrap();
+        assert!(model.cycles(p) < i_cost);
+    }
+
+    #[test]
+    fn gpu_hardware_is_order_of_magnitude_cheaper() {
+        let fs = frames();
+        let sw = DecodeCostModel::software();
+        let hw = DecodeCostModel::gpu_hardware();
+        let total_sw: u64 = fs.iter().map(|f| sw.cycles(f)).sum();
+        let total_hw: u64 = fs.iter().map(|f| hw.cycles(f)).sum();
+        assert!(total_sw > 10 * total_hw, "sw {total_sw} hw {total_hw}");
+    }
+
+    #[test]
+    fn b_factor_applies() {
+        let fs = frames();
+        let b = fs.iter().find(|f| f.kind == FrameKind::B).unwrap();
+        let mut flat = DecodeCostModel::software();
+        flat.b_factor_percent = 100;
+        let mut boosted = flat;
+        boosted.b_factor_percent = 200;
+        assert_eq!(boosted.cycles(b), 2 * flat.cycles(b));
+    }
+
+    #[test]
+    fn packet_cost_amortizes_with_size() {
+        let m = PacketCostModel::host_receive();
+        let small = m.cycles(64) as f64 / 64.0;
+        let large = m.cycles(64 * 1024) as f64 / (64.0 * 1024.0);
+        assert!(
+            small > 10.0 * large,
+            "per-byte cost should collapse for large packets"
+        );
+    }
+
+    #[test]
+    fn receive_costs_more_than_transmit() {
+        for size in [64usize, 1024, 16 * 1024] {
+            assert!(
+                PacketCostModel::host_receive().cycles(size)
+                    > PacketCostModel::host_transmit().cycles(size)
+            );
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # hydra-media — toy MPEG codec
+//!
+//! A miniature but genuine MPEG-style video codec: 8×8 integer block
+//! transform with quantization ([`transform`]), zigzag + RLE + varint
+//! entropy coding ([`entropy`]), an I/P/B group-of-pictures encoder and
+//! reordering decoder ([`codec`]), frame packetization for lossy transport
+//! ([`stream`]), synthetic deterministic video content ([`frame`]), and
+//! cycle-cost models for software vs. GPU-hardware decoding ([`cost`]).
+//!
+//! The paper's TiVoPC decodes an MPEG stream; its Decoder Offcode prefers
+//! the GPU because "the GPU may have specialized MPEG support on board".
+//! This crate gives the reproduction a real codec pipeline to offload,
+//! with a measurable decode cost on every processor class.
+//!
+//! The codec is exactly lossless at quantizer step 1 (the integer
+//! transform inverts exactly), a property the round-trip tests exploit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod cost;
+pub mod entropy;
+pub mod frame;
+pub mod stream;
+pub mod transform;
+
+pub use codec::{CodecConfig, CodecError, Decoder, EncodedFrame, Encoder, FrameKind, GopConfig};
+pub use cost::{DecodeCostModel, PacketCostModel};
+pub use frame::{psnr, RawFrame, SyntheticVideo};
+pub use stream::{Chunk, Chunker, FrameWire, Reassembler, StreamError};

@@ -1,0 +1,445 @@
+//! Stream packetization: frames → wire chunks → frames.
+//!
+//! The paper's server "sends the video stream in arbitrary chunks of 1 kB
+//! while maintaining the required bit rate". [`FrameWire`] serializes
+//! [`EncodedFrame`]s; [`Chunker`] slices the byte stream into fixed-size
+//! chunks with enough header to reassemble out-of-order, lossy delivery;
+//! [`Reassembler`] rebuilds frames and discards ones with holes.
+
+use std::collections::HashMap;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::codec::{EncodedFrame, FrameKind};
+
+/// Errors from de-serializing frames or chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamError {
+    /// Not enough bytes for the fixed header.
+    Truncated,
+    /// Unknown frame kind tag or bad magic.
+    BadHeader,
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            StreamError::Truncated => "stream data truncated",
+            StreamError::BadHeader => "bad stream header",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+const FRAME_MAGIC: u32 = 0x4859_4452; // "HYDR"
+
+/// Frame-level wire serialization.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FrameWire;
+
+impl FrameWire {
+    /// Serializes an encoded frame (header + payload).
+    pub fn encode(frame: &EncodedFrame) -> Bytes {
+        let mut b = BytesMut::with_capacity(frame.data.len() + 32);
+        b.put_u32(FRAME_MAGIC);
+        b.put_u8(match frame.kind {
+            FrameKind::I => 0,
+            FrameKind::P => 1,
+            FrameKind::B => 2,
+        });
+        b.put_u64(frame.display_index);
+        b.put_u16(frame.width);
+        b.put_u16(frame.height);
+        b.put_u16(frame.quantizer);
+        b.put_u32(frame.coded_blocks);
+        b.put_u32(frame.nonzero_coeffs);
+        b.put_u32(frame.data.len() as u32);
+        b.put_slice(&frame.data);
+        b.freeze()
+    }
+
+    /// Deserializes one frame.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad magic, unknown kind, or truncation.
+    pub fn decode(mut raw: Bytes) -> Result<EncodedFrame, StreamError> {
+        if raw.remaining() < 31 {
+            return Err(StreamError::Truncated);
+        }
+        if raw.get_u32() != FRAME_MAGIC {
+            return Err(StreamError::BadHeader);
+        }
+        let kind = match raw.get_u8() {
+            0 => FrameKind::I,
+            1 => FrameKind::P,
+            2 => FrameKind::B,
+            _ => return Err(StreamError::BadHeader),
+        };
+        let display_index = raw.get_u64();
+        let width = raw.get_u16();
+        let height = raw.get_u16();
+        let quantizer = raw.get_u16();
+        let coded_blocks = raw.get_u32();
+        let nonzero_coeffs = raw.get_u32();
+        let len = raw.get_u32() as usize;
+        if raw.remaining() < len {
+            return Err(StreamError::Truncated);
+        }
+        Ok(EncodedFrame {
+            kind,
+            display_index,
+            width,
+            height,
+            quantizer,
+            data: raw.split_to(len),
+            coded_blocks,
+            nonzero_coeffs,
+        })
+    }
+}
+
+/// One transmitted chunk of a serialized frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// Which frame this chunk belongs to (chunker-assigned).
+    pub frame_id: u32,
+    /// Byte offset within the serialized frame.
+    pub offset: u32,
+    /// Total serialized frame length.
+    pub total_len: u32,
+    /// The chunk payload.
+    pub data: Bytes,
+}
+
+impl Chunk {
+    /// Serializes the chunk (12-byte header + payload).
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(self.data.len() + 12);
+        b.put_u32(self.frame_id);
+        b.put_u32(self.offset);
+        b.put_u32(self.total_len);
+        b.put_slice(&self.data);
+        b.freeze()
+    }
+
+    /// Deserializes a chunk.
+    ///
+    /// # Errors
+    ///
+    /// Fails if fewer than 12 header bytes are present.
+    pub fn decode(mut raw: Bytes) -> Result<Chunk, StreamError> {
+        if raw.remaining() < 12 {
+            return Err(StreamError::Truncated);
+        }
+        Ok(Chunk {
+            frame_id: raw.get_u32(),
+            offset: raw.get_u32(),
+            total_len: raw.get_u32(),
+            data: raw,
+        })
+    }
+}
+
+/// Splits serialized frames into fixed-size chunks.
+///
+/// # Examples
+///
+/// ```
+/// use hydra_media::codec::{CodecConfig, Encoder};
+/// use hydra_media::frame::SyntheticVideo;
+/// use hydra_media::stream::{Chunker, Reassembler};
+///
+/// let frames = Encoder::new(CodecConfig::default())
+///     .encode_sequence(&[SyntheticVideo::new(32, 32).frame(0)]);
+/// let mut chunker = Chunker::new(1024);
+/// let chunks = chunker.chunk_frame(&frames[0]);
+/// let mut r = Reassembler::new();
+/// let mut out = Vec::new();
+/// for c in chunks {
+///     out.extend(r.push(c).unwrap());
+/// }
+/// assert_eq!(out, frames);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Chunker {
+    chunk_bytes: usize,
+    next_frame_id: u32,
+}
+
+impl Chunker {
+    /// Creates a chunker with the given payload size (the paper uses 1 kB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_bytes` is zero.
+    pub fn new(chunk_bytes: usize) -> Self {
+        assert!(chunk_bytes > 0, "Chunker: chunk size must be positive");
+        Chunker {
+            chunk_bytes,
+            next_frame_id: 0,
+        }
+    }
+
+    /// Serializes and slices one frame.
+    pub fn chunk_frame(&mut self, frame: &EncodedFrame) -> Vec<Chunk> {
+        let wire = FrameWire::encode(frame);
+        let id = self.next_frame_id;
+        self.next_frame_id += 1;
+        let total = wire.len() as u32;
+        let mut out = Vec::with_capacity(wire.len().div_ceil(self.chunk_bytes));
+        let mut offset = 0usize;
+        while offset < wire.len() {
+            let end = (offset + self.chunk_bytes).min(wire.len());
+            out.push(Chunk {
+                frame_id: id,
+                offset: offset as u32,
+                total_len: total,
+                data: wire.slice(offset..end),
+            });
+            offset = end;
+        }
+        out
+    }
+}
+
+/// Rebuilds frames from chunks, tolerating reordering and detecting loss.
+#[derive(Debug, Clone, Default)]
+pub struct Reassembler {
+    partial: HashMap<u32, PartialFrame>,
+    completed: u64,
+    abandoned: u64,
+}
+
+#[derive(Debug, Clone)]
+struct PartialFrame {
+    total_len: u32,
+    received: u32,
+    pieces: Vec<(u32, Bytes)>,
+}
+
+impl Reassembler {
+    /// Creates an empty reassembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Frames fully rebuilt.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Frames dropped due to missing chunks (via [`Reassembler::expire_before`]).
+    pub fn abandoned(&self) -> u64 {
+        self.abandoned
+    }
+
+    /// Frames currently incomplete.
+    pub fn pending(&self) -> usize {
+        self.partial.len()
+    }
+
+    /// Accepts one chunk; returns a frame when it completes.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the completed byte stream does not parse as a frame.
+    pub fn push(&mut self, chunk: Chunk) -> Result<Option<EncodedFrame>, StreamError> {
+        let entry = self
+            .partial
+            .entry(chunk.frame_id)
+            .or_insert_with(|| PartialFrame {
+                total_len: chunk.total_len,
+                received: 0,
+                pieces: Vec::new(),
+            });
+        // Duplicate offsets are idempotent.
+        if entry.pieces.iter().any(|(off, _)| *off == chunk.offset) {
+            return Ok(None);
+        }
+        entry.received += chunk.data.len() as u32;
+        entry.pieces.push((chunk.offset, chunk.data));
+        if entry.received < entry.total_len {
+            return Ok(None);
+        }
+        let mut entry = self
+            .partial
+            .remove(&chunk.frame_id)
+            .expect("entry just inserted");
+        entry.pieces.sort_by_key(|(off, _)| *off);
+        let mut wire = BytesMut::with_capacity(entry.total_len as usize);
+        for (_, piece) in entry.pieces {
+            wire.put_slice(&piece);
+        }
+        let frame = FrameWire::decode(wire.freeze())?;
+        self.completed += 1;
+        Ok(Some(frame))
+    }
+
+    /// Discards partial frames with id below `frame_id` (they can never
+    /// complete once the sender has moved on). Returns how many were
+    /// dropped.
+    pub fn expire_before(&mut self, frame_id: u32) -> usize {
+        let before = self.partial.len();
+        self.partial.retain(|&id, _| id >= frame_id);
+        let dropped = before - self.partial.len();
+        self.abandoned += dropped as u64;
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{CodecConfig, Encoder, GopConfig};
+    use crate::frame::SyntheticVideo;
+
+    fn sample_frames(n: u64) -> Vec<EncodedFrame> {
+        let video = SyntheticVideo::new(48, 32);
+        let frames: Vec<_> = (0..n).map(|i| video.frame(i)).collect();
+        Encoder::new(CodecConfig {
+            quantizer: 4,
+            gop: GopConfig::ipp(),
+        })
+        .encode_sequence(&frames)
+    }
+
+    #[test]
+    fn frame_wire_round_trip() {
+        for f in sample_frames(3) {
+            let decoded = FrameWire::decode(FrameWire::encode(&f)).unwrap();
+            assert_eq!(decoded, f);
+        }
+    }
+
+    #[test]
+    fn frame_wire_rejects_bad_magic() {
+        let mut raw = FrameWire::encode(&sample_frames(1)[0]).to_vec();
+        raw[0] ^= 0xff;
+        assert_eq!(
+            FrameWire::decode(Bytes::from(raw)),
+            Err(StreamError::BadHeader)
+        );
+    }
+
+    #[test]
+    fn frame_wire_rejects_truncation() {
+        let raw = FrameWire::encode(&sample_frames(1)[0]);
+        let cut = raw.slice(0..raw.len() - 1);
+        assert_eq!(FrameWire::decode(cut), Err(StreamError::Truncated));
+        assert_eq!(
+            FrameWire::decode(Bytes::from_static(&[1, 2, 3])),
+            Err(StreamError::Truncated)
+        );
+    }
+
+    #[test]
+    fn chunk_wire_round_trip() {
+        let c = Chunk {
+            frame_id: 7,
+            offset: 1024,
+            total_len: 5000,
+            data: Bytes::from_static(b"chunk-data"),
+        };
+        assert_eq!(Chunk::decode(c.encode()).unwrap(), c);
+    }
+
+    #[test]
+    fn chunker_respects_size_and_covers_frame() {
+        let frames = sample_frames(1);
+        let mut ch = Chunker::new(256);
+        let chunks = ch.chunk_frame(&frames[0]);
+        let wire_len = FrameWire::encode(&frames[0]).len();
+        assert!(chunks.len() >= wire_len / 256);
+        for c in &chunks[..chunks.len() - 1] {
+            assert_eq!(c.data.len(), 256);
+        }
+        let total: usize = chunks.iter().map(|c| c.data.len()).sum();
+        assert_eq!(total, wire_len);
+    }
+
+    #[test]
+    fn reassembly_in_order() {
+        let frames = sample_frames(4);
+        let mut ch = Chunker::new(200);
+        let mut r = Reassembler::new();
+        let mut out = Vec::new();
+        for f in &frames {
+            for c in ch.chunk_frame(f) {
+                if let Some(done) = r.push(c).unwrap() {
+                    out.push(done);
+                }
+            }
+        }
+        assert_eq!(out, frames);
+        assert_eq!(r.completed(), 4);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn reassembly_tolerates_reordering_and_duplicates() {
+        let frames = sample_frames(1);
+        let mut ch = Chunker::new(128);
+        let mut chunks = ch.chunk_frame(&frames[0]);
+        chunks.reverse();
+        let dup = chunks[0].clone();
+        chunks.push(dup);
+        let mut r = Reassembler::new();
+        let mut done = None;
+        for c in chunks {
+            if let Some(f) = r.push(c).unwrap() {
+                assert!(done.is_none(), "frame completed twice");
+                done = Some(f);
+            }
+        }
+        assert_eq!(done.unwrap(), frames[0]);
+    }
+
+    #[test]
+    fn lost_chunk_blocks_completion_until_expired() {
+        let frames = sample_frames(1);
+        let mut ch = Chunker::new(100);
+        let mut chunks = ch.chunk_frame(&frames[0]);
+        assert!(chunks.len() > 2);
+        chunks.remove(1); // lose one chunk
+        let mut r = Reassembler::new();
+        for c in chunks {
+            assert_eq!(r.push(c).unwrap(), None);
+        }
+        assert_eq!(r.pending(), 1);
+        assert_eq!(r.expire_before(1), 1);
+        assert_eq!(r.pending(), 0);
+        assert_eq!(r.abandoned(), 1);
+    }
+
+    #[test]
+    fn interleaved_frames_reassemble_independently() {
+        let frames = sample_frames(2);
+        let mut ch = Chunker::new(150);
+        let c0 = ch.chunk_frame(&frames[0]);
+        let c1 = ch.chunk_frame(&frames[1]);
+        let mut r = Reassembler::new();
+        let mut done = Vec::new();
+        // Interleave.
+        let mut it0 = c0.into_iter();
+        let mut it1 = c1.into_iter();
+        loop {
+            let mut progressed = false;
+            if let Some(c) = it0.next() {
+                done.extend(r.push(c).unwrap());
+                progressed = true;
+            }
+            if let Some(c) = it1.next() {
+                done.extend(r.push(c).unwrap());
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        done.sort_by_key(|f| f.display_index);
+        assert_eq!(done, frames);
+    }
+}

@@ -1,0 +1,30 @@
+//! # hydra-net — network substrate
+//!
+//! The wire between the TiVoPC video server and client: packets and
+//! addressing ([`packet`]), serializing point-to-point links ([`link`]), a
+//! learning store-and-forward switch with finite queues ([`switch`]), a
+//! per-host UDP demultiplexer and flow jitter meter ([`udp`]), and the
+//! NFS-lite protocol plus in-memory NAS that both the video server and the
+//! "smart disk" talk to ([`nfs`]), and a sans-io TCP-lite with handshake,
+//! retransmission, reordering and flow control — the protocol the TOE
+//! debate the paper opens with is about ([`tcp`]).
+//!
+//! Like `hydra-hw`, everything here is a passive timing/accounting model
+//! driven by the `hydra-sim` event loop from the machine models above it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod link;
+pub mod nfs;
+pub mod packet;
+pub mod switch;
+pub mod tcp;
+pub mod udp;
+
+pub use link::{Link, LinkSpec};
+pub use nfs::{FileHandle, NasServer, NasTiming, NfsError, NfsRequest, NfsResponse};
+pub use packet::{MacAddr, Packet, Port, Protocol};
+pub use switch::{ForwardOutcome, PortId, Switch, SwitchStats};
+pub use tcp::{TcpEndpoint, TcpFlags, TcpSegment, TcpState, TcpStats, MSS};
+pub use udp::{FlowMeter, UdpStack};

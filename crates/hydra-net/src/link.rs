@@ -1,0 +1,145 @@
+//! Point-to-point links.
+//!
+//! A [`Link`] is one direction of a full-duplex cable: it serializes frames
+//! at line rate, adds propagation delay, and queues behind earlier frames.
+//! Two links back-to-back with a [`Switch`] in between reproduce the
+//! paper's host ↔ Dell PowerConnect ↔ host topology.
+//!
+//! [`Switch`]: crate::switch::Switch
+
+use hydra_sim::time::{SimDuration, SimTime};
+
+/// Static parameters of a link direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkSpec {
+    /// Line rate in bits per second.
+    pub bits_per_sec: u64,
+    /// Propagation delay (cable + PHY).
+    pub propagation: SimDuration,
+}
+
+impl LinkSpec {
+    /// Gigabit Ethernet with a few hundred nanoseconds of PHY latency.
+    pub fn gigabit() -> Self {
+        LinkSpec {
+            bits_per_sec: 1_000_000_000,
+            propagation: SimDuration::from_nanos(300),
+        }
+    }
+
+    /// 100 Mb/s Ethernet.
+    pub fn fast_ethernet() -> Self {
+        LinkSpec {
+            bits_per_sec: 100_000_000,
+            propagation: SimDuration::from_micros(1),
+        }
+    }
+
+    /// Time to clock `bytes` onto the wire.
+    pub fn serialization(&self, bytes: usize) -> SimDuration {
+        if bytes == 0 {
+            return SimDuration::ZERO;
+        }
+        let ns = (bytes as u128 * 8 * 1_000_000_000).div_ceil(self.bits_per_sec as u128);
+        SimDuration::from_nanos(ns as u64)
+    }
+}
+
+/// One direction of a cable, with serialization queueing.
+///
+/// # Examples
+///
+/// ```
+/// use hydra_net::link::{Link, LinkSpec};
+/// use hydra_sim::time::SimTime;
+///
+/// let mut l = Link::new(LinkSpec::gigabit());
+/// let arrival = l.transmit(SimTime::ZERO, 1250); // 10 microseconds at 1 Gb/s
+/// assert_eq!(arrival.as_micros(), 10); // + 0.3us propagation rounds down
+/// ```
+#[derive(Debug, Clone)]
+pub struct Link {
+    spec: LinkSpec,
+    busy_until: SimTime,
+    frames: u64,
+    bytes: u64,
+}
+
+impl Link {
+    /// Creates an idle link.
+    pub fn new(spec: LinkSpec) -> Self {
+        Link {
+            spec,
+            busy_until: SimTime::ZERO,
+            frames: 0,
+            bytes: 0,
+        }
+    }
+
+    /// The static parameters.
+    pub fn spec(&self) -> &LinkSpec {
+        &self.spec
+    }
+
+    /// Frames transmitted.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Payload bytes transmitted.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Instant the link finishes its queued frames.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Transmits a frame of `bytes` starting no earlier than `now`,
+    /// returning the instant the last bit *arrives* at the far end.
+    pub fn transmit(&mut self, now: SimTime, bytes: usize) -> SimTime {
+        let start = self.busy_until.max(now);
+        let done_sending = start + self.spec.serialization(bytes);
+        self.busy_until = done_sending;
+        self.frames += 1;
+        self.bytes += bytes as u64;
+        done_sending + self.spec.propagation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_time_matches_line_rate() {
+        let s = LinkSpec::gigabit();
+        assert_eq!(s.serialization(125), SimDuration::from_micros(1));
+        assert_eq!(s.serialization(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn frames_queue_behind_each_other() {
+        let mut l = Link::new(LinkSpec {
+            bits_per_sec: 8_000_000_000, // 1 byte/ns
+            propagation: SimDuration::from_nanos(50),
+        });
+        let a1 = l.transmit(SimTime::ZERO, 100);
+        let a2 = l.transmit(SimTime::ZERO, 100);
+        assert_eq!(a1, SimTime::from_nanos(150));
+        assert_eq!(a2, SimTime::from_nanos(250));
+        assert_eq!(l.frames(), 2);
+        assert_eq!(l.bytes(), 200);
+    }
+
+    #[test]
+    fn idle_link_starts_immediately() {
+        let mut l = Link::new(LinkSpec::gigabit());
+        let arrival = l.transmit(SimTime::from_millis(10), 125);
+        assert_eq!(
+            arrival,
+            SimTime::from_millis(10) + SimDuration::from_micros(1) + SimDuration::from_nanos(300)
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Packets and addressing.
+//!
+//! The TiVoPC video stream is UDP over Ethernet through a gigabit switch.
+//! [`Packet`] models a frame on the wire: addressing, a protocol tag, a
+//! payload, and bookkeeping (sequence number, send timestamp) that the
+//! jitter experiment reads on the receive side.
+
+use std::fmt;
+
+use bytes::Bytes;
+use hydra_sim::time::SimTime;
+
+/// A link-layer station address (a simplified MAC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MacAddr(pub u64);
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mac:{:03}", self.0)
+    }
+}
+
+/// A transport-layer port number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Port(pub u16);
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ":{}", self.0)
+    }
+}
+
+/// Protocol carried by a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// Datagram traffic (the video stream).
+    Udp,
+    /// NFS-lite RPC (the NAS protocol).
+    Nfs,
+    /// HYDRA control traffic (OOB channel over the wire, if routed).
+    HydraControl,
+}
+
+/// Link-layer + transport-layer header sizes we charge on the wire.
+pub const HEADER_BYTES: usize = 14 + 20 + 8; // eth + ip + udp
+
+/// A network packet.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use hydra_net::packet::{MacAddr, Packet, Port, Protocol};
+/// use hydra_sim::time::SimTime;
+///
+/// let p = Packet::new(
+///     MacAddr(1), Port(5000),
+///     MacAddr(2), Port(6000),
+///     Protocol::Udp,
+///     Bytes::from_static(b"frame-data"),
+/// ).with_seq(42).stamped(SimTime::ZERO);
+/// assert_eq!(p.wire_bytes(), 10 + hydra_net::packet::HEADER_BYTES);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Sender station.
+    pub src: MacAddr,
+    /// Sender port.
+    pub src_port: Port,
+    /// Destination station.
+    pub dst: MacAddr,
+    /// Destination port.
+    pub dst_port: Port,
+    /// Carried protocol.
+    pub protocol: Protocol,
+    /// Application payload.
+    pub payload: Bytes,
+    /// Application-level sequence number (0 if unused).
+    pub seq: u64,
+    /// When the application handed the packet to the stack.
+    pub sent_at: SimTime,
+}
+
+impl Packet {
+    /// Creates a packet with zero sequence number and unset timestamp.
+    pub fn new(
+        src: MacAddr,
+        src_port: Port,
+        dst: MacAddr,
+        dst_port: Port,
+        protocol: Protocol,
+        payload: Bytes,
+    ) -> Self {
+        Packet {
+            src,
+            src_port,
+            dst,
+            dst_port,
+            protocol,
+            payload,
+            seq: 0,
+            sent_at: SimTime::ZERO,
+        }
+    }
+
+    /// Sets the application sequence number.
+    pub fn with_seq(mut self, seq: u64) -> Self {
+        self.seq = seq;
+        self
+    }
+
+    /// Sets the send timestamp.
+    pub fn stamped(mut self, at: SimTime) -> Self {
+        self.sent_at = at;
+        self
+    }
+
+    /// Total bytes on the wire, including headers.
+    pub fn wire_bytes(&self) -> usize {
+        self.payload.len() + HEADER_BYTES
+    }
+
+    /// Builds the reply skeleton: source and destination swapped, same
+    /// protocol, empty payload.
+    pub fn reply_to(&self) -> Packet {
+        Packet::new(
+            self.dst,
+            self.dst_port,
+            self.src,
+            self.src_port,
+            self.protocol,
+            Bytes::new(),
+        )
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{} -> {}{} {:?} seq={} len={}",
+            self.src, self.src_port, self.dst, self.dst_port, self.protocol, self.seq,
+            self.payload.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt() -> Packet {
+        Packet::new(
+            MacAddr(1),
+            Port(1000),
+            MacAddr(2),
+            Port(2000),
+            Protocol::Udp,
+            Bytes::from_static(&[0u8; 100]),
+        )
+    }
+
+    #[test]
+    fn wire_bytes_include_headers() {
+        assert_eq!(pkt().wire_bytes(), 100 + HEADER_BYTES);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let p = pkt().with_seq(9).stamped(SimTime::from_millis(3));
+        assert_eq!(p.seq, 9);
+        assert_eq!(p.sent_at, SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn reply_swaps_endpoints() {
+        let r = pkt().reply_to();
+        assert_eq!(r.src, MacAddr(2));
+        assert_eq!(r.dst, MacAddr(1));
+        assert_eq!(r.src_port, Port(2000));
+        assert_eq!(r.dst_port, Port(1000));
+        assert!(r.payload.is_empty());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = pkt().to_string();
+        assert!(s.contains("mac:001"));
+        assert!(s.contains("Udp"));
+    }
+}

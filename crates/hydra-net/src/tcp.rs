@@ -1,0 +1,726 @@
+//! TCP-lite: a miniature but real TCP.
+//!
+//! The paper's §1.1 frames offloading as the generalization of the TCP
+//! Offload Engine. To make that concrete, this module implements enough
+//! of TCP to *be* offloadable: three-way handshake, MSS segmentation,
+//! cumulative acks, out-of-order reassembly, retransmission on timeout,
+//! a flow-control window, and FIN teardown. The same [`TcpEndpoint`]
+//! state machine runs on the host CPU (conventional stack) or on the
+//! NIC's processor (a TOE); only who pays the cycles differs.
+//!
+//! The implementation is deliberately sans-io: segments go in and come
+//! out, time is passed explicitly, and the caller owns delivery — which
+//! is what makes it host/device agnostic and exhaustively testable.
+
+use std::collections::BTreeMap;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hydra_sim::time::{SimDuration, SimTime};
+
+/// Maximum segment size (payload bytes per segment).
+pub const MSS: usize = 1460;
+
+/// Segment control flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpFlags {
+    /// Synchronize (connection setup).
+    pub syn: bool,
+    /// Acknowledgement field is valid.
+    pub ack: bool,
+    /// Sender has finished sending.
+    pub fin: bool,
+}
+
+/// One TCP segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpSegment {
+    /// Sequence number of the first payload byte (or of SYN/FIN).
+    pub seq: u32,
+    /// Cumulative acknowledgement (next expected byte), valid if
+    /// `flags.ack`.
+    pub ack: u32,
+    /// Control flags.
+    pub flags: TcpFlags,
+    /// Receive-window advertisement, in bytes.
+    pub window: u32,
+    /// Payload.
+    pub payload: Bytes,
+}
+
+impl TcpSegment {
+    /// Serialized size on the wire (16-byte header + payload).
+    pub fn wire_size(&self) -> usize {
+        16 + self.payload.len()
+    }
+
+    /// Encodes to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(self.wire_size());
+        b.put_u32(self.seq);
+        b.put_u32(self.ack);
+        let mut flags = 0u8;
+        if self.flags.syn {
+            flags |= 1;
+        }
+        if self.flags.ack {
+            flags |= 2;
+        }
+        if self.flags.fin {
+            flags |= 4;
+        }
+        b.put_u8(flags);
+        b.put_u8(0); // reserved
+        b.put_u16(0); // checksum placeholder (the link is error-free)
+        b.put_u32(self.window);
+        b.put_slice(&self.payload);
+        b.freeze()
+    }
+
+    /// Decodes from wire bytes.
+    ///
+    /// Returns `None` when fewer than 16 header bytes are present.
+    pub fn decode(mut raw: Bytes) -> Option<TcpSegment> {
+        if raw.len() < 16 {
+            return None;
+        }
+        let seq = raw.get_u32();
+        let ack = raw.get_u32();
+        let flags = raw.get_u8();
+        raw.advance(3);
+        let window = raw.get_u32();
+        Some(TcpSegment {
+            seq,
+            ack,
+            flags: TcpFlags {
+                syn: flags & 1 != 0,
+                ack: flags & 2 != 0,
+                fin: flags & 4 != 0,
+            },
+            window,
+            payload: raw,
+        })
+    }
+}
+
+/// Connection state (the subset of RFC 793's diagram this stack walks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TcpState {
+    /// No connection.
+    Closed,
+    /// Passive open; waiting for SYN.
+    Listen,
+    /// Active open; SYN sent.
+    SynSent,
+    /// SYN received, SYN-ACK sent.
+    SynReceived,
+    /// Data flows.
+    Established,
+    /// FIN sent, awaiting its ack (and the peer's FIN).
+    FinWait,
+    /// Peer's FIN received; local side may still send.
+    CloseWait,
+    /// Local FIN sent after CloseWait.
+    LastAck,
+}
+
+/// Counters of one endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpStats {
+    /// Segments transmitted (including retransmissions).
+    pub segments_sent: u64,
+    /// Segments retransmitted.
+    pub retransmissions: u64,
+    /// Segments received and accepted.
+    pub segments_received: u64,
+    /// Out-of-order segments buffered.
+    pub out_of_order: u64,
+    /// Duplicate segments discarded.
+    pub duplicates: u64,
+}
+
+/// One endpoint of a TCP-lite connection.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use hydra_net::tcp::{TcpEndpoint, TcpState};
+/// use hydra_sim::time::SimTime;
+///
+/// let mut a = TcpEndpoint::client(1);
+/// let mut b = TcpEndpoint::listener(2);
+/// let syn = a.connect(SimTime::ZERO);
+/// let synack = b.on_segment(&syn, SimTime::ZERO).pop().unwrap();
+/// let ack = a.on_segment(&synack, SimTime::ZERO).pop().unwrap();
+/// b.on_segment(&ack, SimTime::ZERO);
+/// assert_eq!(a.state(), TcpState::Established);
+/// assert_eq!(b.state(), TcpState::Established);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TcpEndpoint {
+    state: TcpState,
+    /// Next sequence number to assign to outgoing bytes.
+    snd_nxt: u32,
+    /// Oldest unacknowledged byte.
+    snd_una: u32,
+    /// Peer's advertised window.
+    snd_wnd: u32,
+    /// Next byte expected from the peer.
+    rcv_nxt: u32,
+    /// Local receive window advertisement.
+    rcv_wnd: u32,
+    /// Unacknowledged segments, by starting seq, with last-send time.
+    inflight: BTreeMap<u32, (TcpSegment, SimTime)>,
+    /// Bytes queued by the application, not yet segmented into flight.
+    send_queue: Vec<u8>,
+    /// Out-of-order received segments, by seq.
+    reorder: BTreeMap<u32, Bytes>,
+    /// In-order bytes ready for the application.
+    deliverable: Vec<u8>,
+    /// Retransmission timeout.
+    rto: SimDuration,
+    /// FIN has been queued by the application.
+    fin_pending: bool,
+    /// Our FIN's sequence number, once sent.
+    fin_seq: Option<u32>,
+    stats: TcpStats,
+}
+
+impl TcpEndpoint {
+    fn new(state: TcpState, isn: u32) -> Self {
+        TcpEndpoint {
+            state,
+            snd_nxt: isn,
+            snd_una: isn,
+            snd_wnd: 64 * 1024,
+            rcv_nxt: 0,
+            rcv_wnd: 64 * 1024,
+            inflight: BTreeMap::new(),
+            send_queue: Vec::new(),
+            reorder: BTreeMap::new(),
+            deliverable: Vec::new(),
+            rto: SimDuration::from_millis(200),
+            fin_pending: false,
+            fin_seq: None,
+            stats: TcpStats::default(),
+        }
+    }
+
+    /// Creates an active opener with the given initial sequence number.
+    pub fn client(isn: u32) -> Self {
+        Self::new(TcpState::Closed, isn)
+    }
+
+    /// Creates a passive listener.
+    pub fn listener(isn: u32) -> Self {
+        Self::new(TcpState::Listen, isn)
+    }
+
+    /// The connection state.
+    pub fn state(&self) -> TcpState {
+        self.state
+    }
+
+    /// The counters.
+    pub fn stats(&self) -> TcpStats {
+        self.stats
+    }
+
+    /// Bytes accepted from the peer and ready for the application.
+    pub fn take_deliverable(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.deliverable)
+    }
+
+    /// True when every sent byte (and FIN) has been acknowledged and the
+    /// send queue is empty.
+    pub fn all_acked(&self) -> bool {
+        self.inflight.is_empty() && self.send_queue.is_empty() && !self.fin_pending
+    }
+
+    fn mk_segment(&self, seq: u32, flags: TcpFlags, payload: Bytes) -> TcpSegment {
+        TcpSegment {
+            seq,
+            ack: self.rcv_nxt,
+            flags: TcpFlags {
+                ack: true,
+                ..flags
+            },
+            window: self.rcv_wnd,
+            payload,
+        }
+    }
+
+    /// Starts an active open, returning the SYN to transmit.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the endpoint is freshly created ([`TcpState::Closed`]).
+    pub fn connect(&mut self, now: SimTime) -> TcpSegment {
+        assert_eq!(self.state, TcpState::Closed, "connect on used endpoint");
+        self.state = TcpState::SynSent;
+        let seg = TcpSegment {
+            seq: self.snd_nxt,
+            ack: 0,
+            flags: TcpFlags {
+                syn: true,
+                ack: false,
+                fin: false,
+            },
+            window: self.rcv_wnd,
+            payload: Bytes::new(),
+        };
+        self.inflight.insert(self.snd_nxt, (seg.clone(), now));
+        self.snd_nxt = self.snd_nxt.wrapping_add(1); // SYN occupies one seq
+        self.stats.segments_sent += 1;
+        seg
+    }
+
+    /// Queues application data for transmission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the connection is not open for sending.
+    pub fn send(&mut self, data: &[u8]) {
+        assert!(
+            matches!(self.state, TcpState::Established | TcpState::CloseWait),
+            "send in {:?}",
+            self.state
+        );
+        assert!(!self.fin_pending, "send after close");
+        self.send_queue.extend_from_slice(data);
+    }
+
+    /// Queues a FIN after any pending data.
+    pub fn close(&mut self) {
+        self.fin_pending = true;
+    }
+
+    /// Emits as many new segments as the window allows (call after
+    /// `send`/`close` or when acks open the window).
+    pub fn pump_output(&mut self, now: SimTime) -> Vec<TcpSegment> {
+        let mut out = Vec::new();
+        if !matches!(
+            self.state,
+            TcpState::Established | TcpState::CloseWait | TcpState::FinWait | TcpState::LastAck
+        ) {
+            return out;
+        }
+        // Bytes in flight right now.
+        let in_flight = self.snd_nxt.wrapping_sub(self.snd_una);
+        let mut budget = (self.snd_wnd.saturating_sub(in_flight)) as usize;
+        while !self.send_queue.is_empty() && budget > 0 {
+            let n = self.send_queue.len().min(MSS).min(budget);
+            let payload = Bytes::from(self.send_queue.drain(..n).collect::<Vec<u8>>());
+            let seg = self.mk_segment(self.snd_nxt, TcpFlags::default(), payload);
+            self.inflight.insert(self.snd_nxt, (seg.clone(), now));
+            self.snd_nxt = self.snd_nxt.wrapping_add(n as u32);
+            self.stats.segments_sent += 1;
+            budget -= n;
+            out.push(seg);
+        }
+        if self.fin_pending && self.send_queue.is_empty() && self.fin_seq.is_none() {
+            let seg = self.mk_segment(
+                self.snd_nxt,
+                TcpFlags {
+                    fin: true,
+                    ..TcpFlags::default()
+                },
+                Bytes::new(),
+            );
+            self.inflight.insert(self.snd_nxt, (seg.clone(), now));
+            self.fin_seq = Some(self.snd_nxt);
+            self.snd_nxt = self.snd_nxt.wrapping_add(1);
+            self.fin_pending = false;
+            self.stats.segments_sent += 1;
+            self.state = match self.state {
+                TcpState::CloseWait => TcpState::LastAck,
+                _ => TcpState::FinWait,
+            };
+            out.push(seg);
+        }
+        out
+    }
+
+    /// Processes one incoming segment, returning segments to transmit in
+    /// response (acks, handshake steps, and any newly window-permitted
+    /// data).
+    pub fn on_segment(&mut self, seg: &TcpSegment, now: SimTime) -> Vec<TcpSegment> {
+        let mut out = Vec::new();
+        self.stats.segments_received += 1;
+        self.snd_wnd = seg.window;
+
+        match self.state {
+            TcpState::Listen if seg.flags.syn => {
+                self.rcv_nxt = seg.seq.wrapping_add(1);
+                self.state = TcpState::SynReceived;
+                let synack = TcpSegment {
+                    seq: self.snd_nxt,
+                    ack: self.rcv_nxt,
+                    flags: TcpFlags {
+                        syn: true,
+                        ack: true,
+                        fin: false,
+                    },
+                    window: self.rcv_wnd,
+                    payload: Bytes::new(),
+                };
+                self.inflight.insert(self.snd_nxt, (synack.clone(), now));
+                self.snd_nxt = self.snd_nxt.wrapping_add(1);
+                self.stats.segments_sent += 1;
+                out.push(synack);
+                return out;
+            }
+            TcpState::SynSent if seg.flags.syn && seg.flags.ack => {
+                self.rcv_nxt = seg.seq.wrapping_add(1);
+                self.process_ack(seg.ack);
+                self.state = TcpState::Established;
+                let ack = self.mk_segment(self.snd_nxt, TcpFlags::default(), Bytes::new());
+                self.stats.segments_sent += 1;
+                out.push(ack);
+                return out;
+            }
+            TcpState::SynReceived if seg.flags.ack => {
+                self.process_ack(seg.ack);
+                if self.inflight.is_empty() {
+                    self.state = TcpState::Established;
+                }
+                // Fall through: the ack may carry data.
+            }
+            _ => {}
+        }
+
+        if seg.flags.ack {
+            self.process_ack(seg.ack);
+            if self.state == TcpState::FinWait
+                && self.fin_seq.is_some_and(|f| seg.ack.wrapping_sub(f) == 1)
+            {
+                // Our FIN acked; stay in FinWait until the peer's FIN.
+            }
+            if self.state == TcpState::LastAck && self.inflight.is_empty() {
+                self.state = TcpState::Closed;
+            }
+        }
+
+        let mut should_ack = false;
+        if !seg.payload.is_empty() {
+            should_ack = true;
+            self.accept_data(seg.seq, seg.payload.clone());
+        }
+        if seg.flags.fin {
+            // The FIN is in-sequence only once all data before it arrived.
+            if seg.seq == self.rcv_nxt {
+                self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
+                should_ack = true;
+                self.state = match self.state {
+                    TcpState::FinWait => TcpState::Closed,
+                    TcpState::Established | TcpState::SynReceived => TcpState::CloseWait,
+                    s => s,
+                };
+            } else {
+                // FIN past a hole: ack what we have; sender retransmits.
+                should_ack = true;
+            }
+        }
+        if should_ack {
+            let ack = self.mk_segment(self.snd_nxt, TcpFlags::default(), Bytes::new());
+            self.stats.segments_sent += 1;
+            out.push(ack);
+        }
+        // Acks may have opened the window for queued data.
+        out.extend(self.pump_output(now));
+        out
+    }
+
+    fn process_ack(&mut self, ack: u32) {
+        // Remove fully acknowledged segments.
+        let acked: Vec<u32> = self
+            .inflight
+            .iter()
+            .filter(|(&seq, (seg, _))| {
+                let len = seg.payload.len() as u32
+                    + u32::from(seg.flags.syn)
+                    + u32::from(seg.flags.fin);
+                // seq + len <= ack, with wrapping arithmetic.
+                ack.wrapping_sub(seq) >= len && ack.wrapping_sub(seq) <= u32::MAX / 2
+            })
+            .map(|(&seq, _)| seq)
+            .collect();
+        for seq in acked {
+            self.inflight.remove(&seq);
+        }
+        if ack.wrapping_sub(self.snd_una) <= u32::MAX / 2 {
+            self.snd_una = ack;
+        }
+    }
+
+    fn accept_data(&mut self, seq: u32, payload: Bytes) {
+        if seq == self.rcv_nxt {
+            self.rcv_nxt = self.rcv_nxt.wrapping_add(payload.len() as u32);
+            self.deliverable.extend_from_slice(&payload);
+            // Drain contiguous out-of-order segments.
+            while let Some(next) = self.reorder.remove(&self.rcv_nxt) {
+                self.rcv_nxt = self.rcv_nxt.wrapping_add(next.len() as u32);
+                self.deliverable.extend_from_slice(&next);
+            }
+        } else if seq.wrapping_sub(self.rcv_nxt) <= u32::MAX / 2 {
+            // Future segment: buffer it.
+            if self.reorder.insert(seq, payload).is_none() {
+                self.stats.out_of_order += 1;
+            }
+        } else {
+            // Old duplicate.
+            self.stats.duplicates += 1;
+        }
+    }
+
+    /// Retransmits any segment whose RTO expired. Call periodically.
+    pub fn tick(&mut self, now: SimTime) -> Vec<TcpSegment> {
+        let mut out = Vec::new();
+        let rto = self.rto;
+        for (seg, sent_at) in self.inflight.values_mut() {
+            if now.saturating_duration_since(*sent_at) >= rto {
+                *sent_at = now;
+                self.stats.segments_sent += 1;
+                self.stats.retransmissions += 1;
+                // Refresh the cumulative ack before retransmitting.
+                let mut retx = seg.clone();
+                retx.ack = self.rcv_nxt;
+                out.push(retx);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_sim::rng::DetRng;
+
+    /// Runs segments between two endpoints until quiescent, with an
+    /// optional per-segment drop predicate.
+    fn exchange(
+        a: &mut TcpEndpoint,
+        b: &mut TcpEndpoint,
+        initial: Vec<(bool, TcpSegment)>, // (from_a, segment)
+        mut drop: impl FnMut(&TcpSegment) -> bool,
+    ) {
+        let mut queue = initial;
+        let mut now = SimTime::ZERO;
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            assert!(rounds < 10_000, "exchange did not quiesce");
+            if let Some((from_a, seg)) = queue.pop() {
+                if drop(&seg) {
+                    continue;
+                }
+                let replies = if from_a {
+                    b.on_segment(&seg, now)
+                } else {
+                    a.on_segment(&seg, now)
+                };
+                for r in replies {
+                    queue.push((!from_a, r));
+                }
+                continue;
+            }
+            // Queue empty: advance time and fire retransmissions.
+            now += SimDuration::from_millis(250);
+            let mut progressed = false;
+            for seg in a.tick(now) {
+                queue.push((true, seg));
+                progressed = true;
+            }
+            for seg in b.tick(now) {
+                queue.push((false, seg));
+                progressed = true;
+            }
+            if !progressed {
+                return;
+            }
+        }
+    }
+
+    fn connected() -> (TcpEndpoint, TcpEndpoint) {
+        let mut a = TcpEndpoint::client(1000);
+        let mut b = TcpEndpoint::listener(5000);
+        let syn = a.connect(SimTime::ZERO);
+        exchange(&mut a, &mut b, vec![(true, syn)], |_| false);
+        assert_eq!(a.state(), TcpState::Established);
+        assert_eq!(b.state(), TcpState::Established);
+        (a, b)
+    }
+
+    #[test]
+    fn three_way_handshake() {
+        connected();
+    }
+
+    #[test]
+    fn segment_wire_round_trip() {
+        let seg = TcpSegment {
+            seq: 7,
+            ack: 9,
+            flags: TcpFlags {
+                syn: true,
+                ack: true,
+                fin: true,
+            },
+            window: 1234,
+            payload: Bytes::from_static(b"data"),
+        };
+        assert_eq!(TcpSegment::decode(seg.encode()), Some(seg.clone()));
+        assert_eq!(seg.wire_size(), 20);
+        assert_eq!(TcpSegment::decode(Bytes::from_static(&[0; 8])), None);
+    }
+
+    #[test]
+    fn bulk_transfer_no_loss() {
+        let (mut a, mut b) = connected();
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        a.send(&data);
+        let initial: Vec<_> = a
+            .pump_output(SimTime::ZERO)
+            .into_iter()
+            .map(|s| (true, s))
+            .collect();
+        exchange(&mut a, &mut b, initial, |_| false);
+        assert_eq!(b.take_deliverable(), data);
+        assert!(a.all_acked());
+        assert_eq!(a.stats().retransmissions, 0);
+    }
+
+    #[test]
+    fn transfer_survives_heavy_loss() {
+        let (mut a, mut b) = connected();
+        let data: Vec<u8> = (0..30_000u32).map(|i| (i % 253) as u8).collect();
+        a.send(&data);
+        let initial: Vec<_> = a
+            .pump_output(SimTime::ZERO)
+            .into_iter()
+            .map(|s| (true, s))
+            .collect();
+        let mut rng = DetRng::new(7);
+        exchange(&mut a, &mut b, initial, |_| rng.chance(0.3));
+        assert_eq!(b.take_deliverable(), data);
+        assert!(a.all_acked());
+        assert!(a.stats().retransmissions > 0, "loss must cause retx");
+    }
+
+    #[test]
+    fn out_of_order_reassembly() {
+        let (mut a, mut b) = connected();
+        a.send(&[1u8; MSS]);
+        a.send(&[2u8; MSS]);
+        a.send(&[3u8; MSS]);
+        let mut segs = a.pump_output(SimTime::ZERO);
+        assert_eq!(segs.len(), 3);
+        segs.reverse(); // deliver 3, 2, 1
+        for s in &segs {
+            b.on_segment(s, SimTime::ZERO);
+        }
+        let got = b.take_deliverable();
+        assert_eq!(got.len(), 3 * MSS);
+        assert!(got[..MSS].iter().all(|&x| x == 1));
+        assert!(got[2 * MSS..].iter().all(|&x| x == 3));
+        assert_eq!(b.stats().out_of_order, 2);
+    }
+
+    #[test]
+    fn duplicates_are_discarded() {
+        let (mut a, mut b) = connected();
+        a.send(b"hello");
+        let segs = a.pump_output(SimTime::ZERO);
+        b.on_segment(&segs[0], SimTime::ZERO);
+        b.on_segment(&segs[0], SimTime::ZERO); // duplicate
+        assert_eq!(b.take_deliverable(), b"hello");
+        assert_eq!(b.stats().duplicates, 1);
+    }
+
+    #[test]
+    fn bidirectional_transfer() {
+        let (mut a, mut b) = connected();
+        a.send(b"ping from a");
+        b.send(b"pong from b");
+        let mut initial: Vec<_> = a
+            .pump_output(SimTime::ZERO)
+            .into_iter()
+            .map(|s| (true, s))
+            .collect();
+        initial.extend(b.pump_output(SimTime::ZERO).into_iter().map(|s| (false, s)));
+        exchange(&mut a, &mut b, initial, |_| false);
+        assert_eq!(b.take_deliverable(), b"ping from a");
+        assert_eq!(a.take_deliverable(), b"pong from b");
+    }
+
+    #[test]
+    fn graceful_close_both_ways() {
+        let (mut a, mut b) = connected();
+        a.send(b"last words");
+        a.close();
+        let initial: Vec<_> = a
+            .pump_output(SimTime::ZERO)
+            .into_iter()
+            .map(|s| (true, s))
+            .collect();
+        exchange(&mut a, &mut b, initial, |_| false);
+        assert_eq!(b.state(), TcpState::CloseWait);
+        assert_eq!(b.take_deliverable(), b"last words");
+        // B closes too.
+        b.close();
+        let initial: Vec<_> = b
+            .pump_output(SimTime::ZERO)
+            .into_iter()
+            .map(|s| (false, s))
+            .collect();
+        exchange(&mut a, &mut b, initial, |_| false);
+        assert_eq!(a.state(), TcpState::Closed);
+        assert_eq!(b.state(), TcpState::Closed);
+    }
+
+    #[test]
+    fn close_with_loss_still_terminates() {
+        let (mut a, mut b) = connected();
+        a.send(&[9u8; 5000]);
+        a.close();
+        let initial: Vec<_> = a
+            .pump_output(SimTime::ZERO)
+            .into_iter()
+            .map(|s| (true, s))
+            .collect();
+        let mut rng = DetRng::new(3);
+        exchange(&mut a, &mut b, initial, |_| rng.chance(0.25));
+        assert_eq!(b.take_deliverable(), vec![9u8; 5000]);
+        assert_eq!(b.state(), TcpState::CloseWait);
+    }
+
+    #[test]
+    fn window_limits_inflight_bytes() {
+        let (mut a, b) = connected();
+        // Shrink B's advertised window via a handcrafted ack.
+        let small_window = TcpSegment {
+            seq: b.snd_nxt,
+            ack: a.snd_nxt,
+            flags: TcpFlags {
+                ack: true,
+                ..TcpFlags::default()
+            },
+            window: 2 * MSS as u32,
+            payload: Bytes::new(),
+        };
+        a.on_segment(&small_window, SimTime::ZERO);
+        a.send(&vec![1u8; 10 * MSS]);
+        let segs = a.pump_output(SimTime::ZERO);
+        let sent: usize = segs.iter().map(|s| s.payload.len()).sum();
+        assert_eq!(sent, 2 * MSS, "window must cap the burst");
+    }
+
+    #[test]
+    #[should_panic(expected = "send after close")]
+    fn send_after_close_panics() {
+        let (mut a, _) = connected();
+        a.close();
+        a.send(b"too late");
+    }
+}

@@ -1,0 +1,242 @@
+//! UDP-lite endpoints and flow measurement.
+//!
+//! [`UdpStack`] is a minimal per-host datagram demultiplexer: sockets bind
+//! ports, incoming packets are queued per socket, reads drain the queue.
+//! [`FlowMeter`] measures what the paper's client measures: per-packet
+//! inter-arrival gaps (jitter), loss, and reordering of a sequenced flow.
+
+use std::collections::{HashMap, VecDeque};
+
+use hydra_sim::stats::Samples;
+use hydra_sim::time::SimTime;
+
+use crate::packet::{Packet, Port};
+
+/// Error returned by [`UdpStack::bind`] when the port is taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortInUse(pub Port);
+
+impl std::fmt::Display for PortInUse {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "port {} already bound", self.0)
+    }
+}
+
+impl std::error::Error for PortInUse {}
+
+/// A per-host datagram demultiplexer.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use hydra_net::packet::{MacAddr, Packet, Port, Protocol};
+/// use hydra_net::udp::UdpStack;
+///
+/// let mut stack = UdpStack::new();
+/// stack.bind(Port(5000)).unwrap();
+/// let pkt = Packet::new(MacAddr(1), Port(9), MacAddr(2), Port(5000), Protocol::Udp, Bytes::new());
+/// assert!(stack.deliver(pkt));
+/// assert!(stack.recv(Port(5000)).is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct UdpStack {
+    sockets: HashMap<Port, VecDeque<Packet>>,
+    delivered: u64,
+    rejected: u64,
+}
+
+impl UdpStack {
+    /// Creates a stack with no bound sockets.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds a port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PortInUse`] if the port is already bound.
+    pub fn bind(&mut self, port: Port) -> Result<(), PortInUse> {
+        if self.sockets.contains_key(&port) {
+            return Err(PortInUse(port));
+        }
+        self.sockets.insert(port, VecDeque::new());
+        Ok(())
+    }
+
+    /// Releases a port, dropping any queued packets. Returns `true` if the
+    /// port was bound.
+    pub fn unbind(&mut self, port: Port) -> bool {
+        self.sockets.remove(&port).is_some()
+    }
+
+    /// Offers an incoming packet; returns `true` if a socket accepted it.
+    pub fn deliver(&mut self, packet: Packet) -> bool {
+        match self.sockets.get_mut(&packet.dst_port) {
+            Some(q) => {
+                q.push_back(packet);
+                self.delivered += 1;
+                true
+            }
+            None => {
+                self.rejected += 1;
+                false
+            }
+        }
+    }
+
+    /// Dequeues the oldest packet for `port`, if any.
+    pub fn recv(&mut self, port: Port) -> Option<Packet> {
+        self.sockets.get_mut(&port)?.pop_front()
+    }
+
+    /// Number of packets queued on `port` (0 if unbound).
+    pub fn pending(&self, port: Port) -> usize {
+        self.sockets.get(&port).map_or(0, |q| q.len())
+    }
+
+    /// `(delivered, rejected)` lifetime counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.delivered, self.rejected)
+    }
+}
+
+/// Receive-side measurement of a sequenced flow.
+///
+/// Records inter-arrival gaps in milliseconds — the quantity plotted in the
+/// paper's Figure 9 and summarized in Table 2 — plus loss and reordering.
+#[derive(Debug, Clone, Default)]
+pub struct FlowMeter {
+    last_arrival: Option<SimTime>,
+    highest_seq: Option<u64>,
+    received: u64,
+    reordered: u64,
+    gaps_ms: Samples,
+}
+
+impl FlowMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the arrival of sequence number `seq` at `now`.
+    pub fn on_arrival(&mut self, now: SimTime, seq: u64) {
+        if let Some(prev) = self.last_arrival {
+            self.gaps_ms
+                .record(now.saturating_duration_since(prev).as_millis_f64());
+        }
+        self.last_arrival = Some(now);
+        match self.highest_seq {
+            Some(h) if seq <= h => self.reordered += 1,
+            _ => self.highest_seq = Some(seq),
+        }
+        self.received += 1;
+    }
+
+    /// Packets received.
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// Packets that arrived after a later sequence number (reordered or
+    /// duplicated).
+    pub fn reordered(&self) -> u64 {
+        self.reordered
+    }
+
+    /// Packets missing, assuming sequence numbers start at 0 and the
+    /// highest seen is the last sent.
+    pub fn lost(&self) -> u64 {
+        match self.highest_seq {
+            None => 0,
+            Some(h) => (h + 1).saturating_sub(self.received),
+        }
+    }
+
+    /// The inter-arrival gap samples, in milliseconds.
+    pub fn gaps_ms(&self) -> &Samples {
+        &self.gaps_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{MacAddr, Protocol};
+    use bytes::Bytes;
+
+    fn pkt(dst_port: u16, seq: u64) -> Packet {
+        Packet::new(
+            MacAddr(1),
+            Port(9),
+            MacAddr(2),
+            Port(dst_port),
+            Protocol::Udp,
+            Bytes::new(),
+        )
+        .with_seq(seq)
+    }
+
+    #[test]
+    fn bind_and_deliver() {
+        let mut s = UdpStack::new();
+        s.bind(Port(5)).unwrap();
+        assert!(s.deliver(pkt(5, 0)));
+        assert!(!s.deliver(pkt(6, 0)));
+        assert_eq!(s.pending(Port(5)), 1);
+        assert_eq!(s.counters(), (1, 1));
+    }
+
+    #[test]
+    fn double_bind_fails() {
+        let mut s = UdpStack::new();
+        s.bind(Port(5)).unwrap();
+        assert_eq!(s.bind(Port(5)), Err(PortInUse(Port(5))));
+    }
+
+    #[test]
+    fn recv_is_fifo() {
+        let mut s = UdpStack::new();
+        s.bind(Port(5)).unwrap();
+        s.deliver(pkt(5, 1));
+        s.deliver(pkt(5, 2));
+        assert_eq!(s.recv(Port(5)).unwrap().seq, 1);
+        assert_eq!(s.recv(Port(5)).unwrap().seq, 2);
+        assert!(s.recv(Port(5)).is_none());
+    }
+
+    #[test]
+    fn unbind_drops_queue() {
+        let mut s = UdpStack::new();
+        s.bind(Port(5)).unwrap();
+        s.deliver(pkt(5, 1));
+        assert!(s.unbind(Port(5)));
+        assert!(!s.unbind(Port(5)));
+        assert_eq!(s.pending(Port(5)), 0);
+        assert!(s.recv(Port(5)).is_none());
+    }
+
+    #[test]
+    fn meter_measures_gaps() {
+        let mut m = FlowMeter::new();
+        m.on_arrival(SimTime::from_millis(0), 0);
+        m.on_arrival(SimTime::from_millis(5), 1);
+        m.on_arrival(SimTime::from_millis(12), 2);
+        assert_eq!(m.gaps_ms().values(), &[5.0, 7.0]);
+        assert_eq!(m.received(), 3);
+        assert_eq!(m.lost(), 0);
+        assert_eq!(m.reordered(), 0);
+    }
+
+    #[test]
+    fn meter_counts_loss_and_reordering() {
+        let mut m = FlowMeter::new();
+        m.on_arrival(SimTime::from_millis(0), 0);
+        m.on_arrival(SimTime::from_millis(5), 3); // 1, 2 missing so far
+        m.on_arrival(SimTime::from_millis(9), 2); // late arrival: reordered
+        assert_eq!(m.reordered(), 1);
+        assert_eq!(m.lost(), 1); // seq 1 never arrived
+    }
+}

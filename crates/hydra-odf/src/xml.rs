@@ -1,0 +1,659 @@
+//! A minimal XML parser.
+//!
+//! Offcode Description Files are XML (paper §3.3). The reproduction ships
+//! its own small parser rather than an external dependency: elements,
+//! attributes (quoted *or* unquoted — the paper's own ODF sample writes
+//! `type=Pull pri=0`), text, comments, processing instructions, and the
+//! five predefined entities. It is a strict well-formedness parser with
+//! positioned errors, not a streaming one: ODF files are small.
+
+use std::fmt;
+
+/// A position in the source text, for error messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A parse error with location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Where the problem was found.
+    pub pos: Pos,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xml error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// An XML element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<Node>,
+}
+
+/// A node in the document tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A child element.
+    Element(Element),
+    /// Character data (entity-decoded, whitespace preserved).
+    Text(String),
+}
+
+impl Element {
+    /// The value of attribute `name`, if present.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The first child element with the given tag name.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.children.iter().find_map(|n| match n {
+            Node::Element(e) if e.name == name => Some(e),
+            _ => None,
+        })
+    }
+
+    /// All child elements with the given tag name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.children.iter().filter_map(move |n| match n {
+            Node::Element(e) if e.name == name => Some(e),
+            _ => None,
+        })
+    }
+
+    /// All child elements regardless of name.
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|n| match n {
+            Node::Element(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    /// The concatenated text content of this element (direct children
+    /// only), trimmed.
+    pub fn text(&self) -> String {
+        let mut s = String::new();
+        for n in &self.children {
+            if let Node::Text(t) = n {
+                s.push_str(t);
+            }
+        }
+        s.trim().to_owned()
+    }
+
+    /// Serializes the element back to XML (entity-escaping text and
+    /// attribute values, always quoting).
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        out.push_str(&pad);
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attributes {
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape(v));
+            out.push('"');
+        }
+        if self.children.is_empty() {
+            out.push_str("/>\n");
+            return;
+        }
+        let only_text = self.children.iter().all(|c| matches!(c, Node::Text(_)));
+        out.push('>');
+        if only_text {
+            out.push_str(&escape(&self.text()));
+        } else {
+            out.push('\n');
+            for c in &self.children {
+                match c {
+                    Node::Element(e) => e.write(out, depth + 1),
+                    Node::Text(t) => {
+                        let t = t.trim();
+                        if !t.is_empty() {
+                            out.push_str(&"  ".repeat(depth + 1));
+                            out.push_str(&escape(t));
+                            out.push('\n');
+                        }
+                    }
+                }
+            }
+            out.push_str(&pad);
+        }
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push_str(">\n");
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses a complete document, returning the root element.
+///
+/// # Errors
+///
+/// Returns a positioned [`XmlError`] on any well-formedness violation.
+///
+/// # Examples
+///
+/// ```
+/// let root = hydra_odf::xml::parse("<a x=1><b>hi</b></a>").unwrap();
+/// assert_eq!(root.name, "a");
+/// assert_eq!(root.attr("x"), Some("1"));
+/// assert_eq!(root.child("b").unwrap().text(), "hi");
+/// ```
+pub fn parse(input: &str) -> Result<Element, XmlError> {
+    let mut p = Parser::new(input);
+    p.skip_prolog()?;
+    let root = p.parse_element()?;
+    p.skip_misc();
+    if !p.at_end() {
+        return Err(p.error("content after document root"));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    src: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser {
+            chars: src.chars().collect(),
+            pos: 0,
+            src,
+        }
+    }
+
+    fn current_pos(&self) -> Pos {
+        let mut line = 1;
+        let mut col = 1;
+        for &c in &self.chars[..self.pos.min(self.chars.len())] {
+            if c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        Pos { line, col }
+    }
+
+    fn error(&self, message: &str) -> XmlError {
+        let _ = self.src;
+        XmlError {
+            pos: self.current_pos(),
+            message: message.to_owned(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        s.chars()
+            .enumerate()
+            .all(|(i, c)| self.peek_at(i) == Some(c))
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            self.pos += s.chars().count();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_comment(&mut self) -> Result<bool, XmlError> {
+        if !self.eat("<!--") {
+            return Ok(false);
+        }
+        loop {
+            if self.at_end() {
+                return Err(self.error("unterminated comment"));
+            }
+            if self.eat("-->") {
+                return Ok(true);
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn skip_pi(&mut self) -> Result<bool, XmlError> {
+        if !self.eat("<?") {
+            return Ok(false);
+        }
+        loop {
+            if self.at_end() {
+                return Err(self.error("unterminated processing instruction"));
+            }
+            if self.eat("?>") {
+                return Ok(true);
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn skip_doctype(&mut self) -> Result<bool, XmlError> {
+        if !self.starts_with("<!DOCTYPE") {
+            return Ok(false);
+        }
+        while let Some(c) = self.bump() {
+            if c == '>' {
+                return Ok(true);
+            }
+        }
+        Err(self.error("unterminated DOCTYPE"))
+    }
+
+    fn skip_prolog(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.skip_pi()? || self.skip_comment()? || self.skip_doctype()? {
+                continue;
+            }
+            return Ok(());
+        }
+    }
+
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            match (self.skip_comment(), self.skip_pi()) {
+                (Ok(true), _) | (_, Ok(true)) => continue,
+                _ => return,
+            }
+        }
+    }
+
+    fn is_name_start(c: char) -> bool {
+        c.is_alphabetic() || c == '_' || c == ':'
+    }
+
+    fn is_name_char(c: char) -> bool {
+        Self::is_name_start(c) || c.is_ascii_digit() || c == '-' || c == '.'
+    }
+
+    fn parse_name(&mut self) -> Result<String, XmlError> {
+        match self.peek() {
+            Some(c) if Self::is_name_start(c) => {}
+            _ => return Err(self.error("expected a name")),
+        }
+        let mut name = String::new();
+        while let Some(c) = self.peek() {
+            if Self::is_name_char(c) {
+                name.push(c);
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(name)
+    }
+
+    fn parse_entity(&mut self) -> Result<char, XmlError> {
+        // Caller consumed '&'.
+        let mut ent = String::new();
+        loop {
+            match self.bump() {
+                Some(';') => break,
+                Some(c) if ent.len() < 10 => ent.push(c),
+                _ => return Err(self.error("unterminated entity reference")),
+            }
+        }
+        match ent.as_str() {
+            "lt" => Ok('<'),
+            "gt" => Ok('>'),
+            "amp" => Ok('&'),
+            "quot" => Ok('"'),
+            "apos" => Ok('\''),
+            other => {
+                if let Some(hex) = other.strip_prefix("#x") {
+                    u32::from_str_radix(hex, 16)
+                        .ok()
+                        .and_then(char::from_u32)
+                        .ok_or_else(|| self.error("invalid character reference"))
+                } else if let Some(dec) = other.strip_prefix('#') {
+                    dec.parse::<u32>()
+                        .ok()
+                        .and_then(char::from_u32)
+                        .ok_or_else(|| self.error("invalid character reference"))
+                } else {
+                    Err(self.error(&format!("unknown entity &{other};")))
+                }
+            }
+        }
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, XmlError> {
+        let mut value = String::new();
+        match self.peek() {
+            Some(quote @ ('"' | '\'')) => {
+                self.pos += 1;
+                loop {
+                    match self.bump() {
+                        None => return Err(self.error("unterminated attribute value")),
+                        Some(c) if c == quote => break,
+                        Some('&') => value.push(self.parse_entity()?),
+                        Some('<') => return Err(self.error("'<' in attribute value")),
+                        Some(c) => value.push(c),
+                    }
+                }
+            }
+            // Unquoted value (non-standard but used by the paper's ODF).
+            Some(c) if !c.is_whitespace() && c != '>' && c != '/' => {
+                while let Some(c) = self.peek() {
+                    if c.is_whitespace() || c == '>' || c == '/' {
+                        break;
+                    }
+                    value.push(c);
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.error("expected attribute value")),
+        }
+        Ok(value)
+    }
+
+    fn parse_element(&mut self) -> Result<Element, XmlError> {
+        if !self.eat("<") {
+            return Err(self.error("expected '<'"));
+        }
+        let name = self.parse_name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('/') => {
+                    self.pos += 1;
+                    if !self.eat(">") {
+                        return Err(self.error("expected '>' after '/'"));
+                    }
+                    return Ok(Element {
+                        name,
+                        attributes,
+                        children: Vec::new(),
+                    });
+                }
+                Some('>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(c) if Self::is_name_start(c) => {
+                    let key = self.parse_name()?;
+                    if attributes.iter().any(|(k, _)| *k == key) {
+                        return Err(self.error(&format!("duplicate attribute '{key}'")));
+                    }
+                    self.skip_ws();
+                    if !self.eat("=") {
+                        return Err(self.error("expected '=' after attribute name"));
+                    }
+                    self.skip_ws();
+                    let value = self.parse_attr_value()?;
+                    attributes.push((key, value));
+                }
+                _ => return Err(self.error("malformed start tag")),
+            }
+        }
+
+        let mut children = Vec::new();
+        let mut text = String::new();
+        loop {
+            if self.at_end() {
+                return Err(self.error(&format!("unclosed element <{name}>")));
+            }
+            if self.starts_with("</") {
+                if !text.is_empty() {
+                    children.push(Node::Text(std::mem::take(&mut text)));
+                }
+                self.pos += 2;
+                let close = self.parse_name()?;
+                if close != name {
+                    return Err(
+                        self.error(&format!("mismatched close tag </{close}> for <{name}>"))
+                    );
+                }
+                self.skip_ws();
+                if !self.eat(">") {
+                    return Err(self.error("expected '>' in close tag"));
+                }
+                return Ok(Element {
+                    name,
+                    attributes,
+                    children,
+                });
+            }
+            if self.starts_with("<!--") {
+                self.skip_comment()?;
+                continue;
+            }
+            if self.starts_with("<?") {
+                self.skip_pi()?;
+                continue;
+            }
+            if self.starts_with("<") {
+                if !text.is_empty() {
+                    children.push(Node::Text(std::mem::take(&mut text)));
+                }
+                children.push(Node::Element(self.parse_element()?));
+                continue;
+            }
+            match self.bump() {
+                Some('&') => text.push(self.parse_entity()?),
+                Some(c) => text.push(c),
+                None => unreachable!("at_end checked above"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_elements() {
+        let root = parse("<a><b><c/></b><b/></a>").unwrap();
+        assert_eq!(root.name, "a");
+        assert_eq!(root.children_named("b").count(), 2);
+        assert!(root.child("b").unwrap().child("c").is_some());
+    }
+
+    #[test]
+    fn parses_attributes_quoted_and_unquoted() {
+        let root = parse(r#"<dev id=0x0001 name="Network Device" kind='nic'/>"#).unwrap();
+        assert_eq!(root.attr("id"), Some("0x0001"));
+        assert_eq!(root.attr("name"), Some("Network Device"));
+        assert_eq!(root.attr("kind"), Some("nic"));
+        assert_eq!(root.attr("missing"), None);
+    }
+
+    #[test]
+    fn parses_text_and_entities() {
+        let root = parse("<p>a &lt;b&gt; &amp; c &#65; &#x42;</p>").unwrap();
+        assert_eq!(root.text(), "a <b> & c A B");
+    }
+
+    #[test]
+    fn skips_prolog_comments_doctype() {
+        let doc = r#"<?xml version="1.0"?>
+<!DOCTYPE odf>
+<!-- header comment -->
+<root><!-- inner --><child/></root>
+<!-- trailing -->"#;
+        let root = parse(doc).unwrap();
+        assert_eq!(root.name, "root");
+        assert!(root.child("child").is_some());
+    }
+
+    #[test]
+    fn mixed_content_preserved() {
+        let root = parse("<p>pre<b>mid</b>post</p>").unwrap();
+        assert_eq!(root.children.len(), 3);
+        assert!(matches!(&root.children[0], Node::Text(t) if t == "pre"));
+        assert!(matches!(&root.children[2], Node::Text(t) if t == "post"));
+    }
+
+    #[test]
+    fn error_on_mismatched_tags() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(err.message.contains("mismatched"), "{err}");
+    }
+
+    #[test]
+    fn error_on_unclosed() {
+        let err = parse("<a><b>").unwrap_err();
+        assert!(err.message.contains("unclosed"), "{err}");
+    }
+
+    #[test]
+    fn error_on_duplicate_attribute() {
+        let err = parse(r#"<a x="1" x="2"/>"#).unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn error_on_trailing_content() {
+        let err = parse("<a/><b/>").unwrap_err();
+        assert!(err.message.contains("after document root"), "{err}");
+    }
+
+    #[test]
+    fn error_positions_are_useful() {
+        let err = parse("<a>\n  <b x=></b>\n</a>").unwrap_err();
+        assert_eq!(err.pos.line, 2);
+    }
+
+    #[test]
+    fn unknown_entity_rejected() {
+        let err = parse("<a>&nope;</a>").unwrap_err();
+        assert!(err.message.contains("unknown entity"), "{err}");
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let doc = r#"<odf version="2">
+  <package guid="123">
+    <bindname>hydra.net.Socket</bindname>
+  </package>
+  <import type="Pull" pri="0"/>
+  <note>a &lt;tricky&gt; &amp; "quoted" value</note>
+</odf>"#;
+        let root = parse(doc).unwrap();
+        let re = parse(&root.to_xml()).unwrap();
+        assert_eq!(root, re);
+    }
+
+    #[test]
+    fn whitespace_only_text_is_kept_as_node_but_trimmed_by_text() {
+        let root = parse("<a>\n  \n</a>").unwrap();
+        assert_eq!(root.text(), "");
+    }
+
+    #[test]
+    fn paper_odf_fragment_parses() {
+        // Adapted directly from the paper's Figure 4 (with the typo of an
+        // unclosed <reference> normalized to a self-closing tag).
+        let doc = r#"<offcode>
+  <package>
+    <bindname>hydra.net.utils.Socket</bindname>
+    <GUID>7070714</GUID>
+    <interface><include>"/offcodes/socket.wsdl"</include></interface>
+  </package>
+  <sw-env>
+    <import>
+      <file>"/offcodes/checksum.xdf"</file>
+      <bindname>hydra.net.utils.Checksum</bindname>
+      <reference type=Pull pri=0/>
+      <GUID>6060843</GUID>
+    </import>
+  </sw-env>
+  <targets>
+    <device-class id=0x0001>
+      <name>Network Device</name>
+      <bus>pci</bus>
+      <mac>ethernet</mac>
+      <vendor>3COM</vendor>
+    </device-class>
+  </targets>
+</offcode>"#;
+        let root = parse(doc).unwrap();
+        assert_eq!(root.name, "offcode");
+        let import = root.child("sw-env").unwrap().child("import").unwrap();
+        assert_eq!(import.child("reference").unwrap().attr("type"), Some("Pull"));
+        let dc = root.child("targets").unwrap().child("device-class").unwrap();
+        assert_eq!(dc.attr("id"), Some("0x0001"));
+        assert_eq!(dc.child("name").unwrap().text(), "Network Device");
+    }
+}

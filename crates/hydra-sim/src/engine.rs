@@ -1,0 +1,385 @@
+//! The discrete-event engine.
+//!
+//! [`Sim`] owns a user model `M` and a time-ordered event queue. Events are
+//! boxed closures that receive `&mut Sim<M>` and may mutate the model,
+//! schedule further events, or cancel pending ones. Ties in time are broken
+//! by insertion order, which makes whole-system runs bit-for-bit
+//! deterministic for a given seed.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event#{}", self.0)
+    }
+}
+
+type EventFn<M> = Box<dyn FnOnce(&mut Sim<M>)>;
+
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    action: EventFn<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first,
+        // with FIFO order among events scheduled for the same instant.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A discrete-event simulator that owns the user model `M`.
+///
+/// # Examples
+///
+/// ```
+/// use hydra_sim::{Sim, time::SimDuration};
+///
+/// let mut sim = Sim::new(0u32);
+/// sim.schedule_in(SimDuration::from_millis(1), |sim| {
+///     *sim.model_mut() += 1;
+/// });
+/// sim.run();
+/// assert_eq!(*sim.model(), 1);
+/// assert_eq!(sim.now().as_millis(), 1);
+/// ```
+pub struct Sim<M> {
+    model: M,
+    now: SimTime,
+    queue: BinaryHeap<Scheduled<M>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    executed: u64,
+}
+
+impl<M: fmt::Debug> fmt::Debug for Sim<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .field("model", &self.model)
+            .finish()
+    }
+}
+
+impl<M> Sim<M> {
+    /// Creates a simulator at time zero around the given model.
+    pub fn new(model: M) -> Self {
+        Sim {
+            model,
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            executed: 0,
+        }
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Shared access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Exclusive access to the model.
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the simulator, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending (including cancelled ones not yet
+    /// reaped).
+    pub fn events_pending(&self) -> usize {
+        self.queue.len() - self.cancelled.len()
+    }
+
+    /// Schedules `action` to run at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        action: impl FnOnce(&mut Sim<M>) + 'static,
+    ) -> EventId {
+        assert!(
+            at >= self.now,
+            "schedule_at: instant {at} is before now {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            action: Box::new(action),
+        });
+        EventId(seq)
+    }
+
+    /// Schedules `action` to run after the relative delay `delay`.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        action: impl FnOnce(&mut Sim<M>) + 'static,
+    ) -> EventId {
+        let at = self.now.saturating_add(delay);
+        self.schedule_at(at, action)
+    }
+
+    /// Schedules `action` to run "now", after all already-queued events at
+    /// the current instant.
+    pub fn schedule_now(&mut self, action: impl FnOnce(&mut Sim<M>) + 'static) -> EventId {
+        self.schedule_at(self.now, action)
+    }
+
+    /// Cancels a pending event. Returns `true` if the event had not yet run
+    /// or been cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id.0)
+    }
+
+    /// Executes the next pending event. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        loop {
+            let Some(ev) = self.queue.pop() else {
+                return false;
+            };
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            debug_assert!(ev.at >= self.now);
+            self.now = ev.at;
+            self.executed += 1;
+            (ev.action)(self);
+            return true;
+        }
+    }
+
+    /// Runs until the event queue drains.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until the event queue drains or the clock would pass `deadline`.
+    ///
+    /// Events scheduled exactly at `deadline` are executed; afterwards the
+    /// clock rests at `deadline` (or earlier, if the queue drained first).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            // Peek for the next live event.
+            let next_at = loop {
+                match self.queue.peek() {
+                    None => break None,
+                    Some(ev) if self.cancelled.contains(&ev.seq) => {
+                        let ev = self.queue.pop().expect("peeked event vanished");
+                        self.cancelled.remove(&ev.seq);
+                    }
+                    Some(ev) => break Some(ev.at),
+                }
+            };
+            match next_at {
+                Some(at) if at <= deadline => {
+                    self.step();
+                }
+                _ => {
+                    if self.now < deadline {
+                        self.now = deadline;
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Runs for a relative span of simulated time (see [`Sim::run_until`]).
+    pub fn run_for(&mut self, span: SimDuration) {
+        let deadline = self.now.saturating_add(span);
+        self.run_until(deadline);
+    }
+
+    /// Schedules a periodic action starting at `start` with the given
+    /// period. The action returns `true` to keep the cycle alive and
+    /// `false` to stop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero (the simulation would never advance).
+    pub fn every(
+        &mut self,
+        start: SimTime,
+        period: SimDuration,
+        action: impl FnMut(&mut Sim<M>) -> bool + 'static,
+    ) -> EventId {
+        assert!(!period.is_zero(), "every: period must be non-zero");
+        fn tick<M>(
+            sim: &mut Sim<M>,
+            period: SimDuration,
+            action: impl FnMut(&mut Sim<M>) -> bool + 'static,
+        ) {
+            let mut action = action;
+            if action(sim) {
+                sim.schedule_in(period, move |sim| tick(sim, period, action));
+            }
+        }
+        self.schedule_at(start, move |sim| tick(sim, period, action))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Sim::new(Vec::new());
+        sim.schedule_at(SimTime::from_millis(3), |s| s.model_mut().push(3));
+        sim.schedule_at(SimTime::from_millis(1), |s| s.model_mut().push(1));
+        sim.schedule_at(SimTime::from_millis(2), |s| s.model_mut().push(2));
+        sim.run();
+        assert_eq!(sim.model(), &[1, 2, 3]);
+        assert_eq!(sim.now(), SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut sim = Sim::new(Vec::new());
+        let t = SimTime::from_millis(1);
+        for i in 0..10 {
+            sim.schedule_at(t, move |s| s.model_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(sim.model(), &(0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim = Sim::new(0u64);
+        sim.schedule_in(SimDuration::from_millis(1), |s| {
+            *s.model_mut() += 1;
+            s.schedule_in(SimDuration::from_millis(1), |s| {
+                *s.model_mut() += 10;
+            });
+        });
+        sim.run();
+        assert_eq!(*sim.model(), 11);
+        assert_eq!(sim.now(), SimTime::from_millis(2));
+        assert_eq!(sim.events_executed(), 2);
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut sim = Sim::new(0u64);
+        let id = sim.schedule_in(SimDuration::from_millis(1), |s| *s.model_mut() += 1);
+        assert!(sim.cancel(id));
+        assert!(!sim.cancel(id), "double cancel reports false");
+        sim.run();
+        assert_eq!(*sim.model(), 0);
+        assert_eq!(sim.events_executed(), 0);
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut sim: Sim<()> = Sim::new(());
+        assert!(!sim.cancel(EventId(12345)));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Sim::new(Vec::new());
+        for ms in [1u64, 2, 3, 4, 5] {
+            sim.schedule_at(SimTime::from_millis(ms), move |s| s.model_mut().push(ms));
+        }
+        sim.run_until(SimTime::from_millis(3));
+        assert_eq!(sim.model(), &[1, 2, 3]);
+        assert_eq!(sim.now(), SimTime::from_millis(3));
+        assert_eq!(sim.events_pending(), 2);
+        sim.run();
+        assert_eq!(sim.model(), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_idle() {
+        let mut sim: Sim<()> = Sim::new(());
+        sim.run_until(SimTime::from_secs(9));
+        assert_eq!(sim.now(), SimTime::from_secs(9));
+    }
+
+    #[test]
+    fn run_until_skips_cancelled_head() {
+        let mut sim = Sim::new(0u64);
+        let id = sim.schedule_at(SimTime::from_millis(1), |s| *s.model_mut() += 1);
+        sim.schedule_at(SimTime::from_millis(2), |s| *s.model_mut() += 10);
+        sim.cancel(id);
+        sim.run_until(SimTime::from_millis(5));
+        assert_eq!(*sim.model(), 10);
+    }
+
+    #[test]
+    fn periodic_until_false() {
+        let mut sim = Sim::new(0u64);
+        sim.every(
+            SimTime::from_millis(5),
+            SimDuration::from_millis(5),
+            |s| {
+                *s.model_mut() += 1;
+                *s.model() < 4
+            },
+        );
+        sim.run();
+        assert_eq!(*sim.model(), 4);
+        assert_eq!(sim.now(), SimTime::from_millis(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "before now")]
+    fn scheduling_in_past_panics() {
+        let mut sim = Sim::new(());
+        sim.schedule_at(SimTime::from_millis(5), |_| {});
+        sim.run();
+        sim.schedule_at(SimTime::from_millis(1), |_| {});
+    }
+}

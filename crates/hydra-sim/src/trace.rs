@@ -1,0 +1,184 @@
+//! Lightweight event tracing.
+//!
+//! Models record [`TraceRecord`]s into a [`Tracer`] for debugging and for
+//! determinism tests (two runs with the same seed must produce identical
+//! traces). Tracing is off by default and costs one branch when disabled.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Category of a trace record, used for filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceCategory {
+    /// CPU execution and scheduling.
+    Cpu,
+    /// Cache and memory-subsystem activity.
+    Memory,
+    /// Bus and DMA transactions.
+    Bus,
+    /// Network packets.
+    Net,
+    /// HYDRA runtime operations (deployment, channels).
+    Runtime,
+    /// Application-level milestones.
+    App,
+}
+
+impl fmt::Display for TraceCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceCategory::Cpu => "cpu",
+            TraceCategory::Memory => "mem",
+            TraceCategory::Bus => "bus",
+            TraceCategory::Net => "net",
+            TraceCategory::Runtime => "rt",
+            TraceCategory::App => "app",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One trace record: a timestamped, categorized message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When the record was emitted.
+    pub at: SimTime,
+    /// What subsystem emitted it.
+    pub category: TraceCategory,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} {}] {}", self.at, self.category, self.message)
+    }
+}
+
+/// A bounded in-memory trace buffer.
+///
+/// # Examples
+///
+/// ```
+/// use hydra_sim::trace::{TraceCategory, Tracer};
+/// use hydra_sim::time::SimTime;
+///
+/// let mut t = Tracer::enabled(16);
+/// t.emit(SimTime::ZERO, TraceCategory::App, "hello".into());
+/// assert_eq!(t.records().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    enabled: bool,
+    capacity: usize,
+    records: Vec<TraceRecord>,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// Creates a disabled tracer; [`Tracer::emit`] becomes a no-op.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Creates an enabled tracer retaining at most `capacity` records
+    /// (oldest records are dropped first and counted).
+    pub fn enabled(capacity: usize) -> Self {
+        Tracer {
+            enabled: true,
+            capacity: capacity.max(1),
+            records: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Whether records are being retained.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Emits a record if enabled.
+    pub fn emit(&mut self, at: SimTime, category: TraceCategory, message: String) {
+        if !self.enabled {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.remove(0);
+            self.dropped += 1;
+        }
+        self.records.push(TraceRecord {
+            at,
+            category,
+            message,
+        });
+    }
+
+    /// All retained records in emission order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Records of one category.
+    pub fn by_category(&self, category: TraceCategory) -> Vec<&TraceRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.category == category)
+            .collect()
+    }
+
+    /// Number of records dropped due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Clears all retained records (the drop counter is kept).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_retains_nothing() {
+        let mut t = Tracer::disabled();
+        t.emit(SimTime::ZERO, TraceCategory::Cpu, "x".into());
+        assert!(t.records().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn capacity_drops_oldest() {
+        let mut t = Tracer::enabled(2);
+        for i in 0..4 {
+            t.emit(SimTime::from_nanos(i), TraceCategory::App, format!("{i}"));
+        }
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.records()[0].message, "2");
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn category_filter() {
+        let mut t = Tracer::enabled(8);
+        t.emit(SimTime::ZERO, TraceCategory::Cpu, "a".into());
+        t.emit(SimTime::ZERO, TraceCategory::Net, "b".into());
+        t.emit(SimTime::ZERO, TraceCategory::Cpu, "c".into());
+        let cpu = t.by_category(TraceCategory::Cpu);
+        assert_eq!(cpu.len(), 2);
+        assert_eq!(cpu[1].message, "c");
+    }
+
+    #[test]
+    fn display_formats() {
+        let r = TraceRecord {
+            at: SimTime::from_millis(1),
+            category: TraceCategory::Bus,
+            message: "dma".into(),
+        };
+        assert_eq!(r.to_string(), "[1.000ms bus] dma");
+    }
+}

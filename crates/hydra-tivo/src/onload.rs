@@ -1,0 +1,191 @@
+//! Offloading vs. *onloading* (paper §1.1).
+//!
+//! The paper's related-work argument: Piglet dedicates a host CPU to I/O
+//! ("onloading"), Regnier et al. onload TCP onto one core, SINIC
+//! integrates the NIC with the CPU. "Although onloading part of the
+//! device's functionality to a host processor can yield better
+//! performance, eventually the data will still need to be transferred
+//! between the host CPU and the device and will then incur the
+//! bus-crossing overhead." And the power argument: a Pentium 4 burns 68 W
+//! where a peripheral XScale burns 0.5 W.
+//!
+//! [`compare_designs`] evaluates the three designs on a steady packet
+//! stream and reports exactly those trade-offs: application-CPU load,
+//! dedicated-core count, bus crossings per packet, and watts per Gbps.
+
+use hydra_hw::cpu::CpuSpec;
+use hydra_media::cost::PacketCostModel;
+
+/// The I/O processing design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoDesign {
+    /// Conventional: interrupts + protocol work share the application CPU.
+    Interrupt,
+    /// Onloading (Piglet / TCP onload): one host core is dedicated to I/O.
+    Onload,
+    /// Offloading (HYDRA): the NIC's embedded processor does the protocol
+    /// work; payloads can move device-to-device.
+    Offload,
+}
+
+impl IoDesign {
+    /// All three designs in presentation order.
+    pub fn all() -> [IoDesign; 3] {
+        [IoDesign::Interrupt, IoDesign::Onload, IoDesign::Offload]
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IoDesign::Interrupt => "Interrupt (shared CPU)",
+            IoDesign::Onload => "Onload (dedicated core)",
+            IoDesign::Offload => "Offload (NIC CPU)",
+        }
+    }
+}
+
+/// Evaluation of one design at one load point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoDesignPoint {
+    /// The design.
+    pub design: IoDesign,
+    /// Fraction of the *application* CPU consumed by I/O work.
+    pub app_cpu_fraction: f64,
+    /// Whole host cores dedicated to I/O.
+    pub dedicated_cores: u32,
+    /// Host memory-bus crossings per payload (the paper's footnote-2
+    /// currency).
+    pub bus_crossings_per_packet: u32,
+    /// Electrical power of the I/O engine itself, in watts.
+    pub io_power_watts: f64,
+    /// Watts of I/O-engine power per Gbps of goodput.
+    pub watts_per_gbps: f64,
+}
+
+/// Compares the three designs for a stream of `pps` packets of
+/// `packet_bytes` each.
+///
+/// # Panics
+///
+/// Panics if `packet_bytes` is zero.
+pub fn compare_designs(packet_bytes: usize, pps: f64) -> [IoDesignPoint; 3] {
+    assert!(packet_bytes > 0, "packet size must be positive");
+    let host = CpuSpec::pentium4();
+    let nic = CpuSpec::xscale();
+    let rx = PacketCostModel::host_receive();
+    let gbps = pps * packet_bytes as f64 * 8.0 / 1e9;
+
+    // Protocol cycles per second of this stream on a host core.
+    let host_cycles = pps * rx.cycles(packet_bytes) as f64;
+    // The NIC's firmware path is leaner (no context switches, no generic
+    // socket layer) but its core is 4x slower; net per-packet cycle count
+    // is ~40% of the host path.
+    let nic_cycles = pps * (rx.cycles(packet_bytes) as f64 * 0.4);
+
+    IoDesign::all().map(|design| match design {
+        IoDesign::Interrupt => IoDesignPoint {
+            design,
+            app_cpu_fraction: (host_cycles / host.freq_hz as f64).min(1.0),
+            dedicated_cores: 0,
+            // NIC -> kernel buffer -> application buffer.
+            bus_crossings_per_packet: 2,
+            io_power_watts: 0.0, // burns the app CPU instead
+            watts_per_gbps: 0.0,
+        },
+        IoDesign::Onload => IoDesignPoint {
+            design,
+            // The application core is freed...
+            app_cpu_fraction: 0.0,
+            // ...because a whole second core soaks the I/O.
+            dedicated_cores: 1,
+            // The data still crosses to the app's cache/core.
+            bus_crossings_per_packet: 2,
+            io_power_watts: host.power_busy_watts,
+            watts_per_gbps: host.power_busy_watts / gbps.max(1e-9),
+        },
+        IoDesign::Offload => IoDesignPoint {
+            design,
+            app_cpu_fraction: 0.0,
+            dedicated_cores: 0,
+            // Device-to-device delivery: one crossing (PCIe peer) or the
+            // single final DMA into the consumer's buffer.
+            bus_crossings_per_packet: 1,
+            io_power_watts: nic.power_busy_watts
+                * (nic_cycles / nic.freq_hz as f64).min(1.0),
+            watts_per_gbps: nic.power_busy_watts
+                * (nic_cycles / nic.freq_hz as f64).min(1.0)
+                / gbps.max(1e-9),
+        },
+    })
+}
+
+impl std::fmt::Display for IoDesignPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<24} app cpu {:>5.1}% | +{} core | {} bus crossings/pkt | {:>6.2} W I/O ({:>6.2} W/Gbps)",
+            self.design.label(),
+            self.app_cpu_fraction * 100.0,
+            self.dedicated_cores,
+            self.bus_crossings_per_packet,
+            self.io_power_watts,
+            self.watts_per_gbps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points() -> [IoDesignPoint; 3] {
+        // The TiVoPC-ish stream scaled up: 1 kB packets at 100k pps (~0.8 Gbps).
+        compare_designs(1024, 100_000.0)
+    }
+
+    #[test]
+    fn interrupt_design_burns_the_app_cpu() {
+        let [interrupt, onload, offload] = points();
+        assert!(interrupt.app_cpu_fraction > 0.4);
+        assert_eq!(onload.app_cpu_fraction, 0.0);
+        assert_eq!(offload.app_cpu_fraction, 0.0);
+    }
+
+    #[test]
+    fn onload_frees_the_app_cpu_but_not_the_bus() {
+        let [interrupt, onload, offload] = points();
+        // The paper's §1.1 point verbatim: onloading keeps the bus
+        // crossings of the conventional path.
+        assert_eq!(onload.bus_crossings_per_packet, interrupt.bus_crossings_per_packet);
+        assert!(offload.bus_crossings_per_packet < onload.bus_crossings_per_packet);
+        // And it costs a whole core.
+        assert_eq!(onload.dedicated_cores, 1);
+        assert_eq!(offload.dedicated_cores, 0);
+    }
+
+    #[test]
+    fn power_gap_is_orders_of_magnitude() {
+        let [_, onload, offload] = points();
+        // Paper §1.1 argument 3: 68 W vs 0.5 W-class peripheral.
+        assert!(
+            onload.io_power_watts > 50.0 * offload.io_power_watts,
+            "onload {} W vs offload {} W",
+            onload.io_power_watts,
+            offload.io_power_watts
+        );
+        assert!(onload.watts_per_gbps > 50.0 * offload.watts_per_gbps);
+    }
+
+    #[test]
+    fn small_packets_make_interrupt_design_saturate() {
+        let [interrupt, ..] = compare_designs(64, 1_000_000.0);
+        assert_eq!(interrupt.app_cpu_fraction, 1.0);
+    }
+
+    #[test]
+    fn display_renders() {
+        for p in points() {
+            assert!(p.to_string().contains("bus crossings"));
+        }
+    }
+}

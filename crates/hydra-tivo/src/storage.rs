@@ -1,0 +1,304 @@
+//! Extension (paper §8, "Advanced Storage Services"): disk-side search.
+//!
+//! "Programmable disks will provide an opportunity to run I/O-intensive
+//! computations efficiently by running them closer to the data. Potential
+//! applications include content indexing and searching, virus scanning…"
+//!
+//! A recording lives on the NAS behind the smart disk. Find every
+//! occurrence of a byte pattern in it, two ways:
+//!
+//! * **Host scan** — the host reads every block through the conventional
+//!   path (disk → NFS → NIC DMA → kernel buffer → user copy) and scans it
+//!   on the host CPU, dragging the entire recording across the I/O bus
+//!   and through the L2.
+//! * **Disk-side Offcode** — a Search Offcode on the disk controller
+//!   scans blocks as it reads them from its private NAS path and ships
+//!   only the match offsets to the host.
+//!
+//! Both must find *exactly* the same matches (asserted on real bytes);
+//! the comparison is where the time, bus bytes and host cycles went.
+
+use bytes::Bytes;
+use hydra_devices::disk::{SmartDiskModel, BLOCK_BYTES};
+use hydra_devices::host::HostModel;
+use hydra_devices::nic::NicModel;
+use hydra_hw::cache::AccessKind;
+use hydra_hw::cpu::Cycles;
+use hydra_net::nfs::NasServer;
+use hydra_sim::rng::DetRng;
+use hydra_sim::time::{SimDuration, SimTime};
+
+/// Which implementation performs the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SearchKind {
+    /// Read everything to the host and scan there.
+    HostScan,
+    /// Scan on the disk controller, return offsets only.
+    DiskOffcode,
+}
+
+impl SearchKind {
+    /// Both designs.
+    pub fn all() -> [SearchKind; 2] {
+        [SearchKind::HostScan, SearchKind::DiskOffcode]
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SearchKind::HostScan => "Host scan",
+            SearchKind::DiskOffcode => "Disk-side Offcode",
+        }
+    }
+}
+
+/// Results of one search run.
+#[derive(Debug, Clone)]
+pub struct SearchRun {
+    /// The design.
+    pub kind: SearchKind,
+    /// Byte offsets of every match, ascending.
+    pub matches: Vec<u64>,
+    /// Wall-clock (simulated) completion time.
+    pub elapsed: SimDuration,
+    /// Host CPU busy time during the search.
+    pub host_busy: SimDuration,
+    /// Bytes that crossed the host's I/O bus.
+    pub host_bus_bytes: u64,
+    /// Host L2 misses incurred.
+    pub host_l2_misses: u64,
+}
+
+/// Builds a deterministic corpus with `plants` occurrences of `needle`
+/// sprinkled through random filler (filler is generated needle-free).
+pub fn build_corpus(len: usize, needle: &[u8], plants: usize, seed: u64) -> Vec<u8> {
+    assert!(!needle.is_empty() && needle.len() < 64, "sane needle");
+    let mut rng = DetRng::new(seed);
+    let mut data: Vec<u8> = (0..len)
+        .map(|_| {
+            // Exclude the needle's first byte from filler so accidental
+            // matches are impossible.
+            let mut b = rng.next_below(255) as u8;
+            if b == needle[0] {
+                b = b.wrapping_add(1);
+            }
+            b
+        })
+        .collect();
+    if plants > 0 {
+        let stride = len.checked_div(plants).expect("plants > 0 checked above");
+        assert!(stride > needle.len() * 2, "corpus too small for plants");
+        for i in 0..plants {
+            let at = i * stride + (rng.index(stride - needle.len()));
+            data[at..at + needle.len()].copy_from_slice(needle);
+        }
+    }
+    data
+}
+
+fn find_all(haystack: &[u8], needle: &[u8], base: u64, out: &mut Vec<u64>) {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return;
+    }
+    for i in 0..=haystack.len() - needle.len() {
+        if &haystack[i..i + needle.len()] == needle {
+            out.push(base + i as u64);
+        }
+    }
+}
+
+/// Scan cost: ~1.5 cycles per byte on either processor.
+fn scan_cycles(bytes: usize) -> Cycles {
+    Cycles::new(bytes as u64 * 3 / 2)
+}
+
+/// Runs one search over a corpus previously stored via the smart disk.
+///
+/// # Panics
+///
+/// Panics if the corpus does not fit the disk protocol's assumptions
+/// (empty needle etc. — validated by `build_corpus`).
+pub fn run_search(kind: SearchKind, corpus: &[u8], needle: &[u8], seed: u64) -> SearchRun {
+    // Stage the corpus on the NAS through the disk.
+    let mut nas = NasServer::default();
+    let mut disk = SmartDiskModel::new();
+    disk.open(&mut nas, "/dvr/corpus");
+    let mut t = SimTime::ZERO;
+    for (i, block) in corpus.chunks(BLOCK_BYTES).enumerate() {
+        let op = disk
+            .write_block(t, &mut nas, i as u64, Bytes::copy_from_slice(block))
+            .expect("staging writes succeed");
+        t = op.complete_at;
+    }
+    let start = t;
+
+    let mut host = HostModel::paper_host(seed ^ 0x5EA6);
+    let mut nic = NicModel::new_3c985b(seed);
+    let mut matches = Vec::new();
+    let blocks = corpus.len().div_ceil(BLOCK_BYTES) as u64;
+    // Overlap buffer so matches spanning block boundaries are found.
+    let overlap = needle.len().saturating_sub(1);
+
+    let host_busy_before = host.cpu.retired();
+    let end_time;
+    match kind {
+        SearchKind::HostScan => {
+            let kbuf = host.space.alloc("scan-kbuf", BLOCK_BYTES);
+            let ubuf = host.space.alloc("scan-ubuf", BLOCK_BYTES + 64);
+            let mut tail: Vec<u8> = Vec::new();
+            let mut now = start;
+            for b in 0..blocks {
+                let (data, op) = disk.read_block(now, &mut nas, b).expect("block exists");
+                // The block crosses the host bus by NIC DMA (the disk *is*
+                // a NIC exporting a block device).
+                let xfer = nic.dma_from_host(op.complete_at, &mut host.bus, kbuf);
+                host.mem.dma_transfer(kbuf);
+                let irq = host.interrupt(xfer.end);
+                let copy = host.cpu_copy(irq.end, kbuf, ubuf, data.len());
+                // Scan (tail + block) on the host CPU.
+                let mut window = std::mem::take(&mut tail);
+                let base = b * BLOCK_BYTES as u64 - window.len() as u64;
+                window.extend_from_slice(&data);
+                find_all(&window, needle, base, &mut matches);
+                let scan = host.compute_over(
+                    copy.end,
+                    ubuf.slice(0, data.len().max(1)),
+                    scan_cycles(window.len()),
+                    AccessKind::Read,
+                );
+                tail = window[window.len().saturating_sub(overlap)..].to_vec();
+                now = scan.end;
+            }
+            end_time = now;
+        }
+        SearchKind::DiskOffcode => {
+            let mut tail: Vec<u8> = Vec::new();
+            let mut now = start;
+            for b in 0..blocks {
+                let (data, op) = disk.read_block(now, &mut nas, b).expect("block exists");
+                let mut window = std::mem::take(&mut tail);
+                let base = b * BLOCK_BYTES as u64 - window.len() as u64;
+                window.extend_from_slice(&data);
+                find_all(&window, needle, base, &mut matches);
+                // The scan runs on the controller CPU.
+                let scan = disk.offcode_work(op.complete_at, scan_cycles(window.len()));
+                tail = window[window.len().saturating_sub(overlap)..].to_vec();
+                now = scan.end;
+            }
+            // Ship only the result offsets across the bus (8 B each) and
+            // take one interrupt.
+            let result_buf = host.space.alloc("results", (matches.len() * 8).max(64));
+            let xfer = nic.dma_from_host(now, &mut host.bus, result_buf);
+            host.mem.dma_transfer(result_buf);
+            let irq = host.interrupt(xfer.end);
+            end_time = irq.end;
+        }
+    }
+    // Deduplicate overlap-window rescans (a match inside the overlap is
+    // found twice).
+    matches.sort_unstable();
+    matches.dedup();
+
+    let busy_cycles = host.cpu.retired().get() - host_busy_before.get();
+    SearchRun {
+        kind,
+        matches,
+        elapsed: end_time.duration_since(start),
+        host_busy: host.cpu.spec().duration_of(Cycles::new(busy_cycles)),
+        host_bus_bytes: host.bus.bytes_moved(),
+        host_l2_misses: host.mem.cache().stats().misses,
+    }
+}
+
+impl std::fmt::Display for SearchRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<18} {:>4} matches in {} | host busy {} | bus {} B | L2 misses {}",
+            self.kind.label(),
+            self.matches.len(),
+            self.elapsed,
+            self.host_busy,
+            self.host_bus_bytes,
+            self.host_l2_misses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NEEDLE: &[u8] = b"\x7fVIRUS_SIGNATURE";
+
+    fn runs(len: usize, plants: usize) -> (SearchRun, SearchRun) {
+        let corpus = build_corpus(len, NEEDLE, plants, 7);
+        (
+            run_search(SearchKind::HostScan, &corpus, NEEDLE, 7),
+            run_search(SearchKind::DiskOffcode, &corpus, NEEDLE, 7),
+        )
+    }
+
+    #[test]
+    fn both_find_exactly_the_planted_matches() {
+        let (host, disk) = runs(256 * 1024, 9);
+        assert_eq!(host.matches.len(), 9);
+        assert_eq!(host.matches, disk.matches);
+    }
+
+    #[test]
+    fn matches_spanning_block_boundaries_are_found() {
+        // Hand-plant a needle across the 4096-byte boundary.
+        let mut corpus = build_corpus(3 * BLOCK_BYTES, NEEDLE, 0, 3);
+        let at = BLOCK_BYTES - NEEDLE.len() / 2;
+        corpus[at..at + NEEDLE.len()].copy_from_slice(NEEDLE);
+        let host = run_search(SearchKind::HostScan, &corpus, NEEDLE, 3);
+        let disk = run_search(SearchKind::DiskOffcode, &corpus, NEEDLE, 3);
+        assert_eq!(host.matches, vec![at as u64]);
+        assert_eq!(disk.matches, vec![at as u64]);
+    }
+
+    #[test]
+    fn disk_side_saves_host_resources() {
+        let (host, disk) = runs(512 * 1024, 4);
+        assert!(
+            disk.host_busy < host.host_busy / 5,
+            "host busy {} vs {}",
+            disk.host_busy,
+            host.host_busy
+        );
+        assert!(
+            disk.host_bus_bytes < host.host_bus_bytes / 10,
+            "bus {} vs {}",
+            disk.host_bus_bytes,
+            host.host_bus_bytes
+        );
+        assert!(disk.host_l2_misses < host.host_l2_misses / 5);
+    }
+
+    #[test]
+    fn disk_side_is_not_slower_end_to_end() {
+        // The controller CPU is 4x slower, but it skips the extra bus hop,
+        // the interrupt-per-block, and the copies.
+        let (host, disk) = runs(512 * 1024, 4);
+        assert!(
+            disk.elapsed < host.elapsed * 2,
+            "disk {} vs host {}",
+            disk.elapsed,
+            host.elapsed
+        );
+    }
+
+    #[test]
+    fn empty_corpus_yields_no_matches() {
+        let corpus = build_corpus(BLOCK_BYTES, NEEDLE, 0, 1);
+        let run = run_search(SearchKind::DiskOffcode, &corpus, NEEDLE, 1);
+        assert!(run.matches.is_empty());
+    }
+
+    #[test]
+    fn display_renders() {
+        let (host, _) = runs(64 * 1024, 2);
+        assert!(host.to_string().contains("matches"));
+    }
+}

@@ -1,0 +1,180 @@
+//! The GHz/Gbps ratio model (paper Figure 1, after Foong et al.).
+//!
+//! Figure 1 plots how many gigahertz of host CPU one gigabit per second of
+//! TCP traffic consumes, as a function of packet size, for transmit and
+//! receive. The shape is pure per-packet-overhead amortization: small
+//! packets mean many syscalls/interrupts/descriptor operations per byte,
+//! so the ratio explodes; large packets approach the per-byte copy floor;
+//! and receive sits above transmit because the kernel takes an interrupt
+//! per packet and cannot avoid the final copy to the (cache-cold) user
+//! buffer.
+
+use hydra_hw::cpu::CpuSpec;
+use hydra_media::cost::PacketCostModel;
+
+/// Direction of the transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TcpDirection {
+    /// Host sends.
+    Transmit,
+    /// Host receives.
+    Receive,
+}
+
+/// One point of the Figure-1 curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GhzGbpsPoint {
+    /// Packet payload size in bytes.
+    pub packet_bytes: usize,
+    /// Fraction of one CPU consumed at the achieved throughput.
+    pub cpu_utilization: f64,
+    /// Achieved throughput in Gbps (line rate unless CPU-bound).
+    pub throughput_gbps: f64,
+    /// The figure's y-axis: `utilization × CPU GHz / throughput Gbps`.
+    pub ghz_per_gbps: f64,
+}
+
+/// The Figure-1 model: a host CPU spec, a line rate, and per-direction
+/// packet cost models.
+#[derive(Debug, Clone)]
+pub struct GhzGbpsModel {
+    cpu: CpuSpec,
+    line_rate_bps: u64,
+    transmit: PacketCostModel,
+    receive: PacketCostModel,
+}
+
+impl Default for GhzGbpsModel {
+    fn default() -> Self {
+        Self::paper_setup()
+    }
+}
+
+impl GhzGbpsModel {
+    /// The paper's setup: P4-class host on gigabit Ethernet.
+    pub fn paper_setup() -> Self {
+        GhzGbpsModel {
+            cpu: CpuSpec::pentium4(),
+            line_rate_bps: 1_000_000_000,
+            transmit: PacketCostModel::host_transmit(),
+            receive: PacketCostModel::host_receive(),
+        }
+    }
+
+    /// Evaluates one packet size in one direction.
+    ///
+    /// If processing all line-rate packets would need more than one CPU,
+    /// throughput degrades to what one CPU can sustain (the regime where
+    /// "host CPUs spend all of their cycles just processing network
+    /// traffic").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packet_bytes` is zero.
+    pub fn evaluate(&self, packet_bytes: usize, dir: TcpDirection) -> GhzGbpsPoint {
+        assert!(packet_bytes > 0, "packet size must be positive");
+        let model = match dir {
+            TcpDirection::Transmit => &self.transmit,
+            TcpDirection::Receive => &self.receive,
+        };
+        let cycles_per_packet = model.cycles(packet_bytes) as f64;
+        let line_pps = self.line_rate_bps as f64 / 8.0 / packet_bytes as f64;
+        let cycles_needed = line_pps * cycles_per_packet;
+        let freq = self.cpu.freq_hz as f64;
+        let (utilization, achieved_pps) = if cycles_needed <= freq {
+            (cycles_needed / freq, line_pps)
+        } else {
+            (1.0, freq / cycles_per_packet)
+        };
+        let throughput_gbps = achieved_pps * packet_bytes as f64 * 8.0 / 1e9;
+        let ghz = utilization * freq / 1e9;
+        GhzGbpsPoint {
+            packet_bytes,
+            cpu_utilization: utilization,
+            throughput_gbps,
+            ghz_per_gbps: ghz / throughput_gbps,
+        }
+    }
+
+    /// The standard Figure-1 sweep: packet sizes 64 B … 64 kB.
+    pub fn sweep(&self, dir: TcpDirection) -> Vec<GhzGbpsPoint> {
+        let mut sizes = Vec::new();
+        let mut s = 64usize;
+        while s <= 64 * 1024 {
+            sizes.push(s);
+            s *= 2;
+        }
+        sizes.into_iter().map(|s| self.evaluate(s, dir)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_decreases_with_packet_size() {
+        let m = GhzGbpsModel::paper_setup();
+        for dir in [TcpDirection::Transmit, TcpDirection::Receive] {
+            let pts = m.sweep(dir);
+            for w in pts.windows(2) {
+                assert!(
+                    w[1].ghz_per_gbps < w[0].ghz_per_gbps,
+                    "{dir:?}: ratio not decreasing at {} bytes",
+                    w[1].packet_bytes
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn receive_costs_more_than_transmit() {
+        let m = GhzGbpsModel::paper_setup();
+        let tx = m.sweep(TcpDirection::Transmit);
+        let rx = m.sweep(TcpDirection::Receive);
+        for (t, r) in tx.iter().zip(&rx) {
+            assert!(
+                r.ghz_per_gbps > t.ghz_per_gbps,
+                "receive should dominate at {} bytes",
+                t.packet_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn small_packets_saturate_the_cpu() {
+        let m = GhzGbpsModel::paper_setup();
+        let p = m.evaluate(64, TcpDirection::Receive);
+        assert_eq!(p.cpu_utilization, 1.0);
+        assert!(p.throughput_gbps < 1.0, "CPU-bound below line rate");
+    }
+
+    #[test]
+    fn large_packets_reach_line_rate_cheaply() {
+        let m = GhzGbpsModel::paper_setup();
+        let p = m.evaluate(64 * 1024, TcpDirection::Transmit);
+        assert!((p.throughput_gbps - 1.0).abs() < 1e-9);
+        assert!(p.cpu_utilization < 0.8);
+    }
+
+    #[test]
+    fn paper_magnitudes_are_plausible() {
+        // Foong et al. report roughly ~1 GHz/Gbps for ~1 kB receive and
+        // several GHz/Gbps at tiny packets.
+        let m = GhzGbpsModel::paper_setup();
+        let kb = m.evaluate(1024, TcpDirection::Receive);
+        assert!(
+            (0.3..3.0).contains(&kb.ghz_per_gbps),
+            "1 kB receive ratio {}",
+            kb.ghz_per_gbps
+        );
+        let tiny = m.evaluate(64, TcpDirection::Receive);
+        assert!(tiny.ghz_per_gbps > 5.0, "tiny ratio {}", tiny.ghz_per_gbps);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_packet_rejected() {
+        GhzGbpsModel::paper_setup().evaluate(0, TcpDirection::Transmit);
+    }
+}

@@ -1,0 +1,89 @@
+//! §5 walkthrough: the offloading layout graph as an ILP.
+//!
+//! Builds a deliberately adversarial layout, prints the generated integer
+//! program, and solves it with both the greedy heuristic and the exact
+//! branch-and-bound ILP under both of the paper's objectives — showing
+//! the case the paper warns about: "for complex scenarios a greedy
+//! solution is not always optimal".
+//!
+//! Run with: `cargo run --example layout_optimizer`
+
+use hydra::core::layout::{LayoutGraph, LayoutNode, Objective};
+use hydra::ilp::solve_ilp;
+use hydra::odf::odf::{ConstraintKind, Guid};
+
+fn main() {
+    // One device (besides the host) with limited bus capacity, three
+    // Offcodes: a big standalone one, and a Pull-tied pair whose combined
+    // value exceeds the big one.
+    let mut g = LayoutGraph::new();
+    let big = g.add_node(LayoutNode {
+        guid: Guid(1),
+        bind_name: "analytics.BulkScan".into(),
+        compat: vec![true, true],
+        price: 10.0,
+    });
+    let dec = g.add_node(LayoutNode {
+        guid: Guid(2),
+        bind_name: "tivo.Decoder".into(),
+        compat: vec![true, true],
+        price: 6.0,
+    });
+    let dis = g.add_node(LayoutNode {
+        guid: Guid(3),
+        bind_name: "tivo.Display".into(),
+        compat: vec![true, true],
+        price: 6.0,
+    });
+    g.add_edge(dec, dis, ConstraintKind::Pull);
+    let _ = big;
+
+    println!("layout graph: {} offcodes, {} constraint edges", g.nodes().len(), g.edges().len());
+    for n in g.nodes() {
+        println!("  {:<22} price {:>4}  compat {:?}", n.bind_name, n.price, n.compat);
+    }
+
+    // Objective 2: maximize bus usage under a capacity of 12.
+    let obj = Objective::MaximizeBusUsage {
+        capacities: vec![f64::INFINITY, 12.0],
+    };
+
+    // Show the generated integer program.
+    let (problem, _vars) = g.to_ilp(&obj).expect("objective matches graph");
+    println!(
+        "\ngenerated ILP: {} binary variables, {} constraints",
+        problem.num_vars(),
+        problem.num_constraints()
+    );
+    for c in problem.constraints() {
+        let terms: Vec<String> = c
+            .terms
+            .iter()
+            .map(|(v, k)| format!("{k:+}·x{}", v.index()))
+            .collect();
+        println!("  {:<10} {} {} {}", c.name, terms.join(" "), c.sense, c.rhs);
+    }
+
+    // Solve: greedy vs exact.
+    let greedy = g.resolve_greedy(&obj);
+    let exact = g.resolve_ilp(&obj).expect("host fallback is always feasible");
+    println!("\ngreedy placement: {greedy}   (bus value {})", g.bus_value(&greedy));
+    println!("ILP placement:    {exact}   (bus value {})", g.bus_value(&exact));
+    let result = solve_ilp(&problem);
+    println!(
+        "branch-and-bound explored {} nodes, pruned {}",
+        result.stats.nodes, result.stats.pruned
+    );
+    assert!(g.bus_value(&exact) > g.bus_value(&greedy));
+    println!("\n=> greedy grabbed the big Offcode first and starved the Pull pair;");
+    println!("   the exact ILP offloads the pair (value 12 > 10) — the paper's §5 point.");
+
+    // Objective 1 for contrast: maximize offloading count.
+    let count = g
+        .resolve_ilp(&Objective::MaximizeOffloading)
+        .expect("feasible");
+    println!(
+        "\nunder 'maximized offloading': {count} ({} of 3 offloaded)",
+        count.offloaded_count()
+    );
+}

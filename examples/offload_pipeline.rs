@@ -1,0 +1,113 @@
+//! Deployment internals (§3.4 + §4.2): ODF → layout graph → placement →
+//! linking at a device-allocated base → the two loading strategies.
+//!
+//! This example drives each stage of the pipeline by hand, printing what
+//! the runtime normally does behind `CreateOffcode`.
+//!
+//! Run with: `cargo run --example offload_pipeline`
+
+use hydra::core::device::{DeviceDescriptor, DeviceRegistry};
+use hydra::core::layout::{LayoutGraph, Objective};
+use hydra::core::offcode::synthetic_object;
+use hydra::link::loader::{load_device_side, load_host_side, DeviceMemoryAllocator};
+use hydra::odf::odf::OdfDocument;
+
+const STREAMER_ODF: &str = r#"<offcode>
+  <package>
+    <bindname>tivo.Streamer</bindname>
+    <GUID>0x7101</GUID>
+    <interface><include>/offcodes/streamer.wsdl</include></interface>
+  </package>
+  <sw-env>
+    <import>
+      <file>/offcodes/decoder.odf</file>
+      <bindname>tivo.Decoder</bindname>
+      <reference type=Gang pri=0/>
+      <GUID>0x7103</GUID>
+    </import>
+  </sw-env>
+  <targets>
+    <device-class id=0x0001>
+      <name>Network Device</name>
+      <bus>pci</bus>
+      <mac>ethernet</mac>
+    </device-class>
+  </targets>
+</offcode>"#;
+
+const DECODER_ODF: &str = r#"<offcode>
+  <package>
+    <bindname>tivo.Decoder</bindname>
+    <GUID>0x7103</GUID>
+  </package>
+  <targets>
+    <device-class id=0x0003><name>GPU</name></device-class>
+  </targets>
+</offcode>"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Stage 1: parse the manifests. ----------------------------------
+    let streamer = OdfDocument::parse(STREAMER_ODF)?;
+    let decoder = OdfDocument::parse(DECODER_ODF)?;
+    println!(
+        "parsed ODFs: {} (imports {}), {}",
+        streamer.bind_name,
+        streamer.imports[0].bind_name,
+        decoder.bind_name
+    );
+
+    // --- Stage 2: the offloading layout graph. --------------------------
+    let mut devices = DeviceRegistry::new();
+    let nic = devices.install(DeviceDescriptor::programmable_nic());
+    let gpu = devices.install(DeviceDescriptor::gpu());
+    let graph = LayoutGraph::from_odfs(&[streamer, decoder], &devices)?;
+    println!(
+        "layout graph: {} nodes, {} edges ({:?})",
+        graph.nodes().len(),
+        graph.edges().len(),
+        graph.edges()[0].constraint
+    );
+
+    // --- Stage 3: placement. --------------------------------------------
+    let placement = graph.resolve_ilp(&Objective::MaximizeOffloading)?;
+    println!("placement: {placement}");
+    assert_eq!(placement.device_of(hydra::core::layout::NodeIdx(0)), nic);
+    assert_eq!(placement.device_of(hydra::core::layout::NodeIdx(1)), gpu);
+
+    // --- Stage 4: dynamic loading, both strategies of §4.2. --------------
+    let object = synthetic_object("tivo.Streamer", 16 * 1024, 2048);
+    println!(
+        "\nOffcode object: {} bytes loaded ({} undefined symbols: {:?})",
+        object.load_size(),
+        object.undefined_symbols().len(),
+        object.undefined_symbols()
+    );
+    let exports = devices.get(nic).exports.clone();
+
+    // Host-side linking: AllocateOffcodeMemory, link at the returned base,
+    // ship the finished image.
+    let mut alloc = DeviceMemoryAllocator::new(0x1_0000, 2 * 1024 * 1024);
+    let (image, plan) = load_host_side(std::slice::from_ref(&object), &mut alloc, &exports)?;
+    println!(
+        "host-side link : base {:#x}, entry {:#x?}, {} B transferred, \
+         host/dev work {}/{} units",
+        image.base,
+        image.symbol("tivo.Streamer_entry").expect("entry exists"),
+        plan.transfer_bytes,
+        plan.host_work_units,
+        plan.device_work_units
+    );
+
+    // Device-side loading: ship the object as-is, the device links.
+    let mut alloc2 = DeviceMemoryAllocator::new(0x1_0000, 2 * 1024 * 1024);
+    let (image2, plan2) = load_device_side(std::slice::from_ref(&object), &mut alloc2, &exports)?;
+    println!(
+        "device-side link: base {:#x}, {} B transferred, host/dev work {}/{} units, \
+         {} B device memory",
+        image2.base, plan2.transfer_bytes, plan2.host_work_units, plan2.device_work_units,
+        plan2.device_memory_bytes
+    );
+    println!("\nidentical images either way: {}", image.bytes == image2.bytes);
+    assert_eq!(image.bytes, image2.bytes);
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! TOE: terminate the same TCP on the host or on the NIC (paper §1.1).
+//!
+//! Demonstrates the `hydra-net` TCP-lite stack — handshake, loss
+//! recovery, reordering — and the offloading consequence: moving the
+//! *same protocol state machine* from the host CPU to the NIC's
+//! processor removes nearly all host cycles, interrupts, and two thirds
+//! of the bus traffic, while delivering byte-identical data.
+//!
+//! Run with: `cargo run --release --example toe_tcp`
+
+use hydra::net::tcp::{TcpEndpoint, TcpState};
+use hydra::sim::time::SimTime;
+use hydra::tivo::toe::{run_bulk_receive, TcpPlacement};
+
+fn main() {
+    // --- The protocol machine, standalone. -----------------------------
+    let mut client = TcpEndpoint::client(1);
+    let mut server = TcpEndpoint::listener(1000);
+    let syn = client.connect(SimTime::ZERO);
+    let synack = server.on_segment(&syn, SimTime::ZERO).pop().expect("syn-ack");
+    for seg in client.on_segment(&synack, SimTime::ZERO) {
+        server.on_segment(&seg, SimTime::ZERO);
+    }
+    assert_eq!(client.state(), TcpState::Established);
+    assert_eq!(server.state(), TcpState::Established);
+    println!("TCP-lite handshake complete: both endpoints Established");
+
+    client.send(b"offloading is the generalization of the TOE");
+    for seg in client.pump_output(SimTime::ZERO) {
+        server.on_segment(&seg, SimTime::ZERO);
+    }
+    println!(
+        "delivered: {:?}",
+        String::from_utf8_lossy(&server.take_deliverable())
+    );
+
+    // --- The offload experiment. ----------------------------------------
+    println!("\nBulk receive of 200 kB at 2% segment loss:");
+    let data: Vec<u8> = (0..200_000usize).map(|i| (i % 249) as u8).collect();
+    for placement in TcpPlacement::all() {
+        let run = run_bulk_receive(placement, &data, 0.02, 42);
+        assert_eq!(run.delivered, data, "TCP must deliver exactly");
+        println!("  {run}");
+    }
+    println!("\nSame state machine, same recovery — only the cycle owner changed.");
+}

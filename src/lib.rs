@@ -1,0 +1,34 @@
+//! # HYDRA — operating-system support for programmable devices
+//!
+//! A full reproduction of *"Tapping into the Fountain of CPUs: On Operating
+//! System Support for Programmable Devices"* (Weinsberg, Dolev, Anker,
+//! Ben-Yehuda, Wyckoff — ASPLOS 2008) as a Rust workspace.
+//!
+//! This facade crate re-exports every subsystem:
+//!
+//! - [`sim`] — deterministic discrete-event simulation kernel
+//! - [`hw`] — host hardware models (CPU, L2 cache, buses, DMA, interrupts)
+//! - [`net`] — network substrate (packets, switch, UDP-lite, NFS-lite)
+//! - [`media`] — toy MPEG codec with I/P/B group-of-pictures structure
+//! - [`odf`] — Offcode Description Files (XML manifesto parser)
+//! - [`link`] — HOF object format, relocations, dynamic offcode loading
+//! - [`ilp`] — simplex LP + branch-and-bound 0/1 ILP solver
+//! - [`core`] — the HYDRA runtime: offcodes, channels, layout, deployment
+//! - [`devices`] — programmable NIC, smart disk, GPU device models
+//! - [`tivo`] — the TiVoPC case study and the paper's experiment harness
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system
+//! inventory and per-experiment index.
+
+#![forbid(unsafe_code)]
+
+pub use hydra_core as core;
+pub use hydra_devices as devices;
+pub use hydra_hw as hw;
+pub use hydra_ilp as ilp;
+pub use hydra_link as link;
+pub use hydra_media as media;
+pub use hydra_net as net;
+pub use hydra_odf as odf;
+pub use hydra_sim as sim;
+pub use hydra_tivo as tivo;

@@ -1,0 +1,282 @@
+//! Property-based tests over the workspace's core data structures and
+//! invariants.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use hydra::core::call::{Call, Value};
+use hydra::hw::cache::{AccessKind, AccessOutcome, Cache, CacheConfig};
+use hydra::ilp::model::{Direction, Problem, Sense};
+use hydra::ilp::{solve_by_enumeration, solve_ilp, Outcome};
+use hydra::link::object::{HofObject, Section, Symbol, SymbolKind};
+use hydra::media::entropy::{decode_block, encode_block, get_varint, put_varint, zz_decode, zz_encode};
+use hydra::media::frame::RawFrame;
+use hydra::media::transform::{dequantize, forward, inverse, quantize};
+use hydra::media::codec::{CodecConfig, Decoder, Encoder, GopConfig};
+use hydra::odf::odf::{ConstraintKind, DeviceClassSpec, Guid, Import, OdfDocument};
+use hydra::odf::xml;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Unit),
+        any::<bool>().prop_map(Value::Bool),
+        any::<u32>().prop_map(Value::U32),
+        any::<u64>().prop_map(Value::U64),
+        any::<i64>().prop_map(Value::I64),
+        proptest::collection::vec(any::<u8>(), 0..256)
+            .prop_map(|v| Value::Bytes(Bytes::from(v))),
+        "[a-zA-Z0-9 _-]{0,64}".prop_map(Value::Str),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- call marshaling ------------------------------------------------
+
+    #[test]
+    fn call_round_trips(
+        guid in any::<u64>(),
+        op in "[a-z_]{1,24}",
+        ret in any::<u64>(),
+        args in proptest::collection::vec(value_strategy(), 0..8),
+    ) {
+        let mut call = Call::new(Guid(guid), op).with_return_id(ret);
+        call.args = args;
+        let wire = call.encode();
+        prop_assert_eq!(wire.len(), call.wire_size());
+        let decoded = Call::decode(wire).expect("round trip");
+        prop_assert_eq!(decoded, call);
+    }
+
+    #[test]
+    fn call_decode_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Call::decode(Bytes::from(raw));
+    }
+
+    // ---- varints / zigzag ----------------------------------------------
+
+    #[test]
+    fn varint_round_trips(v in any::<u64>()) {
+        let mut buf = bytes::BytesMut::new();
+        put_varint(&mut buf, v);
+        let mut raw = buf.freeze();
+        prop_assert_eq!(get_varint(&mut raw).expect("valid varint"), v);
+        prop_assert!(raw.is_empty());
+    }
+
+    #[test]
+    fn zigzag_round_trips(v in any::<i64>()) {
+        prop_assert_eq!(zz_decode(zz_encode(v)), v);
+    }
+
+    // ---- transform / entropy --------------------------------------------
+
+    #[test]
+    fn transform_pair_is_identity(vals in proptest::collection::vec(-255i32..=255, 64)) {
+        let mut block = [0i32; 64];
+        block.copy_from_slice(&vals);
+        let original = block;
+        forward(&mut block);
+        inverse(&mut block);
+        prop_assert_eq!(block, original);
+    }
+
+    #[test]
+    fn quantize_error_bounded(
+        vals in proptest::collection::vec(-20_000i32..=20_000, 64),
+        q in 1u16..=64,
+    ) {
+        let mut block = [0i32; 64];
+        block.copy_from_slice(&vals);
+        let original = block;
+        quantize(&mut block, q);
+        dequantize(&mut block, q);
+        for (a, b) in original.iter().zip(&block) {
+            prop_assert!((a - b).abs() <= q as i32 / 2 + 1);
+        }
+    }
+
+    #[test]
+    fn entropy_block_round_trips(vals in proptest::collection::vec(-1000i32..=1000, 64)) {
+        let mut block = [0i32; 64];
+        block.copy_from_slice(&vals);
+        let mut buf = bytes::BytesMut::new();
+        encode_block(&mut buf, &block);
+        let mut out = [0i32; 64];
+        decode_block(&mut buf.freeze(), &mut out).expect("round trip");
+        prop_assert_eq!(out, block);
+    }
+
+    #[test]
+    fn entropy_decode_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = decode_block(&mut Bytes::from(raw), &mut [0i32; 64]);
+    }
+
+    // ---- codec -----------------------------------------------------------
+
+    #[test]
+    fn codec_lossless_at_q1(seed in 0u64..1000, n in 1u64..6) {
+        let video = hydra::media::frame::SyntheticVideo::new(16, 16);
+        let frames: Vec<RawFrame> = (0..n).map(|i| video.frame(seed + i)).collect();
+        let stream = Encoder::new(CodecConfig { quantizer: 1, gop: GopConfig::ipp() })
+            .encode_sequence(&frames);
+        let mut dec = Decoder::new();
+        let mut out = Vec::new();
+        for f in &stream {
+            out.extend(dec.push(f).expect("valid stream"));
+        }
+        out.extend(dec.flush());
+        out.sort_by_key(|(i, _)| *i);
+        let decoded: Vec<RawFrame> = out.into_iter().map(|(_, f)| f).collect();
+        prop_assert_eq!(decoded, frames);
+    }
+
+    // ---- cache ------------------------------------------------------------
+
+    #[test]
+    fn cache_hit_after_fill(addrs in proptest::collection::vec(0u64..1u64 << 20, 1..64)) {
+        let mut cache = Cache::new(CacheConfig {
+            size_bytes: 16 * 1024,
+            line_bytes: 64,
+            ways: 4,
+        });
+        for &a in &addrs {
+            cache.access(a, AccessKind::Read);
+            // Immediately after an access the line must be present.
+            prop_assert_eq!(cache.access(a, AccessKind::Read), AccessOutcome::Hit);
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.accesses(), addrs.len() as u64 * 2);
+        prop_assert!(stats.misses <= addrs.len() as u64);
+        prop_assert!(cache.resident_lines() <= 16 * 1024 / 64);
+    }
+
+    #[test]
+    fn cache_miss_count_bounded_by_unique_lines(
+        addrs in proptest::collection::vec(0u64..1u64 << 14, 1..256),
+    ) {
+        // A cache at least as large as the address space never conflicts:
+        // misses == unique lines touched.
+        let mut cache = Cache::new(CacheConfig {
+            size_bytes: 32 * 1024,
+            line_bytes: 64,
+            ways: 8,
+        });
+        let mut unique = std::collections::HashSet::new();
+        for &a in &addrs {
+            cache.access(a, AccessKind::Read);
+            unique.insert(a / 64);
+        }
+        prop_assert_eq!(cache.stats().misses, unique.len() as u64);
+    }
+
+    // ---- ODF / XML ---------------------------------------------------------
+
+    #[test]
+    fn odf_round_trips(
+        guid in 1u64..1u64 << 48,
+        name in "[a-zA-Z][a-zA-Z0-9.]{0,32}",
+        n_imports in 0usize..4,
+        n_targets in 0usize..3,
+    ) {
+        let mut odf = OdfDocument::new(name, Guid(guid));
+        for i in 0..n_imports {
+            odf = odf.with_import(Import {
+                file: format!("/offcodes/dep{i}.odf"),
+                bind_name: format!("dep{i}"),
+                guid: Guid(guid + 1 + i as u64),
+                constraint: match i % 4 {
+                    0 => ConstraintKind::Link,
+                    1 => ConstraintKind::Pull,
+                    2 => ConstraintKind::Gang,
+                    _ => ConstraintKind::AsymGang,
+                },
+                priority: (i % 250) as u8,
+            });
+        }
+        for t in 0..n_targets {
+            odf = odf.with_target(DeviceClassSpec {
+                id: t as u32,
+                name: format!("class{t}"),
+                bus: if t % 2 == 0 { Some("pci".into()) } else { None },
+                mac: None,
+                vendor: None,
+            });
+        }
+        let re = OdfDocument::parse(&odf.to_xml()).expect("round trip");
+        prop_assert_eq!(re, odf);
+    }
+
+    #[test]
+    fn xml_text_escaping_round_trips(text in "[ -~]{0,64}") {
+        let el = xml::Element {
+            name: "t".into(),
+            attributes: vec![("a".into(), text.clone())],
+            children: vec![xml::Node::Text(text.clone())],
+        };
+        let parsed = xml::parse(&el.to_xml()).expect("serializer output parses");
+        prop_assert_eq!(parsed.attr("a").expect("attr present"), text.as_str());
+        prop_assert_eq!(parsed.text(), text.trim());
+    }
+
+    #[test]
+    fn xml_parse_never_panics(doc in "[ -~]{0,128}") {
+        let _ = xml::parse(&doc);
+    }
+
+    // ---- HOF objects ---------------------------------------------------------
+
+    #[test]
+    fn hof_round_trips(
+        name in "[a-z.]{1,24}",
+        text_len in 0usize..512,
+        data_len in 0usize..256,
+        bss in 0u32..4096,
+    ) {
+        let obj = HofObject::new(name)
+            .with_section(Section::text(vec![0xAB; text_len]))
+            .with_section(Section::data(vec![0xCD; data_len]))
+            .with_section(Section::bss(bss))
+            .with_symbol(Symbol {
+                name: "entry".into(),
+                kind: SymbolKind::Defined { section: 0, offset: 0 },
+            });
+        let decoded = HofObject::decode(obj.encode()).expect("round trip");
+        prop_assert_eq!(decoded, obj);
+    }
+
+    #[test]
+    fn hof_decode_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = HofObject::decode(Bytes::from(raw));
+    }
+
+    // ---- ILP -------------------------------------------------------------------
+
+    #[test]
+    fn bnb_matches_enumeration(
+        n in 2usize..7,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = hydra::sim::rng::DetRng::new(seed);
+        let mut p = Problem::new(if seed % 2 == 0 { Direction::Maximize } else { Direction::Minimize });
+        let vars: Vec<_> = (0..n).map(|i| p.add_binary(&format!("x{i}"))).collect();
+        p.set_objective(vars.iter().map(|&v| (v, rng.normal(0.0, 3.0))).collect());
+        for c in 0..2 + n / 2 {
+            let terms: Vec<_> = vars.iter().map(|&v| (v, rng.normal(0.0, 2.0))).collect();
+            let sense = if rng.chance(0.5) { Sense::Le } else { Sense::Ge };
+            p.add_constraint(&format!("c{c}"), terms, sense, rng.normal(0.0, 2.0));
+        }
+        let exact = solve_ilp(&p).outcome;
+        let brute = solve_by_enumeration(&p);
+        match (&exact, &brute) {
+            (Outcome::Optimal(a), Outcome::Optimal(b)) => {
+                prop_assert!((a.objective - b.objective).abs() < 1e-6,
+                    "bnb {} vs brute {}", a.objective, b.objective);
+                prop_assert!(p.check_feasible(&a.values, 1e-6).is_ok());
+            }
+            (Outcome::Infeasible, Outcome::Infeasible) => {}
+            other => prop_assert!(false, "mismatch: {other:?}"),
+        }
+    }
+}

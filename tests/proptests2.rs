@@ -1,0 +1,188 @@
+//! Second wave of property tests: the event engine's ordering guarantee,
+//! channel FIFO, LP relaxation bounds, and layout-resolver feasibility.
+
+use proptest::prelude::*;
+
+use bytes::Bytes;
+use hydra::core::channel::{ChannelConfig, ChannelExecutive};
+use hydra::core::device::DeviceId;
+use hydra::core::layout::{LayoutGraph, LayoutNode, NodeIdx, Objective};
+use hydra::ilp::model::{Direction, Problem, Sense};
+use hydra::ilp::{solve_ilp, solve_lp, Outcome};
+use hydra::odf::odf::{ConstraintKind, Guid};
+use hydra::sim::time::{SimDuration, SimTime};
+use hydra::sim::Sim;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // ---- engine ordering --------------------------------------------------
+
+    #[test]
+    fn events_fire_in_time_order(delays in proptest::collection::vec(0u64..10_000, 1..64)) {
+        let mut sim = Sim::new(Vec::<u64>::new());
+        for &d in &delays {
+            sim.schedule_at(SimTime::from_micros(d), move |s| {
+                let now = s.now().as_micros();
+                s.model_mut().push(now);
+            });
+        }
+        sim.run();
+        let fired = sim.into_model();
+        let mut sorted = fired.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&fired, &sorted, "events must fire in time order");
+        prop_assert_eq!(fired.len(), delays.len());
+    }
+
+    #[test]
+    fn run_until_never_overshoots(
+        delays in proptest::collection::vec(1u64..1_000, 1..32),
+        cut in 1u64..1_000,
+    ) {
+        let mut sim = Sim::new(0u32);
+        for &d in &delays {
+            sim.schedule_at(SimTime::from_micros(d), |s| *s.model_mut() += 1);
+        }
+        sim.run_until(SimTime::from_micros(cut));
+        let expected = delays.iter().filter(|&&d| d <= cut).count() as u32;
+        prop_assert_eq!(*sim.model(), expected);
+        prop_assert_eq!(sim.now(), SimTime::from_micros(cut));
+    }
+
+    // ---- channel FIFO -------------------------------------------------------
+
+    #[test]
+    fn channel_delivery_is_fifo(sizes in proptest::collection::vec(1usize..2048, 1..40)) {
+        let mut exec = ChannelExecutive::with_default_providers();
+        let mut cfg = ChannelConfig::figure3(DeviceId(1));
+        cfg.capacity = sizes.len() + 1;
+        let id = exec.create_channel(cfg).expect("provider available");
+        let ch = exec.get_mut(id).expect("channel exists");
+        let ep = ch.connect_endpoint().expect("first endpoint");
+        let mut deliveries = Vec::new();
+        for (i, &n) in sizes.iter().enumerate() {
+            let mut payload = vec![0u8; n];
+            payload[0] = i as u8;
+            deliveries.push(ch.send(SimTime::ZERO, Bytes::from(payload)).expect("capacity ok"));
+        }
+        // Delivery times serialize monotonically.
+        for w in deliveries.windows(2) {
+            prop_assert!(w[1] > w[0]);
+        }
+        // Draining at the end returns messages in send order.
+        let end = *deliveries.last().expect("non-empty");
+        for (i, _) in sizes.iter().enumerate() {
+            let msg = ch.recv(end, ep).expect("all delivered by the last instant");
+            prop_assert_eq!(msg.data[0], i as u8);
+        }
+        prop_assert!(ch.recv(end, ep).is_none());
+    }
+
+    // ---- LP relaxation bounds ----------------------------------------------
+
+    #[test]
+    fn relaxation_bounds_the_ilp(seed in any::<u64>(), n in 2usize..6) {
+        let mut rng = hydra::sim::rng::DetRng::new(seed);
+        let mut p = Problem::new(Direction::Maximize);
+        let vars: Vec<_> = (0..n).map(|i| p.add_binary(&format!("x{i}"))).collect();
+        p.set_objective(vars.iter().map(|&v| (v, rng.normal(1.0, 2.0))).collect());
+        for c in 0..2 {
+            let terms: Vec<_> = vars.iter().map(|&v| (v, rng.normal(1.0, 1.0))).collect();
+            p.add_constraint(&format!("c{c}"), terms, Sense::Le, 1.0 + rng.next_f64() * 3.0);
+        }
+        let lp = solve_lp(&p);
+        let ilp = solve_ilp(&p).outcome;
+        match (&lp, &ilp) {
+            (Outcome::Optimal(r), Outcome::Optimal(i)) => {
+                prop_assert!(
+                    r.objective >= i.objective - 1e-6,
+                    "relaxation {} below ILP {}",
+                    r.objective,
+                    i.objective
+                );
+            }
+            (_, Outcome::Infeasible) => {} // relaxation may be feasible or not
+            (Outcome::Infeasible, Outcome::Optimal(_)) => {
+                prop_assert!(false, "ILP feasible but relaxation infeasible");
+            }
+            _ => {}
+        }
+    }
+
+    // ---- layout feasibility --------------------------------------------------
+
+    #[test]
+    fn resolved_layouts_always_check(
+        seed in any::<u64>(),
+        n in 2usize..7,
+        k in 1usize..4,
+    ) {
+        let mut rng = hydra::sim::rng::DetRng::new(seed);
+        let mut g = LayoutGraph::new();
+        for i in 0..n {
+            let mut compat = vec![true];
+            for _ in 0..k {
+                compat.push(rng.chance(0.5));
+            }
+            g.add_node(LayoutNode {
+                guid: Guid(i as u64 + 1),
+                bind_name: format!("oc{i}"),
+                compat,
+                price: 1.0 + rng.index(4) as f64,
+            });
+        }
+        for _ in 0..n {
+            let a = rng.index(n);
+            let b = rng.index(n);
+            if a == b {
+                continue;
+            }
+            let c = [
+                ConstraintKind::Link,
+                ConstraintKind::Pull,
+                ConstraintKind::Gang,
+                ConstraintKind::AsymGang,
+            ][rng.index(4)];
+            g.add_edge(NodeIdx(a), NodeIdx(b), c);
+        }
+        for objective in [
+            Objective::MaximizeOffloading,
+            Objective::MaximizeBusUsage {
+                capacities: (0..=k).map(|_| 2.0 + rng.index(6) as f64).collect(),
+            },
+        ] {
+            let exact = g.resolve_ilp(&objective).expect("host-everything is feasible");
+            prop_assert!(g.check(&exact).is_ok(), "ILP placement violates graph");
+            let greedy = g.resolve_greedy(&objective);
+            prop_assert!(g.check(&greedy).is_ok(), "greedy placement violates graph");
+            prop_assert!(
+                g.bus_value(&exact) >= g.bus_value(&greedy) - 1e-9
+                    || matches!(objective, Objective::MaximizeOffloading),
+                "ILP worse than greedy under bus objective"
+            );
+        }
+    }
+
+    // ---- timer model ----------------------------------------------------------
+
+    #[test]
+    fn wakeups_never_fire_early(target_us in 1u64..100_000, seed in any::<u64>()) {
+        use hydra::hw::os::TimerModel;
+        let mut rng = hydra::sim::rng::DetRng::new(seed);
+        let target = SimTime::from_micros(target_us);
+        for m in [
+            TimerModel::linux_host(),
+            TimerModel::linux_kernel_path(),
+            TimerModel::device_firmware(),
+            TimerModel::ideal(),
+        ] {
+            let fire = m.wakeup(target, &mut rng);
+            prop_assert!(fire >= target);
+            // And never absurdly late: bound by resolution + overshoot + 6σ.
+            let bound = m.resolution + m.overshoot + m.noise_std * 6 + m.spike_max
+                + SimDuration::from_micros(1);
+            prop_assert!(fire <= target + bound, "fire {fire} way past {target}");
+        }
+    }
+}
