@@ -27,9 +27,7 @@ fn bench(c: &mut Criterion) {
     }
     let mut g = c.benchmark_group("fig10_l2");
     g.sample_size(10);
-    g.bench_function("four_scenarios", |b| {
-        b.iter(|| black_box(fig10_tab3(&cfg)))
-    });
+    g.bench_function("four_scenarios", |b| b.iter(|| black_box(fig10_tab3(&cfg))));
     g.finish();
 }
 

@@ -14,7 +14,10 @@ fn bench(c: &mut Criterion) {
         let pts = model.sweep(dir);
         println!("fig1 {dir:?}:");
         for p in &pts {
-            println!("  {:>6} B -> {:.3} GHz/Gbps", p.packet_bytes, p.ghz_per_gbps);
+            println!(
+                "  {:>6} B -> {:.3} GHz/Gbps",
+                p.packet_bytes, p.ghz_per_gbps
+            );
         }
     }
     let mut g = c.benchmark_group("fig1");

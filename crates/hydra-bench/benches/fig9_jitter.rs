@@ -13,7 +13,11 @@ fn cfg(kind: ServerKind) -> ServerConfig {
 }
 
 fn bench(c: &mut Criterion) {
-    for kind in [ServerKind::Simple, ServerKind::Sendfile, ServerKind::Offloaded] {
+    for kind in [
+        ServerKind::Simple,
+        ServerKind::Sendfile,
+        ServerKind::Offloaded,
+    ] {
         let run = run_server(cfg(kind));
         let s = run.jitter_ms.summary();
         println!(
@@ -26,7 +30,11 @@ fn bench(c: &mut Criterion) {
     }
     let mut g = c.benchmark_group("fig9_jitter");
     g.sample_size(10);
-    for kind in [ServerKind::Simple, ServerKind::Sendfile, ServerKind::Offloaded] {
+    for kind in [
+        ServerKind::Simple,
+        ServerKind::Sendfile,
+        ServerKind::Offloaded,
+    ] {
         g.bench_function(kind.label(), |b| {
             b.iter(|| black_box(run_server(cfg(kind))))
         });

@@ -23,10 +23,10 @@ fn bench(c: &mut Criterion) {
         let exports = exports();
         let mut a1 = DeviceMemoryAllocator::new(0, 1 << 30);
         let mut a2 = DeviceMemoryAllocator::new(0, 1 << 30);
-        let (_, host) = load_host_side(std::slice::from_ref(&obj), &mut a1, &exports)
-            .expect("load succeeds");
-        let (_, dev) = load_device_side(std::slice::from_ref(&obj), &mut a2, &exports)
-            .expect("load succeeds");
+        let (_, host) =
+            load_host_side(std::slice::from_ref(&obj), &mut a1, &exports).expect("load succeeds");
+        let (_, dev) =
+            load_device_side(std::slice::from_ref(&obj), &mut a2, &exports).expect("load succeeds");
         println!(
             "  {:>4} kB text: host-link(host {} / dev {} units, {} B xfer) \
              device-link(host {} / dev {} units, {} B xfer)",

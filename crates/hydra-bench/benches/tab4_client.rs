@@ -26,7 +26,9 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("tab4_client");
     g.sample_size(10);
     for kind in ClientKind::all() {
-        g.bench_function(kind.label(), |b| b.iter(|| black_box(run_client(cfg(kind)))));
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| black_box(run_client(cfg(kind))))
+        });
     }
     g.finish();
 }

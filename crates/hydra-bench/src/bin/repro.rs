@@ -8,19 +8,27 @@
 //!
 //! Experiments: `fig1`, `fig9` (includes Table 2), `fig10` (includes
 //! Table 3), `tab4` (includes client L2), `ilp`, `playback`, the §1.1
-//! comparison `onload`, the TOE demonstration `toe`, and the paper's §8
-//! extensions `vmdemux` and `search`. With no selector, everything runs.
+//! comparison `onload`, the TOE demonstration `toe`, the paper's §8
+//! extensions `vmdemux` and `search`, and `metrics` (a deployment's
+//! observability snapshot). With no selector, everything runs.
 
 use std::env;
 
-use hydra_sim::time::SimDuration;
+use hydra_core::call::{Call, Value};
+use hydra_core::channel::ChannelConfig;
+use hydra_core::device::{DeviceDescriptor, DeviceRegistry};
+use hydra_core::error::RuntimeError;
+use hydra_core::offcode::{Offcode, OffcodeCtx};
+use hydra_core::runtime::{Runtime, RuntimeConfig};
+use hydra_odf::odf::{class_ids, ConstraintKind, DeviceClassSpec, Guid, Import, OdfDocument};
+use hydra_sim::time::{SimDuration, SimTime};
 use hydra_tivo::experiments::{
     fig1, fig10_tab3, fig9_tab2, ilp_vs_greedy, tab4_client, SuiteConfig,
 };
-use hydra_tivo::playback::{run_record_playback, PlaybackConfig};
 use hydra_tivo::onload::compare_designs;
-use hydra_tivo::toe::{run_bulk_receive, TcpPlacement};
+use hydra_tivo::playback::{run_record_playback, PlaybackConfig};
 use hydra_tivo::storage::{build_corpus, run_search, SearchKind};
+use hydra_tivo::toe::{run_bulk_receive, TcpPlacement};
 use hydra_tivo::virtualization::vm_demux_comparison;
 
 fn main() {
@@ -110,5 +118,107 @@ fn main() {
         for kind in SearchKind::all() {
             println!("  {}", run_search(kind, &corpus, needle, cfg.seed));
         }
+        println!();
     }
+    if want("metrics") {
+        println!("Observability — deployment pipeline + channel metrics snapshot");
+        println!("{}", metrics_demo());
+    }
+}
+
+/// A do-nothing Offcode for the metrics demonstration deployment.
+#[derive(Debug)]
+struct DemoOffcode {
+    guid: Guid,
+    name: &'static str,
+}
+
+impl Offcode for DemoOffcode {
+    fn guid(&self) -> Guid {
+        self.guid
+    }
+    fn bind_name(&self) -> &str {
+        self.name
+    }
+    fn handle_call(&mut self, _ctx: &mut OffcodeCtx, _call: &Call) -> Result<Value, RuntimeError> {
+        Ok(Value::Unit)
+    }
+}
+
+fn class(id: u32) -> DeviceClassSpec {
+    DeviceClassSpec {
+        id,
+        name: format!("class-{id}"),
+        bus: None,
+        mac: None,
+        vendor: None,
+    }
+}
+
+/// Deploys a three-Offcode pipeline (streamer → decoder → display) on the
+/// full testbed, pushes a few calls through a Figure-3 channel, and
+/// renders the runtime's metrics snapshot.
+fn metrics_demo() -> String {
+    let mut reg = DeviceRegistry::new();
+    reg.install(DeviceDescriptor::programmable_nic());
+    reg.install(DeviceDescriptor::smart_disk());
+    reg.install(DeviceDescriptor::gpu());
+    let mut rt = Runtime::new(reg, RuntimeConfig::default());
+
+    let streamer = OdfDocument::new("tivo.Streamer", Guid(1))
+        .with_target(class(class_ids::NETWORK))
+        .with_import(Import {
+            file: String::new(),
+            bind_name: "tivo.Decoder".into(),
+            guid: Guid(2),
+            constraint: ConstraintKind::Gang,
+            priority: 0,
+        });
+    let decoder = OdfDocument::new("tivo.Decoder", Guid(2))
+        .with_target(class(class_ids::GPU))
+        .with_import(Import {
+            file: String::new(),
+            bind_name: "tivo.Display".into(),
+            guid: Guid(3),
+            constraint: ConstraintKind::Pull,
+            priority: 0,
+        });
+    let display = OdfDocument::new("tivo.Display", Guid(3)).with_target(class(class_ids::GPU));
+    rt.register_offcode(streamer, || {
+        Box::new(DemoOffcode {
+            guid: Guid(1),
+            name: "tivo.Streamer",
+        })
+    })
+    .expect("fresh depot");
+    rt.register_offcode(decoder, || {
+        Box::new(DemoOffcode {
+            guid: Guid(2),
+            name: "tivo.Decoder",
+        })
+    })
+    .expect("fresh depot");
+    rt.register_offcode(display, || {
+        Box::new(DemoOffcode {
+            guid: Guid(3),
+            name: "tivo.Display",
+        })
+    })
+    .expect("fresh depot");
+
+    let root = rt
+        .create_offcode(Guid(1), SimTime::ZERO)
+        .expect("demo app deploys");
+    let device = rt.device_of(root).expect("deployed");
+    let chan = rt
+        .create_channel(ChannelConfig::figure3(device))
+        .expect("figure-3 channel");
+    rt.connect_offcode(chan, root).expect("connect streamer");
+    let mut t = SimTime::ZERO;
+    for i in 0..4u64 {
+        let call = Call::new(Guid(1), "frame").with_return_id(i);
+        t = rt.send_call(chan, &call, t).expect("channel accepts");
+    }
+    rt.pump(t);
+    rt.metrics_snapshot().to_string()
 }

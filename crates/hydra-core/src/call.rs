@@ -329,8 +329,8 @@ impl Call {
         if raw.remaining() < op_len + 10 {
             return Err(MarshalError::Truncated);
         }
-        let operation = String::from_utf8(raw.split_to(op_len).to_vec())
-            .map_err(|_| MarshalError::BadUtf8)?;
+        let operation =
+            String::from_utf8(raw.split_to(op_len).to_vec()).map_err(|_| MarshalError::BadUtf8)?;
         let return_id = raw.get_u64();
         let argc = raw.get_u16() as usize;
         let mut args = Vec::with_capacity(argc.min(64));
@@ -475,8 +475,8 @@ mod tests {
 
     #[test]
     fn type_check_accepts_valid_call() {
-        let call = Call::new(Guid(500), "checksum")
-            .with_arg(Value::Bytes(Bytes::from_static(b"x")));
+        let call =
+            Call::new(Guid(500), "checksum").with_arg(Value::Bytes(Bytes::from_static(b"x")));
         assert!(call.check_against(&checksum_spec()).is_ok());
     }
 

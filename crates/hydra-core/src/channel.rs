@@ -14,6 +14,7 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 use bytes::Bytes;
+use hydra_obs::Recorder;
 use hydra_sim::time::{SimDuration, SimTime};
 
 use crate::device::DeviceId;
@@ -255,6 +256,7 @@ pub struct Channel {
     queues: Vec<VecDeque<ChannelMessage>>,
     stats: ChannelStats,
     handler_installed: bool,
+    recorder: Recorder,
 }
 
 impl Channel {
@@ -332,6 +334,8 @@ impl Channel {
                 Reliability::Reliable => return Err(ChannelError::WouldBlock),
                 Reliability::Unreliable => {
                     self.stats.dropped += 1;
+                    self.recorder
+                        .counter_incr("channel.dropped", &self.provider_name);
                     return Ok(deliver_at);
                 }
             }
@@ -345,6 +349,21 @@ impl Channel {
                 deliver_at,
             });
         }
+        self.recorder
+            .counter_incr("channel.sent", &self.provider_name);
+        self.recorder
+            .counter_add("channel.bytes", &self.provider_name, data.len() as u64);
+        self.recorder.observe(
+            "channel.latency_ns",
+            &self.provider_name,
+            deliver_at.as_nanos().saturating_sub(now.as_nanos()),
+        );
+        let backlog = self.queues.iter().map(|q| q.len()).max().unwrap_or(0);
+        self.recorder.gauge_max(
+            "channel.backlog_high_water",
+            &self.provider_name,
+            backlog as u64,
+        );
         Ok(deliver_at)
     }
 
@@ -353,6 +372,8 @@ impl Channel {
         let q = self.queues.get_mut(ep)?;
         if q.front().is_some_and(|m| m.deliver_at <= now) {
             self.stats.received += 1;
+            self.recorder
+                .counter_incr("channel.received", &self.provider_name);
             q.pop_front()
         } else {
             None
@@ -398,6 +419,7 @@ pub struct ChannelExecutive {
     providers: Vec<Box<dyn ChannelProvider>>,
     channels: HashMap<ChannelId, Channel>,
     next_id: u64,
+    recorder: Recorder,
 }
 
 impl ChannelExecutive {
@@ -419,6 +441,31 @@ impl ChannelExecutive {
         self.providers.push(provider);
     }
 
+    /// Installs the recorder every subsequently created channel reports
+    /// into (the runtime shares its own recorder this way).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// The executive's recorder handle.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Every capable provider's bid for `config`, in registration order:
+    /// the advertised cost plus the 1 kB-message latency the executive
+    /// ranks bids by.
+    pub fn quotes(&self, config: &ChannelConfig) -> Vec<(String, ChannelCost, SimDuration)> {
+        self.providers
+            .iter()
+            .filter(|p| p.supports(config))
+            .map(|p| {
+                let cost = p.cost(config);
+                (p.name().to_owned(), cost, cost.latency(1024))
+            })
+            .collect()
+    }
+
     /// Creates a channel, selecting the supporting provider with the
     /// lowest latency for a nominal 1 kB message.
     ///
@@ -434,6 +481,8 @@ impl ChannelExecutive {
             .ok_or(ChannelError::NoProvider)?;
         let id = ChannelId(self.next_id);
         self.next_id += 1;
+        self.recorder
+            .counter_incr("channel.provider_selected", best.name());
         self.channels.insert(
             id,
             Channel {
@@ -445,6 +494,7 @@ impl ChannelExecutive {
                 queues: Vec::new(),
                 stats: ChannelStats::default(),
                 handler_installed: false,
+                recorder: self.recorder.clone(),
             },
         );
         Ok(id)
@@ -488,7 +538,9 @@ mod tests {
     fn executive_picks_cheapest_provider() {
         let mut e = exec();
         // Zero-copy to a device: the DMA provider wins.
-        let id = e.create_channel(ChannelConfig::figure3(DeviceId(1))).unwrap();
+        let id = e
+            .create_channel(ChannelConfig::figure3(DeviceId(1)))
+            .unwrap();
         assert_eq!(e.get(id).unwrap().provider_name(), "zero-copy-dma");
         // Copied buffering: only the kernel provider supports it.
         let id2 = e.create_channel(ChannelConfig::oob(DeviceId(1))).unwrap();
@@ -507,7 +559,9 @@ mod tests {
     #[test]
     fn send_and_receive_in_order() {
         let mut e = exec();
-        let id = e.create_channel(ChannelConfig::figure3(DeviceId(1))).unwrap();
+        let id = e
+            .create_channel(ChannelConfig::figure3(DeviceId(1)))
+            .unwrap();
         let ch = e.get_mut(id).unwrap();
         let ep = ch.connect_endpoint().unwrap();
         let t1 = ch.send(SimTime::ZERO, Bytes::from_static(b"one")).unwrap();
@@ -562,7 +616,9 @@ mod tests {
     #[test]
     fn unicast_allows_single_endpoint() {
         let mut e = exec();
-        let id = e.create_channel(ChannelConfig::figure3(DeviceId(1))).unwrap();
+        let id = e
+            .create_channel(ChannelConfig::figure3(DeviceId(1)))
+            .unwrap();
         let ch = e.get_mut(id).unwrap();
         ch.connect_endpoint().unwrap();
         assert_eq!(ch.connect_endpoint(), Err(ChannelError::TooManyEndpoints));
@@ -592,7 +648,9 @@ mod tests {
     #[test]
     fn handler_installation_flag() {
         let mut e = exec();
-        let id = e.create_channel(ChannelConfig::figure3(DeviceId(1))).unwrap();
+        let id = e
+            .create_channel(ChannelConfig::figure3(DeviceId(1)))
+            .unwrap();
         assert!(!e.get(id).unwrap().has_handler());
         e.get_mut(id).unwrap().install_handler();
         assert!(e.get(id).unwrap().has_handler());
@@ -601,7 +659,9 @@ mod tests {
     #[test]
     fn destroy_removes_channel() {
         let mut e = exec();
-        let id = e.create_channel(ChannelConfig::figure3(DeviceId(1))).unwrap();
+        let id = e
+            .create_channel(ChannelConfig::figure3(DeviceId(1)))
+            .unwrap();
         assert!(e.destroy(id));
         assert!(!e.destroy(id));
         assert!(e.get(id).is_none());

@@ -129,7 +129,9 @@ impl DeviceDescriptor {
             None => true,
             Some(w) => have.as_deref() == Some(w.as_str()),
         };
-        attr_ok(&spec.bus, &self.bus) && attr_ok(&spec.mac, &self.mac) && attr_ok(&spec.vendor, &self.vendor)
+        attr_ok(&spec.bus, &self.bus)
+            && attr_ok(&spec.mac, &self.mac)
+            && attr_ok(&spec.vendor, &self.vendor)
     }
 }
 

@@ -23,6 +23,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use hydra_ilp::branch::SearchStats;
 use hydra_ilp::model::{Direction, Outcome, Problem, Sense, VarId};
 use hydra_ilp::solve_ilp;
 use hydra_odf::odf::{ConstraintKind, Guid, OdfDocument};
@@ -338,8 +339,7 @@ impl LayoutGraph {
 
         // Eq. 1 — uniqueness per Offcode.
         for (n, row) in x.iter().enumerate() {
-            let terms: Vec<(VarId, f64)> =
-                row.iter().flatten().map(|&v| (v, 1.0)).collect();
+            let terms: Vec<(VarId, f64)> = row.iter().flatten().map(|&v| (v, 1.0)).collect();
             p.add_constraint(&format!("unique_{n}"), terms, Sense::Eq, 1.0);
         }
 
@@ -416,12 +416,7 @@ impl LayoutGraph {
                         .filter_map(|(n, row)| row[k].map(|v| (v, self.nodes[n].price)))
                         .collect();
                     if !terms.is_empty() {
-                        p.add_constraint(
-                            &format!("cap_{k}"),
-                            terms,
-                            Sense::Le,
-                            capacities[k],
-                        );
+                        p.add_constraint(&format!("cap_{k}"), terms, Sense::Le, capacities[k]);
                     }
                 }
             }
@@ -435,8 +430,22 @@ impl LayoutGraph {
     ///
     /// Fails if the constraints are unsatisfiable.
     pub fn resolve_ilp(&self, objective: &Objective) -> Result<Placement, LayoutError> {
+        self.resolve_ilp_with_stats(objective).map(|(p, _)| p)
+    }
+
+    /// Like [`LayoutGraph::resolve_ilp`], but also returns the
+    /// branch-and-bound search statistics (nodes explored, bounds pruned)
+    /// so callers can feed an observability recorder.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the constraints are unsatisfiable.
+    pub fn resolve_ilp_with_stats(
+        &self,
+        objective: &Objective,
+    ) -> Result<(Placement, SearchStats), LayoutError> {
         if self.nodes.is_empty() {
-            return Ok(Placement(Vec::new()));
+            return Ok((Placement(Vec::new()), SearchStats::default()));
         }
         let (problem, x) = self.to_ilp(objective)?;
         let result = solve_ilp(&problem);
@@ -458,7 +467,7 @@ impl LayoutGraph {
         }
         let placement = Placement(devices);
         debug_assert!(self.check(&placement).is_ok());
-        Ok(placement)
+        Ok((placement, result.stats))
     }
 
     /// Greedy heuristic: visit Offcodes in descending price order; place
@@ -511,7 +520,12 @@ impl LayoutGraph {
             }
             devices[n] = Some(chosen);
         }
-        let mut placement = Placement(devices.into_iter().map(|d| d.expect("all placed")).collect());
+        let mut placement = Placement(
+            devices
+                .into_iter()
+                .map(|d| d.expect("all placed"))
+                .collect(),
+        );
         self.repair_gangs(&mut placement);
         placement
     }
@@ -632,8 +646,7 @@ mod tests {
                 constraint: ConstraintKind::Gang,
                 priority: 0,
             });
-        let decoder =
-            OdfDocument::new("tivo.Decoder", Guid(2)).with_target(class(class_ids::GPU));
+        let decoder = OdfDocument::new("tivo.Decoder", Guid(2)).with_target(class(class_ids::GPU));
         let g = LayoutGraph::from_odfs(&[streamer, decoder], &registry()).unwrap();
         assert_eq!(g.nodes().len(), 2);
         assert_eq!(g.edges().len(), 1);

@@ -37,6 +37,7 @@ pub use channel::{
 };
 pub use device::{DeviceDescriptor, DeviceId, DeviceRegistry};
 pub use error::RuntimeError;
+pub use hydra_obs::{MetricsSnapshot, Recorder};
 pub use layout::{LayoutError, LayoutGraph, LayoutNode, NodeIdx, Objective, Placement};
 pub use offcode::{synthetic_object, Offcode, OffcodeCtx, OffcodeId};
 pub use proxy::Proxy;

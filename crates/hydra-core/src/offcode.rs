@@ -190,7 +190,11 @@ pub fn synthetic_object(bind_name: &str, code_bytes: usize, data_bytes: usize) -
             },
         });
     // Reference the firmware exports the devices advertise.
-    let imports = ["hydra_heap_alloc", "hydra_channel_write", "hydra_channel_read"];
+    let imports = [
+        "hydra_heap_alloc",
+        "hydra_channel_write",
+        "hydra_channel_read",
+    ];
     for (i, imp) in imports.iter().enumerate() {
         let sym_idx = obj.symbols.len() as u32;
         obj = obj
@@ -223,7 +227,11 @@ mod tests {
         fn bind_name(&self) -> &str {
             "test.Echo"
         }
-        fn handle_call(&mut self, ctx: &mut OffcodeCtx, call: &Call) -> Result<Value, RuntimeError> {
+        fn handle_call(
+            &mut self,
+            ctx: &mut OffcodeCtx,
+            call: &Call,
+        ) -> Result<Value, RuntimeError> {
             ctx.charge(Cycles::new(100));
             Ok(call.args.first().cloned().unwrap_or(Value::Unit))
         }
@@ -277,9 +285,6 @@ mod tests {
     fn default_object_file_uses_bind_name() {
         let obj = Echo.object_file();
         assert_eq!(obj.name, "test.Echo");
-        assert!(obj
-            .symbols
-            .iter()
-            .any(|s| s.name == "test.Echo_entry"));
+        assert!(obj.symbols.iter().any(|s| s.name == "test.Echo_entry"));
     }
 }

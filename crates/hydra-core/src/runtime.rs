@@ -23,6 +23,7 @@ use hydra_link::linker::LinkedImage;
 use hydra_link::loader::{
     load_device_side, load_host_side, DeviceMemoryAllocator, LoadError, LoadPlan, LoadStrategy,
 };
+use hydra_obs::{MetricsSnapshot, Recorder, SpanId};
 use hydra_odf::odf::{Guid, OdfDocument};
 use hydra_sim::time::SimTime;
 
@@ -148,6 +149,7 @@ pub struct Runtime {
     connections: HashMap<ChannelId, Vec<(usize, OffcodeId)>>,
     device_work: HashMap<DeviceId, Cycles>,
     next_offcode: u64,
+    recorder: Recorder,
 }
 
 impl Runtime {
@@ -159,10 +161,13 @@ impl Runtime {
             .iter()
             .map(|(_, d)| DeviceMemoryAllocator::new(0x1_0000, d.offcode_memory))
             .collect();
+        let recorder = Recorder::new();
+        let mut executive = ChannelExecutive::with_default_providers();
+        executive.set_recorder(recorder.clone());
         Runtime {
             devices,
             config,
-            executive: ChannelExecutive::with_default_providers(),
+            executive,
             resources,
             app_root,
             depot: HashMap::new(),
@@ -173,7 +178,21 @@ impl Runtime {
             connections: HashMap::new(),
             device_work: HashMap::new(),
             next_offcode: 1,
+            recorder,
         }
+    }
+
+    /// The runtime's observability recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// An ordering-stable report of everything recorded so far: pipeline
+    /// stage spans, channel counters/histograms, solver and loader
+    /// statistics. Identical runs render identical snapshots (see
+    /// `tests/obs_determinism.rs`).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.recorder.snapshot()
     }
 
     /// The device registry.
@@ -273,7 +292,10 @@ impl Runtime {
 
     /// Cycles charged per device so far.
     pub fn device_work(&self, device: DeviceId) -> Cycles {
-        self.device_work.get(&device).copied().unwrap_or(Cycles::ZERO)
+        self.device_work
+            .get(&device)
+            .copied()
+            .unwrap_or(Cycles::ZERO)
     }
 
     /// The `CreateOffcode` API: deploys the Offcode identified by `guid`
@@ -306,6 +328,9 @@ impl Runtime {
                 stack.push(imp.guid);
             }
         }
+        let root_label = self.depot[&guid].odf.bind_name.clone();
+        self.recorder
+            .span("deploy.closure", &root_label, now, order.len() as u64);
 
         // 2. Layout graph over the not-yet-deployed closure. Imports that
         // point outside the set (already deployed) are dropped from the
@@ -319,11 +344,49 @@ impl Runtime {
             })
             .collect();
         let graph = LayoutGraph::from_odfs(&odfs, &self.devices)?;
+        self.recorder.span(
+            "deploy.layout",
+            &root_label,
+            now,
+            (graph.nodes().len() + graph.edges().len()) as u64,
+        );
 
-        // 3. Resolve placement.
+        // 3. Resolve placement. Under the exact solver, also run the
+        // greedy heuristic on the same graph so the snapshot can compare
+        // solution quality and modeled solve effort (the deterministic
+        // stand-in for "solve time").
         let placement = match self.config.solver {
-            SolverKind::Ilp => graph.resolve_ilp(&self.config.objective)?,
-            SolverKind::Greedy => graph.resolve_greedy(&self.config.objective),
+            SolverKind::Ilp => {
+                let (placement, stats) = graph.resolve_ilp_with_stats(&self.config.objective)?;
+                self.recorder
+                    .counter_add("solver.nodes_explored", "ilp", stats.nodes);
+                self.recorder
+                    .counter_add("solver.bounds_pruned", "ilp", stats.pruned);
+                self.recorder.counter_add(
+                    "solver.offloaded",
+                    "ilp",
+                    placement.offloaded_count() as u64,
+                );
+                let greedy = graph.resolve_greedy(&self.config.objective);
+                self.recorder.counter_add(
+                    "solver.offloaded",
+                    "greedy",
+                    greedy.offloaded_count() as u64,
+                );
+                self.recorder.span("deploy.solve", "ilp", now, stats.nodes);
+                placement
+            }
+            SolverKind::Greedy => {
+                let placement = graph.resolve_greedy(&self.config.objective);
+                self.recorder.counter_add(
+                    "solver.offloaded",
+                    "greedy",
+                    placement.offloaded_count() as u64,
+                );
+                self.recorder
+                    .span("deploy.solve", "greedy", now, graph.nodes().len() as u64);
+                placement
+            }
         };
         graph.check(&placement)?;
 
@@ -365,24 +428,39 @@ impl Runtime {
         now: SimTime,
         created: &mut Vec<OffcodeId>,
     ) -> Result<(), RuntimeError> {
+        let link_span = self.recorder.span("deploy.link_load", "", now, 0);
         for (n, &g) in order.iter().enumerate() {
             let device = placement.0[n];
-            let id = self.deploy_one(g, device)?;
+            let id = self.deploy_one(g, device, Some((link_span, now)))?;
             created.push(id);
+            let plan = self.instances[&id].plan;
+            self.recorder
+                .add_span_work(link_span, plan.host_work_units + plan.device_work_units);
         }
+        self.recorder
+            .span("deploy.channels", "", now, created.len() as u64);
         // Phase 1: initialize leaves first (imports precede importers in
         // reverse order).
+        self.recorder
+            .span("deploy.initialize", "", now, created.len() as u64);
         for &id in created.iter().rev() {
             self.run_phase(id, now, Phase::Initialize)?;
         }
         // Phase 2: start, same order.
+        self.recorder
+            .span("deploy.start", "", now, created.len() as u64);
         for &id in created.iter().rev() {
             self.run_phase(id, now, Phase::Start)?;
         }
         Ok(())
     }
 
-    fn deploy_one(&mut self, guid: Guid, device: DeviceId) -> Result<OffcodeId, RuntimeError> {
+    fn deploy_one(
+        &mut self,
+        guid: Guid,
+        device: DeviceId,
+        span_parent: Option<(SpanId, SimTime)>,
+    ) -> Result<OffcodeId, RuntimeError> {
         let entry = &self.depot[&guid];
         let offcode = (entry.factory)();
         let object = offcode.object_file();
@@ -406,6 +484,7 @@ impl Runtime {
             match attempt {
                 Ok((image, plan)) => (device, image, plan),
                 Err(LoadError::Memory(_)) if !device.is_host() => {
+                    self.recorder.counter_incr("deploy.host_fallback", "");
                     let exports = self.devices.get(DeviceId::HOST).exports.clone();
                     let (image, plan) = load_host_side(
                         &[object],
@@ -417,6 +496,24 @@ impl Runtime {
                 Err(e) => return Err(e.into()),
             }
         };
+        let strategy_label = match plan.strategy {
+            LoadStrategy::HostSideLink => "host-side",
+            LoadStrategy::DeviceSideLink => "device-side",
+        };
+        self.recorder.counter_incr("load.strategy", strategy_label);
+        self.recorder
+            .counter_add("link.relocations_applied", "", plan.relocations_applied);
+        self.recorder
+            .counter_add("link.transfer_bytes", "", plan.transfer_bytes);
+        if let Some((parent, at)) = span_parent {
+            self.recorder.child_span(
+                parent,
+                "deploy.offcode",
+                &bind_name,
+                at,
+                plan.host_work_units + plan.device_work_units,
+            );
+        }
 
         let id = OffcodeId(self.next_offcode);
         self.next_offcode += 1;
@@ -611,19 +708,15 @@ impl Runtime {
             for chan in channels {
                 let bindings = self.connections[&chan].clone();
                 for (ep, id) in bindings {
-                    while let Some(msg) = self
-                        .executive
-                        .get_mut(chan)
-                        .and_then(|ch| ch.recv(now, ep))
+                    while let Some(msg) =
+                        self.executive.get_mut(chan).and_then(|ch| ch.recv(now, ep))
                     {
                         progressed = true;
                         let result = match Call::decode(msg.data) {
                             Err(e) => Err(RuntimeError::from(e).to_string()),
                             Ok(call) => {
                                 let return_id = call.return_id;
-                                let r = self
-                                    .invoke(id, &call, now)
-                                    .map_err(|e| e.to_string());
+                                let r = self.invoke(id, &call, now).map_err(|e| e.to_string());
                                 results.push(DispatchResult {
                                     handler: id,
                                     return_id,
@@ -687,11 +780,9 @@ impl Runtime {
             )));
         }
         self.teardown(id);
-        let new_id = self.deploy_one(guid, target)?;
-        let inst = self
-            .instances
-            .get_mut(&new_id)
-            .expect("just deployed");
+        self.recorder.counter_incr("deploy.migrations", "");
+        let new_id = self.deploy_one(guid, target, None)?;
+        let inst = self.instances.get_mut(&new_id).expect("just deployed");
         inst.offcode.restore(state)?;
         self.run_phase(new_id, now, Phase::Initialize)?;
         self.run_phase(new_id, now, Phase::Start)?;
@@ -776,7 +867,11 @@ mod tests {
             self.started = true;
             Ok(())
         }
-        fn handle_call(&mut self, ctx: &mut OffcodeCtx, call: &Call) -> Result<Value, RuntimeError> {
+        fn handle_call(
+            &mut self,
+            ctx: &mut OffcodeCtx,
+            call: &Call,
+        ) -> Result<Value, RuntimeError> {
             ctx.charge(Cycles::new(1_000));
             match call.operation.as_str() {
                 "incr" => {
@@ -847,9 +942,12 @@ mod tests {
                 priority: 0,
             });
         let display = OdfDocument::new("t.Display", Guid(3)).with_target(class(class_ids::GPU));
-        rt.register_offcode(streamer, || Counter::boxed(1, "t.Streamer")).unwrap();
-        rt.register_offcode(decoder, || Counter::boxed(2, "t.Decoder")).unwrap();
-        rt.register_offcode(display, || Counter::boxed(3, "t.Display")).unwrap();
+        rt.register_offcode(streamer, || Counter::boxed(1, "t.Streamer"))
+            .unwrap();
+        rt.register_offcode(decoder, || Counter::boxed(2, "t.Decoder"))
+            .unwrap();
+        rt.register_offcode(display, || Counter::boxed(3, "t.Display"))
+            .unwrap();
 
         let root = rt.create_offcode(Guid(1), SimTime::ZERO).unwrap();
         assert_eq!(rt.deployments().len(), 3);
@@ -887,7 +985,8 @@ mod tests {
         reg.install(tiny_nic);
         let mut rt = Runtime::new(reg, RuntimeConfig::default());
         let odf = OdfDocument::new("t.Big", Guid(1)).with_target(class(class_ids::NETWORK));
-        rt.register_offcode(odf, || Counter::boxed(1, "t.Big")).unwrap();
+        rt.register_offcode(odf, || Counter::boxed(1, "t.Big"))
+            .unwrap();
         let id = rt.create_offcode(Guid(1), SimTime::ZERO).unwrap();
         assert_eq!(rt.device_of(id), Some(DeviceId::HOST));
     }

@@ -134,7 +134,11 @@ impl SmartDiskModel {
     /// # Errors
     ///
     /// Fails if the path does not exist.
-    pub fn open_existing(&mut self, nas: &mut NasServer, path: &str) -> Result<FileHandle, DiskError> {
+    pub fn open_existing(
+        &mut self,
+        nas: &mut NasServer,
+        path: &str,
+    ) -> Result<FileHandle, DiskError> {
         let (resp, _) = nas.handle(&NfsRequest::Lookup {
             path: path.to_owned(),
         });

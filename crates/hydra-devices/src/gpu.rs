@@ -70,9 +70,7 @@ impl GpuModel {
     pub fn hw_decode(&mut self, now: SimTime, frame: &EncodedFrame) -> Reservation {
         let cycles = self.decode_model.cycles(frame);
         self.stats.frames_decoded += 1;
-        let r = self
-            .cpu
-            .reserve(now, hydra_hw::cpu::Cycles::new(cycles));
+        let r = self.cpu.reserve(now, hydra_hw::cpu::Cycles::new(cycles));
         self.current_frame = Some(frame.display_index);
         r
     }
@@ -149,10 +147,9 @@ mod tests {
     #[test]
     fn hw_decode_cheaper_than_host_software_decode() {
         let f = &frames()[0];
-        let hw = DecodeCostModel::gpu_hardware().cycles(f) as f64
-            / CpuSpec::gpu_core().freq_hz as f64;
-        let sw = DecodeCostModel::software().cycles(f) as f64
-            / CpuSpec::pentium4().freq_hz as f64;
+        let hw =
+            DecodeCostModel::gpu_hardware().cycles(f) as f64 / CpuSpec::gpu_core().freq_hz as f64;
+        let sw = DecodeCostModel::software().cycles(f) as f64 / CpuSpec::pentium4().freq_hz as f64;
         assert!(sw > 3.0 * hw, "sw {sw}s vs hw {hw}s");
     }
 }

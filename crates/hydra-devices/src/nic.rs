@@ -159,7 +159,9 @@ impl NicModel {
     /// The firmware timer's actual fire time for a target instant — the
     /// offloaded server's pacing source.
     pub fn timer_fire(&mut self, target: SimTime) -> SimTime {
-        self.timer.wakeup(target, &mut self.rng).max(self.cpu.busy_until())
+        self.timer
+            .wakeup(target, &mut self.rng)
+            .max(self.cpu.busy_until())
     }
 }
 

@@ -404,7 +404,7 @@ mod tests {
     #[test]
     fn working_set_larger_than_cache_thrashes() {
         let mut c = small(); // 512 B
-        // Stream over 4 kB twice: second pass still misses everywhere.
+                             // Stream over 4 kB twice: second pass still misses everywhere.
         let before = c.stats().misses;
         for pass in 0..2 {
             for addr in (0..4096u64).step_by(64) {

@@ -260,7 +260,11 @@ mod tests {
         let r = a.alloc("r", 64);
         let mut ring = DescriptorRing::new(2);
         for round in 0..5u64 {
-            ring.post(Descriptor { region: r, tag: round }).unwrap();
+            ring.post(Descriptor {
+                region: r,
+                tag: round,
+            })
+            .unwrap();
             assert_eq!(ring.consume().unwrap().tag, round);
         }
         assert_eq!(ring.counters(), (5, 5));
@@ -289,12 +293,7 @@ mod tests {
         let s2 = a.alloc("s2", 2_000);
         let mut dma = DmaEngine::new();
         let x = dma
-            .scatter_gather(
-                &mut bus,
-                SimTime::ZERO,
-                &[s1, s2],
-                DmaDirection::FromHost,
-            )
+            .scatter_gather(&mut bus, SimTime::ZERO, &[s1, s2], DmaDirection::FromHost)
             .unwrap();
         // 100 + 1000 + 100 + 2000 ns
         assert_eq!(x.end, SimTime::from_nanos(3_200));

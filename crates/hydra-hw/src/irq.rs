@@ -179,7 +179,10 @@ mod tests {
             c.on_completion(SimTime::ZERO),
             IrqDecision::Hold { .. }
         ));
-        assert_eq!(c.on_completion(SimTime::ZERO), IrqDecision::Fire { frames: 3 });
+        assert_eq!(
+            c.on_completion(SimTime::ZERO),
+            IrqDecision::Fire { frames: 3 }
+        );
         assert_eq!(c.coalescing_factor(), 3.0);
     }
 

@@ -155,13 +155,7 @@ impl Problem {
     ///
     /// Panics if any referenced variable does not exist or a coefficient
     /// is NaN.
-    pub fn add_constraint(
-        &mut self,
-        name: &str,
-        terms: Vec<(VarId, f64)>,
-        sense: Sense,
-        rhs: f64,
-    ) {
+    pub fn add_constraint(&mut self, name: &str, terms: Vec<(VarId, f64)>, sense: Sense, rhs: f64) {
         assert!(!rhs.is_nan(), "NaN rhs");
         for (v, c) in &terms {
             assert!(v.0 < self.variables.len(), "constraint var out of range");
@@ -202,10 +196,7 @@ impl Problem {
 
     /// The objective value of an assignment.
     pub fn objective_value(&self, values: &[f64]) -> f64 {
-        self.objective
-            .iter()
-            .map(|(v, c)| c * values[v.0])
-            .sum()
+        self.objective.iter().map(|(v, c)| c * values[v.0]).sum()
     }
 
     /// Checks whether `values` satisfies every constraint and bound within

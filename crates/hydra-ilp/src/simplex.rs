@@ -91,11 +91,7 @@ fn simplex_maximize(n: usize, rows: &[Row], c: &[f64]) -> RawOutcome {
                     Sense::Ge => Sense::Le,
                     Sense::Eq => Sense::Eq,
                 };
-                (
-                    terms.iter().map(|(j, k)| (*j, -k)).collect(),
-                    s,
-                    -rhs,
-                )
+                (terms.iter().map(|(j, k)| (*j, -k)).collect(), s, -rhs)
             } else {
                 (terms.clone(), *sense, *rhs)
             }
@@ -206,11 +202,7 @@ fn simplex_maximize(n: usize, rows: &[Row], c: &[f64]) -> RawOutcome {
             values[b] = t[i][rhs_col];
         }
     }
-    let objective = values
-        .iter()
-        .zip(c.iter())
-        .map(|(x, k)| x * k)
-        .sum::<f64>();
+    let objective = values.iter().zip(c.iter()).map(|(x, k)| x * k).sum::<f64>();
     RawOutcome::Optimal { values, objective }
 }
 
@@ -253,8 +245,7 @@ fn pivot_to_optimality(
             if row[enter] > EPS {
                 let ratio = row[rhs_col] / row[enter];
                 let better = ratio < best - EPS
-                    || (ratio < best + EPS
-                        && leave.is_none_or(|l| basis[i] < basis[l]));
+                    || (ratio < best + EPS && leave.is_none_or(|l| basis[i] < basis[l]));
                 if better {
                     best = ratio;
                     leave = Some(i);

@@ -22,4 +22,6 @@ pub use loader::{
     load_device_side, load_host_side, DeviceMemoryAllocator, LoadError, LoadPlan, LoadStrategy,
     OutOfDeviceMemory,
 };
-pub use object::{HofError, HofObject, RelocKind, Relocation, Section, SectionKind, Symbol, SymbolKind};
+pub use object::{
+    HofError, HofObject, RelocKind, Relocation, Section, SectionKind, Symbol, SymbolKind,
+};

@@ -146,7 +146,8 @@ impl Linker {
         exports: &ExportTable,
     ) -> Result<LinkedImage, LinkError> {
         for obj in objects {
-            obj.validate().map_err(|_| LinkError::BadObject("validation failed"))?;
+            obj.validate()
+                .map_err(|_| LinkError::BadObject("validation failed"))?;
         }
 
         // Pass 1: lay out sections. Text of all objects first, then data,
@@ -268,7 +269,9 @@ mod tests {
             .with_section(Section::bss(100))
             .with_symbol(defined("entry", 0, 4))
             .with_symbol(defined("state", 2, 8));
-        let img = Linker::new().link(&[obj], 0x1000, &ExportTable::new()).unwrap();
+        let img = Linker::new()
+            .link(&[obj], 0x1000, &ExportTable::new())
+            .unwrap();
         assert_eq!(img.base, 0x1000);
         assert_eq!(img.symbol("entry"), Some(0x1004));
         // text 20 @0x1000, data @0x1018 (aligned 8), bss @0x1028
@@ -294,7 +297,9 @@ mod tests {
         let b = HofObject::new("b")
             .with_section(Section::text(vec![0; 16]))
             .with_symbol(defined("b_fn", 0, 8));
-        let img = Linker::new().link(&[a, b], 0x2000, &ExportTable::new()).unwrap();
+        let img = Linker::new()
+            .link(&[a, b], 0x2000, &ExportTable::new())
+            .unwrap();
         // b's text follows a's text: 0x2000 + 16 aligned to 16 = 0x2010.
         let expect = 0x2010u64 + 8;
         assert_eq!(img.symbol("b_fn"), Some(expect));
@@ -331,7 +336,9 @@ mod tests {
                 addend: 0,
                 kind: RelocKind::Rel32,
             });
-        let img = Linker::new().link(&[obj], 0x1000, &ExportTable::new()).unwrap();
+        let img = Linker::new()
+            .link(&[obj], 0x1000, &ExportTable::new())
+            .unwrap();
         // target = 0x1018; site end = 0x1004 + 4 = 0x1008; rel = 0x10.
         let rel = i32::from_le_bytes(img.bytes[4..8].try_into().unwrap());
         assert_eq!(rel, 0x10);
@@ -408,8 +415,12 @@ mod tests {
                 .with_section(Section::text(vec![0; 8]))
                 .with_symbol(defined("entry", 0, 0))
         };
-        let img1 = Linker::new().link(&[obj()], 0x1000, &ExportTable::new()).unwrap();
-        let img2 = Linker::new().link(&[obj()], 0x8000, &ExportTable::new()).unwrap();
+        let img1 = Linker::new()
+            .link(&[obj()], 0x1000, &ExportTable::new())
+            .unwrap();
+        let img2 = Linker::new()
+            .link(&[obj()], 0x8000, &ExportTable::new())
+            .unwrap();
         assert_eq!(img1.symbol("entry"), Some(0x1000));
         assert_eq!(img2.symbol("entry"), Some(0x8000));
     }

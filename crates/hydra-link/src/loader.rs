@@ -125,15 +125,21 @@ pub struct LoadPlan {
     pub transfer_bytes: u64,
     /// Device memory consumed (image + any transient object storage).
     pub device_memory_bytes: u64,
+    /// Relocations the linker patched (wherever the link ran).
+    pub relocations_applied: u64,
 }
 
 fn link_work_units(objects: &[HofObject]) -> u64 {
-    let relocs: u64 = objects.iter().map(|o| o.relocations.len() as u64).sum();
+    let relocs = relocation_count(objects);
     let syms: u64 = objects.iter().map(|o| o.symbols.len() as u64).sum();
     let bytes: u64 = objects.iter().map(|o| o.load_size() as u64).sum();
     // Weights: symbols require table insertion/lookup, relocations a patch,
     // layout a copy per byte (dominated by memcpy throughput).
     syms * 50 + relocs * 20 + bytes / 8
+}
+
+fn relocation_count(objects: &[HofObject]) -> u64 {
+    objects.iter().map(|o| o.relocations.len() as u64).sum()
 }
 
 /// Loads an Offcode using host-side linking.
@@ -156,6 +162,7 @@ pub fn load_host_side(
         device_work_units: image.bytes.len() as u64 / 64, // just the copy-in
         transfer_bytes: image.bytes.len() as u64,
         device_memory_bytes: image.memory_size,
+        relocations_applied: relocation_count(objects),
     };
     Ok((image, plan))
 }
@@ -184,6 +191,7 @@ pub fn load_device_side(
         device_work_units: link_work_units(objects),
         transfer_bytes: encoded,
         device_memory_bytes: encoded + image.memory_size,
+        relocations_applied: relocation_count(objects),
     };
     Ok((image, plan))
 }

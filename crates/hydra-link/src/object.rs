@@ -496,10 +496,7 @@ mod tests {
     fn bad_magic_rejected() {
         let mut raw = sample().encode().to_vec();
         raw[0] = 0;
-        assert_eq!(
-            HofObject::decode(Bytes::from(raw)),
-            Err(HofError::BadMagic)
-        );
+        assert_eq!(HofObject::decode(Bytes::from(raw)), Err(HofError::BadMagic));
     }
 
     #[test]

@@ -141,11 +141,7 @@ impl Default for CodecConfig {
     }
 }
 
-fn encode_intra_frame(
-    frame: &RawFrame,
-    q: u16,
-    display_index: u64,
-) -> (EncodedFrame, RawFrame) {
+fn encode_intra_frame(frame: &RawFrame, q: u16, display_index: u64) -> (EncodedFrame, RawFrame) {
     let mut buf = BytesMut::new();
     let mut recon = RawFrame::filled(frame.width(), frame.height(), 0);
     let mut block = [0i32; 64];
@@ -316,8 +312,8 @@ impl Encoder {
                     "all frames must share geometry"
                 );
             }
-            let is_i = prev_anchor.is_none()
-                || anchors_since_i >= self.config.gop.anchors_per_i.max(1);
+            let is_i =
+                prev_anchor.is_none() || anchors_since_i >= self.config.gop.anchors_per_i.max(1);
             let (encoded, recon) = if is_i {
                 anchors_since_i = 1;
                 encode_intra_frame(frame, q, pos as u64)
@@ -332,8 +328,7 @@ impl Encoder {
             if let Some((prev_pos, prev_recon)) = &prev_anchor {
                 let avg = average_frames(prev_recon, &recon);
                 for (b_pos, frame) in frames.iter().enumerate().take(pos).skip(prev_pos + 1) {
-                    let (b, _) =
-                        encode_predicted_frame(FrameKind::B, frame, &avg, q, b_pos as u64);
+                    let (b, _) = encode_predicted_frame(FrameKind::B, frame, &avg, q, b_pos as u64);
                     out.push(b);
                 }
             }

@@ -242,7 +242,7 @@ mod tests {
     fn decoder_rejects_truncated_level() {
         let mut buf = BytesMut::new();
         put_varint(&mut buf, 0); // run
-        // level missing
+                                 // level missing
         assert_eq!(
             decode_block(&mut buf.freeze(), &mut [0i32; 64]),
             Err(EntropyError::Truncated)

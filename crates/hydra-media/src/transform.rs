@@ -186,7 +186,10 @@ mod tests {
         forward(&mut block);
         // Count significant coefficients: a smooth gradient needs few.
         let nonzero = block.iter().filter(|&&c| c.abs() > 32).count();
-        assert!(nonzero <= 8, "gradient produced {nonzero} large coefficients");
+        assert!(
+            nonzero <= 8,
+            "gradient produced {nonzero} large coefficients"
+        );
     }
 
     #[test]

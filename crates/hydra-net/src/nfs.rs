@@ -356,9 +356,7 @@ mod tests {
     #[test]
     fn create_write_read_round_trip() {
         let mut nas = NasServer::default();
-        let (r, _) = nas.handle(&NfsRequest::Create {
-            path: "/a".into(),
-        });
+        let (r, _) = nas.handle(&NfsRequest::Create { path: "/a".into() });
         let NfsResponse::Handle(fh) = r else {
             panic!("{r:?}")
         };
@@ -437,7 +435,10 @@ mod tests {
             offset: 0,
             len: 5,
         });
-        assert_eq!(r, NfsResponse::Data(Bytes::from_static(&[0, 0, 0, 0, b'x'])));
+        assert_eq!(
+            r,
+            NfsResponse::Data(Bytes::from_static(&[0, 0, 0, 0, b'x']))
+        );
     }
 
     #[test]
@@ -473,7 +474,9 @@ mod tests {
     #[test]
     fn wire_round_trip_all_ops() {
         let reqs = vec![
-            NfsRequest::Lookup { path: "/a/b".into() },
+            NfsRequest::Lookup {
+                path: "/a/b".into(),
+            },
             NfsRequest::Create { path: "/c".into() },
             NfsRequest::Read {
                 fh: FileHandle(7),
@@ -495,10 +498,7 @@ mod tests {
 
     #[test]
     fn decode_rejects_garbage() {
-        assert_eq!(
-            NfsRequest::decode(Bytes::new()),
-            Err(NfsError::BadRequest)
-        );
+        assert_eq!(NfsRequest::decode(Bytes::new()), Err(NfsError::BadRequest));
         assert_eq!(
             NfsRequest::decode(Bytes::from_static(&[99])),
             Err(NfsError::BadRequest)

@@ -139,7 +139,12 @@ impl fmt::Display for Packet {
         write!(
             f,
             "{}{} -> {}{} {:?} seq={} len={}",
-            self.src, self.src_port, self.dst, self.dst_port, self.protocol, self.seq,
+            self.src,
+            self.src_port,
+            self.dst,
+            self.dst_port,
+            self.protocol,
+            self.seq,
             self.payload.len()
         )
     }

@@ -85,7 +85,10 @@ impl Switch {
     ///
     /// Panics if `queue_capacity` is zero.
     pub fn new(spec: LinkSpec, queue_capacity: usize) -> Self {
-        assert!(queue_capacity > 0, "Switch: queue_capacity must be positive");
+        assert!(
+            queue_capacity > 0,
+            "Switch: queue_capacity must be positive"
+        );
         Switch {
             ports: Vec::new(),
             stations: Vec::new(),
@@ -231,7 +234,7 @@ mod tests {
     #[test]
     fn full_queue_drops() {
         let (mut sw, a, _b) = switch(); // capacity 4
-        // Big frames, all offered at t=0: they occupy the output queue.
+                                        // Big frames, all offered at t=0: they occupy the output queue.
         let mut outcomes = Vec::new();
         for i in 0..6 {
             outcomes.push(sw.forward(SimTime::ZERO, a, &pkt(1, 2, 9000 + i)));

@@ -241,10 +241,7 @@ impl TcpEndpoint {
         TcpSegment {
             seq,
             ack: self.rcv_nxt,
-            flags: TcpFlags {
-                ack: true,
-                ..flags
-            },
+            flags: TcpFlags { ack: true, ..flags },
             window: self.rcv_wnd,
             payload,
         }
@@ -437,9 +434,8 @@ impl TcpEndpoint {
             .inflight
             .iter()
             .filter(|(&seq, (seg, _))| {
-                let len = seg.payload.len() as u32
-                    + u32::from(seg.flags.syn)
-                    + u32::from(seg.flags.fin);
+                let len =
+                    seg.payload.len() as u32 + u32::from(seg.flags.syn) + u32::from(seg.flags.fin);
                 // seq + len <= ack, with wrapping arithmetic.
                 ack.wrapping_sub(seq) >= len && ack.wrapping_sub(seq) <= u32::MAX / 2
             })

@@ -1,0 +1,126 @@
+//! Power-of-two-bucketed histograms.
+//!
+//! Values land in bucket `i` when they need exactly `i` significant bits
+//! (bucket 0 holds only zero, bucket 1 holds 1, bucket 2 holds 2–3, bucket
+//! 3 holds 4–7, …). Bucketing by bit length keeps recording O(1), needs no
+//! configuration, and — crucially for the determinism guarantee — involves
+//! no floating point.
+
+/// One histogram: 65 power-of-two buckets plus running aggregates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index for `value`: its bit length.
+    pub fn bucket_index(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// The largest value bucket `i` admits (`2^i - 1`, saturating).
+    pub fn bucket_bound(i: usize) -> u64 {
+        if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, count)`, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_bound(i), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_bound(0), 0);
+        assert_eq!(Histogram::bucket_bound(3), 7);
+        assert_eq!(Histogram::bucket_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn aggregates_track_observations() {
+        let mut h = Histogram::new();
+        assert_eq!(h.min(), 0);
+        for v in [5, 1, 9, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 24);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 9);
+        // 1 -> bucket 1 (<=1); 5 -> bucket 3 (<=7); 9,9 -> bucket 4 (<=15).
+        assert_eq!(h.nonzero_buckets(), vec![(1, 1), (7, 1), (15, 2)]);
+    }
+}

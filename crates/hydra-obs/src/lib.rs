@@ -1,0 +1,30 @@
+//! Deterministic observability for the HYDRA reproduction.
+//!
+//! The runtime's interesting behavior — which deployment pipeline stage
+//! did how much work, which channel provider won a bid, how hard the ILP
+//! solver searched — happens inside a discrete-event simulation. A
+//! conventional metrics library would stamp everything with the wall
+//! clock and ruin reproducibility; this crate instead records:
+//!
+//! - **counters** (`sent`, `dropped`, provider selections, host
+//!   fallbacks),
+//! - **high-water gauges** (channel backlog),
+//! - **histograms** with power-of-two buckets (message latency, sizes),
+//! - **spans** stamped with [`hydra_sim::time::SimTime`] and measured in
+//!   modeled *work units* rather than elapsed time (sim time does not
+//!   advance inside the deployment pipeline).
+//!
+//! Everything is keyed by a static metric name plus an instance label and
+//! stored in `BTreeMap`s, so a [`MetricsSnapshot`] — including its JSON
+//! rendering — is byte-for-byte identical across identical executions.
+//! `tests/obs_determinism.rs` in the workspace root holds the proof.
+
+#![forbid(unsafe_code)]
+
+pub mod histogram;
+pub mod recorder;
+pub mod snapshot;
+
+pub use histogram::Histogram;
+pub use recorder::{Recorder, SpanId, SpanRecord};
+pub use snapshot::{CounterSample, GaugeSample, HistogramSample, MetricsSnapshot, SpanSample};

@@ -1,0 +1,292 @@
+//! The serializable, ordering-stable metrics report.
+//!
+//! A [`MetricsSnapshot`] is a plain-data rendering of a
+//! [`Recorder`](crate::Recorder)'s registry: counters, gauges and
+//! histograms sorted by `(name, label)`, spans in record order. Both the
+//! `Display` form and [`MetricsSnapshot::to_json`] are hand-rolled and
+//! deterministic — two identical executions produce byte-identical text,
+//! which the determinism tests assert.
+
+use std::fmt;
+
+/// One counter value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Metric name.
+    pub name: &'static str,
+    /// Instance label (may be empty).
+    pub label: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// One high-water gauge value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSample {
+    /// Metric name.
+    pub name: &'static str,
+    /// Instance label (may be empty).
+    pub label: String,
+    /// Largest value observed.
+    pub value: u64,
+}
+
+/// One histogram rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSample {
+    /// Metric name.
+    pub name: &'static str,
+    /// Instance label (may be empty).
+    pub label: String,
+    /// Observation count.
+    pub count: u64,
+    /// Observation sum (saturating).
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Non-empty power-of-two buckets as `(inclusive bound, count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// One span rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSample {
+    /// Record order.
+    pub seq: u64,
+    /// Parent span's `seq`, if nested.
+    pub parent: Option<u64>,
+    /// Static span name.
+    pub name: &'static str,
+    /// Instance label.
+    pub label: String,
+    /// Simulation timestamp in nanoseconds.
+    pub at_nanos: u64,
+    /// Modeled work units.
+    pub work_units: u64,
+}
+
+/// A full metrics report.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Counters, sorted by `(name, label)`.
+    pub counters: Vec<CounterSample>,
+    /// High-water gauges, sorted by `(name, label)`.
+    pub gauges: Vec<GaugeSample>,
+    /// Histograms, sorted by `(name, label)`.
+    pub histograms: Vec<HistogramSample>,
+    /// Spans, in record order.
+    pub spans: Vec<SpanSample>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter value.
+    pub fn counter(&self, name: &str, label: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name && c.label == label)
+            .map(|c| c.value)
+    }
+
+    /// Sums every counter with `name`, across labels.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.name == name)
+            .map(|c| c.value)
+            .sum()
+    }
+
+    /// Looks up a gauge value.
+    pub fn gauge(&self, name: &str, label: &str) -> Option<u64> {
+        self.gauges
+            .iter()
+            .find(|g| g.name == name && g.label == label)
+            .map(|g| g.value)
+    }
+
+    /// Looks up a histogram.
+    pub fn histogram(&self, name: &str, label: &str) -> Option<&HistogramSample> {
+        self.histograms
+            .iter()
+            .find(|h| h.name == name && h.label == label)
+    }
+
+    /// All spans with `name`, in record order.
+    pub fn spans_named(&self, name: &str) -> Vec<&SpanSample> {
+        self.spans.iter().filter(|s| s.name == name).collect()
+    }
+
+    /// Renders the snapshot as deterministic JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"counters\":[");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":{},\"label\":{},\"value\":{}}}",
+                json_str(c.name),
+                json_str(&c.label),
+                c.value
+            ));
+        }
+        out.push_str("],\"gauges\":[");
+        for (i, g) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":{},\"label\":{},\"value\":{}}}",
+                json_str(g.name),
+                json_str(&g.label),
+                g.value
+            ));
+        }
+        out.push_str("],\"histograms\":[");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":{},\"label\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                json_str(h.name),
+                json_str(&h.label),
+                h.count,
+                h.sum,
+                h.min,
+                h.max
+            ));
+            for (j, (le, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{le},{n}]"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let parent = match s.parent {
+                Some(p) => p.to_string(),
+                None => "null".to_owned(),
+            };
+            out.push_str(&format!(
+                "{{\"seq\":{},\"parent\":{},\"name\":{},\"label\":{},\"at_nanos\":{},\"work_units\":{}}}",
+                s.seq,
+                parent,
+                json_str(s.name),
+                json_str(&s.label),
+                s.at_nanos,
+                s.work_units
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "metrics snapshot")?;
+        if !self.counters.is_empty() {
+            writeln!(f, "  counters:")?;
+            for c in &self.counters {
+                writeln!(f, "    {}{{{}}} = {}", c.name, c.label, c.value)?;
+            }
+        }
+        if !self.gauges.is_empty() {
+            writeln!(f, "  gauges (high-water):")?;
+            for g in &self.gauges {
+                writeln!(f, "    {}{{{}}} = {}", g.name, g.label, g.value)?;
+            }
+        }
+        if !self.histograms.is_empty() {
+            writeln!(f, "  histograms:")?;
+            for h in &self.histograms {
+                writeln!(
+                    f,
+                    "    {}{{{}}}: count={} sum={} min={} max={}",
+                    h.name, h.label, h.count, h.sum, h.min, h.max
+                )?;
+            }
+        }
+        if !self.spans.is_empty() {
+            writeln!(f, "  spans:")?;
+            for s in &self.spans {
+                let indent = if s.parent.is_some() { "      " } else { "    " };
+                writeln!(
+                    f,
+                    "{indent}[{}] {} ({}) at={}ns work={}",
+                    s.seq, s.name, s.label, s.at_nanos, s.work_units
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn empty_snapshot_renders() {
+        let s = MetricsSnapshot::default();
+        assert_eq!(
+            s.to_json(),
+            "{\"counters\":[],\"gauges\":[],\"histograms\":[],\"spans\":[]}"
+        );
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let s = MetricsSnapshot {
+            counters: vec![
+                CounterSample {
+                    name: "c",
+                    label: "a".into(),
+                    value: 2,
+                },
+                CounterSample {
+                    name: "c",
+                    label: "b".into(),
+                    value: 3,
+                },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(s.counter("c", "a"), Some(2));
+        assert_eq!(s.counter("c", "z"), None);
+        assert_eq!(s.counter_total("c"), 5);
+    }
+}

@@ -542,10 +542,8 @@ mod tests {
 
     #[test]
     fn missing_guid_rejected() {
-        let e = OdfDocument::parse(
-            "<offcode><package><bindname>x</bindname></package></offcode>",
-        )
-        .unwrap_err();
+        let e = OdfDocument::parse("<offcode><package><bindname>x</bindname></package></offcode>")
+            .unwrap_err();
         assert_eq!(e, OdfError::Missing("package/GUID"));
     }
 
@@ -555,7 +553,13 @@ mod tests {
             "<offcode><package><bindname>x</bindname><GUID>banana</GUID></package></offcode>",
         )
         .unwrap_err();
-        assert!(matches!(e, OdfError::Invalid { what: "package/GUID", .. }));
+        assert!(matches!(
+            e,
+            OdfError::Invalid {
+                what: "package/GUID",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -570,7 +574,13 @@ mod tests {
     #[test]
     fn wrong_root_rejected() {
         let e = OdfDocument::parse("<manifest/>").unwrap_err();
-        assert!(matches!(e, OdfError::Invalid { what: "root element", .. }));
+        assert!(matches!(
+            e,
+            OdfError::Invalid {
+                what: "root element",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -582,7 +592,13 @@ mod tests {
   </import></sw-env>
 </offcode>"#;
         let e = OdfDocument::parse(doc).unwrap_err();
-        assert!(matches!(e, OdfError::Invalid { what: "reference/type", .. }));
+        assert!(matches!(
+            e,
+            OdfError::Invalid {
+                what: "reference/type",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -189,7 +189,9 @@ impl InterfaceSpec {
             .attr("name")
             .ok_or(WsdlError::Missing("interface/name"))?
             .to_owned();
-        let guid_raw = root.attr("guid").ok_or(WsdlError::Missing("interface/guid"))?;
+        let guid_raw = root
+            .attr("guid")
+            .ok_or(WsdlError::Missing("interface/guid"))?;
         let guid = Guid(guid_raw.parse().map_err(|_| WsdlError::Invalid {
             what: "interface/guid",
             value: guid_raw.to_owned(),
@@ -212,8 +214,7 @@ impl InterfaceSpec {
                             .attr("name")
                             .ok_or(WsdlError::Missing("input/name"))?
                             .to_owned();
-                        let ty_raw =
-                            child.attr("type").ok_or(WsdlError::Missing("input/type"))?;
+                        let ty_raw = child.attr("type").ok_or(WsdlError::Missing("input/type"))?;
                         let ty = TypeTag::from_str_opt(ty_raw).ok_or(WsdlError::Invalid {
                             what: "input/type",
                             value: ty_raw.to_owned(),
@@ -221,8 +222,9 @@ impl InterfaceSpec {
                         inputs.push((pname, ty));
                     }
                     "output" => {
-                        let ty_raw =
-                            child.attr("type").ok_or(WsdlError::Missing("output/type"))?;
+                        let ty_raw = child
+                            .attr("type")
+                            .ok_or(WsdlError::Missing("output/type"))?;
                         output = TypeTag::from_str_opt(ty_raw).ok_or(WsdlError::Invalid {
                             what: "output/type",
                             value: ty_raw.to_owned(),
@@ -307,7 +309,10 @@ mod tests {
         let spec = InterfaceSpec::new("ISocket", Guid(7070))
             .with_operation(OperationSpec {
                 name: "send".into(),
-                inputs: vec![("data".into(), TypeTag::Bytes), ("flags".into(), TypeTag::U32)],
+                inputs: vec![
+                    ("data".into(), TypeTag::Bytes),
+                    ("flags".into(), TypeTag::U32),
+                ],
                 output: TypeTag::U32,
             })
             .with_operation(OperationSpec {
@@ -344,7 +349,10 @@ mod tests {
         </interface>"#;
         assert!(matches!(
             InterfaceSpec::parse(doc),
-            Err(WsdlError::Invalid { what: "input/type", .. })
+            Err(WsdlError::Invalid {
+                what: "input/type",
+                ..
+            })
         ));
     }
 
@@ -366,7 +374,10 @@ mod tests {
         </interface>"#;
         assert!(matches!(
             InterfaceSpec::parse(doc),
-            Err(WsdlError::Invalid { what: "operation child", .. })
+            Err(WsdlError::Invalid {
+                what: "operation child",
+                ..
+            })
         ));
     }
 

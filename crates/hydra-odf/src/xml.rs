@@ -651,8 +651,15 @@ mod tests {
         let root = parse(doc).unwrap();
         assert_eq!(root.name, "offcode");
         let import = root.child("sw-env").unwrap().child("import").unwrap();
-        assert_eq!(import.child("reference").unwrap().attr("type"), Some("Pull"));
-        let dc = root.child("targets").unwrap().child("device-class").unwrap();
+        assert_eq!(
+            import.child("reference").unwrap().attr("type"),
+            Some("Pull")
+        );
+        let dc = root
+            .child("targets")
+            .unwrap()
+            .child("device-class")
+            .unwrap();
         assert_eq!(dc.attr("id"), Some("0x0001"));
         assert_eq!(dc.child("name").unwrap().text(), "Network Device");
     }

@@ -361,14 +361,10 @@ mod tests {
     #[test]
     fn periodic_until_false() {
         let mut sim = Sim::new(0u64);
-        sim.every(
-            SimTime::from_millis(5),
-            SimDuration::from_millis(5),
-            |s| {
-                *s.model_mut() += 1;
-                *s.model() < 4
-            },
-        );
+        sim.every(SimTime::from_millis(5), SimDuration::from_millis(5), |s| {
+            *s.model_mut() += 1;
+            *s.model() < 4
+        });
         sim.run();
         assert_eq!(*sim.model(), 4);
         assert_eq!(sim.now(), SimTime::from_millis(20));

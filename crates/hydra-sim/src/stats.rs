@@ -461,7 +461,9 @@ mod tests {
 
     #[test]
     fn summary_std_dev_matches_hand_computation() {
-        let s: Samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: Samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         let sum = s.summary();
         assert_eq!(sum.mean, 5.0);
         // Sample variance with n-1 = 32/7.

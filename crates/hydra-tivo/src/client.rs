@@ -48,7 +48,11 @@ pub enum ClientKind {
 impl ClientKind {
     /// All three scenarios in table order.
     pub fn all() -> [ClientKind; 3] {
-        [ClientKind::Idle, ClientKind::UserSpace, ClientKind::Offloaded]
+        [
+            ClientKind::Idle,
+            ClientKind::UserSpace,
+            ClientKind::Offloaded,
+        ]
     }
 
     /// The label used in Table 4.
@@ -162,10 +166,7 @@ impl StreamSource {
         })
         .encode_sequence(&raw);
         let mut chunker = Chunker::new(cfg.packet_bytes);
-        let chunks = frames
-            .iter()
-            .flat_map(|f| chunker.chunk_frame(f))
-            .collect();
+        let chunks = frames.iter().flat_map(|f| chunker.chunk_frame(f)).collect();
         StreamSource {
             chunks,
             frames,
@@ -315,7 +316,12 @@ impl World {
 }
 
 /// One packet through the user-space client.
-fn user_space_packet(world: &mut World, arrival: SimTime, chunk_idx: usize, completes: Option<usize>) {
+fn user_space_packet(
+    world: &mut World,
+    arrival: SimTime,
+    chunk_idx: usize,
+    completes: Option<usize>,
+) {
     let len = world.source.chunk_len(chunk_idx);
     // NIC receive + DMA into the kernel ring.
     let rx = world.nic.rx_process(arrival, len);
@@ -349,7 +355,9 @@ fn user_space_packet(world: &mut World, arrival: SimTime, chunk_idx: usize, comp
     let recv_path = world.host.cpu.reserve(copy.end, calib::RECV_PATH);
     // write() to the NFS recording: copy user -> skb, checksum, DMA out.
     let sys2 = world.host.syscall(recv_path.end);
-    let copy2 = world.host.cpu_copy(sys2.end, user_slice, world.skb_buf, len);
+    let copy2 = world
+        .host
+        .cpu_copy(sys2.end, user_slice, world.skb_buf, len);
     let csum = world.host.compute_over(
         copy2.end,
         world.skb_buf,
@@ -374,8 +382,8 @@ fn user_space_packet(world: &mut World, arrival: SimTime, chunk_idx: usize, comp
         // in place in the reference, so the memory traffic scales with
         // the coded fraction of the frame.
         let raw = world.cfg.width * world.cfg.height;
-        let coded = (raw as u64 * frame.coded_blocks as u64
-            / frame.total_blocks().max(1) as u64) as usize;
+        let coded =
+            (raw as u64 * frame.coded_blocks as u64 / frame.total_blocks().max(1) as u64) as usize;
         let wr = world.host.compute_over(
             t,
             world.frame_cur.slice(0, coded.max(64)),
@@ -396,7 +404,12 @@ fn user_space_packet(world: &mut World, arrival: SimTime, chunk_idx: usize, comp
 }
 
 /// One packet through the offloaded client.
-fn offloaded_packet(world: &mut World, arrival: SimTime, chunk_idx: usize, completes: Option<usize>) {
+fn offloaded_packet(
+    world: &mut World,
+    arrival: SimTime,
+    chunk_idx: usize,
+    completes: Option<usize>,
+) {
     let len = world.source.chunk_len(chunk_idx);
     // NIC Streamer Offcode: classify and forward to both peers.
     let rx = world.nic.rx_process(arrival, len);

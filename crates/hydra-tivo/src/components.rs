@@ -69,7 +69,11 @@ fn import(guid: Guid, bind_name: &str, constraint: ConstraintKind) -> Import {
 /// The ODFs of the full TiVoPC client application, Figure 8's graph.
 pub fn tivo_client_odfs() -> Vec<OdfDocument> {
     let gui = OdfDocument::new("tivo.Gui", guids::GUI)
-        .with_import(import(guids::STREAMER_NET, "tivo.Streamer.Net", ConstraintKind::Link))
+        .with_import(import(
+            guids::STREAMER_NET,
+            "tivo.Streamer.Net",
+            ConstraintKind::Link,
+        ))
         .with_import(import(
             guids::STREAMER_DISK,
             "tivo.Streamer.Disk",
@@ -91,8 +95,8 @@ pub fn tivo_client_odfs() -> Vec<OdfDocument> {
         .with_target(class(class_ids::GPU, "GPU"))
         .with_target(class(class_ids::NETWORK, "Network Device"))
         .with_import(import(guids::DISPLAY, "tivo.Display", ConstraintKind::Pull));
-    let display = OdfDocument::new("tivo.Display", guids::DISPLAY)
-        .with_target(class(class_ids::GPU, "GPU"));
+    let display =
+        OdfDocument::new("tivo.Display", guids::DISPLAY).with_target(class(class_ids::GPU, "GPU"));
     let file = OdfDocument::new("tivo.File", guids::FILE)
         .with_target(class(class_ids::STORAGE, "Smart Disk"));
     vec![gui, streamer_net, streamer_disk, decoder, display, file]
@@ -188,8 +192,7 @@ impl Offcode for TivoComponent {
                 for (chan, target) in &self.forward {
                     for arg in &call.args {
                         if let Value::Bytes(b) = arg {
-                            let fwd = Call::new(*target, "push")
-                                .with_arg(Value::Bytes(b.clone()));
+                            let fwd = Call::new(*target, "push").with_arg(Value::Bytes(b.clone()));
                             ctx.send_call(*chan, &fwd);
                         }
                     }
@@ -301,7 +304,9 @@ mod tests {
                 .unwrap();
         }
         rt.create_offcode(guids::BROADCAST, SimTime::ZERO).unwrap();
-        let b = rt.device_of(rt.get_offcode(guids::BROADCAST).unwrap()).unwrap();
+        let b = rt
+            .device_of(rt.get_offcode(guids::BROADCAST).unwrap())
+            .unwrap();
         let f = rt.device_of(rt.get_offcode(guids::FILE).unwrap()).unwrap();
         assert_eq!(b, DeviceId(1));
         assert_eq!(f, b, "Pull keeps File with Broadcast on the NIC");

@@ -104,19 +104,27 @@ pub struct JitterResults {
 
 /// Runs the jitter experiment for the three server variants.
 pub fn fig9_tab2(cfg: &SuiteConfig) -> JitterResults {
-    let runs = [ServerKind::Simple, ServerKind::Sendfile, ServerKind::Offloaded]
-        .into_iter()
-        .map(|kind| {
-            let mut c = ServerConfig::paper(kind, cfg.seed);
-            c.duration = cfg.duration;
-            run_server(c)
-        })
-        .collect();
+    let runs = [
+        ServerKind::Simple,
+        ServerKind::Sendfile,
+        ServerKind::Offloaded,
+    ]
+    .into_iter()
+    .map(|kind| {
+        let mut c = ServerConfig::paper(kind, cfg.seed);
+        c.duration = cfg.duration;
+        run_server(c)
+    })
+    .collect();
     JitterResults { runs }
 }
 
 fn ascii_histogram(f: &mut fmt::Formatter<'_>, h: &Histogram) -> fmt::Result {
-    let max = (0..h.bins()).map(|i| h.bin_count(i)).max().unwrap_or(1).max(1);
+    let max = (0..h.bins())
+        .map(|i| h.bin_count(i))
+        .max()
+        .unwrap_or(1)
+        .max(1);
     for i in 0..h.bins() {
         let count = h.bin_count(i);
         if count == 0 && h.bin_lo(i) > 9.0 {
@@ -136,7 +144,12 @@ impl fmt::Display for JitterResults {
         writeln!(f, "Figure 9 — packet jitter histogram + CDF")?;
         for run in &self.runs {
             let h = run.jitter_ms.histogram(4.0, 10.0, 24);
-            writeln!(f, "\n[{}] ({} packets)", run.kind.label(), run.packets_delivered)?;
+            writeln!(
+                f,
+                "\n[{}] ({} packets)",
+                run.kind.label(),
+                run.packets_delivered
+            )?;
             ascii_histogram(f, &h)?;
             let cdf = h.cdf();
             write!(f, "  CDF:")?;
@@ -213,7 +226,10 @@ impl ServerSideResults {
 
 impl fmt::Display for ServerSideResults {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 10 — L2 slowdown (server side, normalized to idle)")?;
+        writeln!(
+            f,
+            "Figure 10 — L2 slowdown (server side, normalized to idle)"
+        )?;
         for run in &self.runs {
             let n = self.normalized_l2(run.kind);
             let bar = "#".repeat(((n - 0.9).max(0.0) * 200.0) as usize);

@@ -26,7 +26,7 @@ pub mod virtualization;
 pub use client::{run_client, ClientConfig, ClientKind, ClientRun};
 pub use components::{register_tivo_client, tivo_client_odfs, tivo_server_odfs, TivoComponent};
 pub use experiments::{
-    fig1, fig9_tab2, fig10_tab3, ilp_vs_greedy, tab4_client, ClientResults, Fig1, IlpResults,
+    fig1, fig10_tab3, fig9_tab2, ilp_vs_greedy, tab4_client, ClientResults, Fig1, IlpResults,
     JitterResults, ServerSideResults, SuiteConfig,
 };
 pub use onload::{compare_designs, IoDesign, IoDesignPoint};

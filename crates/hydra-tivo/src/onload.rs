@@ -110,10 +110,8 @@ pub fn compare_designs(packet_bytes: usize, pps: f64) -> [IoDesignPoint; 3] {
             // Device-to-device delivery: one crossing (PCIe peer) or the
             // single final DMA into the consumer's buffer.
             bus_crossings_per_packet: 1,
-            io_power_watts: nic.power_busy_watts
-                * (nic_cycles / nic.freq_hz as f64).min(1.0),
-            watts_per_gbps: nic.power_busy_watts
-                * (nic_cycles / nic.freq_hz as f64).min(1.0)
+            io_power_watts: nic.power_busy_watts * (nic_cycles / nic.freq_hz as f64).min(1.0),
+            watts_per_gbps: nic.power_busy_watts * (nic_cycles / nic.freq_hz as f64).min(1.0)
                 / gbps.max(1e-9),
         },
     })
@@ -156,7 +154,10 @@ mod tests {
         let [interrupt, onload, offload] = points();
         // The paper's §1.1 point verbatim: onloading keeps the bus
         // crossings of the conventional path.
-        assert_eq!(onload.bus_crossings_per_packet, interrupt.bus_crossings_per_packet);
+        assert_eq!(
+            onload.bus_crossings_per_packet,
+            interrupt.bus_crossings_per_packet
+        );
         assert!(offload.bus_crossings_per_packet < onload.bus_crossings_per_packet);
         // And it costs a whole core.
         assert_eq!(onload.dedicated_cores, 1);

@@ -281,9 +281,12 @@ fn simple_cycle(world: &mut World, w: SimTime) -> SimTime {
         .cpu_copy(irq.end, kbuf, world.user_buf, world.cfg.packet_bytes);
     // send() syscall: copy user buffer into an skb, checksum it.
     let sys2 = world.host.syscall(copy1.end);
-    let copy2 = world
-        .host
-        .cpu_copy(sys2.end, world.user_buf, world.skb_buf, world.cfg.packet_bytes);
+    let copy2 = world.host.cpu_copy(
+        sys2.end,
+        world.user_buf,
+        world.skb_buf,
+        world.cfg.packet_bytes,
+    );
     let csum = world.host.compute_over(
         copy2.end,
         world.skb_buf,
@@ -447,9 +450,18 @@ mod tests {
         // Medians: ~7 / ~6 / ~5 ms.
         assert!((s.median - 7.0).abs() < 0.6, "simple median {}", s.median);
         assert!((f.median - 6.0).abs() < 0.6, "sendfile median {}", f.median);
-        assert!((o.median - 5.0).abs() < 0.05, "offloaded median {}", o.median);
+        assert!(
+            (o.median - 5.0).abs() < 0.05,
+            "offloaded median {}",
+            o.median
+        );
         // Std devs strictly ordered, offloaded an order of magnitude lower.
-        assert!(s.std_dev > f.std_dev, "simple {} vs sendfile {}", s.std_dev, f.std_dev);
+        assert!(
+            s.std_dev > f.std_dev,
+            "simple {} vs sendfile {}",
+            s.std_dev,
+            f.std_dev
+        );
         assert!(
             o.std_dev < f.std_dev / 5.0,
             "offloaded std {} not well below sendfile {}",
@@ -465,7 +477,10 @@ mod tests {
         let sendfile = short(ServerKind::Sendfile, 30).cpu_util.summary().mean;
         let offloaded = short(ServerKind::Offloaded, 30).cpu_util.summary().mean;
         assert!(simple > sendfile, "simple {simple} vs sendfile {sendfile}");
-        assert!(sendfile > idle + 0.005, "sendfile {sendfile} vs idle {idle}");
+        assert!(
+            sendfile > idle + 0.005,
+            "sendfile {sendfile} vs idle {idle}"
+        );
         assert!(
             (offloaded - idle).abs() < 0.004,
             "offloaded {offloaded} should equal idle {idle}"
@@ -485,7 +500,10 @@ mod tests {
             (1.02..1.2).contains(&n_simple),
             "simple normalized {n_simple}"
         );
-        assert!(n_sendfile < n_simple, "sendfile {n_sendfile} < simple {n_simple}");
+        assert!(
+            n_sendfile < n_simple,
+            "sendfile {n_sendfile} < simple {n_simple}"
+        );
         assert!(
             (n_offloaded - 1.0).abs() < 0.02,
             "offloaded normalized {n_offloaded}"

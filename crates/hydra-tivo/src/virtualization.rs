@@ -216,7 +216,13 @@ pub fn run_vm_demux(cfg: VmDemuxConfig) -> VmDemuxRun {
         sim.model_mut().host.background_tick(now);
         now < end
     });
-    fn next_arrival(sim: &mut Sim<World>, kind: DemuxKind, vms: usize, mean: SimDuration, end: SimTime) {
+    fn next_arrival(
+        sim: &mut Sim<World>,
+        kind: DemuxKind,
+        vms: usize,
+        mean: SimDuration,
+        end: SimTime,
+    ) {
         let gap = {
             let w = sim.model_mut();
             SimDuration::from_secs_f64(w.arrival_rng.exp(mean.as_secs_f64()))
@@ -243,8 +249,7 @@ pub fn run_vm_demux(cfg: VmDemuxConfig) -> VmDemuxRun {
         delivered: world.delivered,
         latency_us: world.latency_us,
         host_cpu: world.host.cpu_utilization(end),
-        l2_misses_per_sec: world.host.mem.cache().stats().misses as f64
-            / end.as_secs_f64(),
+        l2_misses_per_sec: world.host.mem.cache().stats().misses as f64 / end.as_secs_f64(),
         per_vm: world.per_vm,
     }
 }

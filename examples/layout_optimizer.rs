@@ -38,9 +38,16 @@ fn main() {
     g.add_edge(dec, dis, ConstraintKind::Pull);
     let _ = big;
 
-    println!("layout graph: {} offcodes, {} constraint edges", g.nodes().len(), g.edges().len());
+    println!(
+        "layout graph: {} offcodes, {} constraint edges",
+        g.nodes().len(),
+        g.edges().len()
+    );
     for n in g.nodes() {
-        println!("  {:<22} price {:>4}  compat {:?}", n.bind_name, n.price, n.compat);
+        println!(
+            "  {:<22} price {:>4}  compat {:?}",
+            n.bind_name, n.price, n.compat
+        );
     }
 
     // Objective 2: maximize bus usage under a capacity of 12.
@@ -66,9 +73,17 @@ fn main() {
 
     // Solve: greedy vs exact.
     let greedy = g.resolve_greedy(&obj);
-    let exact = g.resolve_ilp(&obj).expect("host fallback is always feasible");
-    println!("\ngreedy placement: {greedy}   (bus value {})", g.bus_value(&greedy));
-    println!("ILP placement:    {exact}   (bus value {})", g.bus_value(&exact));
+    let exact = g
+        .resolve_ilp(&obj)
+        .expect("host fallback is always feasible");
+    println!(
+        "\ngreedy placement: {greedy}   (bus value {})",
+        g.bus_value(&greedy)
+    );
+    println!(
+        "ILP placement:    {exact}   (bus value {})",
+        g.bus_value(&exact)
+    );
     let result = solve_ilp(&problem);
     println!(
         "branch-and-bound explored {} nodes, pruned {}",

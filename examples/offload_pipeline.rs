@@ -51,9 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let decoder = OdfDocument::parse(DECODER_ODF)?;
     println!(
         "parsed ODFs: {} (imports {}), {}",
-        streamer.bind_name,
-        streamer.imports[0].bind_name,
-        decoder.bind_name
+        streamer.bind_name, streamer.imports[0].bind_name, decoder.bind_name
     );
 
     // --- Stage 2: the offloading layout graph. --------------------------
@@ -104,10 +102,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "device-side link: base {:#x}, {} B transferred, host/dev work {}/{} units, \
          {} B device memory",
-        image2.base, plan2.transfer_bytes, plan2.host_work_units, plan2.device_work_units,
+        image2.base,
+        plan2.transfer_bytes,
+        plan2.host_work_units,
+        plan2.device_work_units,
         plan2.device_memory_bytes
     );
-    println!("\nidentical images either way: {}", image.bytes == image2.bytes);
+    println!(
+        "\nidentical images either way: {}",
+        image.bytes == image2.bytes
+    );
     assert_eq!(image.bytes, image2.bytes);
     Ok(())
 }

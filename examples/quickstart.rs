@@ -103,7 +103,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut proxy = Proxy::new(spec, id);
     let call = proxy.call(
         "checksum",
-        vec![Value::Bytes(Bytes::from_static(b"tapping into the fountain of cpus"))],
+        vec![Value::Bytes(Bytes::from_static(
+            b"tapping into the fountain of cpus",
+        ))],
     )?;
 
     // Send the Call over the channel and pump the runtime.

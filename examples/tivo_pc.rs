@@ -37,11 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("tivo.File", guids::FILE),
     ] {
         let id = rt.get_offcode(guid).expect("deployed");
-        println!(
-            "  {:<20} -> {}",
-            name,
-            rt.device_of(id).expect("placed")
-        );
+        println!("  {:<20} -> {}", name, rt.device_of(id).expect("placed"));
     }
 
     // --- 2 + 3. The measured experiments (short runs; use the repro

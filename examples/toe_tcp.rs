@@ -17,7 +17,10 @@ fn main() {
     let mut client = TcpEndpoint::client(1);
     let mut server = TcpEndpoint::listener(1000);
     let syn = client.connect(SimTime::ZERO);
-    let synack = server.on_segment(&syn, SimTime::ZERO).pop().expect("syn-ack");
+    let synack = server
+        .on_segment(&syn, SimTime::ZERO)
+        .pop()
+        .expect("syn-ack");
     for seg in client.on_segment(&synack, SimTime::ZERO) {
         server.on_segment(&seg, SimTime::ZERO);
     }

@@ -13,6 +13,7 @@
 //! - [`odf`] — Offcode Description Files (XML manifesto parser)
 //! - [`link`] — HOF object format, relocations, dynamic offcode loading
 //! - [`ilp`] — simplex LP + branch-and-bound 0/1 ILP solver
+//! - [`obs`] — deterministic observability (counters, histograms, spans)
 //! - [`core`] — the HYDRA runtime: offcodes, channels, layout, deployment
 //! - [`devices`] — programmable NIC, smart disk, GPU device models
 //! - [`tivo`] — the TiVoPC case study and the paper's experiment harness
@@ -29,6 +30,7 @@ pub use hydra_ilp as ilp;
 pub use hydra_link as link;
 pub use hydra_media as media;
 pub use hydra_net as net;
+pub use hydra_obs as obs;
 pub use hydra_odf as odf;
 pub use hydra_sim as sim;
 pub use hydra_tivo as tivo;

@@ -1,0 +1,134 @@
+//! Property tests for the Channel Executive's provider auction and the
+//! reliability contract of channels at capacity.
+
+use bytes::Bytes;
+use hydra::core::channel::{
+    Buffering, ChannelConfig, ChannelError, ChannelExecutive, Reliability, SyncPolicy, Transport,
+};
+use hydra::core::device::DeviceId;
+use hydra::sim::time::SimTime;
+use proptest::prelude::*;
+
+fn config(
+    multicast: bool,
+    reliable: bool,
+    concurrent: bool,
+    zero_copy: bool,
+    capacity: usize,
+    target: usize,
+) -> ChannelConfig {
+    ChannelConfig {
+        transport: if multicast {
+            Transport::Multicast
+        } else {
+            Transport::Unicast
+        },
+        reliability: if reliable {
+            Reliability::Reliable
+        } else {
+            Reliability::Unreliable
+        },
+        sync: if concurrent {
+            SyncPolicy::Concurrent
+        } else {
+            SyncPolicy::Sequential
+        },
+        buffering: if zero_copy {
+            Buffering::ZeroCopy
+        } else {
+            Buffering::Copied
+        },
+        capacity,
+        target: DeviceId(target),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The executive's pick is always a capable provider, and no capable
+    /// provider advertises a strictly lower 1 kB latency.
+    #[test]
+    fn selection_is_capable_and_cheapest(
+        multicast in any::<bool>(),
+        reliable in any::<bool>(),
+        concurrent in any::<bool>(),
+        zero_copy in any::<bool>(),
+        capacity in 1usize..=64,
+        target in 0usize..4,
+    ) {
+        let cfg = config(multicast, reliable, concurrent, zero_copy, capacity, target);
+        let mut e = ChannelExecutive::with_default_providers();
+        let quotes = e.quotes(&cfg);
+        prop_assert!(!quotes.is_empty(), "default providers cover every config");
+        let id = e.create_channel(cfg).unwrap();
+        let ch = e.get(id).unwrap();
+        let chosen = quotes
+            .iter()
+            .find(|(name, _, _)| name == ch.provider_name());
+        prop_assert!(chosen.is_some(), "selected provider must be capable");
+        let chosen_latency = chosen.unwrap().2;
+        let min_latency = quotes.iter().map(|(_, _, l)| *l).min().unwrap();
+        prop_assert_eq!(chosen_latency, min_latency);
+        // The advertised cost on the channel matches the winning quote.
+        prop_assert_eq!(ch.cost().latency(1024), chosen_latency);
+        // Selection is counted per provider in the shared recorder.
+        let snap = e.recorder().snapshot();
+        prop_assert_eq!(
+            snap.counter("channel.provider_selected", ch.provider_name()),
+            Some(1)
+        );
+    }
+
+    /// A reliable channel at capacity fails the send — it never drops.
+    #[test]
+    fn reliable_at_capacity_blocks_never_drops(
+        capacity in 1usize..=8,
+        extra in 1usize..=8,
+        zero_copy in any::<bool>(),
+        target in 1usize..4,
+    ) {
+        let cfg = config(false, true, false, zero_copy, capacity, target);
+        let mut e = ChannelExecutive::with_default_providers();
+        let id = e.create_channel(cfg).unwrap();
+        let ch = e.get_mut(id).unwrap();
+        ch.connect_endpoint().unwrap();
+        for _ in 0..capacity {
+            prop_assert!(ch.send(SimTime::ZERO, Bytes::from_static(b"m")).is_ok());
+        }
+        for _ in 0..extra {
+            prop_assert_eq!(
+                ch.send(SimTime::ZERO, Bytes::from_static(b"m")),
+                Err(ChannelError::WouldBlock)
+            );
+        }
+        prop_assert_eq!(ch.stats().sent, capacity as u64);
+        prop_assert_eq!(ch.stats().dropped, 0);
+        let snap = e.recorder().snapshot();
+        prop_assert_eq!(snap.counter_total("channel.dropped"), 0);
+        prop_assert_eq!(snap.counter_total("channel.sent"), capacity as u64);
+    }
+
+    /// An unreliable channel at capacity accepts the send but drops the
+    /// message, counting every drop.
+    #[test]
+    fn unreliable_at_capacity_drops_and_counts(
+        capacity in 1usize..=8,
+        extra in 1usize..=8,
+        zero_copy in any::<bool>(),
+        target in 1usize..4,
+    ) {
+        let cfg = config(false, false, false, zero_copy, capacity, target);
+        let mut e = ChannelExecutive::with_default_providers();
+        let id = e.create_channel(cfg).unwrap();
+        let ch = e.get_mut(id).unwrap();
+        ch.connect_endpoint().unwrap();
+        for _ in 0..capacity + extra {
+            prop_assert!(ch.send(SimTime::ZERO, Bytes::from_static(b"m")).is_ok());
+        }
+        prop_assert_eq!(ch.stats().sent, capacity as u64);
+        prop_assert_eq!(ch.stats().dropped, extra as u64);
+        let snap = e.recorder().snapshot();
+        prop_assert_eq!(snap.counter_total("channel.dropped"), extra as u64);
+    }
+}

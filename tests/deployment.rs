@@ -88,7 +88,9 @@ fn xml_odf_to_running_offcode() {
         .expect("fresh GUIDs");
     }
 
-    let socket = rt.create_offcode(Guid(7070714), SimTime::ZERO).expect("deploys");
+    let socket = rt
+        .create_offcode(Guid(7070714), SimTime::ZERO)
+        .expect("deploys");
     let checksum = rt.get_offcode(Guid(6060843)).expect("import deployed too");
     // Pull constraint: same device, and it is the NIC.
     assert_eq!(rt.device_of(socket), Some(DeviceId(1)));
@@ -160,7 +162,9 @@ fn teardown_cascades_resources() {
         Err(RuntimeError::NoSuchInstance(_))
     ));
     // Re-deployment works after teardown.
-    let id2 = rt.create_offcode(Guid(1), SimTime::ZERO).expect("redeploys");
+    let id2 = rt
+        .create_offcode(Guid(1), SimTime::ZERO)
+        .expect("redeploys");
     assert_ne!(id, id2);
 }
 
@@ -185,7 +189,9 @@ fn host_fallback_when_devices_are_full() {
         })
     })
     .expect("registers");
-    let id = rt.create_offcode(Guid(9), SimTime::ZERO).expect("falls back");
+    let id = rt
+        .create_offcode(Guid(9), SimTime::ZERO)
+        .expect("falls back");
     assert_eq!(rt.device_of(id), Some(DeviceId::HOST));
 }
 
@@ -204,8 +210,7 @@ fn two_applications_share_one_offcode_instance() {
         mac: None,
         vendor: None,
     };
-    let shared = OdfDocument::new("shared.Checksum", Guid(100))
-        .with_target(shared_class.clone());
+    let shared = OdfDocument::new("shared.Checksum", Guid(100)).with_target(shared_class.clone());
     let app_a = OdfDocument::new("app.A", Guid(1))
         .with_target(shared_class.clone())
         .with_import(hydra::odf::odf::Import {
@@ -238,9 +243,13 @@ fn two_applications_share_one_offcode_instance() {
         })
         .expect("fresh GUIDs");
     }
-    let a = rt.create_offcode(Guid(1), SimTime::ZERO).expect("app A deploys");
+    let a = rt
+        .create_offcode(Guid(1), SimTime::ZERO)
+        .expect("app A deploys");
     let shared_after_a = rt.get_offcode(Guid(100)).expect("shared deployed");
-    let b = rt.create_offcode(Guid(2), SimTime::ZERO).expect("app B deploys");
+    let b = rt
+        .create_offcode(Guid(2), SimTime::ZERO)
+        .expect("app B deploys");
     let shared_after_b = rt.get_offcode(Guid(100)).expect("still deployed");
     // One shared instance, not two.
     assert_eq!(shared_after_a, shared_after_b);
@@ -305,7 +314,9 @@ fn migration_preserves_offcode_state() {
         });
     rt.register_offcode(odf, || Box::new(StatefulCounter { count: 0 }))
         .expect("registers");
-    let id = rt.create_offcode(Guid(0xC0DE), SimTime::ZERO).expect("deploys");
+    let id = rt
+        .create_offcode(Guid(0xC0DE), SimTime::ZERO)
+        .expect("deploys");
     assert_eq!(rt.device_of(id), Some(DeviceId(1)), "starts on the NIC");
     let incr = Call::new(Guid(0xC0DE), "incr");
     for _ in 0..5 {
@@ -325,7 +336,8 @@ fn migration_preserves_offcode_state() {
     );
     // State survived: the next increment continues from 5.
     assert_eq!(
-        rt.invoke(id2, &incr, SimTime::from_millis(1)).expect("counts"),
+        rt.invoke(id2, &incr, SimTime::from_millis(1))
+            .expect("counts"),
         Value::U64(6)
     );
 }
@@ -344,7 +356,9 @@ fn migration_to_incompatible_device_is_rejected() {
     );
     rt.register_offcode(odf, || Box::new(StatefulCounter { count: 0 }))
         .expect("registers");
-    let id = rt.create_offcode(Guid(0xC0DE), SimTime::ZERO).expect("deploys");
+    let id = rt
+        .create_offcode(Guid(0xC0DE), SimTime::ZERO)
+        .expect("deploys");
     // The smart disk is not in the ODF's target classes.
     assert!(matches!(
         rt.migrate(id, DeviceId(2), SimTime::ZERO),
@@ -391,7 +405,9 @@ fn channel_to_wrong_device_is_rejected() {
         },
     )
     .expect("registers");
-    let id = rt.create_offcode(Guid(1), SimTime::ZERO).expect("deploys to nic");
+    let id = rt
+        .create_offcode(Guid(1), SimTime::ZERO)
+        .expect("deploys to nic");
     // A channel whose far endpoint is the GPU cannot connect a NIC Offcode.
     let chan = rt
         .create_channel(ChannelConfig::figure3(DeviceId(3)))

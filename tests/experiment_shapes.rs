@@ -55,7 +55,11 @@ fn table_2_and_figure_9_shape() {
     // Medians land in the paper's millisecond bins: ~7 / ~6 / 5.
     assert!((simple.median - 7.0).abs() < 0.7, "{}", simple.median);
     assert!((sendfile.median - 6.0).abs() < 0.7, "{}", sendfile.median);
-    assert!((offloaded.median - 5.0).abs() < 0.05, "{}", offloaded.median);
+    assert!(
+        (offloaded.median - 5.0).abs() < 0.05,
+        "{}",
+        offloaded.median
+    );
     // Offloaded jitter is an order of magnitude tighter.
     assert!(offloaded.std_dev * 10.0 < simple.std_dev);
     assert!(offloaded.std_dev * 10.0 < sendfile.std_dev);

@@ -11,7 +11,7 @@ use hydra::core::offcode::{Offcode, OffcodeCtx};
 use hydra::core::runtime::{Runtime, RuntimeConfig};
 use hydra::media::codec::{CodecConfig, Decoder, Encoder, GopConfig};
 use hydra::media::frame::SyntheticVideo;
-use hydra::net::nfs::{NasServer, NfsError, NfsRequest, NfsResponse, FileHandle};
+use hydra::net::nfs::{FileHandle, NasServer, NfsError, NfsRequest, NfsResponse};
 use hydra::odf::odf::{Guid, OdfDocument};
 use hydra::sim::rng::DetRng;
 use hydra::sim::time::SimTime;
@@ -43,7 +43,11 @@ impl Offcode for Flaky {
             Ok(())
         }
     }
-    fn handle_call(&mut self, _ctx: &mut OffcodeCtx, _call: &Call) -> Result<hydra::core::call::Value, RuntimeError> {
+    fn handle_call(
+        &mut self,
+        _ctx: &mut OffcodeCtx,
+        _call: &Call,
+    ) -> Result<hydra::core::call::Value, RuntimeError> {
         Ok(hydra::core::call::Value::Unit)
     }
 }
@@ -97,7 +101,9 @@ fn reliable_channel_backpressure_then_recovery() {
     let ep = ch.connect_endpoint().expect("endpoint");
     let mut last = SimTime::ZERO;
     for _ in 0..4 {
-        last = ch.send(SimTime::ZERO, Bytes::from_static(b"m")).expect("fits");
+        last = ch
+            .send(SimTime::ZERO, Bytes::from_static(b"m"))
+            .expect("fits");
     }
     // Ring full: reliable channels refuse rather than drop.
     assert_eq!(
@@ -107,7 +113,8 @@ fn reliable_channel_backpressure_then_recovery() {
     assert_eq!(ch.stats().dropped, 0);
     // Drain one, retry succeeds — no message was lost.
     ch.recv(last, ep).expect("visible by then");
-    ch.send(last, Bytes::from_static(b"m")).expect("accepts again");
+    ch.send(last, Bytes::from_static(b"m"))
+        .expect("accepts again");
     assert_eq!(ch.stats().sent, 5);
 }
 
@@ -195,7 +202,11 @@ fn nas_recreate_invalidates_old_view_cleanly() {
     // Recreate truncates but keeps the handle valid (NFS-lite semantics).
     let (r2, _) = nas.handle(&NfsRequest::Create { path: "/f".into() });
     assert_eq!(r2, NfsResponse::Handle(fh));
-    let (read, _) = nas.handle(&NfsRequest::Read { fh, offset: 0, len: 16 });
+    let (read, _) = nas.handle(&NfsRequest::Read {
+        fh,
+        offset: 0,
+        len: 16,
+    });
     assert_eq!(read, NfsResponse::Data(Bytes::new()), "truncated");
     // A fabricated handle still errors.
     let (bad, _) = nas.handle(&NfsRequest::Read {

@@ -6,10 +6,10 @@ use bytes::Bytes;
 use hydra::media::codec::{CodecConfig, Decoder, Encoder, GopConfig};
 use hydra::media::frame::{psnr, RawFrame, SyntheticVideo};
 use hydra::media::stream::{Chunker, Reassembler};
+use hydra::net::link::LinkSpec;
 use hydra::net::nfs::{NasServer, NfsRequest, NfsResponse};
 use hydra::net::packet::{MacAddr, Packet, Port, Protocol};
 use hydra::net::switch::{ForwardOutcome, Switch};
-use hydra::net::link::LinkSpec;
 use hydra::sim::time::SimTime;
 
 fn movie(n: u64) -> (Vec<RawFrame>, Vec<hydra::media::codec::EncodedFrame>) {
@@ -76,7 +76,9 @@ fn recording_on_nas_replays_identically() {
     let (resp, _) = nas.handle(&NfsRequest::Create {
         path: "/dvr/movie".into(),
     });
-    let NfsResponse::Handle(fh) = resp else { panic!() };
+    let NfsResponse::Handle(fh) = resp else {
+        panic!()
+    };
     for (i, block) in wire.chunks(4096).enumerate() {
         let (r, _) = nas.handle(&NfsRequest::Write {
             fh,

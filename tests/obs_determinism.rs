@@ -1,0 +1,184 @@
+//! The observability layer's core guarantee: two identical executions
+//! produce byte-identical metrics snapshots.
+//!
+//! Nothing in `hydra-obs` touches the wall clock — spans are stamped with
+//! simulation time and measured in modeled work units, and every snapshot
+//! collection iterates `BTreeMap`s. These tests deploy the same
+//! application twice (through the full `create_offcode` pipeline, channel
+//! traffic included) and compare the JSON renderings bytewise.
+
+use hydra::core::call::{Call, Value};
+use hydra::core::channel::ChannelConfig;
+use hydra::core::device::{DeviceDescriptor, DeviceRegistry};
+use hydra::core::error::RuntimeError;
+use hydra::core::offcode::{Offcode, OffcodeCtx};
+use hydra::core::runtime::{Runtime, RuntimeConfig, SolverKind};
+use hydra::odf::odf::{class_ids, ConstraintKind, DeviceClassSpec, Guid, Import, OdfDocument};
+use hydra::sim::time::SimTime;
+
+#[derive(Debug)]
+struct Sink {
+    guid: Guid,
+    name: &'static str,
+}
+
+impl Offcode for Sink {
+    fn guid(&self) -> Guid {
+        self.guid
+    }
+    fn bind_name(&self) -> &str {
+        self.name
+    }
+    fn handle_call(&mut self, _ctx: &mut OffcodeCtx, _call: &Call) -> Result<Value, RuntimeError> {
+        Ok(Value::Unit)
+    }
+}
+
+fn class(id: u32) -> DeviceClassSpec {
+    DeviceClassSpec {
+        id,
+        name: format!("class-{id}"),
+        bus: None,
+        mac: None,
+        vendor: None,
+    }
+}
+
+/// Deploys a three-Offcode app with Gang and Pull constraints, then
+/// pushes traffic through a Figure-3 channel. Returns the runtime with
+/// its populated recorder.
+fn run_scenario(solver: SolverKind) -> Runtime {
+    let mut reg = DeviceRegistry::new();
+    reg.install(DeviceDescriptor::programmable_nic());
+    reg.install(DeviceDescriptor::smart_disk());
+    reg.install(DeviceDescriptor::gpu());
+    let mut rt = Runtime::new(
+        reg,
+        RuntimeConfig {
+            solver,
+            ..RuntimeConfig::default()
+        },
+    );
+
+    let a = OdfDocument::new("d.A", Guid(1))
+        .with_target(class(class_ids::NETWORK))
+        .with_import(Import {
+            file: String::new(),
+            bind_name: "d.B".into(),
+            guid: Guid(2),
+            constraint: ConstraintKind::Gang,
+            priority: 0,
+        });
+    let b = OdfDocument::new("d.B", Guid(2))
+        .with_target(class(class_ids::GPU))
+        .with_import(Import {
+            file: String::new(),
+            bind_name: "d.C".into(),
+            guid: Guid(3),
+            constraint: ConstraintKind::Pull,
+            priority: 0,
+        });
+    let c = OdfDocument::new("d.C", Guid(3)).with_target(class(class_ids::GPU));
+    rt.register_offcode(a, || {
+        Box::new(Sink {
+            guid: Guid(1),
+            name: "d.A",
+        })
+    })
+    .unwrap();
+    rt.register_offcode(b, || {
+        Box::new(Sink {
+            guid: Guid(2),
+            name: "d.B",
+        })
+    })
+    .unwrap();
+    rt.register_offcode(c, || {
+        Box::new(Sink {
+            guid: Guid(3),
+            name: "d.C",
+        })
+    })
+    .unwrap();
+
+    let root = rt.create_offcode(Guid(1), SimTime::ZERO).unwrap();
+    let device = rt.device_of(root).unwrap();
+    let chan = rt.create_channel(ChannelConfig::figure3(device)).unwrap();
+    rt.connect_offcode(chan, root).unwrap();
+    let mut t = SimTime::ZERO;
+    for i in 0..8u64 {
+        let call = Call::new(Guid(1), "tick").with_return_id(i);
+        t = rt.send_call(chan, &call, t).unwrap();
+    }
+    rt.pump(t);
+    rt
+}
+
+#[test]
+fn identical_deployments_render_identical_snapshots() {
+    let first = run_scenario(SolverKind::Ilp).metrics_snapshot();
+    let second = run_scenario(SolverKind::Ilp).metrics_snapshot();
+    assert_eq!(first, second, "snapshot structs must match");
+    assert_eq!(
+        first.to_json(),
+        second.to_json(),
+        "JSON renderings must be byte-identical"
+    );
+    assert_eq!(
+        first.to_string(),
+        second.to_string(),
+        "Display renderings must be byte-identical"
+    );
+}
+
+#[test]
+fn greedy_runs_are_also_deterministic() {
+    let first = run_scenario(SolverKind::Greedy).metrics_snapshot();
+    let second = run_scenario(SolverKind::Greedy).metrics_snapshot();
+    assert_eq!(first.to_json(), second.to_json());
+}
+
+/// The acceptance shape of a populated snapshot: pipeline-stage spans
+/// with work attributed, channel counters, and solver node counts.
+#[test]
+fn snapshot_reports_pipeline_channels_and_solver() {
+    let snap = run_scenario(SolverKind::Ilp).metrics_snapshot();
+
+    for stage in [
+        "deploy.closure",
+        "deploy.layout",
+        "deploy.solve",
+        "deploy.link_load",
+        "deploy.channels",
+        "deploy.initialize",
+        "deploy.start",
+    ] {
+        let spans = snap.spans_named(stage);
+        assert_eq!(spans.len(), 1, "exactly one {stage} span");
+        assert!(spans[0].work_units > 0, "{stage} must attribute work");
+    }
+    // Per-Offcode child spans under link/load.
+    let parent = snap.spans_named("deploy.link_load")[0].seq;
+    let children = snap.spans_named("deploy.offcode");
+    assert_eq!(children.len(), 3, "one child span per deployed Offcode");
+    assert!(children.iter().all(|s| s.parent == Some(parent)));
+
+    // Channel traffic counters (8 explicit sends plus OOB bookkeeping).
+    assert!(snap.counter_total("channel.sent") >= 8);
+    assert!(snap.counter_total("channel.bytes") > 0);
+    assert!(snap.counter_total("channel.provider_selected") >= 4);
+
+    // Solver statistics.
+    assert!(snap.counter("solver.nodes_explored", "ilp").unwrap() >= 1);
+    let pruned = snap.counter("solver.bounds_pruned", "ilp").unwrap_or(0);
+    assert!(pruned <= snap.counter("solver.nodes_explored", "ilp").unwrap());
+    // The exact solver can never offload fewer Offcodes than greedy.
+    assert!(
+        snap.counter("solver.offloaded", "ilp").unwrap_or(0)
+            >= snap.counter("solver.offloaded", "greedy").unwrap_or(0)
+    );
+
+    // Loader statistics.
+    assert!(snap.counter("load.strategy", "host-side").unwrap_or(0) >= 3);
+    assert!(snap.counter("link.relocations_applied", "").unwrap_or(0) > 0);
+}

@@ -9,10 +9,12 @@ use hydra::hw::cache::{AccessKind, AccessOutcome, Cache, CacheConfig};
 use hydra::ilp::model::{Direction, Problem, Sense};
 use hydra::ilp::{solve_by_enumeration, solve_ilp, Outcome};
 use hydra::link::object::{HofObject, Section, Symbol, SymbolKind};
-use hydra::media::entropy::{decode_block, encode_block, get_varint, put_varint, zz_decode, zz_encode};
+use hydra::media::codec::{CodecConfig, Decoder, Encoder, GopConfig};
+use hydra::media::entropy::{
+    decode_block, encode_block, get_varint, put_varint, zz_decode, zz_encode,
+};
 use hydra::media::frame::RawFrame;
 use hydra::media::transform::{dequantize, forward, inverse, quantize};
-use hydra::media::codec::{CodecConfig, Decoder, Encoder, GopConfig};
 use hydra::odf::odf::{ConstraintKind, DeviceClassSpec, Guid, Import, OdfDocument};
 use hydra::odf::xml;
 
@@ -23,8 +25,7 @@ fn value_strategy() -> impl Strategy<Value = Value> {
         any::<u32>().prop_map(Value::U32),
         any::<u64>().prop_map(Value::U64),
         any::<i64>().prop_map(Value::I64),
-        proptest::collection::vec(any::<u8>(), 0..256)
-            .prop_map(|v| Value::Bytes(Bytes::from(v))),
+        proptest::collection::vec(any::<u8>(), 0..256).prop_map(|v| Value::Bytes(Bytes::from(v))),
         "[a-zA-Z0-9 _-]{0,64}".prop_map(Value::Str),
     ]
 }
@@ -259,7 +260,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let mut rng = hydra::sim::rng::DetRng::new(seed);
-        let mut p = Problem::new(if seed % 2 == 0 { Direction::Maximize } else { Direction::Minimize });
+        let mut p = Problem::new(if seed.is_multiple_of(2) { Direction::Maximize } else { Direction::Minimize });
         let vars: Vec<_> = (0..n).map(|i| p.add_binary(&format!("x{i}"))).collect();
         p.set_objective(vars.iter().map(|&v| (v, rng.normal(0.0, 3.0))).collect());
         for c in 0..2 + n / 2 {

@@ -1,0 +1,177 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros. Instead of statistical timing it runs each
+//! benchmark body a small fixed number of iterations and reports the mean
+//! wall time, which keeps `cargo bench` (and bench compilation under
+//! `cargo test`) working as a smoke test.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+const SMOKE_ITERS: u32 = 3;
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Items processed per iteration.
+    Elements(u64),
+}
+
+/// A parameterized benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A label `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs the measured body.
+pub struct Bencher {
+    iters: u32,
+}
+
+impl Bencher {
+    /// Runs `body` the configured number of times, timing the whole batch.
+    pub fn iter<T>(&mut self, mut body: impl FnMut() -> T) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(body());
+        }
+        let mean_us = start.elapsed().as_secs_f64() * 1e6 / self.iters as f64;
+        println!(
+            "      {:>12.1} us/iter (smoke, {} iters)",
+            mean_us, self.iters
+        );
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Creates a driver with default settings.
+    pub fn new() -> Self {
+        Criterion::default()
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(&mut self, name: impl std::fmt::Display, f: impl FnMut(&mut Bencher)) {
+        run_one(&name.to_string(), f);
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    #[allow(dead_code)]
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the group's throughput (informational here).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        println!("    throughput: {t:?}");
+        self
+    }
+
+    /// Sets the sample count (ignored by the smoke harness).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (ignored by the smoke harness).
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&name.to_string(), f);
+        self
+    }
+
+    /// Runs a parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(name: &str, mut f: impl FnMut(&mut Bencher)) {
+    println!("    bench {name}");
+    let mut b = Bencher { iters: SMOKE_ITERS };
+    f(&mut b);
+}
+
+/// Re-export matching criterion's; prefer `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collects benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::new();
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident; $($rest:tt)*) => {
+        $crate::criterion_group!($name, $($rest)*);
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

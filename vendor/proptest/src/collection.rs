@@ -1,0 +1,78 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A length specification: a fixed size or a half-open range, mirroring
+/// proptest's `SizeRange` conversions.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Minimum length (inclusive).
+    pub min: usize,
+    /// Maximum length (inclusive).
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+/// A strategy producing `Vec`s of values drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = rng.range_inclusive(self.size.min as u64, self.size.max as u64) as usize;
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn length_bounds_hold() {
+        let s = vec(any::<u8>(), 1..64);
+        let mut rng = TestRng::from_seed(9);
+        for _ in 0..500 {
+            let v = s.sample(&mut rng);
+            assert!((1..64).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn fixed_length() {
+        let s = vec(0i32..10, 64);
+        let mut rng = TestRng::from_seed(10);
+        assert_eq!(s.sample(&mut rng).len(), 64);
+    }
+}

@@ -1,0 +1,177 @@
+//! Regex-subset string generation.
+//!
+//! Proptest treats a `&str` strategy as a regular expression over the
+//! values it generates. The workspace's tests only use a simple subset —
+//! sequences of character classes with optional `{m}` / `{m,n}`
+//! repetition — so that is what this shim parses. Unsupported syntax
+//! panics loudly rather than silently generating the wrong language.
+
+use crate::test_runner::TestRng;
+
+/// One `atom{m,n}` unit of the pattern.
+struct Piece {
+    /// The characters the class admits.
+    choices: Vec<char>,
+    /// Minimum repetitions.
+    min: usize,
+    /// Maximum repetitions (inclusive).
+    max: usize,
+}
+
+/// Samples one string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on regex syntax outside the supported subset.
+pub fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for p in &pieces {
+        let n = rng.range_inclusive(p.min as u64, p.max as u64) as usize;
+        for _ in 0..n {
+            let i = rng.below(p.choices.len() as u64) as usize;
+            out.push(p.choices[i]);
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                set
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in regex strategy {pattern:?}"));
+                i += 1;
+                vec![c]
+            }
+            '(' | ')' | '|' | '*' | '+' | '?' | '.' | '^' | '$' => {
+                panic!(
+                    "unsupported regex syntax {:?} in strategy {pattern:?}",
+                    chars[i]
+                )
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed repetition in regex strategy {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("repetition lower bound"),
+                    hi.trim().parse().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad repetition in regex strategy {pattern:?}");
+        pieces.push(Piece { choices, min, max });
+    }
+    pieces
+}
+
+/// Parses a `[...]` class starting just after the `[`; returns the admitted
+/// characters and the index just past the `]`.
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let lo = if chars[i] == '\\' {
+            i += 1;
+            chars[i]
+        } else {
+            chars[i]
+        };
+        // `a-z` range (a `-` before `]` or at the start is literal).
+        if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']') {
+            let hi = chars[i + 2];
+            assert!(
+                lo <= hi,
+                "inverted class range in regex strategy {pattern:?}"
+            );
+            for c in lo..=hi {
+                set.push(c);
+            }
+            i += 3;
+        } else {
+            set.push(lo);
+            i += 1;
+        }
+    }
+    assert!(
+        chars.get(i) == Some(&']'),
+        "unclosed character class in regex strategy {pattern:?}"
+    );
+    assert!(
+        !set.is_empty(),
+        "empty character class in regex strategy {pattern:?}"
+    );
+    (set, i + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_repetition() {
+        let mut rng = TestRng::from_seed(5);
+        for _ in 0..200 {
+            let s = sample_regex("[a-z_]{1,24}", &mut rng);
+            assert!((1..=24).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn leading_atom_then_class() {
+        let mut rng = TestRng::from_seed(6);
+        for _ in 0..200 {
+            let s = sample_regex("[a-zA-Z][a-zA-Z0-9.]{0,32}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 33);
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+        }
+    }
+
+    #[test]
+    fn printable_ascii_range() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..200 {
+            let s = sample_regex("[ -~]{0,64}", &mut rng);
+            assert!(s.len() <= 64);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let mut rng = TestRng::from_seed(8);
+        for _ in 0..100 {
+            let s = sample_regex("[a-c _-]{4}", &mut rng);
+            assert_eq!(s.len(), 4);
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | ' ' | '_' | '-')));
+        }
+    }
+}
