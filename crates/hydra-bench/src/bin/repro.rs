@@ -4,24 +4,19 @@
 //! cargo run --release -p hydra-bench --bin repro            # 60 s runs
 //! cargo run --release -p hydra-bench --bin repro -- --full  # 600 s (paper)
 //! cargo run --release -p hydra-bench --bin repro -- fig9    # one experiment
+//! cargo run --release -p hydra-bench --bin repro -- trace > trace.json
 //! ```
 //!
-//! Experiments: `fig1`, `fig9` (includes Table 2), `fig10` (includes
-//! Table 3), `tab4` (includes client L2), `ilp`, `playback`, the §1.1
-//! comparison `onload`, the TOE demonstration `toe`, the paper's §8
-//! extensions `vmdemux` and `search`, and `metrics` (a deployment's
-//! observability snapshot). With no selector, everything runs.
+//! Run with `--help` (or an unknown selector) for the full selector
+//! list. `trace` alone prints nothing but the Chrome trace-event JSON of
+//! the demo deployment, ready to pipe into a file and load in
+//! `chrome://tracing` or <https://ui.perfetto.dev>.
 
 use std::env;
+use std::process::ExitCode;
 
-use hydra_core::call::{Call, Value};
-use hydra_core::channel::ChannelConfig;
-use hydra_core::device::{DeviceDescriptor, DeviceRegistry};
-use hydra_core::error::RuntimeError;
-use hydra_core::offcode::{Offcode, OffcodeCtx};
-use hydra_core::runtime::{Runtime, RuntimeConfig};
-use hydra_odf::odf::{class_ids, ConstraintKind, DeviceClassSpec, Guid, Import, OdfDocument};
-use hydra_sim::time::{SimDuration, SimTime};
+use hydra_sim::time::SimDuration;
+use hydra_tivo::demo::demo_deployment;
 use hydra_tivo::experiments::{
     fig1, fig10_tab3, fig9_tab2, ilp_vs_greedy, tab4_client, SuiteConfig,
 };
@@ -31,8 +26,46 @@ use hydra_tivo::storage::{build_corpus, run_search, SearchKind};
 use hydra_tivo::toe::{run_bulk_receive, TcpPlacement};
 use hydra_tivo::virtualization::vm_demux_comparison;
 
-fn main() {
+/// Every selector the binary understands, with its one-line description.
+const SELECTORS: &[(&str, &str)] = &[
+    ("fig1", "the GHz/Gbps TCP processing model (Figure 1)"),
+    ("fig9", "server jitter CDFs + Table 2 (alias: tab2)"),
+    ("tab2", "alias for fig9"),
+    ("fig10", "server CPU/L2 utilization + Table 3 (alias: tab3)"),
+    ("tab3", "alias for fig10"),
+    ("tab4", "user-space vs offloaded client, incl. client L2"),
+    ("ilp", "exact ILP layout vs greedy heuristic"),
+    ("playback", "record + playback through the smart disk"),
+    ("vmdemux", "§8 extension: VM packet demultiplexing"),
+    ("onload", "§1.1 offload vs onload comparison"),
+    ("toe", "§1.1 TOE vs host TCP bulk receive"),
+    ("search", "§8 extension: disk-side content search"),
+    ("metrics", "demo deployment's observability snapshot"),
+    (
+        "trace",
+        "demo deployment's Chrome trace-event JSON (pipe into Perfetto)",
+    ),
+];
+
+fn usage() -> String {
+    let mut out = String::from(
+        "usage: repro [--full] [selector...]\n\n\
+         With no selector every experiment runs. Flags:\n\
+         \x20 --full    paper-length 600 s runs (default 60 s)\n\
+         \x20 --help    this text\n\nSelectors:\n",
+    );
+    for (name, what) in SELECTORS {
+        out.push_str(&format!("  {name:<9} {what}\n"));
+    }
+    out
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
     let full = args.iter().any(|a| a == "--full");
     let cfg = if full {
         SuiteConfig::paper_full()
@@ -44,7 +77,20 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .map(String::as_str)
         .collect();
+    let known = |name: &str| SELECTORS.iter().any(|(s, _)| *s == name);
+    if let Some(bad) = selected.iter().find(|s| !known(s)) {
+        eprintln!("repro: unknown selector '{bad}'\n");
+        eprint!("{}", usage());
+        return ExitCode::FAILURE;
+    }
     let want = |name: &str| selected.is_empty() || selected.contains(&name);
+
+    // `trace` alone emits pure JSON on stdout — no banner, no prose — so
+    // the output pipes straight into a .json file for Perfetto.
+    if selected == ["trace"] {
+        println!("{}", demo_deployment().trace_export());
+        return ExitCode::SUCCESS;
+    }
 
     println!(
         "HYDRA reproduction — simulated testbed, {} s runs, seed {}",
@@ -120,105 +166,16 @@ fn main() {
         }
         println!();
     }
-    if want("metrics") {
-        println!("Observability — deployment pipeline + channel metrics snapshot");
-        println!("{}", metrics_demo());
+    if want("metrics") || want("trace") {
+        let rt = demo_deployment();
+        if want("metrics") {
+            println!("Observability — deployment pipeline + channel metrics snapshot");
+            println!("{}", rt.metrics_snapshot());
+        }
+        if want("trace") {
+            println!("Causal trace — Chrome trace-event JSON (load in Perfetto):");
+            println!("{}", rt.trace_export());
+        }
     }
-}
-
-/// A do-nothing Offcode for the metrics demonstration deployment.
-#[derive(Debug)]
-struct DemoOffcode {
-    guid: Guid,
-    name: &'static str,
-}
-
-impl Offcode for DemoOffcode {
-    fn guid(&self) -> Guid {
-        self.guid
-    }
-    fn bind_name(&self) -> &str {
-        self.name
-    }
-    fn handle_call(&mut self, _ctx: &mut OffcodeCtx, _call: &Call) -> Result<Value, RuntimeError> {
-        Ok(Value::Unit)
-    }
-}
-
-fn class(id: u32) -> DeviceClassSpec {
-    DeviceClassSpec {
-        id,
-        name: format!("class-{id}"),
-        bus: None,
-        mac: None,
-        vendor: None,
-    }
-}
-
-/// Deploys a three-Offcode pipeline (streamer → decoder → display) on the
-/// full testbed, pushes a few calls through a Figure-3 channel, and
-/// renders the runtime's metrics snapshot.
-fn metrics_demo() -> String {
-    let mut reg = DeviceRegistry::new();
-    reg.install(DeviceDescriptor::programmable_nic());
-    reg.install(DeviceDescriptor::smart_disk());
-    reg.install(DeviceDescriptor::gpu());
-    let mut rt = Runtime::new(reg, RuntimeConfig::default());
-
-    let streamer = OdfDocument::new("tivo.Streamer", Guid(1))
-        .with_target(class(class_ids::NETWORK))
-        .with_import(Import {
-            file: String::new(),
-            bind_name: "tivo.Decoder".into(),
-            guid: Guid(2),
-            constraint: ConstraintKind::Gang,
-            priority: 0,
-        });
-    let decoder = OdfDocument::new("tivo.Decoder", Guid(2))
-        .with_target(class(class_ids::GPU))
-        .with_import(Import {
-            file: String::new(),
-            bind_name: "tivo.Display".into(),
-            guid: Guid(3),
-            constraint: ConstraintKind::Pull,
-            priority: 0,
-        });
-    let display = OdfDocument::new("tivo.Display", Guid(3)).with_target(class(class_ids::GPU));
-    rt.register_offcode(streamer, || {
-        Box::new(DemoOffcode {
-            guid: Guid(1),
-            name: "tivo.Streamer",
-        })
-    })
-    .expect("fresh depot");
-    rt.register_offcode(decoder, || {
-        Box::new(DemoOffcode {
-            guid: Guid(2),
-            name: "tivo.Decoder",
-        })
-    })
-    .expect("fresh depot");
-    rt.register_offcode(display, || {
-        Box::new(DemoOffcode {
-            guid: Guid(3),
-            name: "tivo.Display",
-        })
-    })
-    .expect("fresh depot");
-
-    let root = rt
-        .create_offcode(Guid(1), SimTime::ZERO)
-        .expect("demo app deploys");
-    let device = rt.device_of(root).expect("deployed");
-    let chan = rt
-        .create_channel(ChannelConfig::figure3(device))
-        .expect("figure-3 channel");
-    rt.connect_offcode(chan, root).expect("connect streamer");
-    let mut t = SimTime::ZERO;
-    for i in 0..4u64 {
-        let call = Call::new(Guid(1), "frame").with_return_id(i);
-        t = rt.send_call(chan, &call, t).expect("channel accepts");
-    }
-    rt.pump(t);
-    rt.metrics_snapshot().to_string()
+    ExitCode::SUCCESS
 }

@@ -14,7 +14,7 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 use bytes::Bytes;
-use hydra_obs::Recorder;
+use hydra_obs::{Recorder, TraceCtx};
 use hydra_sim::time::{SimDuration, SimTime};
 
 use crate::device::DeviceId;
@@ -228,6 +228,10 @@ pub struct ChannelMessage {
     pub data: Bytes,
     /// When the message becomes visible at the receiver.
     pub deliver_at: SimTime,
+    /// Causal trace stamp: minted at `send`, advanced through the
+    /// provider hop, positioned at the `recv` event once received — so
+    /// post-receive device work can keep extending the chain.
+    pub trace: TraceCtx,
 }
 
 /// Per-channel counters.
@@ -315,10 +319,21 @@ impl Channel {
         Ok(self.queues.len() - 1)
     }
 
+    /// The device id used as the trace "pid" for this channel's far end.
+    fn target_pid(&self) -> u64 {
+        self.config.target.0 as u64
+    }
+
     /// Sends a message at `now`, returning its delivery instant.
     ///
     /// Multicast delivers to every endpoint in one send (hardware
     /// multicast: the cost is charged once, per the paper's note).
+    ///
+    /// Every send mints a [`TraceCtx`]: a *send* event on the host, then
+    /// — if the message is accepted — a *hop* event on the target device
+    /// as the payload enters the provider's queue/descriptor ring. Lost
+    /// or rejected messages close their trace with a *drop* event, so a
+    /// fault is visible as an unterminated-by-recv chain, not silence.
     ///
     /// # Errors
     ///
@@ -328,31 +343,64 @@ impl Channel {
     pub fn send(&mut self, now: SimTime, data: Bytes) -> Result<SimTime, ChannelError> {
         let start = self.busy_until.max(now);
         let deliver_at = start + self.cost.latency(data.len());
+        let bytes = data.len() as u64;
+        let ctx = self
+            .recorder
+            .trace_begin("channel.send", &self.provider_name, 0, now, bytes);
         let any_full = self.queues.iter().any(|q| q.len() >= self.config.capacity);
         if any_full {
             match self.config.reliability {
-                Reliability::Reliable => return Err(ChannelError::WouldBlock),
+                Reliability::Reliable => {
+                    self.recorder
+                        .counter_incr("channel.rejected", &self.provider_name);
+                    self.recorder.trace_drop(
+                        ctx,
+                        "channel.reject",
+                        &self.provider_name,
+                        0,
+                        now,
+                        bytes,
+                    );
+                    return Err(ChannelError::WouldBlock);
+                }
                 Reliability::Unreliable => {
                     self.stats.dropped += 1;
                     self.recorder
                         .counter_incr("channel.dropped", &self.provider_name);
+                    self.recorder.trace_drop(
+                        ctx,
+                        "channel.drop",
+                        &self.provider_name,
+                        self.target_pid(),
+                        now,
+                        bytes,
+                    );
                     return Ok(deliver_at);
                 }
             }
         }
         self.busy_until = deliver_at;
         self.stats.sent += 1;
-        self.stats.bytes += data.len() as u64;
+        self.stats.bytes += bytes;
+        let ctx = self.recorder.trace_hop(
+            ctx,
+            "provider.hop",
+            &self.provider_name,
+            self.target_pid(),
+            start,
+            bytes,
+        );
         for q in &mut self.queues {
             q.push_back(ChannelMessage {
                 data: data.clone(),
                 deliver_at,
+                trace: ctx,
             });
         }
         self.recorder
             .counter_incr("channel.sent", &self.provider_name);
         self.recorder
-            .counter_add("channel.bytes", &self.provider_name, data.len() as u64);
+            .counter_add("channel.bytes", &self.provider_name, bytes);
         self.recorder.observe(
             "channel.latency_ns",
             &self.provider_name,
@@ -368,15 +416,45 @@ impl Channel {
     }
 
     /// Receives the oldest message visible at `now` on endpoint `ep`.
+    ///
+    /// The returned message's [`ChannelMessage::trace`] is advanced to
+    /// the *recv* event, so the receiver can continue the causal chain
+    /// into device-side work.
     pub fn recv(&mut self, now: SimTime, ep: usize) -> Option<ChannelMessage> {
         let q = self.queues.get_mut(ep)?;
         if q.front().is_some_and(|m| m.deliver_at <= now) {
             self.stats.received += 1;
             self.recorder
                 .counter_incr("channel.received", &self.provider_name);
-            q.pop_front()
+            let mut msg = q.pop_front()?;
+            msg.trace = self.recorder.trace_recv(
+                msg.trace,
+                "channel.recv",
+                &self.provider_name,
+                self.target_pid(),
+                now,
+                msg.data.len() as u64,
+            );
+            Some(msg)
         } else {
             None
+        }
+    }
+
+    /// Closes every still-queued message's trace with a *drop* event
+    /// (used when the channel is destroyed with messages in flight).
+    fn drop_pending(&mut self) {
+        for q in &mut self.queues {
+            for msg in q.drain(..) {
+                self.recorder.trace_drop(
+                    msg.trace,
+                    "channel.destroyed",
+                    &self.provider_name,
+                    self.config.target.0 as u64,
+                    msg.deliver_at,
+                    msg.data.len() as u64,
+                );
+            }
         }
     }
 
@@ -510,9 +588,17 @@ impl ChannelExecutive {
         self.channels.get_mut(&id)
     }
 
-    /// Destroys a channel, returning whether it existed.
+    /// Destroys a channel, returning whether it existed. Undelivered
+    /// messages get a *drop* trace event so their chains terminate
+    /// visibly rather than dangling.
     pub fn destroy(&mut self, id: ChannelId) -> bool {
-        self.channels.remove(&id).is_some()
+        match self.channels.remove(&id) {
+            Some(mut ch) => {
+                ch.drop_pending();
+                true
+            }
+            None => false,
+        }
     }
 
     /// Number of live channels.
@@ -666,5 +752,84 @@ mod tests {
         assert!(!e.destroy(id));
         assert!(e.get(id).is_none());
         assert!(e.is_empty());
+    }
+
+    #[test]
+    fn send_recv_emits_connected_trace_chain() {
+        let mut e = exec();
+        let id = e
+            .create_channel(ChannelConfig::figure3(DeviceId(3)))
+            .unwrap();
+        let ch = e.get_mut(id).unwrap();
+        let ep = ch.connect_endpoint().unwrap();
+        let t = ch.send(SimTime::ZERO, Bytes::from_static(b"call")).unwrap();
+        ch.recv(t, ep).unwrap();
+        let snap = e.recorder().snapshot();
+        let sends = snap.events_kind("send");
+        let hops = snap.events_kind("hop");
+        let recvs = snap.events_kind("recv");
+        assert_eq!((sends.len(), hops.len(), recvs.len()), (1, 1, 1));
+        // One connected chain: send -> hop -> recv.
+        assert_eq!(hops[0].parent, Some(sends[0].id));
+        assert_eq!(recvs[0].parent, Some(hops[0].id));
+        assert!(sends
+            .iter()
+            .chain(&hops)
+            .chain(&recvs)
+            .all(|e| e.trace == sends[0].trace));
+        // The chain spans host (pid 0) and the target device (pid 3).
+        assert_eq!(sends[0].device, 0);
+        assert_eq!(hops[0].device, 3);
+        assert_eq!(recvs[0].device, 3);
+    }
+
+    #[test]
+    fn rejected_send_closes_trace_with_drop() {
+        let mut e = exec();
+        let mut cfg = ChannelConfig::figure3(DeviceId(1));
+        cfg.capacity = 1;
+        let id = e.create_channel(cfg).unwrap();
+        let ch = e.get_mut(id).unwrap();
+        ch.connect_endpoint().unwrap();
+        ch.send(SimTime::ZERO, Bytes::from_static(b"a")).unwrap();
+        assert_eq!(
+            ch.send(SimTime::ZERO, Bytes::from_static(b"b")),
+            Err(ChannelError::WouldBlock)
+        );
+        let snap = e.recorder().snapshot();
+        let drops = snap.events_kind("drop");
+        assert_eq!(drops.len(), 1);
+        assert_eq!(drops[0].name, "channel.reject");
+        assert_eq!(
+            snap.counter("channel.rejected", "zero-copy-dma"),
+            Some(1),
+            "reliable rejection has its own counter"
+        );
+    }
+
+    #[test]
+    fn unreliable_drop_and_destroy_close_traces() {
+        let mut e = exec();
+        let mut cfg = ChannelConfig::figure3(DeviceId(2));
+        cfg.capacity = 1;
+        cfg.reliability = Reliability::Unreliable;
+        let id = e.create_channel(cfg).unwrap();
+        let ch = e.get_mut(id).unwrap();
+        ch.connect_endpoint().unwrap();
+        ch.send(SimTime::ZERO, Bytes::from_static(b"a")).unwrap();
+        ch.send(SimTime::ZERO, Bytes::from_static(b"b")).unwrap();
+        // Destroy with "a" still queued: its trace must also terminate.
+        e.destroy(id);
+        let snap = e.recorder().snapshot();
+        let drops = snap.events_kind("drop");
+        assert_eq!(drops.len(), 2);
+        assert_eq!(drops[0].name, "channel.drop");
+        assert_eq!(drops[1].name, "channel.destroyed");
+        // Every minted trace ends in a terminal event (recv or drop).
+        for send in snap.events_kind("send") {
+            let chain = snap.trace_events(send.trace);
+            let last = chain.last().unwrap();
+            assert!(last.kind == "recv" || last.kind == "drop");
+        }
     }
 }

@@ -53,6 +53,9 @@ pub struct RuntimeConfig {
     pub solver: SolverKind,
     /// Offcode loading strategy (§4.2).
     pub load_strategy: LoadStrategy,
+    /// Flight-recorder capacity in trace events; older events are evicted
+    /// (and counted) once the ring is full.
+    pub flight_capacity: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -61,6 +64,7 @@ impl Default for RuntimeConfig {
             objective: Objective::MaximizeOffloading,
             solver: SolverKind::Ilp,
             load_strategy: LoadStrategy::HostSideLink,
+            flight_capacity: hydra_obs::trace::DEFAULT_FLIGHT_CAPACITY,
         }
     }
 }
@@ -162,6 +166,7 @@ impl Runtime {
             .map(|(_, d)| DeviceMemoryAllocator::new(0x1_0000, d.offcode_memory))
             .collect();
         let recorder = Recorder::new();
+        recorder.set_flight_capacity(config.flight_capacity);
         let mut executive = ChannelExecutive::with_default_providers();
         executive.set_recorder(recorder.clone());
         Runtime {
@@ -193,6 +198,16 @@ impl Runtime {
     /// `tests/obs_determinism.rs`).
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.recorder.snapshot()
+    }
+
+    /// The flight recorder's causal event chains rendered as Chrome
+    /// trace-event JSON — load the output in `chrome://tracing` or
+    /// [Perfetto](https://ui.perfetto.dev). Sim-time microseconds on the
+    /// timeline, one "process" track per device, flow arrows stitching
+    /// each message's send → hop → recv chain across devices. Identical
+    /// runs export byte-identical JSON.
+    pub fn trace_export(&self) -> String {
+        hydra_obs::chrome_trace(&self.recorder.snapshot())
     }
 
     /// The device registry.
@@ -1089,6 +1104,38 @@ mod tests {
         let id = rt.create_offcode(Guid(1), SimTime::ZERO).unwrap();
         let dep = rt.deployments().into_iter().find(|d| d.id == id).unwrap();
         assert_eq!(dep.plan.strategy, LoadStrategy::DeviceSideLink);
+    }
+
+    #[test]
+    fn trace_export_spans_devices_and_respects_flight_capacity() {
+        let mut rt = Runtime::new(
+            full_registry(),
+            RuntimeConfig {
+                flight_capacity: 8,
+                ..RuntimeConfig::default()
+            },
+        );
+        assert_eq!(rt.recorder().flight_capacity(), 8);
+        rt.register_offcode(
+            OdfDocument::new("c", Guid(1)).with_target(class(class_ids::NETWORK)),
+            || Counter::boxed(1, "c"),
+        )
+        .unwrap();
+        let id = rt.create_offcode(Guid(1), SimTime::ZERO).unwrap();
+        let chan = rt
+            .create_channel(ChannelConfig::figure3(DeviceId(1)))
+            .unwrap();
+        rt.connect_offcode(chan, id).unwrap();
+        let call = Call::new(Guid(1), "incr");
+        let deliver_at = rt.send_call(chan, &call, SimTime::ZERO).unwrap();
+        rt.pump(deliver_at);
+        let json = rt.trace_export();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"name\":\"channel.recv\""));
+        // Host (pid 0) and the NIC (pid 1) both appear as processes.
+        assert!(json.contains("\"args\":{\"name\":\"host\"}"));
+        assert!(json.contains("\"args\":{\"name\":\"device-1\"}"));
+        assert_eq!(json, rt.trace_export(), "export is stable");
     }
 
     #[test]

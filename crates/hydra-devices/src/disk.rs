@@ -14,7 +14,10 @@ use bytes::Bytes;
 use hydra_hw::cpu::{Cpu, CpuSpec, Cycles, Reservation};
 use hydra_net::link::{Link, LinkSpec};
 use hydra_net::nfs::{FileHandle, NasServer, NfsError, NfsRequest, NfsResponse};
+use hydra_obs::{Recorder, TraceCtx};
 use hydra_sim::time::{SimDuration, SimTime};
+
+use crate::trace::{hop_if, DeviceTracer};
 
 /// Block size of the exported block device.
 pub const BLOCK_BYTES: usize = 4096;
@@ -91,6 +94,7 @@ pub struct SmartDiskModel {
     stats: DiskStats,
     /// Controller firmware cost per block (checksums, mapping).
     per_block: Cycles,
+    tracer: Option<DeviceTracer>,
 }
 
 impl Default for SmartDiskModel {
@@ -108,7 +112,14 @@ impl SmartDiskModel {
             backing: None,
             stats: DiskStats::default(),
             per_block: Cycles::new(2_000),
+            tracer: None,
         }
+    }
+
+    /// Couples this controller to a shared flight recorder under trace
+    /// pid `device`, enabling the `*_traced` block operations.
+    pub fn set_recorder(&mut self, recorder: Recorder, device: u64) {
+        self.tracer = Some(DeviceTracer::new(recorder, device));
     }
 
     /// The statistics.
@@ -240,6 +251,72 @@ impl SmartDiskModel {
         }
     }
 
+    /// [`SmartDiskModel::write_block`] extending a causal chain: records
+    /// a `disk.write` hop once the block is durable on the NAS.
+    ///
+    /// # Errors
+    ///
+    /// As [`SmartDiskModel::write_block`]; a failed write terminates the
+    /// chain with a `disk.write_failed` drop event.
+    pub fn write_block_traced(
+        &mut self,
+        now: SimTime,
+        nas: &mut NasServer,
+        idx: u64,
+        data: Bytes,
+        ctx: TraceCtx,
+    ) -> Result<(DiskOp, TraceCtx), DiskError> {
+        let bytes = data.len() as u64;
+        match self.write_block(now, nas, idx, data) {
+            Ok(op) => {
+                let ctx = hop_if(
+                    &self.tracer,
+                    ctx,
+                    "disk.write",
+                    "nas",
+                    op.complete_at,
+                    bytes,
+                );
+                Ok((op, ctx))
+            }
+            Err(e) => {
+                if let Some(t) = &self.tracer {
+                    t.drop_event(ctx, "disk.write_failed", "nas", now, bytes);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// [`SmartDiskModel::read_block`] extending a causal chain: records a
+    /// `disk.read` hop once the data is back from the NAS.
+    ///
+    /// # Errors
+    ///
+    /// As [`SmartDiskModel::read_block`]; a failed read terminates the
+    /// chain with a `disk.read_failed` drop event.
+    pub fn read_block_traced(
+        &mut self,
+        now: SimTime,
+        nas: &mut NasServer,
+        idx: u64,
+        ctx: TraceCtx,
+    ) -> Result<(Bytes, DiskOp, TraceCtx), DiskError> {
+        match self.read_block(now, nas, idx) {
+            Ok((data, op)) => {
+                let bytes = data.len() as u64;
+                let ctx = hop_if(&self.tracer, ctx, "disk.read", "nas", op.complete_at, bytes);
+                Ok((data, op, ctx))
+            }
+            Err(e) => {
+                if let Some(t) = &self.tracer {
+                    t.drop_event(ctx, "disk.read_failed", "nas", now, 0);
+                }
+                Err(e)
+            }
+        }
+    }
+
     /// Runs Offcode work on the controller CPU (e.g. the playback
     /// Streamer's pacing loop).
     pub fn offcode_work(&mut self, now: SimTime, work: Cycles) -> Reservation {
@@ -320,6 +397,51 @@ mod tests {
             .write_block(SimTime::ZERO, &mut nas, 0, Bytes::from_static(b"y"))
             .unwrap();
         assert!(op.controller.start >= r1.end);
+    }
+
+    #[test]
+    fn traced_write_and_read_extend_the_chain() {
+        let rec = Recorder::new();
+        let mut nas = NasServer::default();
+        let mut disk = SmartDiskModel::new();
+        disk.set_recorder(rec.clone(), 2);
+        disk.open(&mut nas, "/dvr/s0");
+        let ctx = rec.trace_begin("channel.send", "", 0, SimTime::ZERO, BLOCK_BYTES as u64);
+        let (op, ctx) = disk
+            .write_block_traced(
+                SimTime::ZERO,
+                &mut nas,
+                0,
+                Bytes::from(vec![1u8; BLOCK_BYTES]),
+                ctx,
+            )
+            .unwrap();
+        let (_, _, _ctx) = disk
+            .read_block_traced(op.complete_at, &mut nas, 0, ctx)
+            .unwrap();
+        let snap = rec.snapshot();
+        let hops = snap.events_kind("hop");
+        assert_eq!(hops.len(), 2);
+        assert_eq!(hops[0].name, "disk.write");
+        assert_eq!(hops[1].name, "disk.read");
+        assert_eq!(hops[1].parent, Some(hops[0].id));
+        assert!(hops.iter().all(|h| h.device == 2));
+    }
+
+    #[test]
+    fn failed_traced_write_drops_the_chain() {
+        let rec = Recorder::new();
+        let mut nas = NasServer::default();
+        let mut disk = SmartDiskModel::new(); // never opened
+        disk.set_recorder(rec.clone(), 2);
+        let ctx = rec.trace_begin("channel.send", "", 0, SimTime::ZERO, 4);
+        assert!(disk
+            .write_block_traced(SimTime::ZERO, &mut nas, 0, Bytes::from_static(b"xyzw"), ctx)
+            .is_err());
+        let snap = rec.snapshot();
+        let drops = snap.events_kind("drop");
+        assert_eq!(drops.len(), 1);
+        assert_eq!(drops[0].name, "disk.write_failed");
     }
 
     #[test]

@@ -11,7 +11,10 @@
 use hydra_hw::cpu::{Cpu, CpuSpec, Reservation};
 use hydra_media::codec::EncodedFrame;
 use hydra_media::cost::DecodeCostModel;
+use hydra_obs::{Recorder, TraceCtx};
 use hydra_sim::time::SimTime;
+
+use crate::trace::{hop_if, DeviceTracer};
 
 /// Lifetime statistics of a GPU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -41,6 +44,7 @@ pub struct GpuModel {
     stats: GpuStats,
     /// Display index of the frame currently scanned out.
     current_frame: Option<u64>,
+    tracer: Option<DeviceTracer>,
 }
 
 impl Default for GpuModel {
@@ -57,7 +61,14 @@ impl GpuModel {
             decode_model: DecodeCostModel::gpu_hardware(),
             stats: GpuStats::default(),
             current_frame: None,
+            tracer: None,
         }
+    }
+
+    /// Couples this GPU to a shared flight recorder under trace pid
+    /// `device`, enabling [`GpuModel::hw_decode_traced`].
+    pub fn set_recorder(&mut self, recorder: Recorder, device: u64) {
+        self.tracer = Some(DeviceTracer::new(recorder, device));
     }
 
     /// The statistics.
@@ -83,6 +94,20 @@ impl GpuModel {
         // Framebuffer writes: ~1 cycle per 16 bytes on the GPU side.
         let work = hydra_hw::cpu::Cycles::new(raw_bytes as u64 / 16);
         self.cpu.reserve(now, work)
+    }
+
+    /// [`GpuModel::hw_decode`] extending a causal chain: records a
+    /// `gpu.decode` hop when the decode engine finishes the frame.
+    pub fn hw_decode_traced(
+        &mut self,
+        now: SimTime,
+        frame: &EncodedFrame,
+        ctx: TraceCtx,
+    ) -> (Reservation, TraceCtx) {
+        let bytes = frame.data.len() as u64;
+        let r = self.hw_decode(now, frame);
+        let ctx = hop_if(&self.tracer, ctx, "gpu.decode", "hw-mpeg", r.end, bytes);
+        (r, ctx)
     }
 
     /// Scans out the current frame (vsync). Returns its display index.
@@ -135,6 +160,23 @@ mod tests {
         assert_eq!(gpu.stats().frames_blitted, 1);
         assert_eq!(gpu.stats().frames_decoded, 0);
         assert_eq!(gpu.display(), Some(0));
+    }
+
+    #[test]
+    fn traced_decode_extends_the_chain_on_gpu_pid() {
+        let rec = Recorder::new();
+        let mut gpu = GpuModel::new();
+        gpu.set_recorder(rec.clone(), 3);
+        let f = &frames()[0];
+        let ctx = rec.trace_begin("channel.send", "", 0, SimTime::ZERO, f.data.len() as u64);
+        let (r, _ctx) = gpu.hw_decode_traced(SimTime::ZERO, f, ctx);
+        assert!(r.end > r.start);
+        let snap = rec.snapshot();
+        let hops = snap.events_kind("hop");
+        assert_eq!(hops.len(), 1);
+        assert_eq!(hops[0].name, "gpu.decode");
+        assert_eq!(hops[0].device, 3);
+        assert_eq!(hops[0].at_nanos, r.end.as_nanos());
     }
 
     #[test]

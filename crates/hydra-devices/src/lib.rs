@@ -19,8 +19,10 @@ pub mod disk;
 pub mod gpu;
 pub mod host;
 pub mod nic;
+pub mod trace;
 
 pub use disk::{DiskError, DiskOp, DiskStats, SmartDiskModel, BLOCK_BYTES};
 pub use gpu::{GpuModel, GpuStats};
 pub use host::HostModel;
 pub use nic::{NicCosts, NicModel, NicStats};
+pub use trace::DeviceTracer;

@@ -14,7 +14,10 @@ use hydra_hw::dma::{DmaDirection, DmaEngine};
 use hydra_hw::irq::{CoalescePolicy, IrqCoalescer, IrqDecision};
 use hydra_hw::mem::Region;
 use hydra_hw::os::TimerModel;
+use hydra_obs::{Recorder, TraceCtx};
 use hydra_sim::time::SimTime;
+
+use crate::trace::{hop_if, DeviceTracer};
 
 /// Fixed MAC/firmware costs of the NIC datapath.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +79,7 @@ pub struct NicModel {
     costs: NicCosts,
     stats: NicStats,
     rng: hydra_sim::rng::DetRng,
+    tracer: Option<DeviceTracer>,
 }
 
 impl NicModel {
@@ -89,7 +93,15 @@ impl NicModel {
             costs: NicCosts::default(),
             stats: NicStats::default(),
             rng: hydra_sim::rng::DetRng::new(seed ^ 0x3c98_5b00),
+            tracer: None,
         }
+    }
+
+    /// Couples this NIC to a shared flight recorder under trace pid
+    /// `device` — the `*_traced` methods then extend causal chains with
+    /// firmware/DMA hop events.
+    pub fn set_recorder(&mut self, recorder: Recorder, device: u64) {
+        self.tracer = Some(DeviceTracer::new(recorder, device));
     }
 
     /// The statistics.
@@ -163,6 +175,57 @@ impl NicModel {
             .wakeup(target, &mut self.rng)
             .max(self.cpu.busy_until())
     }
+
+    /// [`NicModel::rx_process`] extending a causal chain: records a
+    /// `nic.rx` hop at the reservation's end (when firmware is done with
+    /// the frame). Without a recorder installed the context passes
+    /// through unchanged.
+    pub fn rx_process_traced(
+        &mut self,
+        now: SimTime,
+        bytes: usize,
+        ctx: TraceCtx,
+    ) -> (Reservation, TraceCtx) {
+        let r = self.rx_process(now, bytes);
+        let ctx = hop_if(&self.tracer, ctx, "nic.rx", "firmware", r.end, bytes as u64);
+        (r, ctx)
+    }
+
+    /// [`NicModel::dma_to_host`] extending a causal chain: records a
+    /// `nic.dma` hop when the descriptor-ring transfer completes.
+    pub fn dma_to_host_traced(
+        &mut self,
+        now: SimTime,
+        bus: &mut Bus,
+        region: Region,
+        ctx: TraceCtx,
+    ) -> (BusXfer, IrqDecision, TraceCtx) {
+        let bytes = region.len() as u64;
+        let (xfer, decision) = self.dma_to_host(now, bus, region);
+        let ctx = hop_if(&self.tracer, ctx, "nic.dma", "to-host", xfer.end, bytes);
+        (xfer, decision, ctx)
+    }
+
+    /// [`NicModel::forward_to_peer`] extending a causal chain: records a
+    /// `nic.forward` hop when the last bus transaction lands at the peer.
+    pub fn forward_to_peer_traced(
+        &mut self,
+        now: SimTime,
+        bus: &mut Bus,
+        bytes: usize,
+        ctx: TraceCtx,
+    ) -> (BusXfer, TraceCtx) {
+        let xfer = self.forward_to_peer(now, bus, bytes);
+        let ctx = hop_if(
+            &self.tracer,
+            ctx,
+            "nic.forward",
+            "peer",
+            xfer.end,
+            bytes as u64,
+        );
+        (xfer, ctx)
+    }
 }
 
 #[cfg(test)]
@@ -220,6 +283,34 @@ mod tests {
         let r_big = nic.offcode_work(r_small.end, 10_000, Cycles::ZERO);
         let d_big = r_big.end.duration_since(r_big.start);
         assert!(d_big > d_small * 50);
+    }
+
+    #[test]
+    fn traced_rx_and_forward_extend_the_chain() {
+        let rec = Recorder::new();
+        let mut nic = NicModel::new_3c985b(6);
+        nic.set_recorder(rec.clone(), 1);
+        let mut bus = Bus::new(BusSpec::pcie_x4());
+        let ctx = rec.trace_begin("wire.frame", "", 0, SimTime::ZERO, 1024);
+        let (r, ctx) = nic.rx_process_traced(SimTime::ZERO, 1024, ctx);
+        let (_, _ctx) = nic.forward_to_peer_traced(r.end, &mut bus, 1024, ctx);
+        let snap = rec.snapshot();
+        let hops = snap.events_kind("hop");
+        assert_eq!(hops.len(), 2);
+        assert_eq!(hops[0].name, "nic.rx");
+        assert_eq!(hops[1].name, "nic.forward");
+        assert_eq!(hops[1].parent, Some(hops[0].id), "chain is connected");
+        assert!(hops.iter().all(|h| h.device == 1));
+    }
+
+    #[test]
+    fn untraced_nic_records_nothing() {
+        let rec = Recorder::new();
+        let mut nic = NicModel::new_3c985b(7);
+        let ctx = rec.trace_begin("wire.frame", "", 0, SimTime::ZERO, 64);
+        let (_, out) = nic.rx_process_traced(SimTime::ZERO, 64, ctx);
+        assert_eq!(out, ctx, "no tracer: context passes through");
+        assert_eq!(rec.snapshot().events.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Device-side causal tracing.
+//!
+//! A [`DeviceTracer`] couples a shared [`Recorder`] with the device's
+//! trace "pid", so device models can extend the causal chain a channel
+//! message carries ([`hydra_obs::TraceCtx`]) with *hop* events for their
+//! own datapath stages: NIC firmware work, DMA descriptor-ring
+//! transfers, GPU decode, disk block I/O. The tracer is optional on
+//! every model — untraced call sites behave exactly as before.
+
+use hydra_obs::{Recorder, TraceCtx};
+use hydra_sim::time::SimTime;
+
+/// A device model's handle into the shared flight recorder.
+#[derive(Debug, Clone)]
+pub struct DeviceTracer {
+    recorder: Recorder,
+    pid: u64,
+}
+
+impl DeviceTracer {
+    /// Couples a recorder with this device's trace pid (its
+    /// `DeviceId.0`; 0 is the host).
+    pub fn new(recorder: Recorder, pid: u64) -> Self {
+        DeviceTracer { recorder, pid }
+    }
+
+    /// The device's trace pid.
+    pub fn pid(&self) -> u64 {
+        self.pid
+    }
+
+    /// Records a datapath *hop* on this device, returning the advanced
+    /// context.
+    pub fn hop(
+        &self,
+        ctx: TraceCtx,
+        name: &'static str,
+        label: &str,
+        at: SimTime,
+        bytes: u64,
+    ) -> TraceCtx {
+        self.recorder
+            .trace_hop(ctx, name, label, self.pid, at, bytes)
+    }
+
+    /// Terminates a chain with a *drop* event on this device (payload
+    /// lost inside the device datapath).
+    pub fn drop_event(
+        &self,
+        ctx: TraceCtx,
+        name: &'static str,
+        label: &str,
+        at: SimTime,
+        bytes: u64,
+    ) {
+        self.recorder
+            .trace_drop(ctx, name, label, self.pid, at, bytes);
+    }
+}
+
+/// Advances `ctx` through an optional tracer: a `None` tracer is a
+/// no-op, so models can thread contexts unconditionally.
+pub fn hop_if(
+    tracer: &Option<DeviceTracer>,
+    ctx: TraceCtx,
+    name: &'static str,
+    label: &str,
+    at: SimTime,
+    bytes: u64,
+) -> TraceCtx {
+    match tracer {
+        Some(t) => t.hop(ctx, name, label, at, bytes),
+        None => ctx,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hop_if_without_tracer_is_identity() {
+        let rec = Recorder::new();
+        let ctx = rec.trace_begin("send", "", 0, SimTime::ZERO, 1);
+        let out = hop_if(&None, ctx, "hop", "", SimTime::ZERO, 1);
+        assert_eq!(out, ctx);
+        assert_eq!(rec.snapshot().events.len(), 1);
+    }
+
+    #[test]
+    fn hop_records_on_device_pid() {
+        let rec = Recorder::new();
+        let tracer = DeviceTracer::new(rec.clone(), 3);
+        let ctx = rec.trace_begin("send", "", 0, SimTime::ZERO, 8);
+        let out = tracer.hop(ctx, "nic.rx", "wire", SimTime::from_micros(1), 8);
+        assert_ne!(out.parent, ctx.parent);
+        let snap = rec.snapshot();
+        let hops = snap.events_kind("hop");
+        assert_eq!(hops.len(), 1);
+        assert_eq!(hops[0].device, 3);
+        assert_eq!(hops[0].label, "wire");
+    }
+
+    #[test]
+    fn drop_event_terminates_chain() {
+        let rec = Recorder::new();
+        let tracer = DeviceTracer::new(rec.clone(), 2);
+        let ctx = rec.trace_begin("send", "", 0, SimTime::ZERO, 8);
+        tracer.drop_event(ctx, "disk.lost", "", SimTime::from_micros(2), 8);
+        let snap = rec.snapshot();
+        assert_eq!(snap.events_kind("drop").len(), 1);
+        assert_eq!(snap.events_kind("drop")[0].device, 2);
+    }
+}

@@ -1,0 +1,482 @@
+//! Metrics-budget regression gates.
+//!
+//! A **budget** is a committed baseline for a deployment's counters — the
+//! observed value plus a tolerance — checked against a fresh
+//! [`MetricsSnapshot`]. Because every snapshot in this workspace is
+//! deterministic, the budgets can be tight (often tolerance 0), turning
+//! the observability numbers into a regression fence: a code change that
+//! silently doubles `channel.bytes` or stops selecting the zero-copy
+//! provider fails the gate instead of drifting unnoticed.
+//!
+//! Budget files are JSON (see `budgets/*.json` at the workspace root):
+//!
+//! ```json
+//! {
+//!   "name": "demo-deployment",
+//!   "counters": [
+//!     {"name": "channel.sent", "label": "zero-copy-dma", "expect": 4, "tolerance": 0},
+//!     {"name": "channel.bytes", "expect": 264, "tolerance": 32}
+//!   ]
+//! }
+//! ```
+//!
+//! An entry **with** a `label` checks that exact `(name, label)` counter;
+//! an entry **without** one checks the sum of the counter across labels
+//! ([`MetricsSnapshot::counter_total`]). A missing counter reads as 0, so
+//! budgets also catch instrumentation that disappears. The parser is a
+//! tiny hand-rolled recursive-descent JSON reader (the workspace vendors
+//! no serde), restricted to what the schema needs.
+
+use std::fmt;
+
+use crate::snapshot::MetricsSnapshot;
+
+/// One counter's budget line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterBudget {
+    /// Counter name.
+    pub name: String,
+    /// Exact label to check; `None` sums the counter across labels.
+    pub label: Option<String>,
+    /// The committed baseline value.
+    pub expect: u64,
+    /// Largest allowed absolute deviation from `expect`.
+    pub tolerance: u64,
+}
+
+/// A parsed budget file.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BudgetSpec {
+    /// Human-readable budget name (reported in violations).
+    pub name: String,
+    /// The counter lines.
+    pub counters: Vec<CounterBudget>,
+}
+
+/// One counter outside its budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetViolation {
+    /// Counter name.
+    pub name: String,
+    /// Label, or `None` for a cross-label total.
+    pub label: Option<String>,
+    /// The committed baseline.
+    pub expect: u64,
+    /// The allowed deviation.
+    pub tolerance: u64,
+    /// What the snapshot actually holds.
+    pub actual: u64,
+}
+
+impl fmt::Display for BudgetViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = self.label.as_deref().unwrap_or("*");
+        write!(
+            f,
+            "{}{{{}}}: actual {} outside budget {} ± {}",
+            self.name, label, self.actual, self.expect, self.tolerance
+        )
+    }
+}
+
+/// A malformed budget file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetParseError(pub String);
+
+impl fmt::Display for BudgetParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "budget parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for BudgetParseError {}
+
+/// Checks `snapshot` against `budget`, returning every violated line (an
+/// empty vector means the gate passes).
+///
+/// # Examples
+///
+/// ```
+/// use hydra_obs::budget::{check_budget, parse_budget};
+/// use hydra_obs::Recorder;
+///
+/// let rec = Recorder::new();
+/// rec.counter_add("channel.sent", "dma", 4);
+/// let budget = parse_budget(
+///     r#"{"name":"demo","counters":[
+///         {"name":"channel.sent","label":"dma","expect":4,"tolerance":0}]}"#,
+/// )
+/// .unwrap();
+/// assert!(check_budget(&rec.snapshot(), &budget).is_empty());
+/// ```
+pub fn check_budget(snapshot: &MetricsSnapshot, budget: &BudgetSpec) -> Vec<BudgetViolation> {
+    budget
+        .counters
+        .iter()
+        .filter_map(|line| {
+            let actual = match &line.label {
+                Some(label) => snapshot.counter(&line.name, label).unwrap_or(0),
+                None => snapshot.counter_total(&line.name),
+            };
+            let deviation = actual.abs_diff(line.expect);
+            (deviation > line.tolerance).then(|| BudgetViolation {
+                name: line.name.clone(),
+                label: line.label.clone(),
+                expect: line.expect,
+                tolerance: line.tolerance,
+                actual,
+            })
+        })
+        .collect()
+}
+
+/// Parses a budget file (see the module docs for the schema).
+///
+/// # Errors
+///
+/// Returns [`BudgetParseError`] on malformed JSON, a missing/mistyped
+/// field, or trailing garbage.
+pub fn parse_budget(text: &str) -> Result<BudgetSpec, BudgetParseError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(BudgetParseError("trailing characters".into()));
+    }
+    let obj = value.as_object("budget root")?;
+    let name = obj
+        .get("name")
+        .ok_or_else(|| BudgetParseError("missing \"name\"".into()))?
+        .as_string("name")?;
+    let counters = obj
+        .get("counters")
+        .ok_or_else(|| BudgetParseError("missing \"counters\"".into()))?
+        .as_array("counters")?
+        .iter()
+        .map(|entry| {
+            let e = entry.as_object("counter entry")?;
+            Ok(CounterBudget {
+                name: e
+                    .get("name")
+                    .ok_or_else(|| BudgetParseError("counter entry missing \"name\"".into()))?
+                    .as_string("counter name")?,
+                label: match e.get("label") {
+                    Some(v) => Some(v.as_string("counter label")?),
+                    None => None,
+                },
+                expect: e
+                    .get("expect")
+                    .ok_or_else(|| BudgetParseError("counter entry missing \"expect\"".into()))?
+                    .as_u64("expect")?,
+                tolerance: match e.get("tolerance") {
+                    Some(v) => v.as_u64("tolerance")?,
+                    None => 0,
+                },
+            })
+        })
+        .collect::<Result<Vec<_>, BudgetParseError>>()?;
+    Ok(BudgetSpec { name, counters })
+}
+
+/// The minimal JSON value model the budget schema needs.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Object(Vec<(String, Json)>),
+    Array(Vec<Json>),
+    String(String),
+    Number(u64),
+}
+
+impl Json {
+    fn as_object(&self, what: &str) -> Result<JsonObject<'_>, BudgetParseError> {
+        match self {
+            Json::Object(fields) => Ok(JsonObject(fields)),
+            _ => Err(BudgetParseError(format!("{what} must be an object"))),
+        }
+    }
+
+    fn as_array(&self, what: &str) -> Result<&[Json], BudgetParseError> {
+        match self {
+            Json::Array(items) => Ok(items),
+            _ => Err(BudgetParseError(format!("{what} must be an array"))),
+        }
+    }
+
+    fn as_string(&self, what: &str) -> Result<String, BudgetParseError> {
+        match self {
+            Json::String(s) => Ok(s.clone()),
+            _ => Err(BudgetParseError(format!("{what} must be a string"))),
+        }
+    }
+
+    fn as_u64(&self, what: &str) -> Result<u64, BudgetParseError> {
+        match self {
+            Json::Number(n) => Ok(*n),
+            _ => Err(BudgetParseError(format!(
+                "{what} must be a non-negative integer"
+            ))),
+        }
+    }
+}
+
+struct JsonObject<'a>(&'a [(String, Json)]);
+
+impl JsonObject<'_> {
+    fn get(&self, key: &str) -> Option<&Json> {
+        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// Recursive-descent reader over the restricted budget grammar: objects,
+/// arrays, strings (with the standard escapes), and non-negative
+/// integers.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, BudgetParseError> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| BudgetParseError("unexpected end of input".into()))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), BudgetParseError> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(BudgetParseError(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, BudgetParseError> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::String(self.string()?)),
+            b'0'..=b'9' => self.number(),
+            other => Err(BudgetParseError(format!(
+                "unexpected '{}' at byte {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, BudgetParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                other => {
+                    return Err(BudgetParseError(format!(
+                        "expected ',' or '}}', found '{}'",
+                        other as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, BudgetParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                other => {
+                    return Err(BudgetParseError(format!(
+                        "expected ',' or ']', found '{}'",
+                        other as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, BudgetParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self
+                .bytes
+                .get(self.pos)
+                .copied()
+                .ok_or_else(|| BudgetParseError("unterminated string".into()))?
+            {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self
+                        .bytes
+                        .get(self.pos)
+                        .copied()
+                        .ok_or_else(|| BudgetParseError("unterminated escape".into()))?;
+                    out.push(match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b'r' => '\r',
+                        b't' => '\t',
+                        other => {
+                            return Err(BudgetParseError(format!(
+                                "unsupported escape '\\{}'",
+                                other as char
+                            )))
+                        }
+                    });
+                    self.pos += 1;
+                }
+                _ => {
+                    // Pass UTF-8 continuation bytes through unchanged.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.bytes.get(self.pos).is_some_and(|b| b & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| BudgetParseError("invalid UTF-8".into()))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, BudgetParseError> {
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        text.parse::<u64>()
+            .map(Json::Number)
+            .map_err(|e| BudgetParseError(format!("bad number '{text}': {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    const DEMO: &str = r#"{
+        "name": "demo",
+        "counters": [
+            {"name": "channel.sent", "label": "zero-copy-dma", "expect": 4, "tolerance": 0},
+            {"name": "channel.bytes", "expect": 100, "tolerance": 16}
+        ]
+    }"#;
+
+    fn snapshot(sent: u64, bytes: u64) -> MetricsSnapshot {
+        let rec = Recorder::new();
+        rec.counter_add("channel.sent", "zero-copy-dma", sent);
+        rec.counter_add("channel.bytes", "zero-copy-dma", bytes / 2);
+        rec.counter_add("channel.bytes", "kernel-copy", bytes - bytes / 2);
+        rec.snapshot()
+    }
+
+    #[test]
+    fn parses_the_schema() {
+        let b = parse_budget(DEMO).unwrap();
+        assert_eq!(b.name, "demo");
+        assert_eq!(b.counters.len(), 2);
+        assert_eq!(b.counters[0].label.as_deref(), Some("zero-copy-dma"));
+        assert_eq!(b.counters[1].label, None);
+        assert_eq!(b.counters[1].tolerance, 16);
+    }
+
+    #[test]
+    fn in_budget_snapshot_passes() {
+        let b = parse_budget(DEMO).unwrap();
+        assert!(check_budget(&snapshot(4, 100), &b).is_empty());
+        // Tolerance absorbs drift in either direction.
+        assert!(check_budget(&snapshot(4, 116), &b).is_empty());
+        assert!(check_budget(&snapshot(4, 84), &b).is_empty());
+    }
+
+    #[test]
+    fn drift_beyond_tolerance_is_a_violation() {
+        let b = parse_budget(DEMO).unwrap();
+        let v = check_budget(&snapshot(4, 117), &b);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].name, "channel.bytes");
+        assert_eq!(v[0].actual, 117);
+        assert!(v[0].to_string().contains("117"));
+        // Zero-tolerance line trips on any change.
+        let v = check_budget(&snapshot(5, 100), &b);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].label.as_deref(), Some("zero-copy-dma"));
+    }
+
+    #[test]
+    fn missing_counter_reads_as_zero() {
+        let b = parse_budget(DEMO).unwrap();
+        let v = check_budget(&MetricsSnapshot::default(), &b);
+        assert_eq!(v.len(), 2, "vanished instrumentation trips the gate");
+        assert!(v.iter().all(|x| x.actual == 0));
+    }
+
+    #[test]
+    fn malformed_budgets_are_rejected() {
+        assert!(parse_budget("").is_err());
+        assert!(parse_budget("[]").is_err());
+        assert!(parse_budget("{\"name\":\"x\"}").is_err());
+        assert!(parse_budget("{\"name\":\"x\",\"counters\":[]} trailing").is_err());
+        assert!(parse_budget("{\"name\":\"x\",\"counters\":[{\"name\":\"c\"}]}").is_err());
+        assert!(
+            parse_budget("{\"name\":\"x\",\"counters\":[{\"name\":\"c\",\"expect\":\"4\"}]}")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let b = parse_budget("{\"name\":\"a\\\"b\\\\c\\n\",\"counters\":[]}").unwrap();
+        assert_eq!(b.name, "a\"b\\c\n");
+    }
+}

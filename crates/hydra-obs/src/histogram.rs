@@ -110,6 +110,42 @@ mod tests {
     }
 
     #[test]
+    fn every_power_of_two_boundary_is_exact() {
+        // For each i in 1..64: 2^i opens bucket i+1, and 2^i - 1 is the
+        // last value bucket i admits. No off-by-one anywhere in 64 bits.
+        for i in 1..64usize {
+            let pow = 1u64 << i;
+            assert_eq!(Histogram::bucket_index(pow), i + 1, "2^{i} opens a bucket");
+            assert_eq!(Histogram::bucket_index(pow - 1), i, "2^{i}-1 closes one");
+            assert_eq!(Histogram::bucket_bound(i), pow - 1);
+        }
+        // The extremes: zero is alone in bucket 0; u64::MAX tops bucket 64.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_bound(64), u64::MAX);
+        assert_eq!(Histogram::bucket_bound(65), u64::MAX, "bounds saturate");
+    }
+
+    #[test]
+    fn boundary_values_land_in_adjacent_buckets() {
+        let mut h = Histogram::new();
+        h.record(1023); // bucket 10 (<= 1023)
+        h.record(1024); // bucket 11 (<= 2047)
+        h.record(1025); // bucket 11
+        assert_eq!(h.nonzero_buckets(), vec![(1023, 1), (2047, 2)]);
+    }
+
+    #[test]
+    fn saturating_sum_never_wraps() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.nonzero_buckets(), vec![(u64::MAX, 2)]);
+    }
+
+    #[test]
     fn aggregates_track_observations() {
         let mut h = Histogram::new();
         assert_eq!(h.min(), 0);

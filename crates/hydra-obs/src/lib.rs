@@ -14,17 +14,35 @@
 //!   modeled *work units* rather than elapsed time (sim time does not
 //!   advance inside the deployment pipeline).
 //!
+//! - **causal trace events** ([`trace`]): a [`TraceCtx`] stamped onto a
+//!   channel message at `send`, carried through provider queues and DMA
+//!   rings as *hop* events, and closed at `recv`/`drop`, stored in a
+//!   bounded flight-recorder ring with visible overflow accounting.
+//!
 //! Everything is keyed by a static metric name plus an instance label and
 //! stored in `BTreeMap`s, so a [`MetricsSnapshot`] — including its JSON
 //! rendering — is byte-for-byte identical across identical executions.
 //! `tests/obs_determinism.rs` in the workspace root holds the proof.
+//!
+//! Two consumers sit on top of the frozen snapshot: [`export`] renders
+//! the event chains as Chrome trace-event JSON (`chrome://tracing` /
+//! Perfetto), and [`budget`] checks counters against committed baselines
+//! with per-counter tolerances — a metrics regression gate for CI.
 
 #![forbid(unsafe_code)]
 
+pub mod budget;
+pub mod export;
 pub mod histogram;
 pub mod recorder;
 pub mod snapshot;
+pub mod trace;
 
+pub use budget::{check_budget, parse_budget, BudgetSpec, BudgetViolation, CounterBudget};
+pub use export::chrome_trace;
 pub use histogram::Histogram;
 pub use recorder::{Recorder, SpanId, SpanRecord};
-pub use snapshot::{CounterSample, GaugeSample, HistogramSample, MetricsSnapshot, SpanSample};
+pub use snapshot::{
+    CounterSample, GaugeSample, HistogramSample, MetricsSnapshot, SpanSample, TraceEventSample,
+};
+pub use trace::{EventId, FlightRecorder, TraceCtx, TraceEvent, TraceEventKind, TraceId};

@@ -19,7 +19,10 @@ use std::sync::{Arc, Mutex};
 use hydra_sim::time::SimTime;
 
 use crate::histogram::Histogram;
-use crate::snapshot::{CounterSample, GaugeSample, HistogramSample, MetricsSnapshot, SpanSample};
+use crate::snapshot::{
+    CounterSample, GaugeSample, HistogramSample, MetricsSnapshot, SpanSample, TraceEventSample,
+};
+use crate::trace::{FlightRecorder, TraceCtx};
 
 /// Identifier of a recorded span, usable as a parent for child spans.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -51,6 +54,7 @@ struct Registry {
     gauges: BTreeMap<(&'static str, String), u64>,
     histograms: BTreeMap<(&'static str, String), Histogram>,
     spans: Vec<SpanRecord>,
+    flight: FlightRecorder,
 }
 
 /// A clonable handle to a shared metrics registry.
@@ -170,6 +174,83 @@ impl Recorder {
         });
     }
 
+    /// Resizes the flight-recorder ring (events evicted by a shrink count
+    /// as dropped, so the loss stays visible).
+    pub fn set_flight_capacity(&self, capacity: usize) {
+        self.with(|r| r.flight.set_capacity(capacity));
+    }
+
+    /// The flight recorder's configured capacity.
+    pub fn flight_capacity(&self) -> usize {
+        self.with(|r| r.flight.capacity())
+    }
+
+    /// Events evicted from the flight recorder so far.
+    pub fn trace_events_dropped(&self) -> u64 {
+        self.with(|r| r.flight.dropped())
+    }
+
+    /// Starts a new causal trace with a root *send* event, returning the
+    /// [`TraceCtx`] to stamp onto the in-flight message.
+    pub fn trace_begin(
+        &self,
+        name: &'static str,
+        label: &str,
+        device: u64,
+        at: SimTime,
+        bytes: u64,
+    ) -> TraceCtx {
+        self.with(|r| r.flight.begin(name, label.to_owned(), device, at, bytes))
+    }
+
+    /// Records an intermediate *hop* (provider queue, DMA descriptor ring,
+    /// device firmware step) continuing `ctx`; returns the advanced
+    /// context.
+    pub fn trace_hop(
+        &self,
+        ctx: TraceCtx,
+        name: &'static str,
+        label: &str,
+        device: u64,
+        at: SimTime,
+        bytes: u64,
+    ) -> TraceCtx {
+        self.with(|r| r.flight.hop(ctx, name, label.to_owned(), device, at, bytes))
+    }
+
+    /// Closes `ctx` with a *recv* event; returns the context positioned at
+    /// the recv so post-receive device work can keep chaining.
+    pub fn trace_recv(
+        &self,
+        ctx: TraceCtx,
+        name: &'static str,
+        label: &str,
+        device: u64,
+        at: SimTime,
+        bytes: u64,
+    ) -> TraceCtx {
+        self.with(|r| {
+            r.flight
+                .recv(ctx, name, label.to_owned(), device, at, bytes)
+        })
+    }
+
+    /// Closes `ctx` with a *drop* event (message lost or rejected).
+    pub fn trace_drop(
+        &self,
+        ctx: TraceCtx,
+        name: &'static str,
+        label: &str,
+        device: u64,
+        at: SimTime,
+        bytes: u64,
+    ) {
+        self.with(|r| {
+            r.flight
+                .drop_event(ctx, name, label.to_owned(), device, at, bytes)
+        });
+    }
+
     /// Renders an ordering-stable snapshot of everything recorded so far.
     pub fn snapshot(&self) -> MetricsSnapshot {
         self.with(|r| MetricsSnapshot {
@@ -216,12 +297,33 @@ impl Recorder {
                     work_units: s.work_units,
                 })
                 .collect(),
+            events: r
+                .flight
+                .events()
+                .map(|e| TraceEventSample {
+                    id: e.id.0,
+                    trace: e.trace.0,
+                    parent: e.parent.map(|p| p.0),
+                    kind: e.kind.as_str(),
+                    name: e.name,
+                    label: e.label.clone(),
+                    device: e.device,
+                    at_nanos: e.at.as_nanos(),
+                    bytes: e.bytes,
+                })
+                .collect(),
+            events_dropped: r.flight.dropped(),
         })
     }
 
-    /// Clears the registry (e.g. between benchmark iterations).
+    /// Clears the registry (e.g. between benchmark iterations). The
+    /// flight recorder's configured capacity survives the reset.
     pub fn reset(&self) {
-        self.with(|r| *r = Registry::default());
+        self.with(|r| {
+            let cap = r.flight.capacity();
+            *r = Registry::default();
+            r.flight.set_capacity(cap);
+        });
     }
 }
 
@@ -266,8 +368,39 @@ mod tests {
         r.counter_incr("c", "x");
         r.observe("h", "x", 1);
         r.span("s", "", SimTime::ZERO, 1);
+        r.trace_begin("t", "", 0, SimTime::ZERO, 0);
+        r.set_flight_capacity(7);
         r.reset();
         let snap = r.snapshot();
         assert!(snap.counters.is_empty() && snap.histograms.is_empty() && snap.spans.is_empty());
+        assert!(snap.events.is_empty());
+        assert_eq!(snap.events_dropped, 0);
+        assert_eq!(r.flight_capacity(), 7, "capacity survives reset");
+    }
+
+    #[test]
+    fn trace_chain_lands_in_snapshot() {
+        let r = Recorder::new();
+        let ctx = r.trace_begin("channel.send", "dma", 0, SimTime::ZERO, 64);
+        let ctx = r.trace_hop(ctx, "provider.ring", "dma", 1, SimTime::from_micros(2), 64);
+        r.trace_recv(ctx, "channel.recv", "dma", 1, SimTime::from_micros(4), 64);
+        let snap = r.snapshot();
+        assert_eq!(snap.events.len(), 3);
+        assert_eq!(snap.events[0].kind, "send");
+        assert_eq!(snap.events[1].parent, Some(snap.events[0].id));
+        assert_eq!(snap.events[2].parent, Some(snap.events[1].id));
+        assert_eq!(snap.events[2].at_nanos, 4_000);
+    }
+
+    #[test]
+    fn flight_overflow_is_visible_in_snapshot() {
+        let r = Recorder::new();
+        r.set_flight_capacity(2);
+        for _ in 0..5 {
+            r.trace_begin("e", "", 0, SimTime::ZERO, 0);
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.events_dropped, 3);
     }
 }

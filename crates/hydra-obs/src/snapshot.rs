@@ -67,6 +67,29 @@ pub struct SpanSample {
     pub work_units: u64,
 }
 
+/// One causal trace event rendering (see [`crate::trace`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEventSample {
+    /// Event id (record order across all traces).
+    pub id: u64,
+    /// The trace (logical request) this event belongs to.
+    pub trace: u64,
+    /// The causally preceding event's id, if any.
+    pub parent: Option<u64>,
+    /// Event kind: `"send"`, `"hop"`, `"recv"` or `"drop"`.
+    pub kind: &'static str,
+    /// Static event name.
+    pub name: &'static str,
+    /// Instance label (e.g. the provider name).
+    pub label: String,
+    /// Device the event happened on (0 = host).
+    pub device: u64,
+    /// Simulation timestamp in nanoseconds.
+    pub at_nanos: u64,
+    /// Payload bytes associated with the event.
+    pub bytes: u64,
+}
+
 /// A full metrics report.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct MetricsSnapshot {
@@ -78,6 +101,12 @@ pub struct MetricsSnapshot {
     pub histograms: Vec<HistogramSample>,
     /// Spans, in record order.
     pub spans: Vec<SpanSample>,
+    /// Flight-recorder trace events, in record order (oldest retained
+    /// first — the ring drops oldest on overflow).
+    pub events: Vec<TraceEventSample>,
+    /// Events the bounded flight recorder had to evict; non-zero means
+    /// `events` is a suffix of the true history.
+    pub events_dropped: u64,
 }
 
 impl MetricsSnapshot {
@@ -116,6 +145,17 @@ impl MetricsSnapshot {
     /// All spans with `name`, in record order.
     pub fn spans_named(&self, name: &str) -> Vec<&SpanSample> {
         self.spans.iter().filter(|s| s.name == name).collect()
+    }
+
+    /// All trace events of one trace, in record order.
+    pub fn trace_events(&self, trace: u64) -> Vec<&TraceEventSample> {
+        self.events.iter().filter(|e| e.trace == trace).collect()
+    }
+
+    /// All trace events of a given kind (`"send"`, `"hop"`, `"recv"`,
+    /// `"drop"`), in record order.
+    pub fn events_kind(&self, kind: &str) -> Vec<&TraceEventSample> {
+        self.events.iter().filter(|e| e.kind == kind).collect()
     }
 
     /// Renders the snapshot as deterministic JSON.
@@ -186,7 +226,29 @@ impl MetricsSnapshot {
                 s.work_units
             ));
         }
-        out.push_str("]}");
+        out.push_str("],\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let parent = match e.parent {
+                Some(p) => p.to_string(),
+                None => "null".to_owned(),
+            };
+            out.push_str(&format!(
+                "{{\"id\":{},\"trace\":{},\"parent\":{},\"kind\":{},\"name\":{},\"label\":{},\"device\":{},\"at_nanos\":{},\"bytes\":{}}}",
+                e.id,
+                e.trace,
+                parent,
+                json_str(e.kind),
+                json_str(e.name),
+                json_str(&e.label),
+                e.device,
+                e.at_nanos,
+                e.bytes
+            ));
+        }
+        out.push_str(&format!("],\"events_dropped\":{}}}", self.events_dropped));
         out
     }
 }
@@ -245,6 +307,23 @@ impl fmt::Display for MetricsSnapshot {
                 )?;
             }
         }
+        if !self.events.is_empty() || self.events_dropped > 0 {
+            writeln!(f, "  trace events (flight recorder):")?;
+            for e in &self.events {
+                let parent = match e.parent {
+                    Some(p) => format!("<-{p}"),
+                    None => "root".to_owned(),
+                };
+                writeln!(
+                    f,
+                    "    [{}] t{} {} {} ({}) dev={} at={}ns bytes={} {}",
+                    e.id, e.trace, e.kind, e.name, e.label, e.device, e.at_nanos, e.bytes, parent
+                )?;
+            }
+            if self.events_dropped > 0 {
+                writeln!(f, "    ({} older events dropped)", self.events_dropped)?;
+            }
+        }
         Ok(())
     }
 }
@@ -264,7 +343,7 @@ mod tests {
         let s = MetricsSnapshot::default();
         assert_eq!(
             s.to_json(),
-            "{\"counters\":[],\"gauges\":[],\"histograms\":[],\"spans\":[]}"
+            "{\"counters\":[],\"gauges\":[],\"histograms\":[],\"spans\":[],\"events\":[],\"events_dropped\":0}"
         );
     }
 

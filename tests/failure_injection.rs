@@ -142,6 +142,86 @@ fn unreliable_channel_sheds_load_without_corruption() {
 }
 
 #[test]
+fn injected_ring_exhaustion_surfaces_as_trace_drops() {
+    // Reliable ring full → rejection: no message lost (stats.dropped
+    // stays 0) but the fault is visible as a terminated trace chain and
+    // a bumped channel.rejected counter.
+    let mut exec = hydra::core::channel::ChannelExecutive::with_default_providers();
+    let mut cfg = ChannelConfig::figure3(DeviceId(1));
+    cfg.capacity = 2;
+    let id = exec.create_channel(cfg).expect("provider exists");
+    let ch = exec.get_mut(id).expect("channel exists");
+    ch.connect_endpoint().expect("endpoint");
+    ch.send(SimTime::ZERO, Bytes::from_static(b"a")).unwrap();
+    ch.send(SimTime::ZERO, Bytes::from_static(b"b")).unwrap();
+    for _ in 0..3 {
+        assert_eq!(
+            ch.send(SimTime::ZERO, Bytes::from_static(b"x")),
+            Err(ChannelError::WouldBlock)
+        );
+    }
+    assert_eq!(ch.stats().dropped, 0, "reliable channels lose nothing");
+    let snap = exec.recorder().snapshot();
+    let drops = snap.events_kind("drop");
+    assert_eq!(drops.len(), 3, "each rejection terminates its trace");
+    assert!(drops.iter().all(|d| d.name == "channel.reject"));
+    assert_eq!(
+        snap.counter("channel.rejected", "zero-copy-dma"),
+        Some(3),
+        "rejections are counted per provider"
+    );
+
+    // Unreliable ring full → genuine loss: stats.dropped, the
+    // channel.dropped counter, and a channel.drop trace event all agree.
+    let mut cfg = ChannelConfig::figure3(DeviceId(1));
+    cfg.capacity = 1;
+    cfg.reliability = Reliability::Unreliable;
+    let id = exec.create_channel(cfg).expect("provider exists");
+    let ch = exec.get_mut(id).expect("channel exists");
+    ch.connect_endpoint().expect("endpoint");
+    ch.send(SimTime::ZERO, Bytes::from_static(b"a")).unwrap();
+    ch.send(SimTime::ZERO, Bytes::from_static(b"lost")).unwrap();
+    assert_eq!(ch.stats().dropped, 1);
+    let snap = exec.recorder().snapshot();
+    let lost: Vec<_> = snap
+        .events_kind("drop")
+        .into_iter()
+        .filter(|d| d.name == "channel.drop")
+        .collect();
+    assert_eq!(lost.len(), 1);
+    assert_eq!(lost[0].bytes, 4, "the lost payload's size is recorded");
+    assert_eq!(snap.counter("channel.dropped", "zero-copy-dma"), Some(1));
+}
+
+#[test]
+fn destroying_a_channel_terminates_in_flight_traces() {
+    let mut exec = hydra::core::channel::ChannelExecutive::with_default_providers();
+    let id = exec
+        .create_channel(ChannelConfig::figure3(DeviceId(1)))
+        .expect("provider exists");
+    let ch = exec.get_mut(id).expect("channel exists");
+    ch.connect_endpoint().expect("endpoint");
+    ch.send(SimTime::ZERO, Bytes::from_static(b"pending"))
+        .unwrap();
+    assert!(exec.destroy(id));
+    let snap = exec.recorder().snapshot();
+    let drops = snap.events_kind("drop");
+    assert_eq!(drops.len(), 1);
+    assert_eq!(drops[0].name, "channel.destroyed");
+    // Every minted trace terminates: no chain ends on a send/hop event.
+    for send in snap.events_kind("send") {
+        let chain = snap.trace_events(send.trace);
+        let last = chain.last().expect("chain is non-empty");
+        assert!(
+            last.kind == "recv" || last.kind == "drop",
+            "trace {} dangles on a {} event",
+            send.trace,
+            last.kind
+        );
+    }
+}
+
+#[test]
 fn corrupted_bitstreams_error_but_never_panic() {
     let video = SyntheticVideo::new(32, 32);
     let frames: Vec<_> = (0..4).map(|i| video.frame(i)).collect();

@@ -182,3 +182,66 @@ fn snapshot_reports_pipeline_channels_and_solver() {
     assert!(snap.counter("load.strategy", "host-side").unwrap_or(0) >= 3);
     assert!(snap.counter("link.relocations_applied", "").unwrap_or(0) > 0);
 }
+
+#[test]
+fn chrome_trace_export_is_byte_identical_across_runs() {
+    let first = run_scenario(SolverKind::Ilp).trace_export();
+    let second = run_scenario(SolverKind::Ilp).trace_export();
+    assert_eq!(first, second, "Chrome trace JSON must be byte-identical");
+    // And so is the demo deployment the CI artifact is built from.
+    let demo_a = hydra::tivo::demo::demo_deployment().trace_export();
+    let demo_b = hydra::tivo::demo::demo_deployment().trace_export();
+    assert_eq!(demo_a, demo_b);
+}
+
+/// The tentpole acceptance criterion: at least one message's events form
+/// a connected send → provider-hop → recv chain spanning two devices, and
+/// the exported JSON carries the flow events that stitch it together.
+#[test]
+fn trace_chains_connect_across_devices() {
+    let rt = run_scenario(SolverKind::Ilp);
+    let snap = rt.metrics_snapshot();
+    let recvs = snap.events_kind("recv");
+    assert!(!recvs.is_empty(), "pumped messages were received");
+    let chain = snap.trace_events(recvs[0].trace);
+    assert_eq!(chain.len(), 3, "send, provider hop, recv");
+    assert_eq!(chain[0].kind, "send");
+    assert_eq!(chain[1].kind, "hop");
+    assert_eq!(chain[2].kind, "recv");
+    // Connected by parent ids...
+    assert_eq!(chain[1].parent, Some(chain[0].id));
+    assert_eq!(chain[2].parent, Some(chain[1].id));
+    // ...monotone in sim time...
+    assert!(chain[0].at_nanos <= chain[1].at_nanos);
+    assert!(chain[1].at_nanos <= chain[2].at_nanos);
+    // ...and spanning two devices: send on the host, the rest on-device.
+    assert_eq!(chain[0].device, 0);
+    assert_ne!(chain[1].device, 0);
+    // The export stitches the chain with flow events.
+    let json = rt.trace_export();
+    assert!(json.contains("\"ph\":\"s\""));
+    assert!(json.contains("\"ph\":\"f\""));
+}
+
+#[test]
+fn flight_recorder_overflow_is_deterministic_and_accounted() {
+    let run = |capacity: usize| {
+        let mut rt = run_scenario(SolverKind::Ilp);
+        rt.recorder().set_flight_capacity(capacity);
+        // Push more traffic than the shrunken ring can hold.
+        let chan = rt
+            .create_channel(ChannelConfig::figure3(hydra::core::device::DeviceId(1)))
+            .unwrap();
+        let mut t = SimTime::ZERO;
+        for i in 0..16u64 {
+            let call = Call::new(Guid(9), "tick").with_return_id(i);
+            t = rt.send_call(chan, &call, t).unwrap();
+        }
+        rt.metrics_snapshot()
+    };
+    let a = run(8);
+    let b = run(8);
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(a.events.len(), 8, "ring holds exactly its capacity");
+    assert!(a.events_dropped > 0, "overflow is visible, not silent");
+}
