@@ -15,6 +15,7 @@
 use std::env;
 use std::process::ExitCode;
 
+use hydra_bench::channel_bench;
 use hydra_sim::time::SimDuration;
 use hydra_tivo::demo::demo_deployment;
 use hydra_tivo::experiments::{
@@ -44,6 +45,10 @@ const SELECTORS: &[(&str, &str)] = &[
     (
         "trace",
         "demo deployment's Chrome trace-event JSON (pipe into Perfetto)",
+    ),
+    (
+        "bench",
+        "channel data-path benchmark report (BENCH_channel.json)",
     ),
 ];
 
@@ -85,10 +90,18 @@ fn main() -> ExitCode {
     }
     let want = |name: &str| selected.is_empty() || selected.contains(&name);
 
-    // `trace` alone emits pure JSON on stdout — no banner, no prose — so
-    // the output pipes straight into a .json file for Perfetto.
+    // `trace` and `bench` alone emit pure JSON on stdout — no banner, no
+    // prose — so the output pipes straight into a .json file (Perfetto
+    // for the trace, BENCH_channel.json for the bench report).
     if selected == ["trace"] {
         println!("{}", demo_deployment().trace_export());
+        return ExitCode::SUCCESS;
+    }
+    if selected == ["bench"] {
+        print!(
+            "{}",
+            channel_bench::render_json(&channel_bench::run_channel_bench())
+        );
         return ExitCode::SUCCESS;
     }
 
@@ -163,6 +176,21 @@ fn main() -> ExitCode {
         let corpus = build_corpus(512 * 1024, needle, 6, cfg.seed);
         for kind in SearchKind::all() {
             println!("  {}", run_search(kind, &corpus, needle, cfg.seed));
+        }
+        println!();
+    }
+    if want("bench") {
+        println!("Channel data path — single vs batched (sim time)");
+        for r in channel_bench::run_channel_bench() {
+            println!(
+                "  {:<8} {} msgs x {} B: {} ns ({} B/s, {} ns/msg)",
+                r.name,
+                r.messages,
+                channel_bench::MSG_BYTES,
+                r.elapsed_ns,
+                r.throughput_bytes_per_sec,
+                r.ns_per_message
+            );
         }
         println!();
     }

@@ -14,6 +14,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod channel_bench;
+
 use hydra_sim::time::SimDuration;
 use hydra_tivo::experiments::SuiteConfig;
 

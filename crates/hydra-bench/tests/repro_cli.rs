@@ -1,0 +1,44 @@
+//! CLI contract of the `repro` binary: selector listing, unknown-selector
+//! failure, and the pure-JSON `bench` output CI redirects into
+//! `BENCH_channel.json`.
+
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro binary runs")
+}
+
+#[test]
+fn help_lists_every_selector_including_bench() {
+    let out = repro(&["--help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for selector in ["fig1", "fig9", "metrics", "trace", "bench"] {
+        assert!(text.contains(selector), "--help must list '{selector}'");
+    }
+}
+
+#[test]
+fn unknown_selector_exits_nonzero_with_usage_on_stderr() {
+    let out = repro(&["no-such-figure"]);
+    assert!(!out.status.success(), "unknown selector must fail");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown selector 'no-such-figure'"));
+    assert!(err.contains("usage: repro"), "usage goes to stderr");
+    assert!(out.stdout.is_empty(), "nothing on stdout on failure");
+}
+
+#[test]
+fn bench_alone_emits_pure_deterministic_json() {
+    let a = repro(&["bench"]);
+    assert!(a.status.success());
+    let text = String::from_utf8(a.stdout.clone()).unwrap();
+    assert!(text.starts_with('{'), "no banner before the JSON");
+    assert!(text.contains("\"bench\": \"channel\""));
+    assert!(text.contains("\"name\": \"batch8\""));
+    let b = repro(&["bench"]);
+    assert_eq!(a.stdout, b.stdout, "byte-identical across runs");
+}

@@ -28,7 +28,7 @@ use hydra_odf::odf::{Guid, OdfDocument};
 use hydra_sim::time::SimTime;
 
 use crate::call::{Call, Value};
-use crate::channel::{ChannelConfig, ChannelError, ChannelExecutive, ChannelId};
+use crate::channel::{BatchSendOutcome, ChannelConfig, ChannelError, ChannelExecutive, ChannelId};
 use crate::device::{DeviceId, DeviceRegistry};
 use crate::error::RuntimeError;
 use crate::layout::{LayoutGraph, Objective, Placement};
@@ -682,6 +682,28 @@ impl Runtime {
         Ok(ch.send(now, call.encode())?)
     }
 
+    /// Sends a batch of encoded calls from the application side of a
+    /// channel in one provider operation (single doorbell), returning
+    /// the per-message delivery schedule and fault counts.
+    ///
+    /// # Errors
+    ///
+    /// Fails only when the channel does not exist; per-message capacity
+    /// faults are reported in the returned [`BatchSendOutcome`].
+    pub fn send_call_batch(
+        &mut self,
+        channel: ChannelId,
+        calls: &[Call],
+        now: SimTime,
+    ) -> Result<BatchSendOutcome, RuntimeError> {
+        let ch = self
+            .executive
+            .get_mut(channel)
+            .ok_or(RuntimeError::Channel(ChannelError::NoSuchChannel(channel)))?;
+        let encoded: Vec<_> = calls.iter().map(Call::encode).collect();
+        Ok(ch.send_batch(now, &encoded))
+    }
+
     /// Synchronously invokes a deployed Offcode (the proxy's transparent
     /// invocation path collapses to this once the Call reaches the
     /// target device).
@@ -1047,6 +1069,33 @@ mod tests {
         assert_eq!(results[0].handler, id);
         assert_eq!(results[0].return_id, 42);
         assert_eq!(results[0].result, Ok(Value::U64(1)));
+    }
+
+    #[test]
+    fn batched_calls_dispatch_via_pump() {
+        let mut rt = runtime();
+        rt.register_offcode(
+            OdfDocument::new("c", Guid(1)).with_target(class(class_ids::NETWORK)),
+            || Counter::boxed(1, "c"),
+        )
+        .unwrap();
+        let id = rt.create_offcode(Guid(1), SimTime::ZERO).unwrap();
+        let chan = rt
+            .create_channel(ChannelConfig::figure3(DeviceId(1)))
+            .unwrap();
+        rt.connect_offcode(chan, id).unwrap();
+        let calls: Vec<Call> = (0..4)
+            .map(|i| Call::new(Guid(1), "incr").with_return_id(i))
+            .collect();
+        let outcome = rt.send_call_batch(chan, &calls, SimTime::ZERO).unwrap();
+        assert_eq!(outcome.accepted(), 4);
+        assert_eq!(outcome.rejected + outcome.dropped, 0);
+        let results = rt.pump(outcome.complete_at);
+        assert_eq!(results.len(), 4);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.return_id, i as u64);
+            assert_eq!(r.result, Ok(Value::U64(i as u64 + 1)));
+        }
     }
 
     #[test]

@@ -216,6 +216,54 @@ impl SmartDiskModel {
         }
     }
 
+    /// Writes `blocks` consecutive blocks starting at block index `start`
+    /// as one batched operation: a single controller reservation covering
+    /// the whole batch and one NFS round trip carrying the concatenated
+    /// payload, instead of one reservation and one round trip per block.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no backing file is open or the NAS rejects the write; an
+    /// empty batch is a no-op completing at `now`.
+    pub fn write_blocks(
+        &mut self,
+        now: SimTime,
+        nas: &mut NasServer,
+        start: u64,
+        blocks: &[Bytes],
+    ) -> Result<DiskOp, DiskError> {
+        let fh = self.backing.ok_or(DiskError::NotOpen)?;
+        if blocks.is_empty() {
+            return Ok(DiskOp {
+                controller: self.cpu.reserve(now, Cycles::ZERO),
+                complete_at: now,
+            });
+        }
+        let controller = self.cpu.reserve(now, self.per_block * blocks.len() as u64);
+        let mut data = Vec::with_capacity(blocks.iter().map(Bytes::len).sum());
+        for b in blocks {
+            data.extend_from_slice(b);
+        }
+        let wire = data.len() + 96;
+        let req = NfsRequest::Write {
+            fh,
+            offset: start * BLOCK_BYTES as u64,
+            data: Bytes::from(data),
+        };
+        let (resp, complete_at) = self.nfs_round_trip(controller.end, nas, &req, wire);
+        match resp {
+            NfsResponse::Written(_) => {
+                self.stats.blocks_written += blocks.len() as u64;
+                Ok(DiskOp {
+                    controller,
+                    complete_at,
+                })
+            }
+            NfsResponse::Error(e) => Err(e.into()),
+            _ => unreachable!("write returns written or error"),
+        }
+    }
+
     /// Reads one block at block index `idx`.
     ///
     /// # Errors
@@ -354,6 +402,49 @@ mod tests {
         assert_eq!(disk.stats().blocks_written, 1);
         assert_eq!(disk.stats().blocks_read, 1);
         assert_eq!(disk.stats().nfs_round_trips, 2);
+    }
+
+    #[test]
+    fn batched_write_is_one_round_trip_and_reads_back() {
+        let mut nas = NasServer::default();
+        let mut disk = SmartDiskModel::new();
+        disk.open(&mut nas, "/dvr/batched");
+        let blocks: Vec<Bytes> = (0..4u8)
+            .map(|i| Bytes::from(vec![i; BLOCK_BYTES]))
+            .collect();
+        let op = disk
+            .write_blocks(SimTime::ZERO, &mut nas, 2, &blocks)
+            .unwrap();
+        assert_eq!(disk.stats().blocks_written, 4);
+        assert_eq!(
+            disk.stats().nfs_round_trips,
+            1,
+            "single doorbell to the NAS"
+        );
+        for (i, want) in blocks.iter().enumerate() {
+            let (data, _) = disk
+                .read_block(op.complete_at, &mut nas, 2 + i as u64)
+                .unwrap();
+            assert_eq!(&data, want);
+        }
+        // A sequential disk pays one round trip per block for the same data.
+        let mut seq = SmartDiskModel::new();
+        seq.open(&mut nas, "/dvr/seq");
+        let mut last = SimTime::ZERO;
+        for (i, b) in blocks.iter().enumerate() {
+            last = seq
+                .write_block(last, &mut nas, i as u64, b.clone())
+                .unwrap()
+                .complete_at;
+        }
+        assert_eq!(seq.stats().nfs_round_trips, 4);
+        assert!(op.complete_at < last, "batched write completes earlier");
+        // Empty batch: no NAS traffic, completes immediately.
+        let trips_before = disk.stats().nfs_round_trips;
+        let at = last + SimDuration::from_millis(1);
+        let op = disk.write_blocks(at, &mut nas, 0, &[]).unwrap();
+        assert_eq!(disk.stats().nfs_round_trips, trips_before);
+        assert_eq!(op.complete_at, at);
     }
 
     #[test]

@@ -114,6 +114,33 @@ impl DescriptorRing {
         Ok(())
     }
 
+    /// Posts a batch of descriptors at the producer end, stopping at the
+    /// first full slot. Returns how many were posted; the caller rings
+    /// the doorbell once for the whole batch.
+    pub fn post_batch(&mut self, batch: &[Descriptor]) -> usize {
+        let mut n = 0;
+        for d in batch {
+            if self.post(*d).is_err() {
+                break;
+            }
+            n += 1;
+        }
+        n
+    }
+
+    /// Takes up to `max` descriptors from the consumer end in FIFO order
+    /// (a vectored completion: one doorbell covers the whole batch).
+    pub fn consume_batch(&mut self, max: usize) -> Vec<Descriptor> {
+        let mut out = Vec::with_capacity(max.min(self.len));
+        while out.len() < max {
+            match self.consume() {
+                Some(d) => out.push(d),
+                None => break,
+            }
+        }
+        out
+    }
+
     /// Takes the oldest descriptor from the consumer end.
     pub fn consume(&mut self) -> Option<Descriptor> {
         if self.is_empty() {
@@ -278,6 +305,23 @@ mod tests {
         ring.post(Descriptor { region: r, tag: 1 }).unwrap();
         assert_eq!(ring.peek().unwrap().tag, 1);
         assert_eq!(ring.len(), 1);
+    }
+
+    #[test]
+    fn batch_post_and_consume_preserve_fifo() {
+        let (mut a, _) = fixture();
+        let r = a.alloc("r", 64);
+        let mut ring = DescriptorRing::new(4);
+        let batch: Vec<Descriptor> = (0..6).map(|tag| Descriptor { region: r, tag }).collect();
+        // Partial post: stops at the first full slot.
+        assert_eq!(ring.post_batch(&batch), 4);
+        assert_eq!(ring.len(), 4);
+        let got = ring.consume_batch(3);
+        assert_eq!(got.iter().map(|d| d.tag).collect::<Vec<_>>(), [0, 1, 2]);
+        // Remaining descriptor still consumable; over-asking drains what's left.
+        assert_eq!(ring.consume_batch(10).len(), 1);
+        assert!(ring.is_empty());
+        assert_eq!(ring.counters(), (4, 4));
     }
 
     #[test]

@@ -106,6 +106,28 @@ impl Link {
         self.bytes += bytes as u64;
         done_sending + self.spec.propagation
     }
+
+    /// Transmits a burst of frames back-to-back starting no earlier than
+    /// `now`: one queueing decision for the whole burst, frames clocked
+    /// out with no inter-frame gap. Returns the per-frame arrival
+    /// instants (same wire timing as sequential [`Link::transmit`] calls,
+    /// but stats and `busy_until` are updated once).
+    pub fn transmit_batch(&mut self, now: SimTime, frames: &[usize]) -> Vec<SimTime> {
+        let mut cursor = self.busy_until.max(now);
+        let mut arrivals = Vec::with_capacity(frames.len());
+        let mut total = 0u64;
+        for &bytes in frames {
+            cursor += self.spec.serialization(bytes);
+            total += bytes as u64;
+            arrivals.push(cursor + self.spec.propagation);
+        }
+        if !frames.is_empty() {
+            self.busy_until = cursor;
+            self.frames += frames.len() as u64;
+            self.bytes += total;
+        }
+        arrivals
+    }
 }
 
 #[cfg(test)]
@@ -131,6 +153,27 @@ mod tests {
         assert_eq!(a2, SimTime::from_nanos(250));
         assert_eq!(l.frames(), 2);
         assert_eq!(l.bytes(), 200);
+    }
+
+    #[test]
+    fn batched_transmit_matches_sequential_wire_timing() {
+        let spec = LinkSpec {
+            bits_per_sec: 8_000_000_000, // 1 byte/ns
+            propagation: SimDuration::from_nanos(50),
+        };
+        let mut seq = Link::new(spec);
+        let mut batched = Link::new(spec);
+        let frames = [100usize, 200, 50];
+        let expected: Vec<SimTime> = frames
+            .iter()
+            .map(|&b| seq.transmit(SimTime::ZERO, b))
+            .collect();
+        let arrivals = batched.transmit_batch(SimTime::ZERO, &frames);
+        assert_eq!(arrivals, expected, "wire is serialized either way");
+        assert_eq!(batched.frames(), 3);
+        assert_eq!(batched.bytes(), 350);
+        assert_eq!(batched.busy_until(), seq.busy_until());
+        assert!(batched.transmit_batch(SimTime::ZERO, &[]).is_empty());
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! Property tests: `send_batch` is observably identical to the
+//! equivalent sequence of single `send` calls.
+//!
+//! "Observably identical" covers delivery order and payloads, the
+//! channel's stats, the recorder's counter totals (`channel.sent`,
+//! `channel.received`, `channel.dropped`, `channel.rejected`,
+//! `channel.bytes`) and the number of per-message trace drop events
+//! under injected capacity faults. It deliberately does *not* cover
+//! sim-time (batching is strictly faster — that is the point) or the
+//! flight-recorder send/hop event count (amortized by design: one span
+//! per batch instead of one per message).
+
+use bytes::Bytes;
+use hydra::core::channel::{
+    Buffering, ChannelConfig, ChannelExecutive, Reliability, SyncPolicy, Transport,
+};
+use hydra::core::device::DeviceId;
+use hydra::sim::time::SimTime;
+use proptest::prelude::*;
+
+fn config(reliable: bool, zero_copy: bool, capacity: usize, target: usize) -> ChannelConfig {
+    ChannelConfig {
+        transport: Transport::Unicast,
+        reliability: if reliable {
+            Reliability::Reliable
+        } else {
+            Reliability::Unreliable
+        },
+        sync: SyncPolicy::Sequential,
+        buffering: if zero_copy {
+            Buffering::ZeroCopy
+        } else {
+            Buffering::Copied
+        },
+        capacity,
+        target: DeviceId(target),
+    }
+}
+
+fn payloads(n: usize) -> Vec<Bytes> {
+    (0..n).map(|i| Bytes::from(vec![i as u8; i + 1])).collect()
+}
+
+/// Drives `msgs` through one channel the single-send way and through a
+/// second identical channel the batched way, then returns both
+/// executives for observation. Neither channel is drained.
+fn drive(
+    cfg: ChannelConfig,
+    msgs: &[Bytes],
+) -> (
+    (ChannelExecutive, hydra::core::channel::ChannelId),
+    (ChannelExecutive, hydra::core::channel::ChannelId),
+    u64, // single-path rejected count
+) {
+    let mut single = ChannelExecutive::with_default_providers();
+    let sid = single.create_channel(cfg).unwrap();
+    let sch = single.get_mut(sid).unwrap();
+    sch.connect_endpoint().unwrap();
+    let mut rejected = 0u64;
+    for m in msgs {
+        if sch.send(SimTime::ZERO, m.clone()).is_err() {
+            rejected += 1;
+        }
+    }
+
+    let mut batched = ChannelExecutive::with_default_providers();
+    let bid = batched.create_channel(cfg).unwrap();
+    let bch = batched.get_mut(bid).unwrap();
+    bch.connect_endpoint().unwrap();
+    let outcome = bch.send_batch(SimTime::ZERO, msgs);
+    assert_eq!(outcome.rejected, rejected as usize);
+
+    ((single, sid), (batched, bid), rejected)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Without faults: same delivery order and payloads, same stats and
+    /// counter totals, and the batch completes no later than the single
+    /// sequence (strictly earlier from two messages up).
+    #[test]
+    fn batch_matches_singles_without_faults(
+        n in 1usize..=32,
+        zero_copy in any::<bool>(),
+        reliable in any::<bool>(),
+        target in 1usize..4,
+    ) {
+        let cfg = config(reliable, zero_copy, 64, target);
+        let msgs = payloads(n);
+
+        let mut single = ChannelExecutive::with_default_providers();
+        let sid = single.create_channel(cfg).unwrap();
+        let sch = single.get_mut(sid).unwrap();
+        let sep = sch.connect_endpoint().unwrap();
+        let mut single_done = SimTime::ZERO;
+        for m in &msgs {
+            single_done = sch.send(SimTime::ZERO, m.clone()).unwrap();
+        }
+
+        let mut batched = ChannelExecutive::with_default_providers();
+        let bid = batched.create_channel(cfg).unwrap();
+        let bch = batched.get_mut(bid).unwrap();
+        let bep = bch.connect_endpoint().unwrap();
+        let outcome = bch.send_batch(SimTime::ZERO, &msgs);
+
+        prop_assert_eq!(outcome.accepted(), n);
+        prop_assert!(outcome.complete_at <= single_done);
+        if n >= 2 {
+            prop_assert!(outcome.complete_at < single_done, "batch amortizes the doorbell");
+        }
+
+        // Drain both; delivery order and payloads must agree.
+        let late = single_done.max(outcome.complete_at);
+        let got_single: Vec<Bytes> = std::iter::from_fn(|| {
+            single.get_mut(sid).unwrap().recv(late, sep).map(|m| m.data)
+        })
+        .collect();
+        let got_batched: Vec<Bytes> = batched
+            .get_mut(bid)
+            .unwrap()
+            .recv_batch(late, bep, usize::MAX)
+            .into_iter()
+            .map(|m| m.data)
+            .collect();
+        prop_assert_eq!(&got_single, &msgs);
+        prop_assert_eq!(&got_batched, &msgs);
+
+        // Stats and counter totals agree.
+        let (s, b) = (
+            single.get(sid).unwrap().stats(),
+            batched.get(bid).unwrap().stats(),
+        );
+        prop_assert_eq!(s, b);
+        let ssnap = single.recorder().snapshot();
+        let bsnap = batched.recorder().snapshot();
+        for c in ["channel.sent", "channel.received", "channel.bytes",
+                  "channel.dropped", "channel.rejected"] {
+            prop_assert_eq!(ssnap.counter_total(c), bsnap.counter_total(c), "{}", c);
+        }
+    }
+
+    /// With injected capacity faults (batch larger than capacity): the
+    /// accepted prefix, fault counts, and per-message drop-event counts
+    /// all match the sequential path.
+    #[test]
+    fn batch_matches_singles_under_capacity_faults(
+        capacity in 1usize..=8,
+        extra in 1usize..=8,
+        zero_copy in any::<bool>(),
+        reliable in any::<bool>(),
+        target in 1usize..4,
+    ) {
+        let cfg = config(reliable, zero_copy, capacity, target);
+        let msgs = payloads(capacity + extra);
+        let ((single, sid), (batched, bid), rejected) = drive(cfg, &msgs);
+
+        if reliable {
+            prop_assert_eq!(rejected, extra as u64);
+        } else {
+            prop_assert_eq!(rejected, 0);
+        }
+        let (s, b) = (
+            single.get(sid).unwrap().stats(),
+            batched.get(bid).unwrap().stats(),
+        );
+        prop_assert_eq!(s, b);
+        prop_assert_eq!(s.sent, capacity as u64);
+        if !reliable {
+            prop_assert_eq!(s.dropped, extra as u64);
+        }
+
+        let ssnap = single.recorder().snapshot();
+        let bsnap = batched.recorder().snapshot();
+        for c in ["channel.sent", "channel.bytes", "channel.dropped", "channel.rejected"] {
+            prop_assert_eq!(ssnap.counter_total(c), bsnap.counter_total(c), "{}", c);
+        }
+        // Fault paths keep per-message accounting: the flight recorder
+        // holds exactly one drop event per overflowed message, with the
+        // same name either way.
+        let sdrops = ssnap.events_kind("drop");
+        let bdrops = bsnap.events_kind("drop");
+        prop_assert_eq!(sdrops.len(), extra);
+        prop_assert_eq!(bdrops.len(), extra);
+        let want = if reliable { "channel.reject" } else { "channel.drop" };
+        prop_assert!(sdrops.iter().chain(&bdrops).all(|d| d.name == want));
+    }
+}
