@@ -22,10 +22,10 @@ fn bench(c: &mut Criterion) {
     }
     let mut g = c.benchmark_group("fig1");
     g.bench_function("sweep_transmit", |b| {
-        b.iter(|| black_box(model.sweep(TcpDirection::Transmit)))
+        b.iter(|| black_box(model.sweep(TcpDirection::Transmit)));
     });
     g.bench_function("sweep_receive", |b| {
-        b.iter(|| black_box(model.sweep(TcpDirection::Receive)))
+        b.iter(|| black_box(model.sweep(TcpDirection::Receive)));
     });
     g.finish();
 }

@@ -36,7 +36,7 @@ fn bench(c: &mut Criterion) {
         ServerKind::Offloaded,
     ] {
         g.bench_function(kind.label(), |b| {
-            b.iter(|| black_box(run_server(cfg(kind))))
+            b.iter(|| black_box(run_server(cfg(kind))));
         });
     }
     g.finish();

@@ -23,10 +23,10 @@ fn bench(c: &mut Criterion) {
             capacities: vec![8.0; 4],
         };
         g.bench_with_input(BenchmarkId::new("ilp", n), &n, |b, _| {
-            b.iter(|| black_box(graph.resolve_ilp(&obj).expect("feasible")))
+            b.iter(|| black_box(graph.resolve_ilp(&obj).expect("feasible")));
         });
         g.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
-            b.iter(|| black_box(graph.resolve_greedy(&obj)))
+            b.iter(|| black_box(graph.resolve_greedy(&obj)));
         });
     }
     g.finish();

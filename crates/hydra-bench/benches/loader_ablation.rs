@@ -51,7 +51,7 @@ fn bench(c: &mut Criterion) {
                     load_host_side(std::slice::from_ref(obj), &mut alloc, &exports)
                         .expect("load succeeds"),
                 )
-            })
+            });
         });
         g.bench_with_input(BenchmarkId::new("device_side", code_kb), &obj, |b, obj| {
             b.iter(|| {
@@ -60,7 +60,7 @@ fn bench(c: &mut Criterion) {
                     load_device_side(std::slice::from_ref(obj), &mut alloc, &exports)
                         .expect("load succeeds"),
                 )
-            })
+            });
         });
     }
     g.finish();

@@ -22,7 +22,7 @@ fn bench_cache(c: &mut Criterion) {
             for i in 0..4096u64 {
                 black_box(cache.access(i * 64, AccessKind::Read));
             }
-        })
+        });
     });
     g.finish();
 }
@@ -37,7 +37,7 @@ fn bench_codec(c: &mut Criterion) {
     let encoded = Encoder::new(cfg).encode_sequence(&frames);
     let mut g = c.benchmark_group("codec");
     g.bench_function("encode_9_frames_96x64", |b| {
-        b.iter(|| black_box(Encoder::new(cfg).encode_sequence(&frames)))
+        b.iter(|| black_box(Encoder::new(cfg).encode_sequence(&frames)));
     });
     g.bench_function("decode_9_frames_96x64", |b| {
         b.iter(|| {
@@ -48,7 +48,7 @@ fn bench_codec(c: &mut Criterion) {
             }
             out.extend(d.flush());
             black_box(out)
-        })
+        });
     });
     g.finish();
 }
@@ -59,7 +59,7 @@ fn bench_odf(c: &mut Criterion) {
         .expect("non-empty");
     let xml = odf.to_xml();
     c.bench_function("odf_parse", |b| {
-        b.iter(|| black_box(OdfDocument::parse(&xml).expect("valid odf")))
+        b.iter(|| black_box(OdfDocument::parse(&xml).expect("valid odf")));
     });
 }
 
@@ -72,7 +72,7 @@ fn bench_call(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(wire.len() as u64));
     g.bench_function("encode_1k", |b| b.iter(|| black_box(call.encode())));
     g.bench_function("decode_1k", |b| {
-        b.iter(|| black_box(Call::decode(wire.clone()).expect("valid call")))
+        b.iter(|| black_box(Call::decode(wire.clone()).expect("valid call")));
     });
     g.finish();
 }
@@ -87,7 +87,7 @@ fn bench_engine(c: &mut Criterion) {
             });
             sim.run();
             black_box(sim.events_executed())
-        })
+        });
     });
 }
 

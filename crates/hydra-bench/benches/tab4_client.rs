@@ -27,7 +27,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for kind in ClientKind::all() {
         g.bench_function(kind.label(), |b| {
-            b.iter(|| black_box(run_client(cfg(kind))))
+            b.iter(|| black_box(run_client(cfg(kind))));
         });
     }
     g.finish();

@@ -15,7 +15,7 @@
 use std::env;
 use std::process::ExitCode;
 
-use hydra_bench::channel_bench;
+use hydra_bench::{channel_bench, lint};
 use hydra_sim::time::SimDuration;
 use hydra_tivo::demo::demo_deployment;
 use hydra_tivo::experiments::{
@@ -50,6 +50,10 @@ const SELECTORS: &[(&str, &str)] = &[
         "bench",
         "channel data-path benchmark report (BENCH_channel.json)",
     ),
+    (
+        "lint",
+        "static deployment verification (JSON on stdout, non-zero on errors)",
+    ),
 ];
 
 fn usage() -> String {
@@ -82,6 +86,23 @@ fn main() -> ExitCode {
         .filter(|a| !a.starts_with("--"))
         .map(String::as_str)
         .collect();
+
+    // `lint [path...]` is its own sub-command: everything after `lint` is
+    // a deployment file, not a selector. Canonical JSON goes to stdout
+    // (pipe into a .json artifact), human-readable findings to stderr,
+    // and the exit code is non-zero iff any error-severity diagnostic
+    // fired — the CI verify-gate contract.
+    if selected.first() == Some(&"lint") {
+        let results = lint::run_lint(&selected[1..]);
+        eprint!("{}", lint::render_human(&results));
+        println!("{}", lint::render_json(&results));
+        return if lint::any_errors(&results) {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
     let known = |name: &str| SELECTORS.iter().any(|(s, _)| *s == name);
     if let Some(bad) = selected.iter().find(|s| !known(s)) {
         eprintln!("repro: unknown selector '{bad}'\n");

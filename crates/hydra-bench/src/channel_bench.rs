@@ -86,7 +86,7 @@ fn run_scenario(batch_size: usize) -> BenchResult {
 
     let elapsed_ns = now.as_nanos();
     let bytes = (MESSAGES * MSG_BYTES) as u64;
-    let throughput = (bytes as u128 * 1_000_000_000 / elapsed_ns.max(1) as u128) as u64;
+    let throughput = (u128::from(bytes) * 1_000_000_000 / u128::from(elapsed_ns.max(1))) as u64;
     BenchResult {
         name: if batch_size == 1 {
             "single".to_owned()

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod channel_bench;
+pub mod lint;
 
 use hydra_sim::time::SimDuration;
 use hydra_tivo::experiments::SuiteConfig;

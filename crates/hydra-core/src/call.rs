@@ -71,7 +71,7 @@ impl Value {
     /// Extracts a u64 (widening u32), if numeric.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            Value::U32(v) => Some(*v as u64),
+            Value::U32(v) => Some(u64::from(*v)),
             Value::U64(v) => Some(*v),
             _ => None,
         }
@@ -82,7 +82,7 @@ impl Value {
             Value::Unit => b.put_u8(0),
             Value::Bool(v) => {
                 b.put_u8(1);
-                b.put_u8(*v as u8);
+                b.put_u8(u8::from(*v));
             }
             Value::U32(v) => {
                 b.put_u8(2);

@@ -122,7 +122,7 @@ impl ChannelCost {
     /// Pure payload transfer time for `bytes`, excluding the fixed
     /// per-message (doorbell + descriptor handling) charge.
     pub fn wire_time(&self, bytes: usize) -> SimDuration {
-        let wire = (bytes as u128 * 1_000_000_000).div_ceil(self.bytes_per_sec as u128);
+        let wire = (bytes as u128 * 1_000_000_000).div_ceil(u128::from(self.bytes_per_sec));
         SimDuration::from_nanos(wire as u64)
     }
 }
@@ -145,7 +145,7 @@ pub trait ChannelProvider: fmt::Debug {
 pub struct ZeroCopyDmaProvider;
 
 impl ChannelProvider for ZeroCopyDmaProvider {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "zero-copy-dma"
     }
 
@@ -170,7 +170,7 @@ impl ChannelProvider for ZeroCopyDmaProvider {
 pub struct KernelCopyProvider;
 
 impl ChannelProvider for KernelCopyProvider {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "kernel-copy"
     }
 

@@ -225,6 +225,25 @@ impl DeviceRegistry {
         v[0] = true;
         v
     }
+
+    /// The registry as `hydra-verify`'s structural [`hydra_verify::DeviceTable`]
+    /// (same order, same matching semantics — pinned by a unit test).
+    pub fn verify_table(&self) -> hydra_verify::DeviceTable {
+        hydra_verify::DeviceTable {
+            devices: self
+                .devices
+                .iter()
+                .map(|d| hydra_verify::DeviceInfo {
+                    class: d.class,
+                    name: d.name.clone(),
+                    bus: d.bus.clone(),
+                    mac: d.mac.clone(),
+                    vendor: d.vendor.clone(),
+                    offcode_memory: d.offcode_memory,
+                })
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -302,5 +321,38 @@ mod tests {
     fn device_display() {
         assert_eq!(DeviceId::HOST.to_string(), "host");
         assert_eq!(DeviceId(3).to_string(), "dev3");
+    }
+
+    #[test]
+    fn verify_table_matching_agrees_with_registry() {
+        let mut reg = DeviceRegistry::new();
+        reg.install(DeviceDescriptor::programmable_nic());
+        reg.install(DeviceDescriptor::smart_disk());
+        reg.install(DeviceDescriptor::gpu());
+        let table = reg.verify_table();
+        let mut specs = vec![
+            nic_spec(),
+            DeviceClassSpec {
+                id: class_ids::GPU,
+                name: "gpu".into(),
+                bus: None,
+                mac: None,
+                vendor: None,
+            },
+        ];
+        // Registry and verifier table must agree spec-by-spec...
+        for spec in &specs {
+            for (i, d) in reg.iter() {
+                assert_eq!(
+                    d.matches(spec),
+                    table.devices[i.0].matches(spec),
+                    "divergent matching for {spec:?} on device {i:?}"
+                );
+            }
+        }
+        // ...and on the combined compatibility vector, including a spec
+        // that matches nothing.
+        specs[0].vendor = Some("Intel".into());
+        assert_eq!(reg.compatibility(&specs), table.compatibility(&specs));
     }
 }

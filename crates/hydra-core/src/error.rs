@@ -34,6 +34,9 @@ pub enum RuntimeError {
     UnknownOperation(String),
     /// An entry point was invoked in the wrong lifecycle state.
     BadState(&'static str),
+    /// The static pre-flight verifier rejected the deployment. The string
+    /// is the human rendering of every error-severity diagnostic.
+    Verification(String),
 }
 
 macro_rules! from_impl {
@@ -67,6 +70,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Rejected(why) => write!(f, "rejected: {why}"),
             RuntimeError::UnknownOperation(op) => write!(f, "unknown operation '{op}'"),
             RuntimeError::BadState(what) => write!(f, "bad lifecycle state: {what}"),
+            RuntimeError::Verification(report) => {
+                write!(f, "deployment rejected by verifier: {report}")
+            }
         }
     }
 }

@@ -115,6 +115,8 @@ pub enum LayoutError {
     },
     /// Two Offcodes share a GUID.
     DuplicateGuid(Guid),
+    /// An Offcode imports its own GUID (would form a self-loop edge).
+    SelfImport(Guid),
     /// The constraint system is unsatisfiable.
     Unsatisfiable,
     /// A placement violates the graph (returned by [`LayoutGraph::check`]).
@@ -131,6 +133,7 @@ impl fmt::Display for LayoutError {
                 write!(f, "{importer} imports unknown offcode {missing}")
             }
             LayoutError::DuplicateGuid(g) => write!(f, "duplicate offcode {g}"),
+            LayoutError::SelfImport(g) => write!(f, "{g} imports itself"),
             LayoutError::Unsatisfiable => f.write_str("layout constraints are unsatisfiable"),
             LayoutError::Violation(s) => write!(f, "placement violates layout: {s}"),
             LayoutError::BadObjective(s) => write!(f, "bad objective: {s}"),
@@ -173,18 +176,26 @@ impl LayoutGraph {
         idx
     }
 
-    /// Adds a constraint edge.
+    /// Adds a constraint edge. An exact duplicate of an existing edge
+    /// (same endpoints and constraint) is deduplicated — it would only
+    /// restate a constraint already in force and bloat the ILP.
     ///
     /// # Panics
     ///
-    /// Panics if either endpoint is out of range.
+    /// Panics if either endpoint is out of range, or on a self-loop
+    /// (`from == to`): no constraint kind is meaningful against itself,
+    /// and the ILP/greedy resolvers would silently mistranslate one.
     pub fn add_edge(&mut self, from: NodeIdx, to: NodeIdx, constraint: ConstraintKind) {
         assert!(from.0 < self.nodes.len() && to.0 < self.nodes.len());
-        self.edges.push(LayoutEdge {
+        assert!(from != to, "self-loop edge on node {}", from.0);
+        let edge = LayoutEdge {
             from,
             to,
             constraint,
-        });
+        };
+        if !self.edges.contains(&edge) {
+            self.edges.push(edge);
+        }
     }
 
     /// The nodes.
@@ -223,6 +234,9 @@ impl LayoutGraph {
         }
         for (i, odf) in odfs.iter().enumerate() {
             for imp in &odf.imports {
+                if imp.guid == odf.guid {
+                    return Err(LayoutError::SelfImport(odf.guid));
+                }
                 let Some(&to) = by_guid.get(&imp.guid) else {
                     return Err(LayoutError::UnknownImport {
                         importer: odf.guid,
@@ -238,6 +252,46 @@ impl LayoutGraph {
     /// Number of deployment targets the compat vectors cover.
     fn num_devices(&self) -> usize {
         self.nodes.first().map_or(1, |n| n.compat.len())
+    }
+
+    /// Checks an objective's shape without building the ILP.
+    fn validate_objective(&self, objective: &Objective) -> Result<(), LayoutError> {
+        if let Objective::MaximizeBusUsage { capacities } = objective {
+            if capacities.len() != self.num_devices() {
+                return Err(LayoutError::BadObjective(format!(
+                    "capacity vector has {} entries for {} devices",
+                    capacities.len(),
+                    self.num_devices()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The graph as `hydra-verify`'s structural view (demands are not
+    /// needed for constraint propagation and stay at the default).
+    pub fn verify_view(&self) -> hydra_verify::GraphView {
+        hydra_verify::GraphView {
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| hydra_verify::input::NodeView {
+                    guid: n.guid,
+                    bind_name: n.bind_name.clone(),
+                    compat: n.compat.clone(),
+                    demand: hydra_verify::input::DEFAULT_FOOTPRINT,
+                })
+                .collect(),
+            edges: self
+                .edges
+                .iter()
+                .map(|e| hydra_verify::input::EdgeView {
+                    from: e.from.0,
+                    to: e.to.0,
+                    kind: e.constraint,
+                })
+                .collect(),
+        }
     }
 
     /// Verifies a placement against compatibility and every constraint.
@@ -367,7 +421,7 @@ impl LayoutGraph {
                                     vec![(v, 1.0)],
                                     Sense::Eq,
                                     0.0,
-                                )
+                                );
                             }
                             (None, None) => {}
                         }
@@ -437,6 +491,11 @@ impl LayoutGraph {
     /// branch-and-bound search statistics (nodes explored, bounds pruned)
     /// so callers can feed an observability recorder.
     ///
+    /// Before building the ILP, `hydra-verify`'s narrowing pre-check runs
+    /// over the graph; when it proves the all-host placement is the only
+    /// feasible one, the solve is skipped entirely and the stats come
+    /// back with `presolved = true` and `nodes = 0`.
+    ///
     /// # Errors
     ///
     /// Fails if the constraints are unsatisfiable.
@@ -446,6 +505,19 @@ impl LayoutGraph {
     ) -> Result<(Placement, SearchStats), LayoutError> {
         if self.nodes.is_empty() {
             return Ok((Placement(Vec::new()), SearchStats::default()));
+        }
+        self.validate_objective(objective)?;
+        let pre = hydra_verify::Precheck::narrow(&self.verify_view());
+        if pre.host_only() {
+            let placement = Placement(vec![DeviceId::HOST; self.nodes.len()]);
+            debug_assert!(self.check(&placement).is_ok());
+            return Ok((
+                placement,
+                SearchStats {
+                    presolved: true,
+                    ..SearchStats::default()
+                },
+            ));
         }
         let (problem, x) = self.to_ilp(objective)?;
         let result = solve_ilp(&problem);
@@ -667,6 +739,82 @@ mod tests {
         assert!(matches!(
             LayoutGraph::from_odfs(&[a], &registry()),
             Err(LayoutError::UnknownImport { .. })
+        ));
+    }
+
+    #[test]
+    fn self_import_rejected() {
+        let a = OdfDocument::new("a", Guid(1)).with_import(Import {
+            file: String::new(),
+            bind_name: "a".into(),
+            guid: Guid(1),
+            constraint: ConstraintKind::Link,
+            priority: 0,
+        });
+        assert_eq!(
+            LayoutGraph::from_odfs(&[a], &registry()),
+            Err(LayoutError::SelfImport(Guid(1)))
+        );
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduplicated() {
+        let mut g = LayoutGraph::new();
+        let a = g.add_node(node(1, vec![true, true]));
+        let b = g.add_node(node(2, vec![true, true]));
+        g.add_edge(a, b, ConstraintKind::Pull);
+        g.add_edge(a, b, ConstraintKind::Pull);
+        assert_eq!(g.edges().len(), 1, "exact duplicate collapses");
+        // A different constraint between the same pair is a new edge.
+        g.add_edge(a, b, ConstraintKind::Gang);
+        assert_eq!(g.edges().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_edge_panics() {
+        let mut g = LayoutGraph::new();
+        let a = g.add_node(node(1, vec![true, true]));
+        g.add_edge(a, a, ConstraintKind::Pull);
+    }
+
+    #[test]
+    fn host_only_graph_is_presolved() {
+        let mut g = LayoutGraph::new();
+        // Disjoint Pull: the pre-check proves all-host without a solve.
+        let a = g.add_node(node(1, vec![true, true, false]));
+        let b = g.add_node(node(2, vec![true, false, true]));
+        g.add_edge(a, b, ConstraintKind::Pull);
+        let (p, stats) = g
+            .resolve_ilp_with_stats(&Objective::MaximizeOffloading)
+            .unwrap();
+        assert_eq!(p.offloaded_count(), 0);
+        assert!(stats.presolved);
+        assert_eq!(stats.nodes, 0);
+
+        // An offloadable graph must still search.
+        let mut g2 = LayoutGraph::new();
+        g2.add_node(node(1, vec![true, true]));
+        let (p2, stats2) = g2
+            .resolve_ilp_with_stats(&Objective::MaximizeOffloading)
+            .unwrap();
+        assert_eq!(p2.offloaded_count(), 1);
+        assert!(!stats2.presolved);
+        assert!(stats2.nodes >= 1);
+    }
+
+    #[test]
+    fn presolve_still_validates_objective() {
+        let mut g = LayoutGraph::new();
+        // Host-only node: the pre-check would short-circuit, but a bad
+        // capacity vector must still be rejected first.
+        g.add_node(node(1, vec![true, false]));
+        let obj = Objective::MaximizeBusUsage {
+            capacities: vec![1.0],
+        };
+        assert!(matches!(
+            g.resolve_ilp(&obj),
+            Err(LayoutError::BadObjective(_))
         ));
     }
 

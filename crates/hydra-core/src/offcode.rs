@@ -171,7 +171,7 @@ pub trait Offcode: fmt::Debug {
 pub fn synthetic_object(bind_name: &str, code_bytes: usize, data_bytes: usize) -> HofObject {
     // Deterministic pseudo-code derived from the name, so different
     // Offcodes produce different images.
-    let seed: u64 = bind_name.bytes().map(|b| b as u64).sum();
+    let seed: u64 = bind_name.bytes().map(u64::from).sum();
     let text: Vec<u8> = (0..code_bytes)
         .map(|i| ((i as u64).wrapping_mul(31).wrapping_add(seed) % 251) as u8)
         .collect();
@@ -224,7 +224,7 @@ mod tests {
         fn guid(&self) -> Guid {
             Guid(1)
         }
-        fn bind_name(&self) -> &str {
+        fn bind_name(&self) -> &'static str {
             "test.Echo"
         }
         fn handle_call(

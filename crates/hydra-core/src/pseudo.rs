@@ -72,7 +72,7 @@ impl Offcode for HeapOffcode {
         HEAP_GUID
     }
 
-    fn bind_name(&self) -> &str {
+    fn bind_name(&self) -> &'static str {
         "hydra.Heap"
     }
 
@@ -153,7 +153,7 @@ impl Offcode for RuntimeInfoOffcode {
         RUNTIME_GUID
     }
 
-    fn bind_name(&self) -> &str {
+    fn bind_name(&self) -> &'static str {
         "hydra.Runtime"
     }
 

@@ -56,6 +56,12 @@ pub struct RuntimeConfig {
     /// Flight-recorder capacity in trace events; older events are evicted
     /// (and counted) once the ring is full.
     pub flight_capacity: usize,
+    /// Run the static verifier (`hydra-verify`) as a pre-flight gate in
+    /// [`Runtime::create_offcode`] and reject deployments with
+    /// error-severity diagnostics before anything is linked. On by
+    /// default; the escape hatch exists for tests that deliberately
+    /// deploy broken sets to exercise runtime fallback paths.
+    pub verify_deployments: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -65,6 +71,7 @@ impl Default for RuntimeConfig {
             solver: SolverKind::Ilp,
             load_strategy: LoadStrategy::HostSideLink,
             flight_capacity: hydra_obs::trace::DEFAULT_FLIGHT_CAPACITY,
+            verify_deployments: true,
         }
     }
 }
@@ -89,7 +96,7 @@ impl std::fmt::Debug for DepotEntry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DepotEntry")
             .field("odf", &self.odf.bind_name)
-            .finish()
+            .finish_non_exhaustive()
     }
 }
 
@@ -331,33 +338,24 @@ impl Runtime {
             return Ok(*existing);
         }
         // 1. Transitive closure, root first (DFS, de-duplicated).
-        let mut order: Vec<Guid> = Vec::new();
-        let mut stack = vec![guid];
-        while let Some(g) = stack.pop() {
-            if order.contains(&g) || self.deployed_by_guid.contains_key(&g) {
-                continue;
-            }
-            let entry = self.depot.get(&g).ok_or(RuntimeError::NotInDepot(g))?;
-            order.push(g);
-            for imp in &entry.odf.imports {
-                stack.push(imp.guid);
-            }
-        }
+        let (order, odfs) = self.deployment_closure(guid)?;
         let root_label = self.depot[&guid].odf.bind_name.clone();
         self.recorder
             .span("deploy.closure", &root_label, now, order.len() as u64);
 
-        // 2. Layout graph over the not-yet-deployed closure. Imports that
+        // 2. Static pre-flight verification (on by default): reject
+        // provably broken deployments before anything is linked.
+        if self.config.verify_deployments {
+            let report = self.run_verifier(guid, &order, &odfs, now);
+            if report.has_errors() {
+                let rendered: Vec<String> = report.errors().map(ToString::to_string).collect();
+                return Err(RuntimeError::Verification(rendered.join("; ")));
+            }
+        }
+
+        // 3. Layout graph over the not-yet-deployed closure. Imports that
         // point outside the set (already deployed) are dropped from the
         // graph: their constraints were satisfied at their own deployment.
-        let odfs: Vec<OdfDocument> = order
-            .iter()
-            .map(|g| {
-                let mut odf = self.depot[g].odf.clone();
-                odf.imports.retain(|imp| order.contains(&imp.guid));
-                odf
-            })
-            .collect();
         let graph = LayoutGraph::from_odfs(&odfs, &self.devices)?;
         self.recorder.span(
             "deploy.layout",
@@ -366,13 +364,16 @@ impl Runtime {
             (graph.nodes().len() + graph.edges().len()) as u64,
         );
 
-        // 3. Resolve placement. Under the exact solver, also run the
+        // 4. Resolve placement. Under the exact solver, also run the
         // greedy heuristic on the same graph so the snapshot can compare
         // solution quality and modeled solve effort (the deterministic
         // stand-in for "solve time").
         let placement = match self.config.solver {
             SolverKind::Ilp => {
                 let (placement, stats) = graph.resolve_ilp_with_stats(&self.config.objective)?;
+                if stats.presolved {
+                    self.recorder.counter_incr("solver.presolved", "ilp");
+                }
                 self.recorder
                     .counter_add("solver.nodes_explored", "ilp", stats.nodes);
                 self.recorder
@@ -405,7 +406,7 @@ impl Runtime {
         };
         graph.check(&placement)?;
 
-        // 4. Load + instantiate each, with host fallback on device OOM.
+        // 5. Load + instantiate each, with host fallback on device OOM.
         let mut created: Vec<OffcodeId> = Vec::new();
         let result = self.deploy_all(&order, &placement, now, &mut created);
         match result {
@@ -434,6 +435,102 @@ impl Runtime {
             .lookup_bind_name(bind_name)
             .ok_or_else(|| RuntimeError::Rejected(format!("unknown bind name '{bind_name}'")))?;
         self.create_offcode(guid, now)
+    }
+
+    /// The not-yet-deployed transitive import closure of `guid`, root
+    /// first, plus the closure's ODFs with imports narrowed to the set
+    /// (imports of already-deployed Offcodes were satisfied at their own
+    /// deployment).
+    fn deployment_closure(
+        &self,
+        guid: Guid,
+    ) -> Result<(Vec<Guid>, Vec<OdfDocument>), RuntimeError> {
+        let mut order: Vec<Guid> = Vec::new();
+        let mut stack = vec![guid];
+        while let Some(g) = stack.pop() {
+            if order.contains(&g) || self.deployed_by_guid.contains_key(&g) {
+                continue;
+            }
+            let entry = self.depot.get(&g).ok_or(RuntimeError::NotInDepot(g))?;
+            order.push(g);
+            for imp in &entry.odf.imports {
+                stack.push(imp.guid);
+            }
+        }
+        let odfs: Vec<OdfDocument> = order
+            .iter()
+            .map(|g| {
+                let mut odf = self.depot[g].odf.clone();
+                odf.imports.retain(|imp| order.contains(&imp.guid));
+                odf
+            })
+            .collect();
+        Ok((order, odfs))
+    }
+
+    /// Runs the static verifier over a closure, feeding pass statistics
+    /// into the observability recorder. Demands are the real linked
+    /// object sizes (each factory's object file), not the ODF estimates.
+    fn run_verifier(
+        &self,
+        root: Guid,
+        order: &[Guid],
+        odfs: &[OdfDocument],
+        now: SimTime,
+    ) -> hydra_verify::Report {
+        let table = self.devices.verify_table();
+        let demands: Vec<u64> = order
+            .iter()
+            .map(|g| u64::from((self.depot[g].factory)().object_file().load_size()))
+            .collect();
+        let roots = [root];
+        let report = hydra_verify::verify(&hydra_verify::VerifyInput {
+            odfs,
+            devices: &table,
+            demands: Some(&demands),
+            roots: Some(&roots),
+        });
+        let root_label = self
+            .depot
+            .get(&root)
+            .map_or_else(String::new, |e| e.odf.bind_name.clone());
+        let total_work: u64 = report.passes.iter().map(|p| p.work_units).sum();
+        self.recorder
+            .span("deploy.verify", &root_label, now, total_work);
+        for pass in &report.passes {
+            self.recorder
+                .counter_add("verify.pass_work", pass.name, pass.work_units);
+            self.recorder
+                .counter_add("verify.diagnostics", pass.name, pass.diagnostics as u64);
+        }
+        self.recorder.counter_add(
+            "verify.errors",
+            "",
+            report.count(hydra_verify::Severity::Error) as u64,
+        );
+        self.recorder.counter_add(
+            "verify.warnings",
+            "",
+            report.count(hydra_verify::Severity::Warning) as u64,
+        );
+        report
+    }
+
+    /// Statically verifies the deployment closure of `guid` without
+    /// deploying anything: the same report the pre-flight gate inside
+    /// [`Runtime::create_offcode`] acts on.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if an Offcode in the closure is missing from the depot;
+    /// verifier findings are returned in the report, not as errors.
+    pub fn verify_deployment(
+        &self,
+        guid: Guid,
+        now: SimTime,
+    ) -> Result<hydra_verify::Report, RuntimeError> {
+        let (order, odfs) = self.deployment_closure(guid)?;
+        Ok(self.run_verifier(guid, &order, &odfs, now))
     }
 
     fn deploy_all(
@@ -1020,12 +1117,91 @@ mod tests {
         let mut tiny_nic = DeviceDescriptor::programmable_nic();
         tiny_nic.offcode_memory = 64; // cannot hold anything
         reg.install(tiny_nic);
-        let mut rt = Runtime::new(reg, RuntimeConfig::default());
+        // Pre-flight verification would reject this deployment up front
+        // (HV020); switch it off to exercise the load-time fallback path.
+        let config = RuntimeConfig {
+            verify_deployments: false,
+            ..RuntimeConfig::default()
+        };
+        let mut rt = Runtime::new(reg, config);
         let odf = OdfDocument::new("t.Big", Guid(1)).with_target(class(class_ids::NETWORK));
         rt.register_offcode(odf, || Counter::boxed(1, "t.Big"))
             .unwrap();
         let id = rt.create_offcode(Guid(1), SimTime::ZERO).unwrap();
         assert_eq!(rt.device_of(id), Some(DeviceId::HOST));
+    }
+
+    #[test]
+    fn verifier_gate_rejects_overcommitted_deployment() {
+        let mut reg = DeviceRegistry::new();
+        let mut tiny_nic = DeviceDescriptor::programmable_nic();
+        tiny_nic.offcode_memory = 64;
+        reg.install(tiny_nic);
+        let mut rt = Runtime::new(reg, RuntimeConfig::default());
+        let odf = OdfDocument::new("t.Big", Guid(1)).with_target(class(class_ids::NETWORK));
+        rt.register_offcode(odf, || Counter::boxed(1, "t.Big"))
+            .unwrap();
+        match rt.create_offcode(Guid(1), SimTime::ZERO) {
+            Err(RuntimeError::Verification(msg)) => assert!(msg.contains("HV020"), "{msg}"),
+            other => panic!("expected verification rejection, got {other:?}"),
+        }
+        assert!(rt.deployments().is_empty());
+        let snap = rt.metrics_snapshot();
+        assert_eq!(snap.counter("verify.errors", ""), Some(1));
+        assert!(snap.counter("verify.diagnostics", "capacity").unwrap() >= 1);
+    }
+
+    #[test]
+    fn verify_deployment_reports_without_deploying() {
+        let mut rt = runtime();
+        let a = OdfDocument::new("a", Guid(1))
+            .with_target(class(class_ids::NETWORK))
+            .with_import(Import {
+                file: String::new(),
+                bind_name: "b".into(),
+                guid: Guid(2),
+                constraint: ConstraintKind::Gang,
+                priority: 0,
+            });
+        let b = OdfDocument::new("b", Guid(2))
+            .with_target(class(class_ids::NETWORK))
+            .with_import(Import {
+                file: String::new(),
+                bind_name: "a".into(),
+                guid: Guid(1),
+                constraint: ConstraintKind::Gang,
+                priority: 0,
+            });
+        rt.register_offcode(a, || Counter::boxed(1, "a")).unwrap();
+        rt.register_offcode(b, || Counter::boxed(1, "b")).unwrap();
+        let report = rt.verify_deployment(Guid(1), SimTime::ZERO).unwrap();
+        assert!(report.has_errors());
+        assert!(report
+            .errors()
+            .any(|d| d.code == hydra_verify::HvCode::GangCycle));
+        // Nothing was deployed, but the pass metrics were recorded.
+        assert!(rt.deployments().is_empty());
+        let snap = rt.metrics_snapshot();
+        assert!(snap.counter_total("verify.pass_work") > 0);
+        assert_eq!(snap.spans_named("deploy.verify").len(), 1);
+        // The gate acts on the same report.
+        assert!(matches!(
+            rt.create_offcode(Guid(1), SimTime::ZERO),
+            Err(RuntimeError::Verification(_))
+        ));
+    }
+
+    #[test]
+    fn clean_deployment_passes_verifier_gate() {
+        let mut rt = runtime();
+        rt.register_offcode(
+            OdfDocument::new("ok", Guid(1)).with_target(class(class_ids::NETWORK)),
+            || Counter::boxed(1, "ok"),
+        )
+        .unwrap();
+        let report = rt.verify_deployment(Guid(1), SimTime::ZERO).unwrap();
+        assert!(!report.has_errors());
+        assert!(rt.create_offcode(Guid(1), SimTime::ZERO).is_ok());
     }
 
     #[test]

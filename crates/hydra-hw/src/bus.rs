@@ -60,7 +60,7 @@ impl BusSpec {
         if bytes == 0 {
             return SimDuration::ZERO;
         }
-        let ns = (bytes as u128 * 1_000_000_000).div_ceil(self.bytes_per_sec as u128);
+        let ns = (bytes as u128 * 1_000_000_000).div_ceil(u128::from(self.bytes_per_sec));
         SimDuration::from_nanos(ns as u64)
     }
 }

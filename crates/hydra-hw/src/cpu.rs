@@ -138,13 +138,13 @@ impl CpuSpec {
         if work.is_zero() {
             return SimDuration::ZERO;
         }
-        let ns = (work.get() as u128 * 1_000_000_000).div_ceil(self.freq_hz as u128);
+        let ns = (u128::from(work.get()) * 1_000_000_000).div_ceil(u128::from(self.freq_hz));
         SimDuration::from_nanos(ns as u64)
     }
 
     /// Converts a wall-clock span to the cycles this CPU retires in it.
     pub fn cycles_in(&self, span: SimDuration) -> Cycles {
-        Cycles::new((span.as_nanos() as u128 * self.freq_hz as u128 / 1_000_000_000) as u64)
+        Cycles::new((u128::from(span.as_nanos()) * u128::from(self.freq_hz) / 1_000_000_000) as u64)
     }
 }
 

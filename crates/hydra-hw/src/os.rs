@@ -196,7 +196,7 @@ mod tests {
             (0..n)
                 .map(|_| m.wakeup(target, rng).duration_since(target).as_secs_f64())
                 .sum::<f64>()
-                / n as f64
+                / f64::from(n)
         };
         let host_late = mean_late(&host, &mut rng);
         let dev_late = mean_late(&dev, &mut rng);

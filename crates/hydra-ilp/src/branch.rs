@@ -17,6 +17,10 @@ pub struct SearchStats {
     pub nodes: u64,
     /// Nodes pruned by bound.
     pub pruned: u64,
+    /// True when the answer was proven without a search: an infeasibility
+    /// pre-check (see `hydra-verify`) established the only feasible
+    /// placement before any LP relaxation ran, so `nodes == 0`.
+    pub presolved: bool,
 }
 
 /// Exact ILP solution plus search statistics.

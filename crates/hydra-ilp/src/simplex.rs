@@ -57,7 +57,7 @@ pub fn solve_lp(problem: &Problem) -> Outcome {
         Direction::Maximize => 1.0,
         Direction::Minimize => -1.0,
     };
-    for cj in c.iter_mut() {
+    for cj in &mut c {
         *cj *= sign;
     }
 
@@ -182,7 +182,7 @@ fn simplex_maximize(n: usize, rows: &[Row], c: &[f64]) -> RawOutcome {
         }
         // Forbid artificials from re-entering: clear their columns.
         for &a in &artificial_cols {
-            for row in t.iter_mut() {
+            for row in &mut t {
                 row[a] = 0.0;
             }
         }

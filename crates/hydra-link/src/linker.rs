@@ -162,10 +162,10 @@ impl Linker {
                     if sec.kind != class {
                         continue;
                     }
-                    let align = sec.align.max(1) as u64;
+                    let align = u64::from(sec.align.max(1));
                     addr = addr.div_ceil(align) * align;
                     section_addr.insert((oi, si), addr);
-                    addr += sec.size as u64;
+                    addr += u64::from(sec.size);
                     if class != SectionKind::Bss {
                         image_len = addr - base;
                     }
@@ -186,7 +186,7 @@ impl Linker {
                     if exports.resolve(name).is_some() {
                         return Err(LinkError::DuplicateSymbol(name.clone()));
                     }
-                    globals.insert(name.clone(), sec_base + *offset as u64);
+                    globals.insert(name.clone(), sec_base + u64::from(*offset));
                 }
             }
         }
@@ -216,7 +216,7 @@ impl Linker {
                         .ok_or_else(|| LinkError::Unresolved(sym.name.clone()))?,
                 };
                 let target = (target as i64 + r.addend) as u64;
-                let site_addr = section_addr[&(oi, r.section as usize)] + r.offset as u64;
+                let site_addr = section_addr[&(oi, r.section as usize)] + u64::from(r.offset);
                 let site = (site_addr - base) as usize;
                 match r.kind {
                     RelocKind::Abs64 => {

@@ -132,7 +132,7 @@ pub struct LoadPlan {
 fn link_work_units(objects: &[HofObject]) -> u64 {
     let relocs = relocation_count(objects);
     let syms: u64 = objects.iter().map(|o| o.symbols.len() as u64).sum();
-    let bytes: u64 = objects.iter().map(|o| o.load_size() as u64).sum();
+    let bytes: u64 = objects.iter().map(|o| u64::from(o.load_size())).sum();
     // Weights: symbols require table insertion/lookup, relocations a patch,
     // layout a copy per byte (dominated by memcpy throughput).
     syms * 50 + relocs * 20 + bytes / 8
@@ -152,7 +152,7 @@ pub fn load_host_side(
     allocator: &mut DeviceMemoryAllocator,
     exports: &ExportTable,
 ) -> Result<(LinkedImage, LoadPlan), LoadError> {
-    let total: u64 = objects.iter().map(|o| o.load_size() as u64).sum();
+    let total: u64 = objects.iter().map(|o| u64::from(o.load_size())).sum();
     // Alignment padding between objects is bounded by 16 per object.
     let base = allocator.allocate(total + 16 * objects.len() as u64)?;
     let image = Linker::new().link(objects, base, exports)?;
@@ -180,7 +180,7 @@ pub fn load_device_side(
 ) -> Result<(LinkedImage, LoadPlan), LoadError> {
     // The device must hold the encoded objects *and* the final image.
     let encoded: u64 = objects.iter().map(|o| o.encode().len() as u64).sum();
-    let total: u64 = objects.iter().map(|o| o.load_size() as u64).sum();
+    let total: u64 = objects.iter().map(|o| u64::from(o.load_size())).sum();
     let base = allocator.allocate(encoded + total + 16 * objects.len() as u64)?;
     // The image region begins after the staged object files.
     let image_base = (base + encoded).div_ceil(16) * 16;

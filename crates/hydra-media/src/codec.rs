@@ -58,7 +58,7 @@ impl EncodedFrame {
 
     /// Total 8×8 blocks in the frame.
     pub fn total_blocks(&self) -> u32 {
-        (self.width as u32 / 8) * (self.height as u32 / 8)
+        (u32::from(self.width) / 8) * (u32::from(self.height) / 8)
     }
 }
 
@@ -237,7 +237,7 @@ fn average_frames(a: &RawFrame, b: &RawFrame) -> RawFrame {
         .pixels()
         .iter()
         .zip(b.pixels())
-        .map(|(&x, &y)| (x as u16 + y as u16).div_ceil(2) as u8)
+        .map(|(&x, &y)| (u16::from(x) + u16::from(y)).div_ceil(2) as u8)
         .collect();
     RawFrame::from_pixels(a.width(), a.height(), pixels)
 }
@@ -303,7 +303,7 @@ impl Encoder {
             anchor_positions.push(frames.len() - 1);
         }
 
-        for &pos in anchor_positions.iter() {
+        for &pos in &anchor_positions {
             let frame = &frames[pos];
             if let Some((_, first)) = &prev_anchor {
                 assert_eq!(
@@ -418,17 +418,16 @@ impl Decoder {
                 Ok(self.install_anchor(f.display_index, recon))
             }
             FrameKind::P => {
-                let reference = match &self.future_anchor {
-                    Some((_, r)) => r,
-                    None => return Err(CodecError::MissingReference),
+                let Some((_, reference)) = &self.future_anchor else {
+                    return Err(CodecError::MissingReference);
                 };
                 let recon = Self::decode_predicted(f, reference)?;
                 Ok(self.install_anchor(f.display_index, recon))
             }
             FrameKind::B => {
-                let (past, future) = match (&self.past_anchor, &self.future_anchor) {
-                    (Some(p), Some((_, n))) => (p, n),
-                    _ => return Err(CodecError::MissingReference),
+                let (Some(past), Some((_, future))) = (&self.past_anchor, &self.future_anchor)
+                else {
+                    return Err(CodecError::MissingReference);
                 };
                 let avg = average_frames(past, future);
                 let recon = Self::decode_predicted(f, &avg)?;

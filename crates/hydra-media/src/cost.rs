@@ -51,9 +51,9 @@ impl DecodeCostModel {
     /// Cycles to decode one frame under this model.
     pub fn cycles(&self, frame: &EncodedFrame) -> u64 {
         let base = self.per_frame
-            + self.per_block * frame.total_blocks() as u64
-            + self.per_coded_block * frame.coded_blocks as u64
-            + self.per_coeff * frame.nonzero_coeffs as u64;
+            + self.per_block * u64::from(frame.total_blocks())
+            + self.per_coded_block * u64::from(frame.coded_blocks)
+            + self.per_coeff * u64::from(frame.nonzero_coeffs);
         match frame.kind {
             FrameKind::B => base * self.b_factor_percent / 100,
             _ => base,

@@ -62,7 +62,7 @@ pub fn get_varint(buf: &mut Bytes) -> Result<u64, EntropyError> {
             return Err(EntropyError::Malformed);
         }
         let byte = buf.get_u8();
-        v |= ((byte & 0x7f) as u64) << shift;
+        v |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
             return Ok(v);
         }
@@ -85,13 +85,13 @@ pub fn zz_decode(v: u64) -> i64 {
 pub fn encode_block(buf: &mut BytesMut, block: &[i32; 64]) -> u32 {
     let mut run = 0u32;
     let mut nonzero = 0u32;
-    for &idx in ZIGZAG.iter() {
+    for &idx in &ZIGZAG {
         let c = block[idx];
         if c == 0 {
             run += 1;
         } else {
-            put_varint(buf, run as u64);
-            put_varint(buf, zz_encode(c as i64));
+            put_varint(buf, u64::from(run));
+            put_varint(buf, zz_encode(i64::from(c)));
             run = 0;
             nonzero += 1;
         }

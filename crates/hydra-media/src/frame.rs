@@ -115,7 +115,7 @@ impl RawFrame {
         for row in 0..8 {
             let base = (by * 8 + row) * self.width + bx * 8;
             for col in 0..8 {
-                out[row * 8 + col] = self.pixels[base + col] as i32;
+                out[row * 8 + col] = i32::from(self.pixels[base + col]);
             }
         }
     }
@@ -154,7 +154,7 @@ pub fn psnr(a: &RawFrame, b: &RawFrame) -> f64 {
         .iter()
         .zip(&b.pixels)
         .map(|(&x, &y)| {
-            let d = x as f64 - y as f64;
+            let d = f64::from(x) - f64::from(y);
             d * d
         })
         .sum::<f64>()

@@ -136,7 +136,7 @@ const fn build_zigzag() -> [usize; 64] {
 /// Panics if `q` is zero.
 pub fn quantize(block: &mut [i32; 64], q: u16) {
     assert!(q > 0, "quantizer step must be positive");
-    let q = q as i32;
+    let q = i32::from(q);
     for c in block.iter_mut() {
         let sign = if *c < 0 { -1 } else { 1 };
         *c = sign * ((c.abs() + q / 2) / q);
@@ -145,7 +145,7 @@ pub fn quantize(block: &mut [i32; 64], q: u16) {
 
 /// Reverses [`quantize`]: multiplies by `q`.
 pub fn dequantize(block: &mut [i32; 64], q: u16) {
-    let q = q as i32;
+    let q = i32::from(q);
     for c in block.iter_mut() {
         *c *= q;
     }
@@ -195,7 +195,7 @@ mod tests {
     #[test]
     fn zigzag_is_a_permutation() {
         let mut seen = [false; 64];
-        for &i in ZIGZAG.iter() {
+        for &i in &ZIGZAG {
             assert!(!seen[i], "duplicate index {i}");
             seen[i] = true;
         }

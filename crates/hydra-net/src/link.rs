@@ -40,7 +40,7 @@ impl LinkSpec {
         if bytes == 0 {
             return SimDuration::ZERO;
         }
-        let ns = (bytes as u128 * 8 * 1_000_000_000).div_ceil(self.bits_per_sec as u128);
+        let ns = (bytes as u128 * 8 * 1_000_000_000).div_ceil(u128::from(self.bits_per_sec));
         SimDuration::from_nanos(ns as u64)
     }
 }

@@ -67,8 +67,7 @@ fn slice_dur(events: &[TraceEventSample], i: usize) -> u64 {
     events[i + 1..]
         .iter()
         .find(|n| n.trace == e.trace)
-        .map(|n| n.at_nanos.saturating_sub(e.at_nanos))
-        .unwrap_or(0)
+        .map_or(0, |n| n.at_nanos.saturating_sub(e.at_nanos))
         .max(MIN_SLICE_NANOS)
 }
 

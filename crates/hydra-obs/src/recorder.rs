@@ -247,7 +247,7 @@ impl Recorder {
     ) {
         self.with(|r| {
             r.flight
-                .drop_event(ctx, name, label.to_owned(), device, at, bytes)
+                .drop_event(ctx, name, label.to_owned(), device, at, bytes);
         });
     }
 

@@ -121,6 +121,10 @@ pub struct OdfDocument {
     pub imports: Vec<Import>,
     /// Candidate device classes, in preference order.
     pub targets: Vec<DeviceClassSpec>,
+    /// Declared worst-case memory footprint in bytes, if the package
+    /// states one (`<footprint>` in the package section). Consumed by the
+    /// static capacity pre-check; absent means "unknown".
+    pub footprint: Option<u64>,
 }
 
 /// Errors raised while interpreting an ODF.
@@ -183,6 +187,7 @@ impl OdfDocument {
             interfaces: Vec::new(),
             imports: Vec::new(),
             targets: Vec::new(),
+            footprint: None,
         }
     }
 
@@ -201,6 +206,12 @@ impl OdfDocument {
     /// Adds a candidate device class.
     pub fn with_target(mut self, target: DeviceClassSpec) -> Self {
         self.targets.push(target);
+        self
+    }
+
+    /// Declares the worst-case memory footprint in bytes.
+    pub fn with_footprint(mut self, bytes: u64) -> Self {
+        self.footprint = Some(bytes);
         self
     }
 
@@ -263,6 +274,10 @@ impl OdfDocument {
                 interfaces.push(inc.text().trim_matches('"').to_owned());
             }
         }
+        let footprint = match package.child("footprint") {
+            None => None,
+            Some(fp) => Some(parse_u64("package/footprint", &fp.text())?),
+        };
 
         let mut imports = Vec::new();
         if let Some(sw) = root.child("sw-env") {
@@ -284,6 +299,7 @@ impl OdfDocument {
             interfaces,
             imports,
             targets,
+            footprint,
         })
     }
 
@@ -359,6 +375,9 @@ impl OdfDocument {
             Node::Element(text_el("bindname", &self.bind_name)),
             Node::Element(text_el("GUID", &self.guid.0.to_string())),
         ];
+        if let Some(fp) = self.footprint {
+            package_children.push(Node::Element(text_el("footprint", &fp.to_string())));
+        }
         if !self.interfaces.is_empty() {
             package_children.push(Node::Element(Element {
                 name: "interface".into(),
@@ -533,6 +552,29 @@ mod tests {
     }
 
     #[test]
+    fn footprint_round_trips() {
+        let odf = OdfDocument::new("x", Guid(1)).with_footprint(64 * 1024);
+        let re = OdfDocument::parse(&odf.to_xml()).unwrap();
+        assert_eq!(re.footprint, Some(64 * 1024));
+        assert_eq!(odf, re);
+    }
+
+    #[test]
+    fn bad_footprint_rejected() {
+        let e = OdfDocument::parse(
+            "<offcode><package><bindname>x</bindname><GUID>1</GUID><footprint>lots</footprint></package></offcode>",
+        )
+        .unwrap_err();
+        assert!(matches!(
+            e,
+            OdfError::Invalid {
+                what: "package/footprint",
+                ..
+            }
+        ));
+    }
+
+    #[test]
     fn missing_package_rejected() {
         assert_eq!(
             OdfDocument::parse("<offcode/>"),
@@ -585,12 +627,12 @@ mod tests {
 
     #[test]
     fn unknown_constraint_rejected() {
-        let doc = r#"<offcode>
+        let doc = r"<offcode>
   <package><bindname>x</bindname><GUID>1</GUID></package>
   <sw-env><import>
     <bindname>y</bindname><reference type=Sometimes/><GUID>2</GUID>
   </import></sw-env>
-</offcode>"#;
+</offcode>";
         let e = OdfDocument::parse(doc).unwrap_err();
         assert!(matches!(
             e,
@@ -603,10 +645,10 @@ mod tests {
 
     #[test]
     fn import_without_reference_defaults_to_link() {
-        let doc = r#"<offcode>
+        let doc = r"<offcode>
   <package><bindname>x</bindname><GUID>1</GUID></package>
   <sw-env><import><bindname>y</bindname><GUID>2</GUID></import></sw-env>
-</offcode>"#;
+</offcode>";
         let odf = OdfDocument::parse(doc).unwrap();
         assert_eq!(odf.imports[0].constraint, ConstraintKind::Link);
     }

@@ -90,7 +90,7 @@ impl Element {
     pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
         self.children.iter().filter_map(|n| match n {
             Node::Element(e) => Some(e),
-            _ => None,
+            Node::Text(_) => None,
         })
     }
 
@@ -331,7 +331,7 @@ impl<'a> Parser<'a> {
         loop {
             self.skip_ws();
             match (self.skip_comment(), self.skip_pi()) {
-                (Ok(true), _) | (_, Ok(true)) => continue,
+                (Ok(true), _) | (_, Ok(true)) => {}
                 _ => return,
             }
         }

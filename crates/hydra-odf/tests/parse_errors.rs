@@ -1,0 +1,133 @@
+//! Error-path coverage for [`OdfDocument::parse`]: every rejection the
+//! parser can produce, pinned with the variant it must report. The
+//! happy paths live in the crate's unit tests; these are the inputs a
+//! deployment lint (`repro -- lint`) has to survive without panicking.
+
+use hydra_odf::odf::{OdfDocument, OdfError};
+
+fn err(xml: &str) -> OdfError {
+    OdfDocument::parse(xml).expect_err("must be rejected")
+}
+
+#[test]
+fn malformed_xml_is_an_xml_error() {
+    assert!(matches!(err("<offcode"), OdfError::Xml(_)));
+    assert!(matches!(err(""), OdfError::Xml(_)));
+    assert!(matches!(
+        err("<offcode><package></offcode>"),
+        OdfError::Xml(_)
+    ));
+}
+
+#[test]
+fn wrong_root_element_is_rejected() {
+    let e = err("<deployment><package/></deployment>");
+    assert!(matches!(
+        e,
+        OdfError::Invalid {
+            what: "root element",
+            ..
+        }
+    ));
+}
+
+#[test]
+fn missing_package_sections_are_named() {
+    assert_eq!(err("<offcode></offcode>"), OdfError::Missing("package"));
+    assert_eq!(
+        err("<offcode><package><GUID>1</GUID></package></offcode>"),
+        OdfError::Missing("package/bindname")
+    );
+    // An empty bindname counts as missing, not as a valid empty string.
+    assert_eq!(
+        err("<offcode><package><bindname></bindname><GUID>1</GUID></package></offcode>"),
+        OdfError::Missing("package/bindname")
+    );
+    assert_eq!(
+        err("<offcode><package><bindname>x</bindname></package></offcode>"),
+        OdfError::Missing("package/GUID")
+    );
+}
+
+#[test]
+fn non_numeric_guid_is_invalid() {
+    let e = err("<offcode><package><bindname>x</bindname><GUID>seven</GUID></package></offcode>");
+    match e {
+        OdfError::Invalid { what, value } => {
+            assert_eq!(what, "package/GUID");
+            assert_eq!(value, "seven");
+        }
+        other => panic!("expected Invalid, got {other:?}"),
+    }
+}
+
+#[test]
+fn bad_footprint_is_invalid_but_absent_is_fine() {
+    let e = err("<offcode><package><bindname>x</bindname><GUID>1</GUID>\
+         <footprint>lots</footprint></package></offcode>");
+    assert!(matches!(
+        e,
+        OdfError::Invalid {
+            what: "package/footprint",
+            ..
+        }
+    ));
+    let odf = OdfDocument::parse(
+        "<offcode><package><bindname>x</bindname><GUID>1</GUID></package></offcode>",
+    )
+    .unwrap();
+    assert_eq!(odf.footprint, None);
+}
+
+#[test]
+fn import_requires_bindname_and_guid() {
+    let base = "<offcode><package><bindname>x</bindname><GUID>1</GUID></package>\
+                <sw-env><import>{IMP}</import></sw-env></offcode>";
+    let e = err(&base.replace("{IMP}", "<GUID>2</GUID>"));
+    assert_eq!(e, OdfError::Missing("import/bindname"));
+    let e = err(&base.replace("{IMP}", "<bindname>y</bindname>"));
+    assert_eq!(e, OdfError::Missing("import/GUID"));
+}
+
+#[test]
+fn unknown_constraint_kind_is_invalid() {
+    let e = err(
+        "<offcode><package><bindname>x</bindname><GUID>1</GUID></package>\
+         <sw-env><import><bindname>y</bindname><GUID>2</GUID>\
+         <reference type=Sideways/></import></sw-env></offcode>",
+    );
+    match e {
+        OdfError::Invalid { what, value } => {
+            assert_eq!(what, "reference/type");
+            assert_eq!(value, "Sideways");
+        }
+        other => panic!("expected Invalid, got {other:?}"),
+    }
+}
+
+#[test]
+fn device_class_requires_id_and_name() {
+    let base = "<offcode><package><bindname>x</bindname><GUID>1</GUID></package>\
+                <targets>{DC}</targets></offcode>";
+    let e = err(&base.replace("{DC}", "<device-class><name>nic</name></device-class>"));
+    assert_eq!(e, OdfError::Missing("device-class/id"));
+    let e = err(&base.replace("{DC}", "<device-class id=0x0001></device-class>"));
+    assert_eq!(e, OdfError::Missing("device-class/name"));
+    let e = err(&base.replace(
+        "{DC}",
+        "<device-class id=banana><name>nic</name></device-class>",
+    ));
+    assert!(matches!(
+        e,
+        OdfError::Invalid {
+            what: "device-class/id",
+            ..
+        }
+    ));
+}
+
+#[test]
+fn errors_render_their_context() {
+    assert!(err("<offcode></offcode>").to_string().contains("package"));
+    assert!(err("<nope/>").to_string().contains("root element"));
+}

@@ -83,7 +83,7 @@ impl<M: fmt::Debug> fmt::Debug for Sim<M> {
             .field("pending", &self.queue.len())
             .field("executed", &self.executed)
             .field("model", &self.model)
-            .finish()
+            .finish_non_exhaustive()
     }
 }
 

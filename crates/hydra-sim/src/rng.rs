@@ -74,7 +74,7 @@ impl DetRng {
 
     /// Produces the next 64 random bits.
     pub fn next_u64(&mut self) -> u64 {
-        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
     }
 
     /// Uniform integer in `[0, bound)`.
@@ -87,7 +87,7 @@ impl DetRng {
         // Lemire's multiply-shift rejection method.
         loop {
             let x = self.next_u64();
-            let m = (x as u128).wrapping_mul(bound as u128);
+            let m = u128::from(x).wrapping_mul(u128::from(bound));
             let low = m as u64;
             if low >= bound || low >= low.wrapping_neg() % bound {
                 return (m >> 64) as u64;
@@ -236,8 +236,8 @@ mod tests {
         let mut rng = DetRng::new(6);
         let n = 20_000;
         let samples: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
-        let mean = samples.iter().sum::<f64>() / n as f64;
-        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let mean = samples.iter().sum::<f64>() / f64::from(n);
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / f64::from(n);
         assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
     }
@@ -246,7 +246,7 @@ mod tests {
     fn exp_mean_is_plausible() {
         let mut rng = DetRng::new(8);
         let n = 20_000;
-        let mean = (0..n).map(|_| rng.exp(3.0)).sum::<f64>() / n as f64;
+        let mean = (0..n).map(|_| rng.exp(3.0)).sum::<f64>() / f64::from(n);
         assert!((mean - 3.0).abs() < 0.15, "mean {mean}");
     }
 

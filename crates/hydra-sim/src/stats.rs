@@ -122,7 +122,7 @@ impl Samples {
         let median = if n % 2 == 1 {
             sorted[n / 2]
         } else {
-            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+            f64::midpoint(sorted[n / 2 - 1], sorted[n / 2])
         };
         Summary {
             count: n,

@@ -382,8 +382,8 @@ fn user_space_packet(
         // in place in the reference, so the memory traffic scales with
         // the coded fraction of the frame.
         let raw = world.cfg.width * world.cfg.height;
-        let coded =
-            (raw as u64 * frame.coded_blocks as u64 / frame.total_blocks().max(1) as u64) as usize;
+        let coded = (raw as u64 * u64::from(frame.coded_blocks)
+            / u64::from(frame.total_blocks().max(1))) as usize;
         let wr = world.host.compute_over(
             t,
             world.frame_cur.slice(0, coded.max(64)),
@@ -460,10 +460,10 @@ pub fn run_client(cfg: ClientConfig) -> ClientRun {
             let (chunk_idx, completes) = sim.model_mut().source.next_chunk();
             match kind {
                 ClientKind::UserSpace => {
-                    user_space_packet(sim.model_mut(), arrival, chunk_idx, completes)
+                    user_space_packet(sim.model_mut(), arrival, chunk_idx, completes);
                 }
                 ClientKind::Offloaded => {
-                    offloaded_packet(sim.model_mut(), arrival, chunk_idx, completes)
+                    offloaded_packet(sim.model_mut(), arrival, chunk_idx, completes);
                 }
                 ClientKind::Idle => unreachable!("idle schedules no stream"),
             }

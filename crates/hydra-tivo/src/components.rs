@@ -255,7 +255,14 @@ mod tests {
         let mut reg = DeviceRegistry::new();
         reg.install(DeviceDescriptor::programmable_nic());
         reg.install(DeviceDescriptor::smart_disk());
-        let mut rt = Runtime::new(reg, RuntimeConfig::default());
+        // The static verifier flags the GPU-less machine up front (HV012:
+        // the Decoder–Display Pull has no common device); disable it to
+        // exercise the solver's host-fallback resolution of that Pull.
+        let config = RuntimeConfig {
+            verify_deployments: false,
+            ..RuntimeConfig::default()
+        };
+        let mut rt = Runtime::new(reg, config);
         register_tivo_client(&mut rt).unwrap();
         rt.create_offcode(guids::GUI, SimTime::ZERO).unwrap();
         let dev = |g| rt.device_of(rt.get_offcode(g).unwrap()).unwrap();
@@ -343,7 +350,7 @@ mod tests {
         rt.connect_offcode(to_dis, dis).unwrap();
 
         // Wire the graph via control calls (OOB channel in a real system).
-        let wire = |rt: &mut Runtime, target, chan: hydra_core::channel::ChannelId, peer: Guid| {
+        let wire = |rt: &mut Runtime, target, chan: ChannelId, peer: Guid| {
             let call = Call::new(Guid(0), "wire")
                 .with_arg(Value::U64(chan.0))
                 .with_arg(Value::U64(peer.0));
@@ -371,7 +378,7 @@ mod tests {
         assert!(rt.device_work(dev_of(net)).get() > 0);
         assert!(rt.device_work(dev_of(dec)).get() > 0);
         assert!(rt.device_work(dev_of(dsk)).get() > 0);
-        assert_eq!(rt.device_work(hydra_core::device::DeviceId::HOST).get(), 0);
+        assert_eq!(rt.device_work(DeviceId::HOST).get(), 0);
     }
 
     #[test]

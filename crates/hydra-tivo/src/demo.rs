@@ -56,21 +56,10 @@ fn class(id: u32) -> DeviceClassSpec {
     }
 }
 
-/// Builds, deploys and exercises the demo application, returning the
-/// runtime with its recorder fully populated.
-///
-/// The scenario: deploy the three-Offcode closure, pump four calls
-/// through the streamer's Figure-3 channel, then take a fifth message
-/// off the channel by hand and walk it through the traced device
-/// datapath — NIC receive, bus forward, GPU decode — so at least one
-/// causal chain crosses host → NIC → GPU.
-pub fn demo_deployment() -> Runtime {
-    let mut reg = DeviceRegistry::new();
-    reg.install(DeviceDescriptor::programmable_nic()); // dev1
-    reg.install(DeviceDescriptor::smart_disk()); // dev2
-    reg.install(DeviceDescriptor::gpu()); // dev3
-    let mut rt = Runtime::new(reg, RuntimeConfig::default());
-
+/// The demo application's three ODF manifests (streamer → decoder →
+/// display), root first. Shared between [`demo_deployment`] and the
+/// `repro -- lint` deployment lint.
+pub fn demo_odfs() -> Vec<OdfDocument> {
     let streamer = OdfDocument::new("tivo.Streamer", Guid(1))
         .with_target(class(class_ids::NETWORK))
         .with_import(Import {
@@ -90,27 +79,34 @@ pub fn demo_deployment() -> Runtime {
             priority: 0,
         });
     let display = OdfDocument::new("tivo.Display", Guid(3)).with_target(class(class_ids::GPU));
-    rt.register_offcode(streamer, || {
-        Box::new(DemoOffcode {
-            guid: Guid(1),
-            name: "tivo.Streamer",
-        })
-    })
-    .expect("fresh depot");
-    rt.register_offcode(decoder, || {
-        Box::new(DemoOffcode {
-            guid: Guid(2),
-            name: "tivo.Decoder",
-        })
-    })
-    .expect("fresh depot");
-    rt.register_offcode(display, || {
-        Box::new(DemoOffcode {
-            guid: Guid(3),
-            name: "tivo.Display",
-        })
-    })
-    .expect("fresh depot");
+    vec![streamer, decoder, display]
+}
+
+/// Builds, deploys and exercises the demo application, returning the
+/// runtime with its recorder fully populated.
+///
+/// The scenario: deploy the three-Offcode closure, pump four calls
+/// through the streamer's Figure-3 channel, then take a fifth message
+/// off the channel by hand and walk it through the traced device
+/// datapath — NIC receive, bus forward, GPU decode — so at least one
+/// causal chain crosses host → NIC → GPU.
+pub fn demo_deployment() -> Runtime {
+    let mut reg = DeviceRegistry::new();
+    reg.install(DeviceDescriptor::programmable_nic()); // dev1
+    reg.install(DeviceDescriptor::smart_disk()); // dev2
+    reg.install(DeviceDescriptor::gpu()); // dev3
+    let mut rt = Runtime::new(reg, RuntimeConfig::default());
+
+    for odf in demo_odfs() {
+        let guid = odf.guid;
+        let name: &'static str = match guid {
+            Guid(1) => "tivo.Streamer",
+            Guid(2) => "tivo.Decoder",
+            _ => "tivo.Display",
+        };
+        rt.register_offcode(odf, move || Box::new(DemoOffcode { guid, name }))
+            .expect("fresh depot");
+    }
 
     let root = rt
         .create_offcode(Guid(1), SimTime::ZERO)

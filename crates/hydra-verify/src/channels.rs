@@ -1,0 +1,242 @@
+//! Channel-topology analysis: the wait-for graph of synchronous calls.
+//!
+//! Every import edge becomes a synchronous channel at deployment time
+//! (the importer blocks in `send_call` until its downstream replies), so
+//! the import graph *is* the static wait-for graph. A directed cycle in
+//! it is a deadlock the moment every member blocks on its downstream
+//! call; nodes unreachable from any deployment root are dead weight the
+//! executive will never instantiate.
+
+use hydra_odf::odf::Guid;
+
+use crate::diag::{Diagnostic, HvCode, Loc};
+use crate::input::GraphView;
+
+/// Runs the channel pass; returns (diagnostics, work units).
+///
+/// `roots` are the GUIDs deployment starts from; `None` infers them as
+/// the nodes nothing imports. When no root exists at all (the whole set
+/// is cyclic) the reachability lint is skipped — the cycle itself is
+/// already reported.
+pub(crate) fn run(view: &GraphView, roots: Option<&[Guid]>) -> (Vec<Diagnostic>, u64) {
+    let mut diags = Vec::new();
+    let work = (view.nodes.len() + view.edges.len()) as u64;
+
+    wait_for_cycles(view, &mut diags);
+    unreachable_nodes(view, roots, &mut diags);
+
+    (diags, work)
+}
+
+/// HV030: directed cycles in the wait-for graph, found by DFS
+/// back-edge detection (deterministic: nodes and successors visited in
+/// index order; one diagnostic per distinct cycle entry point).
+fn wait_for_cycles(view: &GraphView, diags: &mut Vec<Diagnostic>) {
+    let adj = adjacency(view);
+    // 0 = unvisited, 1 = on current DFS path, 2 = done.
+    let mut state = vec![0u8; view.nodes.len()];
+    for start in 0..view.nodes.len() {
+        if state[start] != 0 {
+            continue;
+        }
+        // (node, next successor offset); path mirrors the 1-states.
+        let mut stack = vec![(start, 0usize)];
+        let mut path = vec![start];
+        state[start] = 1;
+        while let Some(&mut (v, ref mut ci)) = stack.last_mut() {
+            if let Some(&w) = adj[v].get(*ci) {
+                *ci += 1;
+                match state[w] {
+                    0 => {
+                        state[w] = 1;
+                        stack.push((w, 0));
+                        path.push(w);
+                    }
+                    1 => {
+                        let from = path.iter().position(|&p| p == w).unwrap_or(0);
+                        let names: Vec<&str> = path[from..]
+                            .iter()
+                            .chain(std::iter::once(&w))
+                            .map(|&n| view.nodes[n].bind_name.as_str())
+                            .collect();
+                        diags.push(Diagnostic::new(
+                            HvCode::ChannelDeadlock,
+                            Loc::Node {
+                                index: w,
+                                bind_name: view.nodes[w].bind_name.clone(),
+                            },
+                            format!("synchronous wait-for cycle: {}", names.join(" -> ")),
+                        ));
+                    }
+                    _ => {}
+                }
+            } else {
+                state[v] = 2;
+                stack.pop();
+                path.pop();
+            }
+        }
+    }
+}
+
+/// HV031: nodes no deployment root can reach.
+fn unreachable_nodes(view: &GraphView, roots: Option<&[Guid]>, diags: &mut Vec<Diagnostic>) {
+    let root_idx: Vec<usize> = match roots {
+        Some(guids) => view
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| guids.contains(&n.guid))
+            .map(|(i, _)| i)
+            .collect(),
+        None => {
+            let mut imported = vec![false; view.nodes.len()];
+            for e in &view.edges {
+                imported[e.to] = true;
+            }
+            (0..view.nodes.len()).filter(|&n| !imported[n]).collect()
+        }
+    };
+    if root_idx.is_empty() {
+        return;
+    }
+    let adj = adjacency(view);
+    let mut reach = vec![false; view.nodes.len()];
+    let mut queue = root_idx;
+    for &r in &queue {
+        reach[r] = true;
+    }
+    while let Some(v) = queue.pop() {
+        for &w in &adj[v] {
+            if !reach[w] {
+                reach[w] = true;
+                queue.push(w);
+            }
+        }
+    }
+    for (n, node) in view.nodes.iter().enumerate() {
+        if !reach[n] {
+            diags.push(Diagnostic::new(
+                HvCode::UnreachableOffcode,
+                Loc::Node {
+                    index: n,
+                    bind_name: node.bind_name.clone(),
+                },
+                "not reachable from any deployment root; it will never be instantiated",
+            ));
+        }
+    }
+}
+
+/// Sorted, deduplicated successor lists over all import edges.
+fn adjacency(view: &GraphView) -> Vec<Vec<usize>> {
+    let mut adj = vec![Vec::new(); view.nodes.len()];
+    for e in &view.edges {
+        adj[e.from].push(e.to);
+    }
+    for a in &mut adj {
+        a.sort_unstable();
+        a.dedup();
+    }
+    adj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{EdgeView, NodeView};
+    use hydra_odf::odf::ConstraintKind;
+
+    fn node(name: &str, guid: u64) -> NodeView {
+        NodeView {
+            guid: Guid(guid),
+            bind_name: name.into(),
+            compat: vec![true, true],
+            demand: 1024,
+        }
+    }
+
+    fn edge(from: usize, to: usize) -> EdgeView {
+        EdgeView {
+            from,
+            to,
+            kind: ConstraintKind::Link,
+        }
+    }
+
+    #[test]
+    fn dag_is_clean() {
+        let view = GraphView {
+            nodes: vec![node("a", 1), node("b", 2), node("c", 3)],
+            edges: vec![edge(0, 1), edge(0, 2), edge(1, 2)],
+        };
+        let (diags, _) = run(&view, None);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn cycle_is_a_deadlock() {
+        let view = GraphView {
+            nodes: vec![node("a", 1), node("b", 2), node("c", 3)],
+            edges: vec![edge(0, 1), edge(1, 2), edge(2, 1)],
+        };
+        let (diags, _) = run(&view, None);
+        let dl: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == HvCode::ChannelDeadlock)
+            .collect();
+        assert_eq!(dl.len(), 1);
+        assert!(dl[0].message.contains("b -> c -> b"));
+    }
+
+    #[test]
+    fn unreachable_node_flagged_with_inferred_roots() {
+        // a -> b; c floats free but is imported by nobody, so it is a root
+        // itself; d is imported by c only via... make d imported by nobody?
+        // Use: a -> b, c -> c-island where c is a root too: everything
+        // reachable. For a real orphan we need an imported node with an
+        // unreachable importer — impossible with inferred roots, so use
+        // explicit roots below and a cyclic pair here.
+        let view = GraphView {
+            nodes: vec![node("a", 1), node("b", 2), node("c", 3), node("d", 4)],
+            edges: vec![edge(0, 1), edge(2, 3), edge(3, 2)],
+        };
+        let (diags, _) = run(&view, None);
+        // c/d form a rootless cycle: deadlock fires, and neither is
+        // reachable from the only root `a`.
+        assert!(diags.iter().any(|d| d.code == HvCode::ChannelDeadlock));
+        assert_eq!(
+            diags
+                .iter()
+                .filter(|d| d.code == HvCode::UnreachableOffcode)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn explicit_roots_narrow_reachability() {
+        let view = GraphView {
+            nodes: vec![node("a", 1), node("b", 2), node("c", 3)],
+            edges: vec![edge(0, 1)],
+        };
+        let (diags, _) = run(&view, Some(&[Guid(1)]));
+        let unreachable: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == HvCode::UnreachableOffcode)
+            .collect();
+        assert_eq!(unreachable.len(), 1);
+        assert!(matches!(&unreachable[0].loc, Loc::Node { index: 2, .. }));
+    }
+
+    #[test]
+    fn fully_cyclic_set_skips_reachability() {
+        let view = GraphView {
+            nodes: vec![node("a", 1), node("b", 2)],
+            edges: vec![edge(0, 1), edge(1, 0)],
+        };
+        let (diags, _) = run(&view, None);
+        assert!(diags.iter().any(|d| d.code == HvCode::ChannelDeadlock));
+        assert!(!diags.iter().any(|d| d.code == HvCode::UnreachableOffcode));
+    }
+}

@@ -1,0 +1,330 @@
+//! Constraint analysis over the layout graph: Gang/AsymGang import
+//! cycles (Tarjan SCC), contradictory parallel edges, Pull edges whose
+//! endpoints share no feasible device, and Gang edges that drag an
+//! offloadable peer to the host.
+
+use hydra_odf::odf::ConstraintKind;
+
+use crate::diag::{Diagnostic, HvCode, Loc};
+use crate::input::GraphView;
+use crate::precheck::Precheck;
+
+/// Runs the constraint pass; returns (diagnostics, work units).
+pub(crate) fn run(view: &GraphView, pre: &Precheck) -> (Vec<Diagnostic>, u64) {
+    let mut diags = Vec::new();
+    let work = (view.nodes.len() + view.edges.len()) as u64;
+
+    gang_cycles(view, &mut diags);
+    conflicting_edges(view, &mut diags);
+
+    for e in &view.edges {
+        let loc = Loc::Edge {
+            from: view.nodes[e.from].bind_name.clone(),
+            to: view.nodes[e.to].bind_name.clone(),
+        };
+        match e.kind {
+            ConstraintKind::Pull => {
+                let a = view.offload_options(e.from);
+                let b = view.offload_options(e.to);
+                let disjoint = !a.iter().any(|d| b.contains(d));
+                if disjoint && (!a.is_empty() || !b.is_empty()) {
+                    diags.push(Diagnostic::new(
+                        HvCode::DisjointPull,
+                        loc,
+                        "Pull endpoints have no feasible device in common; the constraint is only satisfiable on the host",
+                    ));
+                }
+            }
+            ConstraintKind::Gang | ConstraintKind::AsymGang => {
+                for (host_side, peer) in [(e.from, e.to), (e.to, e.from)] {
+                    // AsymGang only couples from → to.
+                    if e.kind == ConstraintKind::AsymGang && host_side != e.to {
+                        continue;
+                    }
+                    // host_side must be *intrinsically* host-only (not itself
+                    // dragged there), so a propagation chain yields one
+                    // root-cause diagnostic instead of one per hop.
+                    if pre.feasible[host_side].is_empty()
+                        && !pre.forced_host(view, host_side)
+                        && pre.forced_host(view, peer)
+                    {
+                        diags.push(Diagnostic::new(
+                            HvCode::GangForcedHost,
+                            loc.clone(),
+                            format!(
+                                "'{}' cannot be offloaded, so the {} constraint pins '{}' to the host",
+                                view.nodes[host_side].bind_name,
+                                e.kind,
+                                view.nodes[peer].bind_name
+                            ),
+                        ));
+                    }
+                }
+            }
+            ConstraintKind::Link => {}
+        }
+    }
+
+    (diags, work)
+}
+
+/// Flags directed cycles in the Gang/AsymGang subgraph (HV010). Import
+/// direction is importer → imported; any SCC with more than one node
+/// means the offload-coupling relation is circular.
+fn gang_cycles(view: &GraphView, diags: &mut Vec<Diagnostic>) {
+    let gang_edges: Vec<(usize, usize)> = view
+        .edges
+        .iter()
+        .filter(|e| matches!(e.kind, ConstraintKind::Gang | ConstraintKind::AsymGang))
+        .map(|e| (e.from, e.to))
+        .collect();
+    for scc in sccs(view.nodes.len(), &gang_edges) {
+        if scc.len() > 1 {
+            let names: Vec<&str> = scc
+                .iter()
+                .map(|&n| view.nodes[n].bind_name.as_str())
+                .collect();
+            diags.push(Diagnostic::new(
+                HvCode::GangCycle,
+                Loc::Node {
+                    index: scc[0],
+                    bind_name: view.nodes[scc[0]].bind_name.clone(),
+                },
+                format!("gang constraint cycle through {}", names.join(" -> ")),
+            ));
+        }
+    }
+}
+
+/// Flags node pairs connected by parallel edges with differing constraint
+/// kinds (HV011): the resolver silently lets the strictest win.
+fn conflicting_edges(view: &GraphView, diags: &mut Vec<Diagnostic>) {
+    for (i, a) in view.edges.iter().enumerate() {
+        let pair = (a.from.min(a.to), a.from.max(a.to));
+        let mut kinds = vec![a.kind];
+        let mut first_for_pair = true;
+        for b in &view.edges[..i] {
+            if (b.from.min(b.to), b.from.max(b.to)) == pair {
+                first_for_pair = false;
+            }
+        }
+        if !first_for_pair {
+            continue;
+        }
+        for b in &view.edges[i + 1..] {
+            if (b.from.min(b.to), b.from.max(b.to)) == pair && !kinds.contains(&b.kind) {
+                kinds.push(b.kind);
+            }
+        }
+        if kinds.len() > 1 {
+            let mut names: Vec<&str> = kinds.iter().map(ConstraintKind::as_str).collect();
+            names.sort_unstable();
+            diags.push(Diagnostic::new(
+                HvCode::ConflictingEdges,
+                Loc::Edge {
+                    from: view.nodes[pair.0].bind_name.clone(),
+                    to: view.nodes[pair.1].bind_name.clone(),
+                },
+                format!(
+                    "parallel edges carry different constraints ({}); the strictest silently wins",
+                    names.join(", ")
+                ),
+            ));
+        }
+    }
+}
+
+/// Tarjan's strongly-connected components, iterative, deterministic
+/// (nodes visited in index order). Returns each SCC with its members in
+/// ascending index order.
+fn sccs(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<usize>> {
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        adj[a].push(b);
+    }
+    for a in &mut adj {
+        a.sort_unstable();
+        a.dedup();
+    }
+
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack = Vec::new();
+    let mut next_index = 0usize;
+    let mut out = Vec::new();
+
+    for start in 0..n {
+        if index[start] != UNSET {
+            continue;
+        }
+        // call stack: (node, next child offset)
+        let mut call = vec![(start, 0usize)];
+        while let Some(&mut (v, ref mut ci)) = call.last_mut() {
+            if *ci == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = adj[v].get(*ci) {
+                *ci += 1;
+                if index[w] == UNSET {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&mut (p, _)) = call.last_mut() {
+                    low[p] = low[p].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    out.push(comp);
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{EdgeView, NodeView};
+    use hydra_odf::odf::Guid;
+
+    fn node(name: &str, compat: &[bool]) -> NodeView {
+        NodeView {
+            guid: Guid(name.len() as u64),
+            bind_name: name.into(),
+            compat: compat.to_vec(),
+            demand: 1024,
+        }
+    }
+
+    fn edge(from: usize, to: usize, kind: ConstraintKind) -> EdgeView {
+        EdgeView { from, to, kind }
+    }
+
+    fn check(view: &GraphView) -> Vec<Diagnostic> {
+        let pre = Precheck::narrow(view);
+        run(view, &pre).0
+    }
+
+    #[test]
+    fn gang_two_cycle_detected() {
+        let view = GraphView {
+            nodes: vec![node("a", &[true, true]), node("b", &[true, true])],
+            edges: vec![
+                edge(0, 1, ConstraintKind::Gang),
+                edge(1, 0, ConstraintKind::Gang),
+            ],
+        };
+        let diags = check(&view);
+        assert_eq!(
+            diags.iter().filter(|d| d.code == HvCode::GangCycle).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn asym_gang_three_cycle_detected() {
+        let view = GraphView {
+            nodes: vec![
+                node("a", &[true, true]),
+                node("b", &[true, true]),
+                node("c", &[true, true]),
+            ],
+            edges: vec![
+                edge(0, 1, ConstraintKind::AsymGang),
+                edge(1, 2, ConstraintKind::AsymGang),
+                edge(2, 0, ConstraintKind::AsymGang),
+            ],
+        };
+        let diags = check(&view);
+        assert!(diags.iter().any(|d| d.code == HvCode::GangCycle));
+    }
+
+    #[test]
+    fn gang_chain_is_clean() {
+        let view = GraphView {
+            nodes: vec![
+                node("a", &[true, true]),
+                node("b", &[true, true]),
+                node("c", &[true, true]),
+            ],
+            edges: vec![
+                edge(0, 1, ConstraintKind::Gang),
+                edge(1, 2, ConstraintKind::AsymGang),
+            ],
+        };
+        assert!(check(&view).is_empty());
+    }
+
+    #[test]
+    fn disjoint_pull_flagged_only_when_offloadable() {
+        let disjoint = GraphView {
+            nodes: vec![
+                node("a", &[true, true, false]),
+                node("b", &[true, false, true]),
+            ],
+            edges: vec![edge(0, 1, ConstraintKind::Pull)],
+        };
+        assert!(check(&disjoint)
+            .iter()
+            .any(|d| d.code == HvCode::DisjointPull));
+
+        // Both host-only: Pull is trivially satisfied on the host.
+        let both_host = GraphView {
+            nodes: vec![
+                node("a", &[true, false, false]),
+                node("b", &[true, false, false]),
+            ],
+            edges: vec![edge(0, 1, ConstraintKind::Pull)],
+        };
+        assert!(check(&both_host).is_empty());
+    }
+
+    #[test]
+    fn conflicting_parallel_edges_flagged_once() {
+        let view = GraphView {
+            nodes: vec![node("a", &[true, true]), node("b", &[true, true])],
+            edges: vec![
+                edge(0, 1, ConstraintKind::Link),
+                edge(1, 0, ConstraintKind::Pull),
+            ],
+        };
+        let diags = check(&view);
+        assert_eq!(
+            diags
+                .iter()
+                .filter(|d| d.code == HvCode::ConflictingEdges)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn gang_forced_host_warns_at_the_edge() {
+        let view = GraphView {
+            nodes: vec![node("a", &[true, false]), node("b", &[true, true])],
+            edges: vec![edge(0, 1, ConstraintKind::Gang)],
+        };
+        let diags = check(&view);
+        assert!(diags.iter().any(|d| d.code == HvCode::GangForcedHost));
+    }
+}

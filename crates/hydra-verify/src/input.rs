@@ -1,0 +1,258 @@
+//! Verifier inputs: a device table and a layout-graph view.
+//!
+//! `hydra-verify` sits *below* `hydra-core` in the crate graph (so the
+//! runtime can call it as a pre-flight gate), which means it cannot use
+//! the runtime's `DeviceRegistry`/`LayoutGraph` types directly. Instead
+//! it defines structural mirrors: [`DeviceTable`] carries exactly the
+//! fields device-class matching needs, and [`GraphView`] is the node/edge
+//! shape of the layout graph. `hydra-core` provides the conversions (and
+//! a test pinning the two matching implementations to each other).
+
+use hydra_odf::odf::{ConstraintKind, DeviceClassSpec, Guid, OdfDocument};
+
+/// Default worst-case footprint assumed for an Offcode whose ODF does not
+/// declare one (bytes). Matches the synthetic 8 KiB text + 1 KiB data
+/// object the runtime links for components without a real object file.
+pub const DEFAULT_FOOTPRINT: u64 = 9 * 1024;
+
+/// What the verifier knows about one installed device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceInfo {
+    /// Device class id (`hydra_odf::odf::class_ids`).
+    pub class: u32,
+    /// Diagnostic name.
+    pub name: String,
+    /// Bus attachment, if any.
+    pub bus: Option<String>,
+    /// MAC layer, if any.
+    pub mac: Option<String>,
+    /// Vendor string, if any.
+    pub vendor: Option<String>,
+    /// Bytes of memory available for Offcodes.
+    pub offcode_memory: u64,
+}
+
+impl DeviceInfo {
+    /// Whether this device satisfies a device-class spec: class id must
+    /// match and each *specified* optional attribute must match
+    /// (unspecified attributes are wildcards). Mirrors
+    /// `hydra_core::device::DeviceDescriptor::matches`.
+    pub fn matches(&self, spec: &DeviceClassSpec) -> bool {
+        if self.class != spec.id {
+            return false;
+        }
+        let attr_ok = |want: &Option<String>, have: &Option<String>| match want {
+            None => true,
+            Some(w) => have.as_deref() == Some(w.as_str()),
+        };
+        attr_ok(&spec.bus, &self.bus)
+            && attr_ok(&spec.mac, &self.mac)
+            && attr_ok(&spec.vendor, &self.vendor)
+    }
+}
+
+/// The installed devices, indexed like the runtime's registry: index 0 is
+/// always the host CPU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceTable {
+    /// The devices; index 0 is the host.
+    pub devices: Vec<DeviceInfo>,
+}
+
+impl DeviceTable {
+    /// The compatibility vector for a target set: `true` per device that
+    /// matches one of the specs; the host entry is forced `true` (the
+    /// runtime can always fall back to the host CPU).
+    pub fn compatibility(&self, specs: &[DeviceClassSpec]) -> Vec<bool> {
+        let mut v: Vec<bool> = self
+            .devices
+            .iter()
+            .map(|d| specs.iter().any(|s| d.matches(s)))
+            .collect();
+        if let Some(host) = v.first_mut() {
+            *host = true;
+        }
+        v
+    }
+
+    /// How many installed devices satisfy one spec.
+    pub fn feasible_count(&self, spec: &DeviceClassSpec) -> usize {
+        self.devices.iter().filter(|d| d.matches(spec)).count()
+    }
+}
+
+/// One Offcode in the graph view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeView {
+    /// The Offcode's GUID.
+    pub guid: Guid,
+    /// Its bind name (diagnostics).
+    pub bind_name: String,
+    /// `compat[k]` — may this Offcode run on device `k`? Index 0 is the
+    /// host and is always `true`.
+    pub compat: Vec<bool>,
+    /// Worst-case memory footprint in bytes.
+    pub demand: u64,
+}
+
+/// One constraint edge in the graph view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeView {
+    /// Source node index (the importer).
+    pub from: usize,
+    /// Destination node index (the imported peer).
+    pub to: usize,
+    /// The placement constraint.
+    pub kind: ConstraintKind,
+}
+
+/// A structural view of the offloading layout graph.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GraphView {
+    /// The nodes, in deployment-set order.
+    pub nodes: Vec<NodeView>,
+    /// The constraint edges.
+    pub edges: Vec<EdgeView>,
+}
+
+impl GraphView {
+    /// Builds the view straight from an ODF set and a device table.
+    ///
+    /// Requires a *well-formed* set (unique GUIDs, imports resolved
+    /// inside the set — the conditions the manifest pass checks); imports
+    /// that do not resolve are skipped here so the graph passes can still
+    /// run on partially broken sets.
+    ///
+    /// Per-node demand comes from `demands` when given (parallel to
+    /// `odfs`), else from the ODF's declared footprint, else
+    /// [`DEFAULT_FOOTPRINT`].
+    pub fn from_odfs(odfs: &[OdfDocument], table: &DeviceTable, demands: Option<&[u64]>) -> Self {
+        let mut view = GraphView::default();
+        for (i, odf) in odfs.iter().enumerate() {
+            view.nodes.push(NodeView {
+                guid: odf.guid,
+                bind_name: odf.bind_name.clone(),
+                compat: table.compatibility(&odf.targets),
+                demand: demands
+                    .and_then(|d| d.get(i).copied())
+                    .or(odf.footprint)
+                    .unwrap_or(DEFAULT_FOOTPRINT),
+            });
+        }
+        for (i, odf) in odfs.iter().enumerate() {
+            for imp in &odf.imports {
+                // First ODF with the GUID wins, like the runtime's depot.
+                if let Some(j) = odfs.iter().position(|o| o.guid == imp.guid) {
+                    if i != j {
+                        view.edges.push(EdgeView {
+                            from: i,
+                            to: j,
+                            kind: imp.constraint,
+                        });
+                    }
+                }
+            }
+        }
+        view
+    }
+
+    /// Non-host devices node `n` is compatible with.
+    pub fn offload_options(&self, n: usize) -> Vec<usize> {
+        self.nodes[n]
+            .compat
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter_map(|(k, &ok)| ok.then_some(k))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_odf::odf::class_ids;
+
+    pub(crate) fn table() -> DeviceTable {
+        DeviceTable {
+            devices: vec![
+                DeviceInfo {
+                    class: class_ids::HOST_CPU,
+                    name: "host".into(),
+                    bus: None,
+                    mac: None,
+                    vendor: None,
+                    offcode_memory: 256 * 1024 * 1024,
+                },
+                DeviceInfo {
+                    class: class_ids::NETWORK,
+                    name: "nic".into(),
+                    bus: Some("pci".into()),
+                    mac: Some("ethernet".into()),
+                    vendor: Some("3COM".into()),
+                    offcode_memory: 2 * 1024 * 1024,
+                },
+                DeviceInfo {
+                    class: class_ids::GPU,
+                    name: "gpu".into(),
+                    bus: Some("agp".into()),
+                    mac: None,
+                    vendor: None,
+                    offcode_memory: 16 * 1024 * 1024,
+                },
+            ],
+        }
+    }
+
+    fn class(id: u32) -> DeviceClassSpec {
+        DeviceClassSpec {
+            id,
+            name: format!("class-{id}"),
+            bus: None,
+            mac: None,
+            vendor: None,
+        }
+    }
+
+    #[test]
+    fn matching_honours_specified_attrs() {
+        let t = table();
+        let mut spec = class(class_ids::NETWORK);
+        assert_eq!(t.feasible_count(&spec), 1);
+        spec.vendor = Some("Intel".into());
+        assert_eq!(t.feasible_count(&spec), 0);
+    }
+
+    #[test]
+    fn compatibility_forces_host() {
+        let t = table();
+        assert_eq!(t.compatibility(&[]), vec![true, false, false]);
+        assert_eq!(
+            t.compatibility(&[class(class_ids::GPU)]),
+            vec![true, false, true]
+        );
+    }
+
+    #[test]
+    fn graph_view_from_odfs_uses_footprints() {
+        use hydra_odf::odf::Import;
+        let a = OdfDocument::new("a", Guid(1))
+            .with_target(class(class_ids::NETWORK))
+            .with_footprint(4096)
+            .with_import(Import {
+                file: String::new(),
+                bind_name: "b".into(),
+                guid: Guid(2),
+                constraint: ConstraintKind::Pull,
+                priority: 0,
+            });
+        let b = OdfDocument::new("b", Guid(2));
+        let view = GraphView::from_odfs(&[a, b], &table(), None);
+        assert_eq!(view.nodes.len(), 2);
+        assert_eq!(view.nodes[0].demand, 4096);
+        assert_eq!(view.nodes[1].demand, DEFAULT_FOOTPRINT);
+        assert_eq!(view.edges.len(), 1);
+        assert_eq!(view.offload_options(0), vec![1]);
+        assert!(view.offload_options(1).is_empty());
+    }
+}

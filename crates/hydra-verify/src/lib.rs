@@ -1,0 +1,241 @@
+//! Static deployment verifier for the HYDRA reproduction.
+//!
+//! `hydra-verify` analyses a set of ODF manifests plus a device table
+//! *before* anything is linked or offloaded, and reports findings as
+//! stable `HVxxx` diagnostics (see [`diag::HvCode`] for the catalog).
+//! Four passes run in a fixed order:
+//!
+//! 1. **manifest** — GUID/bind-name collisions, dangling/self/duplicate
+//!    imports, target sets no installed device satisfies;
+//! 2. **constraints** — Gang/AsymGang import cycles (SCC), contradictory
+//!    parallel edges, Pull edges with disjoint feasible devices, gangs
+//!    that drag an offloadable peer to the host;
+//! 3. **capacity** — worst-case memory demand per device vs the device
+//!    table (overcommit the greedy resolver would silently absorb);
+//! 4. **channels** — the synchronous wait-for graph: static deadlock
+//!    cycles and Offcodes unreachable from any deployment root.
+//!
+//! The crate sits *below* `hydra-core` so the runtime can call
+//! [`verify`] as a pre-flight gate; it therefore works on structural
+//! mirrors ([`input::DeviceTable`], [`input::GraphView`]) rather than
+//! runtime types. [`precheck::Precheck`] — a sound narrowing fixpoint
+//! over feasible device sets — doubles as the ILP infeasibility
+//! pre-check: when it proves the all-host placement is the only feasible
+//! one, the branch-and-bound solve is skipped entirely.
+//!
+//! Output is deterministic end to end: diagnostics are sorted and
+//! deduplicated, and [`diag::Report::to_json`] renders byte-identical
+//! JSON for identical inputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod input;
+pub mod precheck;
+
+mod capacity;
+mod channels;
+mod constraints;
+mod manifest;
+
+use hydra_odf::odf::{Guid, OdfDocument};
+
+pub use diag::{Diagnostic, HvCode, Loc, PassStat, Report, Severity};
+pub use input::{DeviceInfo, DeviceTable, GraphView};
+pub use precheck::Precheck;
+
+/// Everything the verifier needs about a deployment.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyInput<'a> {
+    /// The deployment set: every ODF that would be resolved together.
+    pub odfs: &'a [OdfDocument],
+    /// The installed devices (index 0 = host).
+    pub devices: &'a DeviceTable,
+    /// Per-ODF worst-case memory demand in bytes, parallel to `odfs`.
+    /// `None` falls back to each ODF's declared footprint (or a default
+    /// estimate) — the runtime passes real linked-object sizes here.
+    pub demands: Option<&'a [u64]>,
+    /// Deployment roots by GUID; `None` infers the nodes nothing imports.
+    pub roots: Option<&'a [Guid]>,
+}
+
+/// Runs every verifier pass over the deployment and returns the combined
+/// report. Never panics on malformed sets: imports that do not resolve
+/// are reported by the manifest pass and skipped by the graph passes.
+pub fn verify(input: &VerifyInput<'_>) -> Report {
+    let mut report = Report::default();
+
+    let (diags, work) = manifest::run(input.odfs, input.devices);
+    report.absorb("manifest", work, diags);
+
+    let view = GraphView::from_odfs(input.odfs, input.devices, input.demands);
+    let pre = Precheck::narrow(&view);
+
+    let (diags, work) = constraints::run(&view, &pre);
+    report.absorb("constraints", work + pre.rounds, diags);
+
+    let (diags, work) = capacity::run(&view, input.devices);
+    report.absorb("capacity", work, diags);
+
+    let (diags, work) = channels::run(&view, input.roots);
+    report.absorb("channels", work, diags);
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_odf::odf::{class_ids, ConstraintKind, DeviceClassSpec, Import};
+
+    fn table() -> DeviceTable {
+        DeviceTable {
+            devices: vec![
+                DeviceInfo {
+                    class: class_ids::HOST_CPU,
+                    name: "host".into(),
+                    bus: None,
+                    mac: None,
+                    vendor: None,
+                    offcode_memory: 256 << 20,
+                },
+                DeviceInfo {
+                    class: class_ids::NETWORK,
+                    name: "nic".into(),
+                    bus: None,
+                    mac: None,
+                    vendor: None,
+                    offcode_memory: 2 << 20,
+                },
+                DeviceInfo {
+                    class: class_ids::GPU,
+                    name: "gpu".into(),
+                    bus: None,
+                    mac: None,
+                    vendor: None,
+                    offcode_memory: 16 << 20,
+                },
+            ],
+        }
+    }
+
+    fn class(id: u32) -> DeviceClassSpec {
+        DeviceClassSpec {
+            id,
+            name: format!("class-{id}"),
+            bus: None,
+            mac: None,
+            vendor: None,
+        }
+    }
+
+    fn import(name: &str, guid: Guid, kind: ConstraintKind) -> Import {
+        Import {
+            file: String::new(),
+            bind_name: name.into(),
+            guid,
+            constraint: kind,
+            priority: 0,
+        }
+    }
+
+    fn clean_set() -> Vec<OdfDocument> {
+        vec![
+            OdfDocument::new("app.Source", Guid(1))
+                .with_target(class(class_ids::NETWORK))
+                .with_import(import("app.Sink", Guid(2), ConstraintKind::Pull)),
+            OdfDocument::new("app.Sink", Guid(2)).with_target(class(class_ids::NETWORK)),
+        ]
+    }
+
+    #[test]
+    fn clean_deployment_verifies_clean() {
+        let odfs = clean_set();
+        let report = verify(&VerifyInput {
+            odfs: &odfs,
+            devices: &table(),
+            demands: None,
+            roots: None,
+        });
+        assert!(!report.has_errors(), "{}", report.render_human());
+        assert_eq!(report.passes.len(), 4);
+        assert_eq!(
+            report.passes.iter().map(|p| p.name).collect::<Vec<_>>(),
+            vec!["manifest", "constraints", "capacity", "channels"]
+        );
+    }
+
+    #[test]
+    fn gang_back_edge_fires_hv010() {
+        let mut odfs = clean_set();
+        odfs[0].imports[0].constraint = ConstraintKind::Gang;
+        odfs[1] = odfs[1]
+            .clone()
+            .with_import(import("app.Source", Guid(1), ConstraintKind::Gang));
+        let report = verify(&VerifyInput {
+            odfs: &odfs,
+            devices: &table(),
+            demands: None,
+            roots: None,
+        });
+        assert!(report.errors().any(|d| d.code == HvCode::GangCycle));
+    }
+
+    #[test]
+    fn disjoint_pull_fires_hv012() {
+        let mut odfs = clean_set();
+        odfs[1].targets = vec![class(class_ids::GPU)];
+        let report = verify(&VerifyInput {
+            odfs: &odfs,
+            devices: &table(),
+            demands: None,
+            roots: None,
+        });
+        assert!(report.errors().any(|d| d.code == HvCode::DisjointPull));
+    }
+
+    #[test]
+    fn overcommit_fires_hv020() {
+        let odfs: Vec<OdfDocument> = (0..3)
+            .map(|i| {
+                OdfDocument::new(format!("fat.{i}"), Guid(10 + i))
+                    .with_target(class(class_ids::NETWORK))
+                    .with_footprint(1 << 20)
+            })
+            .collect();
+        let report = verify(&VerifyInput {
+            odfs: &odfs,
+            devices: &table(),
+            demands: None,
+            roots: None,
+        });
+        assert!(report.errors().any(|d| d.code == HvCode::DeviceOvercommit));
+    }
+
+    #[test]
+    fn explicit_demands_override_footprints() {
+        let odfs = clean_set();
+        // Two offcodes pinned to the 2 MiB NIC, 1.5 MiB each.
+        let demands = vec![3 << 19, 3 << 19];
+        let report = verify(&VerifyInput {
+            odfs: &odfs,
+            devices: &table(),
+            demands: Some(&demands),
+            roots: None,
+        });
+        assert!(report.errors().any(|d| d.code == HvCode::DeviceOvercommit));
+    }
+
+    #[test]
+    fn report_json_is_byte_identical_across_runs() {
+        let odfs = clean_set();
+        let input = VerifyInput {
+            odfs: &odfs,
+            devices: &table(),
+            demands: None,
+            roots: None,
+        };
+        assert_eq!(verify(&input).to_json(), verify(&input).to_json());
+    }
+}

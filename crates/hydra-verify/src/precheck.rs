@@ -1,0 +1,201 @@
+//! Infeasibility pre-check: a narrowing fixpoint over per-node feasible
+//! non-host device sets.
+//!
+//! The propagation is *sound*: it only removes a device from a node's set
+//! when no satisfying placement can use it, so `host_only()` returning
+//! `true` proves the all-host placement is the only feasible one and the
+//! branch-and-bound solve can be skipped entirely. The rules:
+//!
+//! - `Pull(a, b)` — both endpoints must land on the same device, so any
+//!   offloaded placement uses a device in both sets: intersect them.
+//! - `Gang(a, b)` — offloading either requires offloading the other, so
+//!   an empty side clears its peer.
+//! - `AsymGang(a → b)` — offloading `a` requires offloading `b`, so an
+//!   empty `b` clears `a`.
+//! - `Link` — no placement coupling.
+
+use std::collections::BTreeSet;
+
+use hydra_odf::odf::ConstraintKind;
+
+use crate::input::GraphView;
+
+/// The fixpoint result: per-node sets of still-feasible non-host devices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Precheck {
+    /// `feasible[n]` — non-host device indices node `n` may still use.
+    pub feasible: Vec<BTreeSet<usize>>,
+    /// Fixpoint iterations (for pass accounting).
+    pub rounds: u64,
+}
+
+impl Precheck {
+    /// Runs the narrowing fixpoint over the graph view.
+    pub fn narrow(view: &GraphView) -> Self {
+        let mut feasible: Vec<BTreeSet<usize>> = (0..view.nodes.len())
+            .map(|n| view.offload_options(n).into_iter().collect())
+            .collect();
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            let mut changed = false;
+            for e in &view.edges {
+                match e.kind {
+                    ConstraintKind::Link => {}
+                    ConstraintKind::Pull => {
+                        let inter: BTreeSet<usize> = feasible[e.from]
+                            .intersection(&feasible[e.to])
+                            .copied()
+                            .collect();
+                        if feasible[e.from] != inter {
+                            feasible[e.from].clone_from(&inter);
+                            changed = true;
+                        }
+                        if feasible[e.to] != inter {
+                            feasible[e.to] = inter;
+                            changed = true;
+                        }
+                    }
+                    ConstraintKind::Gang => {
+                        if feasible[e.from].is_empty() && !feasible[e.to].is_empty() {
+                            feasible[e.to].clear();
+                            changed = true;
+                        }
+                        if feasible[e.to].is_empty() && !feasible[e.from].is_empty() {
+                            feasible[e.from].clear();
+                            changed = true;
+                        }
+                    }
+                    ConstraintKind::AsymGang => {
+                        if feasible[e.to].is_empty() && !feasible[e.from].is_empty() {
+                            feasible[e.from].clear();
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Precheck { feasible, rounds }
+    }
+
+    /// Whether every node's narrowed set is empty — i.e. the all-host
+    /// placement is provably the only feasible one and an ILP solve is
+    /// pointless. Vacuously `true` for an empty graph.
+    pub fn host_only(&self) -> bool {
+        self.feasible.iter().all(BTreeSet::is_empty)
+    }
+
+    /// Whether node `n` *had* offload options before narrowing but lost
+    /// them all to constraint propagation.
+    pub fn forced_host(&self, view: &GraphView, n: usize) -> bool {
+        self.feasible[n].is_empty() && !view.offload_options(n).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{EdgeView, NodeView};
+    use hydra_odf::odf::Guid;
+
+    fn node(name: &str, compat: &[bool]) -> NodeView {
+        NodeView {
+            guid: Guid(name.len() as u64),
+            bind_name: name.into(),
+            compat: compat.to_vec(),
+            demand: 1024,
+        }
+    }
+
+    fn edge(from: usize, to: usize, kind: ConstraintKind) -> EdgeView {
+        EdgeView { from, to, kind }
+    }
+
+    #[test]
+    fn pull_intersects_both_sides() {
+        let view = GraphView {
+            nodes: vec![
+                node("a", &[true, true, false]),
+                node("b", &[true, false, true]),
+            ],
+            edges: vec![edge(0, 1, ConstraintKind::Pull)],
+        };
+        let pre = Precheck::narrow(&view);
+        assert!(pre.host_only(), "disjoint pull narrows both to empty");
+        assert!(pre.forced_host(&view, 0));
+        assert!(pre.forced_host(&view, 1));
+    }
+
+    #[test]
+    fn gang_clears_peer_of_host_only_node() {
+        let view = GraphView {
+            nodes: vec![
+                node("a", &[true, false, false]),
+                node("b", &[true, false, true]),
+            ],
+            edges: vec![edge(0, 1, ConstraintKind::Gang)],
+        };
+        let pre = Precheck::narrow(&view);
+        assert!(pre.host_only());
+        assert!(!pre.forced_host(&view, 0), "a never had options");
+        assert!(pre.forced_host(&view, 1));
+    }
+
+    #[test]
+    fn asym_gang_is_one_directional() {
+        // a --AsymGang--> b with b host-only clears a...
+        let forward = GraphView {
+            nodes: vec![
+                node("a", &[true, false, true]),
+                node("b", &[true, false, false]),
+            ],
+            edges: vec![edge(0, 1, ConstraintKind::AsymGang)],
+        };
+        assert!(Precheck::narrow(&forward).host_only());
+        // ...but b --AsymGang--> a leaves a free to offload.
+        let backward = GraphView {
+            edges: vec![edge(1, 0, ConstraintKind::AsymGang)],
+            ..forward
+        };
+        let pre = Precheck::narrow(&backward);
+        assert!(!pre.host_only());
+        assert_eq!(pre.feasible[0].len(), 1);
+    }
+
+    #[test]
+    fn propagation_chains_to_fixpoint() {
+        // c is host-only; Gang(b, c) clears b; Pull(a, b) then clears a.
+        let view = GraphView {
+            nodes: vec![
+                node("a", &[true, true, true]),
+                node("b", &[true, true, true]),
+                node("c", &[true, false, false]),
+            ],
+            edges: vec![
+                edge(0, 1, ConstraintKind::Pull),
+                edge(1, 2, ConstraintKind::Gang),
+            ],
+        };
+        let pre = Precheck::narrow(&view);
+        assert!(pre.host_only());
+        assert!(pre.rounds >= 2);
+    }
+
+    #[test]
+    fn unconstrained_nodes_keep_their_options() {
+        let view = GraphView {
+            nodes: vec![
+                node("a", &[true, true, false]),
+                node("b", &[true, false, true]),
+            ],
+            edges: vec![edge(0, 1, ConstraintKind::Link)],
+        };
+        let pre = Precheck::narrow(&view);
+        assert!(!pre.host_only());
+        assert_eq!(pre.feasible[0], BTreeSet::from([1]));
+        assert_eq!(pre.feasible[1], BTreeSet::from([2]));
+    }
+}

@@ -12,7 +12,7 @@ use hydra::core::offcode::synthetic_object;
 use hydra::link::loader::{load_device_side, load_host_side, DeviceMemoryAllocator};
 use hydra::odf::odf::OdfDocument;
 
-const STREAMER_ODF: &str = r#"<offcode>
+const STREAMER_ODF: &str = r"<offcode>
   <package>
     <bindname>tivo.Streamer</bindname>
     <GUID>0x7101</GUID>
@@ -33,9 +33,9 @@ const STREAMER_ODF: &str = r#"<offcode>
       <mac>ethernet</mac>
     </device-class>
   </targets>
-</offcode>"#;
+</offcode>";
 
-const DECODER_ODF: &str = r#"<offcode>
+const DECODER_ODF: &str = r"<offcode>
   <package>
     <bindname>tivo.Decoder</bindname>
     <GUID>0x7103</GUID>
@@ -43,7 +43,7 @@ const DECODER_ODF: &str = r#"<offcode>
   <targets>
     <device-class id=0x0003><name>GPU</name></device-class>
   </targets>
-</offcode>"#;
+</offcode>";
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Stage 1: parse the manifests. ----------------------------------

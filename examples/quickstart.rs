@@ -31,7 +31,7 @@ impl Offcode for ChecksumOffcode {
         CHECKSUM_GUID
     }
 
-    fn bind_name(&self) -> &str {
+    fn bind_name(&self) -> &'static str {
         "hydra.net.utils.Checksum"
     }
 
@@ -45,7 +45,7 @@ impl Offcode for ChecksumOffcode {
                 ctx.charge(Cycles::new(data.len() as u64));
                 let (mut a, mut b) = (0u32, 0u32);
                 for chunk in data.chunks(2) {
-                    let v = chunk.iter().fold(0u32, |acc, &x| (acc << 8) | x as u32);
+                    let v = chunk.iter().fold(0u32, |acc, &x| (acc << 8) | u32::from(x));
                     a = (a + v) % 65535;
                     b = (b + a) % 65535;
                 }

@@ -14,6 +14,8 @@
 //! - [`link`] — HOF object format, relocations, dynamic offcode loading
 //! - [`ilp`] — simplex LP + branch-and-bound 0/1 ILP solver
 //! - [`obs`] — deterministic observability (counters, histograms, spans)
+//! - [`verify`] — static deployment verifier (manifest/constraint/
+//!   capacity/channel analysis with stable `HVxxx` diagnostics)
 //! - [`core`] — the HYDRA runtime: offcodes, channels, layout, deployment
 //! - [`devices`] — programmable NIC, smart disk, GPU device models
 //! - [`tivo`] — the TiVoPC case study and the paper's experiment harness
@@ -34,3 +36,4 @@ pub use hydra_obs as obs;
 pub use hydra_odf as odf;
 pub use hydra_sim as sim;
 pub use hydra_tivo as tivo;
+pub use hydra_verify as verify;

@@ -42,7 +42,7 @@ fn machine() -> DeviceRegistry {
 /// The paper's Figure 4 ODF drives a real deployment.
 #[test]
 fn xml_odf_to_running_offcode() {
-    let socket_odf = r#"<offcode>
+    let socket_odf = r"<offcode>
       <package>
         <bindname>hydra.net.utils.Socket</bindname>
         <GUID>7070714</GUID>
@@ -63,8 +63,8 @@ fn xml_odf_to_running_offcode() {
           <vendor>3COM</vendor>
         </device-class>
       </targets>
-    </offcode>"#;
-    let checksum_odf = r#"<offcode>
+    </offcode>";
+    let checksum_odf = r"<offcode>
       <package>
         <bindname>hydra.net.utils.Checksum</bindname>
         <GUID>6060843</GUID>
@@ -72,7 +72,7 @@ fn xml_odf_to_running_offcode() {
       <targets>
         <device-class id=0x0001><name>Network Device</name></device-class>
       </targets>
-    </offcode>"#;
+    </offcode>";
 
     let mut rt = Runtime::new(machine(), RuntimeConfig::default());
     for xml in [socket_odf, checksum_odf] {
@@ -174,7 +174,13 @@ fn host_fallback_when_devices_are_full() {
     let mut nic = DeviceDescriptor::programmable_nic();
     nic.offcode_memory = 100; // too small for any offcode
     reg.install(nic);
-    let mut rt = Runtime::new(reg, RuntimeConfig::default());
+    // The static verifier would reject this up front (HV020: the NIC is
+    // overcommitted); disable it to reach the load-time fallback path.
+    let config = RuntimeConfig {
+        verify_deployments: false,
+        ..RuntimeConfig::default()
+    };
+    let mut rt = Runtime::new(reg, config);
     let odf = OdfDocument::new("big", Guid(9)).with_target(hydra::odf::odf::DeviceClassSpec {
         id: hydra::odf::odf::class_ids::NETWORK,
         name: "nic".into(),
@@ -268,7 +274,7 @@ impl Offcode for StatefulCounter {
     fn guid(&self) -> Guid {
         Guid(0xC0DE)
     }
-    fn bind_name(&self) -> &str {
+    fn bind_name(&self) -> &'static str {
         "test.Counter"
     }
     fn handle_call(&mut self, _ctx: &mut OffcodeCtx, call: &Call) -> Result<Value, RuntimeError> {

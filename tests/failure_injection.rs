@@ -26,7 +26,7 @@ impl Offcode for Flaky {
     fn guid(&self) -> Guid {
         Guid(0xBAD)
     }
-    fn bind_name(&self) -> &str {
+    fn bind_name(&self) -> &'static str {
         "test.Flaky"
     }
     fn initialize(&mut self, _ctx: &mut OffcodeCtx) -> Result<(), RuntimeError> {

@@ -94,7 +94,7 @@ proptest! {
         quantize(&mut block, q);
         dequantize(&mut block, q);
         for (a, b) in original.iter().zip(&block) {
-            prop_assert!((a - b).abs() <= q as i32 / 2 + 1);
+            prop_assert!((a - b).abs() <= i32::from(q) / 2 + 1);
         }
     }
 
