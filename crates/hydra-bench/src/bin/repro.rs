@@ -21,6 +21,7 @@ use hydra_tivo::demo::demo_deployment;
 use hydra_tivo::experiments::{
     fig1, fig10_tab3, fig9_tab2, ilp_vs_greedy, tab4_client, SuiteConfig,
 };
+use hydra_tivo::faults::{fault_demo_plan, run_fault_demo};
 use hydra_tivo::onload::compare_designs;
 use hydra_tivo::playback::{run_record_playback, PlaybackConfig};
 use hydra_tivo::storage::{build_corpus, run_search, SearchKind};
@@ -53,6 +54,10 @@ const SELECTORS: &[(&str, &str)] = &[
     (
         "lint",
         "static deployment verification (JSON on stdout, non-zero on errors)",
+    ),
+    (
+        "faults",
+        "replay a fault schedule on the demo deployment (JSON on stdout)",
     ),
 ];
 
@@ -101,6 +106,41 @@ fn main() -> ExitCode {
         } else {
             ExitCode::SUCCESS
         };
+    }
+
+    // `faults [schedule-path] [trace]` is likewise its own sub-command:
+    // it replays a fault schedule (the committed NIC-crash plan by
+    // default, or a `.faults` file) on the fault demo deployment and
+    // prints the canonical recovery JSON — byte-identical across runs of
+    // the same plan, which is exactly what the CI faults-gate diffs.
+    // With `trace` it prints the recovery flight-recorder export instead.
+    if selected.first() == Some(&"faults") {
+        let rest = &selected[1..];
+        let want_trace = rest.contains(&"trace");
+        let path = rest.iter().find(|a| **a != "trace");
+        let plan = match path {
+            Some(p) => match std::fs::read_to_string(p) {
+                Ok(text) => match hydra_sim::fault::FaultPlan::parse(&text) {
+                    Ok(plan) => plan,
+                    Err(e) => {
+                        eprintln!("repro: bad fault schedule {p}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                Err(e) => {
+                    eprintln!("repro: cannot read {p}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => fault_demo_plan(),
+        };
+        let (rt, json) = run_fault_demo(&plan);
+        if want_trace {
+            println!("{}", rt.trace_export());
+        } else {
+            print!("{json}");
+        }
+        return ExitCode::SUCCESS;
     }
 
     let known = |name: &str| SELECTORS.iter().any(|(s, _)| *s == name);

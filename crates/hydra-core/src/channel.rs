@@ -57,6 +57,59 @@ pub enum Buffering {
     Copied,
 }
 
+/// Bounded deterministic retry policy for sends that hit a full ring.
+///
+/// When a send finds every (open) endpoint queue at capacity, a channel
+/// with retry enabled re-attempts at `backoff`, `2·backoff`, `4·backoff`…
+/// after `now` — classic exponential backoff, but in *sim time*, so it is
+/// byte-reproducible. An attempt succeeds once the descriptor-ring model
+/// says slots have freed (payloads already consumed by the device side,
+/// i.e. messages whose delivery instant has passed). The policy gives up
+/// after `max_attempts` attempts or once the next attempt would land past
+/// `now + timeout`, whichever comes first — the send then fails exactly
+/// like it would without retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RetryPolicy {
+    /// Retry attempts after the initial try; `0` disables retry.
+    pub max_attempts: u32,
+    /// Wait before the first retry; doubles on each further attempt.
+    pub backoff: SimDuration,
+    /// Per-send deadline: no attempt is made after `now + timeout`.
+    pub timeout: SimDuration,
+}
+
+impl RetryPolicy {
+    /// No retry: a full ring fails/drops immediately (the historical
+    /// behavior, and the default).
+    pub const fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 0,
+            backoff: SimDuration::ZERO,
+            timeout: SimDuration::ZERO,
+        }
+    }
+
+    /// A retry policy with the given bounds.
+    pub const fn new(max_attempts: u32, backoff: SimDuration, timeout: SimDuration) -> Self {
+        RetryPolicy {
+            max_attempts,
+            backoff,
+            timeout,
+        }
+    }
+
+    /// Whether the policy retries at all.
+    pub const fn enabled(&self) -> bool {
+        self.max_attempts > 0
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
 /// Full channel configuration (the `ChannelConfig` of the paper's
 /// Figure 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -73,6 +126,8 @@ pub struct ChannelConfig {
     pub capacity: usize,
     /// The device hosting the far endpoint.
     pub target: DeviceId,
+    /// Retry/backoff policy applied when the ring is full.
+    pub retry: RetryPolicy,
 }
 
 impl ChannelConfig {
@@ -86,6 +141,7 @@ impl ChannelConfig {
             buffering: Buffering::ZeroCopy,
             capacity: 64,
             target,
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -98,7 +154,15 @@ impl ChannelConfig {
             buffering: Buffering::Copied,
             capacity: 16,
             target,
+            retry: RetryPolicy::none(),
         }
+    }
+
+    /// Builder-style retry policy override.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 }
 
@@ -255,6 +319,9 @@ pub struct BatchSendOutcome {
     pub dropped: usize,
     /// Instant the last accepted payload clears the provider ring.
     pub complete_at: SimTime,
+    /// Total backoff attempts spent by the channel's [`RetryPolicy`] to
+    /// squeeze overflow messages in after all (zero without retry).
+    pub retries: u64,
 }
 
 impl BatchSendOutcome {
@@ -288,6 +355,12 @@ pub struct Channel {
     busy_until: SimTime,
     /// One queue per receiving endpoint.
     queues: Vec<VecDeque<ChannelMessage>>,
+    /// Parallel to `queues`: endpoints closed by teardown keep their
+    /// index (so other endpoints stay stable) but receive nothing.
+    closed: Vec<bool>,
+    /// Descriptor-ring slots wedged by injected ring-exhaustion faults;
+    /// subtracted from the configured capacity.
+    wedged_slots: usize,
     stats: ChannelStats,
     handler_installed: bool,
     recorder: Recorder,
@@ -319,9 +392,65 @@ impl Channel {
         self.stats
     }
 
-    /// Number of attached receiving endpoints.
+    /// Number of attached receiving endpoints (open or closed).
     pub fn endpoints(&self) -> usize {
         self.queues.len()
+    }
+
+    /// Number of endpoints still open.
+    pub fn open_endpoints(&self) -> usize {
+        self.closed.iter().filter(|&&c| !c).count()
+    }
+
+    /// Whether endpoint `ep` exists and is open.
+    pub fn endpoint_open(&self, ep: usize) -> bool {
+        self.closed.get(ep).is_some_and(|&c| !c)
+    }
+
+    /// Closes endpoint `ep`: queued messages get their traces terminated
+    /// with a `channel.endpoint_closed` drop event, and the endpoint
+    /// receives nothing from then on (its index stays allocated so other
+    /// endpoints keep their positions). Returns `false` if the endpoint
+    /// does not exist or is already closed.
+    pub fn close_endpoint(&mut self, ep: usize) -> bool {
+        if !self.endpoint_open(ep) {
+            return false;
+        }
+        let q = &mut self.queues[ep];
+        for msg in q.drain(..) {
+            self.recorder.trace_drop(
+                msg.trace,
+                "channel.endpoint_closed",
+                &self.provider_name,
+                self.config.target.0 as u64,
+                msg.deliver_at,
+                msg.data.len() as u64,
+            );
+        }
+        self.closed[ep] = true;
+        self.recorder
+            .counter_incr("channel.endpoint_closed", &self.provider_name);
+        true
+    }
+
+    /// Wedges `slots` descriptor-ring slots (injected ring-exhaustion
+    /// fault): the usable capacity becomes `capacity - slots`.
+    pub fn set_wedged_slots(&mut self, slots: usize) {
+        self.wedged_slots = slots;
+    }
+
+    /// The ring capacity minus wedged slots.
+    fn usable_capacity(&self) -> usize {
+        self.config.capacity.saturating_sub(self.wedged_slots)
+    }
+
+    /// Queues of open endpoints.
+    fn open_queues(&self) -> impl Iterator<Item = &VecDeque<ChannelMessage>> {
+        self.queues
+            .iter()
+            .zip(&self.closed)
+            .filter(|&(_, &c)| !c)
+            .map(|(q, _)| q)
     }
 
     /// Installs a dispatch handler marker (paper Figure 3:
@@ -346,7 +475,74 @@ impl Channel {
             return Err(ChannelError::TooManyEndpoints);
         }
         self.queues.push(VecDeque::new());
+        self.closed.push(false);
         Ok(self.queues.len() - 1)
+    }
+
+    /// First sim-time instant in `(now, now + timeout]` at which the
+    /// retry policy can squeeze a message into the ring, plus the number
+    /// of backoff attempts it took. Slot availability follows the
+    /// descriptor-ring model: a slot frees once the device side has
+    /// consumed the payload, i.e. once a queued message's delivery
+    /// instant has passed (receiver-side buffering is the receiver's
+    /// business, not the ring's).
+    fn retry_admit(&self, now: SimTime) -> Option<(SimTime, u32)> {
+        let policy = self.config.retry;
+        if !policy.enabled() {
+            return None;
+        }
+        let capacity = self.usable_capacity();
+        let deadline = now.saturating_add(policy.timeout);
+        let mut backoff = policy.backoff;
+        let mut attempt_at = now;
+        for attempt in 1..=policy.max_attempts {
+            attempt_at = attempt_at.saturating_add(backoff);
+            if attempt_at > deadline {
+                return None;
+            }
+            let free = self
+                .open_queues()
+                .all(|q| q.iter().filter(|m| m.deliver_at > attempt_at).count() < capacity);
+            if free {
+                return Some((attempt_at, attempt));
+            }
+            backoff = SimDuration::from_nanos(backoff.as_nanos().saturating_mul(2));
+        }
+        None
+    }
+
+    /// Terminal accounting for a single send that found the ring full and
+    /// exhausted (or lacked) retry: reject on reliable, drop on
+    /// unreliable — identical to the historical no-retry behavior.
+    fn send_full_fallout(
+        &mut self,
+        now: SimTime,
+        bytes: u64,
+        ctx: TraceCtx,
+    ) -> Result<SimTime, ChannelError> {
+        match self.config.reliability {
+            Reliability::Reliable => {
+                self.recorder
+                    .counter_incr("channel.rejected", &self.provider_name);
+                self.recorder
+                    .trace_drop(ctx, "channel.reject", &self.provider_name, 0, now, bytes);
+                Err(ChannelError::WouldBlock)
+            }
+            Reliability::Unreliable => {
+                self.stats.dropped += 1;
+                self.recorder
+                    .counter_incr("channel.dropped", &self.provider_name);
+                self.recorder.trace_drop(
+                    ctx,
+                    "channel.drop",
+                    &self.provider_name,
+                    self.target_pid(),
+                    now,
+                    bytes,
+                );
+                Ok(self.busy_until.max(now) + self.cost.latency(bytes as usize))
+            }
+        }
     }
 
     /// The device id used as the trace "pid" for this channel's far end.
@@ -369,46 +565,41 @@ impl Channel {
     ///
     /// [`ChannelError::WouldBlock`] on a full reliable channel. On a full
     /// unreliable channel the message is counted as dropped and `Ok` is
-    /// returned with the nominal delivery time.
+    /// returned with the nominal delivery time. With a [`RetryPolicy`]
+    /// configured, a full ring first backs off deterministically; only
+    /// when every attempt inside the policy's bounds still finds the ring
+    /// full does the send fail (or drop) as above.
     pub fn send(&mut self, now: SimTime, data: Bytes) -> Result<SimTime, ChannelError> {
-        let start = self.busy_until.max(now);
-        let deliver_at = start + self.cost.latency(data.len());
         let bytes = data.len() as u64;
         let ctx = self
             .recorder
             .trace_begin("channel.send", &self.provider_name, 0, now, bytes);
-        let any_full = self.queues.iter().any(|q| q.len() >= self.config.capacity);
+        let mut admit_at = now;
+        let any_full = self
+            .open_queues()
+            .any(|q| q.len() >= self.usable_capacity());
         if any_full {
-            match self.config.reliability {
-                Reliability::Reliable => {
-                    self.recorder
-                        .counter_incr("channel.rejected", &self.provider_name);
-                    self.recorder.trace_drop(
-                        ctx,
-                        "channel.reject",
+            match self.retry_admit(now) {
+                Some((at, attempts)) => {
+                    admit_at = at;
+                    self.recorder.counter_add(
+                        "channel.retries",
                         &self.provider_name,
-                        0,
-                        now,
-                        bytes,
+                        u64::from(attempts),
                     );
-                    return Err(ChannelError::WouldBlock);
+                    self.recorder.observe(
+                        "channel.retry_wait_ns",
+                        &self.provider_name,
+                        at.as_nanos().saturating_sub(now.as_nanos()),
+                    );
                 }
-                Reliability::Unreliable => {
-                    self.stats.dropped += 1;
-                    self.recorder
-                        .counter_incr("channel.dropped", &self.provider_name);
-                    self.recorder.trace_drop(
-                        ctx,
-                        "channel.drop",
-                        &self.provider_name,
-                        self.target_pid(),
-                        now,
-                        bytes,
-                    );
-                    return Ok(deliver_at);
+                None => {
+                    return self.send_full_fallout(now, bytes, ctx);
                 }
             }
         }
+        let start = self.busy_until.max(admit_at);
+        let deliver_at = start + self.cost.latency(data.len());
         self.busy_until = deliver_at;
         self.stats.sent += 1;
         self.stats.bytes += bytes;
@@ -420,7 +611,10 @@ impl Channel {
             start,
             bytes,
         );
-        for q in &mut self.queues {
+        for (q, &closed) in self.queues.iter_mut().zip(&self.closed) {
+            if closed {
+                continue;
+            }
             q.push_back(ChannelMessage {
                 data: data.clone(),
                 deliver_at,
@@ -477,6 +671,7 @@ impl Channel {
                 rejected: 0,
                 dropped: 0,
                 complete_at: start,
+                retries: 0,
             };
         }
         let total_bytes: u64 = batch.iter().map(|m| m.len() as u64).sum();
@@ -488,15 +683,10 @@ impl Channel {
             total_bytes,
         );
         // Headroom mirrors the single path's per-send check: a send is
-        // accepted while no endpoint queue is at capacity.
-        let backlog = self.queues.iter().map(|q| q.len()).max().unwrap_or(0);
-        let headroom = self.config.capacity.saturating_sub(backlog);
+        // accepted while no open endpoint queue is at capacity.
+        let backlog = self.open_queues().map(VecDeque::len).max().unwrap_or(0);
+        let headroom = self.usable_capacity().saturating_sub(backlog);
         let accepted = batch.len().min(headroom);
-        let overflow = batch.len() - accepted;
-        let (rejected, dropped) = match self.config.reliability {
-            Reliability::Reliable => (overflow, 0),
-            Reliability::Unreliable => (0, overflow),
-        };
 
         let mut delivered_at = Vec::with_capacity(accepted);
         if accepted > 0 {
@@ -514,7 +704,10 @@ impl Channel {
                 cum_bytes += msg.len();
                 let deliver_at = start + self.cost.latency(cum_bytes);
                 delivered_at.push(deliver_at);
-                for q in &mut self.queues {
+                for (q, &ep_closed) in self.queues.iter_mut().zip(&self.closed) {
+                    if ep_closed {
+                        continue;
+                    }
                     q.push_back(ChannelMessage {
                         data: msg.clone(),
                         deliver_at,
@@ -545,11 +738,61 @@ impl Channel {
                 backlog as u64,
             );
         }
-        // Per-message fault accounting for everything past the headroom,
-        // exactly as the single path would have counted it.
+        // Everything past the headroom: with a retry policy each message
+        // gets its own deterministic backoff chance to squeeze in (paying
+        // its own doorbell — a retried message is effectively a late
+        // single send); what still doesn't fit keeps the historical
+        // per-message fault accounting of the single path.
+        let mut rejected = 0;
+        let mut dropped = 0;
+        let mut retries: u64 = 0;
         for msg in &batch[accepted..] {
+            if let Some((at, attempts)) = self.retry_admit(now) {
+                let bytes = msg.len() as u64;
+                let start = self.busy_until.max(at);
+                let deliver_at = start + self.cost.latency(msg.len());
+                let mctx = self.recorder.trace_hop(
+                    ctx,
+                    "provider.retry",
+                    &self.provider_name,
+                    self.target_pid(),
+                    start,
+                    bytes,
+                );
+                for (q, &ep_closed) in self.queues.iter_mut().zip(&self.closed) {
+                    if ep_closed {
+                        continue;
+                    }
+                    q.push_back(ChannelMessage {
+                        data: msg.clone(),
+                        deliver_at,
+                        trace: mctx,
+                    });
+                }
+                self.busy_until = deliver_at;
+                delivered_at.push(deliver_at);
+                self.stats.sent += 1;
+                self.stats.bytes += bytes;
+                retries += u64::from(attempts);
+                self.recorder
+                    .counter_incr("channel.sent", &self.provider_name);
+                self.recorder
+                    .counter_add("channel.bytes", &self.provider_name, bytes);
+                self.recorder.counter_add(
+                    "channel.retries",
+                    &self.provider_name,
+                    u64::from(attempts),
+                );
+                self.recorder.observe(
+                    "channel.retry_wait_ns",
+                    &self.provider_name,
+                    at.as_nanos().saturating_sub(now.as_nanos()),
+                );
+                continue;
+            }
             match self.config.reliability {
                 Reliability::Reliable => {
+                    rejected += 1;
                     self.recorder
                         .counter_incr("channel.rejected", &self.provider_name);
                     self.recorder.trace_drop(
@@ -562,6 +805,7 @@ impl Channel {
                     );
                 }
                 Reliability::Unreliable => {
+                    dropped += 1;
                     self.stats.dropped += 1;
                     self.recorder
                         .counter_incr("channel.dropped", &self.provider_name);
@@ -581,6 +825,7 @@ impl Channel {
             rejected,
             dropped,
             complete_at: self.busy_until.max(start),
+            retries,
         }
     }
 
@@ -591,6 +836,9 @@ impl Channel {
     /// repeated [`Channel::recv`] calls; only the counter updates are
     /// aggregated into a single `channel.received` bump per batch.
     pub fn recv_batch(&mut self, now: SimTime, ep: usize, max: usize) -> Vec<ChannelMessage> {
+        if !self.endpoint_open(ep) {
+            return Vec::new();
+        }
         let Some(q) = self.queues.get_mut(ep) else {
             return Vec::new();
         };
@@ -626,6 +874,9 @@ impl Channel {
     /// the *recv* event, so the receiver can continue the causal chain
     /// into device-side work.
     pub fn recv(&mut self, now: SimTime, ep: usize) -> Option<ChannelMessage> {
+        if !self.endpoint_open(ep) {
+            return None;
+        }
         let q = self.queues.get_mut(ep)?;
         if q.front().is_some_and(|m| m.deliver_at <= now) {
             self.stats.received += 1;
@@ -666,10 +917,12 @@ impl Channel {
     /// Polls whether endpoint `ep` has a visible message at `now` (the
     /// channel API's `poll`).
     pub fn poll(&self, now: SimTime, ep: usize) -> bool {
-        self.queues
-            .get(ep)
-            .and_then(|q| q.front())
-            .is_some_and(|m| m.deliver_at <= now)
+        self.endpoint_open(ep)
+            && self
+                .queues
+                .get(ep)
+                .and_then(|q| q.front())
+                .is_some_and(|m| m.deliver_at <= now)
     }
 
     /// Messages queued (visible or not) on endpoint `ep`.
@@ -775,12 +1028,22 @@ impl ChannelExecutive {
                 cost: best.cost(&config),
                 busy_until: SimTime::ZERO,
                 queues: Vec::new(),
+                closed: Vec::new(),
+                wedged_slots: 0,
                 stats: ChannelStats::default(),
                 handler_installed: false,
                 recorder: self.recorder.clone(),
             },
         );
         Ok(id)
+    }
+
+    /// The live channel ids, sorted — a deterministic iteration order for
+    /// whole-executive sweeps (fault propagation, teardown audits).
+    pub fn ids(&self) -> Vec<ChannelId> {
+        let mut v: Vec<ChannelId> = self.channels.keys().copied().collect();
+        v.sort_by_key(|c| c.0);
+        v
     }
 
     /// Shared access to a channel.
@@ -1101,6 +1364,155 @@ mod tests {
         // `max` caps the dequeue even when more is visible.
         assert_eq!(ch.recv_batch(outcome.complete_at, ep, 1).len(), 1);
         assert_eq!(ch.backlog(ep), 1);
+    }
+
+    #[test]
+    fn retry_backoff_admits_once_ring_drains() {
+        let mut e = exec();
+        let mut cfg = ChannelConfig::figure3(DeviceId(1)).with_retry(RetryPolicy::new(
+            4,
+            SimDuration::from_micros(10),
+            SimDuration::from_millis(1),
+        ));
+        cfg.capacity = 2;
+        let id = e.create_channel(cfg).unwrap();
+        let ch = e.get_mut(id).unwrap();
+        ch.connect_endpoint().unwrap();
+        let t1 = ch.send(SimTime::ZERO, Bytes::from_static(b"a")).unwrap();
+        let t2 = ch.send(SimTime::ZERO, Bytes::from_static(b"b")).unwrap();
+        assert!(t2 > t1);
+        // Ring full at ZERO — but both slots free once the device has
+        // consumed the payloads (deliver instants pass), so backoff
+        // eventually admits the third send instead of blocking.
+        let t3 = ch.send(SimTime::ZERO, Bytes::from_static(b"c")).unwrap();
+        assert!(t3 > t2, "retried send delivers after the earlier ones");
+        assert_eq!(ch.stats().sent, 3);
+        let snap = e.recorder().snapshot();
+        assert!(snap.counter_total("channel.retries") >= 1);
+        assert_eq!(snap.counter_total("channel.rejected"), 0);
+    }
+
+    #[test]
+    fn retry_timeout_still_blocks() {
+        let mut e = exec();
+        // Backoff instants: 10us, 30us, 70us… but the ring only frees
+        // after its in-flight payloads deliver (several microseconds per
+        // message) — with a 1us timeout no attempt fits.
+        let mut cfg = ChannelConfig::figure3(DeviceId(1)).with_retry(RetryPolicy::new(
+            3,
+            SimDuration::from_micros(10),
+            SimDuration::from_micros(1),
+        ));
+        cfg.capacity = 1;
+        let id = e.create_channel(cfg).unwrap();
+        let ch = e.get_mut(id).unwrap();
+        ch.connect_endpoint().unwrap();
+        ch.send(SimTime::ZERO, Bytes::from_static(b"a")).unwrap();
+        assert_eq!(
+            ch.send(SimTime::ZERO, Bytes::from_static(b"b")),
+            Err(ChannelError::WouldBlock)
+        );
+        let snap = e.recorder().snapshot();
+        assert_eq!(snap.counter_total("channel.retries"), 0);
+        assert_eq!(snap.counter_total("channel.rejected"), 1);
+    }
+
+    #[test]
+    fn batch_overflow_retries_surface_in_outcome() {
+        let mut e = exec();
+        let mut cfg = ChannelConfig::figure3(DeviceId(1)).with_retry(RetryPolicy::new(
+            8,
+            SimDuration::from_micros(20),
+            SimDuration::from_millis(10),
+        ));
+        cfg.capacity = 3;
+        let id = e.create_channel(cfg).unwrap();
+        let ch = e.get_mut(id).unwrap();
+        ch.connect_endpoint().unwrap();
+        let outcome = ch.send_batch(SimTime::ZERO, &payloads(5, 16));
+        // 3 fit the headroom; the 2 overflow messages back off and get in.
+        assert_eq!(outcome.accepted(), 5);
+        assert_eq!(outcome.rejected, 0);
+        assert!(
+            outcome.retries >= 2,
+            "retries surfaced: {}",
+            outcome.retries
+        );
+        assert_eq!(ch.stats().sent, 5);
+        // Without retry the same batch rejects the overflow and reports
+        // zero retries.
+        cfg.retry = RetryPolicy::none();
+        let id2 = e.create_channel(cfg).unwrap();
+        let ch2 = e.get_mut(id2).unwrap();
+        ch2.connect_endpoint().unwrap();
+        let outcome2 = ch2.send_batch(SimTime::ZERO, &payloads(5, 16));
+        assert_eq!(
+            (outcome2.accepted(), outcome2.rejected, outcome2.retries),
+            (3, 2, 0)
+        );
+    }
+
+    #[test]
+    fn retry_is_deterministic() {
+        let run = || {
+            let mut e = exec();
+            let mut cfg = ChannelConfig::figure3(DeviceId(1)).with_retry(RetryPolicy::new(
+                5,
+                SimDuration::from_micros(7),
+                SimDuration::from_millis(2),
+            ));
+            cfg.capacity = 2;
+            let id = e.create_channel(cfg).unwrap();
+            let ch = e.get_mut(id).unwrap();
+            ch.connect_endpoint().unwrap();
+            let mut ts = Vec::new();
+            for i in 0..6u8 {
+                ts.push(ch.send(SimTime::ZERO, Bytes::from(vec![i; 64])).ok());
+            }
+            ts
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn closed_endpoint_receives_nothing_and_drops_queued() {
+        let mut e = exec();
+        let id = e
+            .create_channel(ChannelConfig::figure3(DeviceId(1)))
+            .unwrap();
+        let ch = e.get_mut(id).unwrap();
+        let ep = ch.connect_endpoint().unwrap();
+        let t = ch.send(SimTime::ZERO, Bytes::from_static(b"x")).unwrap();
+        assert!(ch.close_endpoint(ep));
+        assert!(!ch.close_endpoint(ep), "double close is a no-op");
+        assert!(!ch.endpoint_open(ep));
+        assert_eq!(ch.open_endpoints(), 0);
+        assert!(ch.recv(t, ep).is_none());
+        assert!(!ch.poll(t, ep));
+        assert!(ch.recv_batch(t, ep, usize::MAX).is_empty());
+        // The queued message's trace terminated with a drop event.
+        let snap = e.recorder().snapshot();
+        let drops = snap.events_kind("drop");
+        assert_eq!(drops.len(), 1);
+        assert_eq!(drops[0].name, "channel.endpoint_closed");
+        assert_eq!(snap.counter_total("channel.endpoint_closed"), 1);
+    }
+
+    #[test]
+    fn wedged_slots_shrink_the_ring() {
+        let mut e = exec();
+        let mut cfg = ChannelConfig::figure3(DeviceId(1));
+        cfg.capacity = 4;
+        let id = e.create_channel(cfg).unwrap();
+        let ch = e.get_mut(id).unwrap();
+        ch.connect_endpoint().unwrap();
+        ch.set_wedged_slots(3);
+        ch.send(SimTime::ZERO, Bytes::from_static(b"a")).unwrap();
+        assert_eq!(
+            ch.send(SimTime::ZERO, Bytes::from_static(b"b")),
+            Err(ChannelError::WouldBlock),
+            "capacity 4 minus 3 wedged slots leaves room for one"
+        );
     }
 
     #[test]

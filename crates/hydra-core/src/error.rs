@@ -7,7 +7,145 @@ use hydra_odf::odf::{Guid, OdfError};
 
 use crate::call::{CallTypeError, MarshalError};
 use crate::channel::ChannelError;
+use crate::device::DeviceId;
 use crate::layout::LayoutError;
+use crate::offcode::OffcodeId;
+
+/// Which leg of a migration failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrateLeg {
+    /// Loading/linking the image at the target.
+    Load,
+    /// Restoring the state snapshot into the new instance.
+    Restore,
+    /// The `Initialize` phase hook.
+    Initialize,
+    /// The `Start` phase hook.
+    Start,
+}
+
+impl fmt::Display for MigrateLeg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MigrateLeg::Load => "load",
+            MigrateLeg::Restore => "restore",
+            MigrateLeg::Initialize => "initialize",
+            MigrateLeg::Start => "start",
+        })
+    }
+}
+
+/// A structured migration failure from [`Runtime::migrate`].
+///
+/// The variants make the transactional contract explicit: for the first
+/// four the original instance is **untouched** (nothing was destroyed);
+/// [`MigrateError::FellBack`] means the original was torn down but the
+/// Offcode survived — it is running on the host with its snapshot
+/// restored; only [`MigrateError::Unrecoverable`] loses the instance.
+///
+/// [`Runtime::migrate`]: crate::runtime::Runtime::migrate
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MigrateError {
+    /// The Offcode does not implement `snapshot` — nothing to carry over.
+    NotMigratable {
+        /// Bind name of the Offcode.
+        bind_name: String,
+    },
+    /// The target device does not match the ODF's device-class targets.
+    IncompatibleTarget {
+        /// Bind name of the Offcode.
+        bind_name: String,
+        /// The requested target.
+        target: DeviceId,
+    },
+    /// The hydra-verify capacity precheck says the target cannot take the
+    /// Offcode's footprint. Original instance untouched.
+    InsufficientCapacity {
+        /// Bind name of the Offcode.
+        bind_name: String,
+        /// The requested target.
+        target: DeviceId,
+        /// The verifier's diagnostics.
+        detail: String,
+    },
+    /// Loading the image at the target failed before teardown (a
+    /// non-capacity load error). Original instance untouched.
+    TargetLoadFailed {
+        /// Bind name of the Offcode.
+        bind_name: String,
+        /// The requested target.
+        target: DeviceId,
+        /// The loader's error.
+        detail: String,
+    },
+    /// A post-teardown leg failed; the Offcode was redeployed on the host
+    /// with its snapshot restored. `fallback` is the live instance.
+    FellBack {
+        /// Bind name of the Offcode.
+        bind_name: String,
+        /// Which leg failed on the target.
+        leg: MigrateLeg,
+        /// The underlying error.
+        detail: String,
+        /// The host-fallback instance now running.
+        fallback: OffcodeId,
+    },
+    /// A post-teardown leg failed **and** the host fallback failed too:
+    /// the instance is gone.
+    Unrecoverable {
+        /// Bind name of the Offcode.
+        bind_name: String,
+        /// Which leg failed on the target.
+        leg: MigrateLeg,
+        /// Both errors, target then fallback.
+        detail: String,
+    },
+}
+
+impl fmt::Display for MigrateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MigrateError::NotMigratable { bind_name } => {
+                write!(f, "{bind_name} is not migratable (no snapshot support)")
+            }
+            MigrateError::IncompatibleTarget { bind_name, target } => {
+                write!(f, "{target} is not a compatible target for {bind_name}")
+            }
+            MigrateError::InsufficientCapacity {
+                bind_name,
+                target,
+                detail,
+            } => write!(f, "{target} lacks capacity for {bind_name}: {detail}"),
+            MigrateError::TargetLoadFailed {
+                bind_name,
+                target,
+                detail,
+            } => write!(f, "loading {bind_name} at {target} failed: {detail}"),
+            MigrateError::FellBack {
+                bind_name,
+                leg,
+                detail,
+                fallback,
+            } => write!(
+                f,
+                "{bind_name} migration failed at {leg} ({detail}); \
+                 recovered on host as #{}",
+                fallback.0
+            ),
+            MigrateError::Unrecoverable {
+                bind_name,
+                leg,
+                detail,
+            } => write!(
+                f,
+                "{bind_name} migration failed at {leg} and host fallback \
+                 failed too: {detail}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MigrateError {}
 
 /// Any failure surfaced by the HYDRA runtime.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +175,8 @@ pub enum RuntimeError {
     /// The static pre-flight verifier rejected the deployment. The string
     /// is the human rendering of every error-severity diagnostic.
     Verification(String),
+    /// A migration failed; see [`MigrateError`] for what survived.
+    Migrate(MigrateError),
 }
 
 macro_rules! from_impl {
@@ -55,6 +195,7 @@ from_impl!(Channel, ChannelError);
 from_impl!(Load, LoadError);
 from_impl!(Marshal, MarshalError);
 from_impl!(CallType, CallTypeError);
+from_impl!(Migrate, MigrateError);
 
 impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -73,6 +214,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Verification(report) => {
                 write!(f, "deployment rejected by verifier: {report}")
             }
+            RuntimeError::Migrate(e) => write!(f, "migrate: {e}"),
         }
     }
 }
@@ -91,5 +233,18 @@ mod tests {
         assert!(e.to_string().contains("provider"));
         let e = RuntimeError::NotInDepot(Guid(7));
         assert!(e.to_string().contains("guid:7"));
+        let e: RuntimeError = MigrateError::NotMigratable {
+            bind_name: "tivo.Streamer".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("not migratable"));
+        let e = MigrateError::FellBack {
+            bind_name: "tivo.Streamer".into(),
+            leg: MigrateLeg::Restore,
+            detail: "boom".into(),
+            fallback: OffcodeId(9),
+        };
+        assert!(e.to_string().contains("restore"));
+        assert!(e.to_string().contains("#9"));
     }
 }

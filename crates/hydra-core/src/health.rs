@@ -1,0 +1,253 @@
+//! Device health tracking: sim-time heartbeats and a
+//! Healthy → Suspect → Failed state machine.
+//!
+//! The runtime expects every non-host device to "beat" at least once per
+//! [`HealthPolicy::heartbeat_every`]. A device model that has fail-stopped
+//! (its [`hydra_sim::fault::FaultInjector`] says `crashed`) goes silent;
+//! after [`HealthPolicy::suspect_after`] missed beats the monitor marks it
+//! Suspect, after [`HealthPolicy::fail_after`] it is Failed. Failure is
+//! sticky: a Failed device never returns to service in this model, which
+//! keeps recovery decisions (re-layout, migration) final and replayable.
+//!
+//! The monitor is pure bookkeeping — no wall clock, no channels — so two
+//! runs over the same fault schedule produce byte-identical transitions.
+
+use hydra_sim::{SimDuration, SimTime};
+
+use crate::device::DeviceId;
+
+/// Liveness verdict for one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DeviceHealth {
+    /// Heartbeats arriving on schedule.
+    Healthy,
+    /// Missed enough beats to be suspicious; still in the layout.
+    Suspect,
+    /// Declared dead. Sticky — never leaves this state.
+    Failed,
+}
+
+impl std::fmt::Display for DeviceHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DeviceHealth::Healthy => "healthy",
+            DeviceHealth::Suspect => "suspect",
+            DeviceHealth::Failed => "failed",
+        })
+    }
+}
+
+/// Thresholds for the heartbeat state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthPolicy {
+    /// Expected beat interval per device.
+    pub heartbeat_every: SimDuration,
+    /// Missed beats before Healthy degrades to Suspect.
+    pub suspect_after: u32,
+    /// Missed beats before the device is declared Failed.
+    pub fail_after: u32,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            heartbeat_every: SimDuration::from_millis(1),
+            suspect_after: 2,
+            fail_after: 4,
+        }
+    }
+}
+
+/// One state-machine edge observed by [`HealthMonitor::poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthTransition {
+    /// The device that changed state.
+    pub device: DeviceId,
+    /// Its previous state.
+    pub from: DeviceHealth,
+    /// Its new state.
+    pub to: DeviceHealth,
+    /// Consecutive beats missed when the edge fired.
+    pub missed: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DeviceTrack {
+    last_beat: SimTime,
+    state: DeviceHealth,
+}
+
+/// Tracks heartbeats for a fleet of devices and reports state changes.
+///
+/// Device index 0 is the host by convention and is exempt: the host
+/// cannot fail in this model (it is where Offcodes fall back *to*).
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    policy: HealthPolicy,
+    tracks: Vec<DeviceTrack>,
+}
+
+impl HealthMonitor {
+    /// A monitor for `devices` devices, all Healthy, last beat at time 0.
+    #[must_use]
+    pub fn new(policy: HealthPolicy, devices: usize) -> Self {
+        HealthMonitor {
+            policy,
+            tracks: vec![
+                DeviceTrack {
+                    last_beat: SimTime::ZERO,
+                    state: DeviceHealth::Healthy,
+                };
+                devices
+            ],
+        }
+    }
+
+    /// The configured policy.
+    #[must_use]
+    pub fn policy(&self) -> HealthPolicy {
+        self.policy
+    }
+
+    /// Number of tracked devices (including the exempt host slot).
+    #[must_use]
+    pub fn devices(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// Record a heartbeat from `device` at `now`. Clears Suspect back to
+    /// Healthy; Failed is sticky and ignores late beats.
+    pub fn beat(&mut self, device: DeviceId, now: SimTime) {
+        let Some(track) = self.tracks.get_mut(device.0) else {
+            return;
+        };
+        if track.state == DeviceHealth::Failed {
+            return;
+        }
+        track.last_beat = now;
+        track.state = DeviceHealth::Healthy;
+    }
+
+    /// Evaluate every device against the deadline at `now` and return the
+    /// transitions that fired, in device order.
+    pub fn poll(&mut self, now: SimTime) -> Vec<HealthTransition> {
+        let mut out = Vec::new();
+        let period = self.policy.heartbeat_every.as_nanos();
+        if period == 0 {
+            return out;
+        }
+        for (idx, track) in self.tracks.iter_mut().enumerate() {
+            if idx == 0 || track.state == DeviceHealth::Failed {
+                continue;
+            }
+            let elapsed = now.as_nanos().saturating_sub(track.last_beat.as_nanos());
+            let missed = u32::try_from(elapsed / period).unwrap_or(u32::MAX);
+            let next = if missed >= self.policy.fail_after {
+                DeviceHealth::Failed
+            } else if missed >= self.policy.suspect_after {
+                DeviceHealth::Suspect
+            } else {
+                DeviceHealth::Healthy
+            };
+            if next != track.state {
+                out.push(HealthTransition {
+                    device: DeviceId(idx),
+                    from: track.state,
+                    to: next,
+                    missed,
+                });
+                track.state = next;
+            }
+        }
+        out
+    }
+
+    /// Current state of `device` (Healthy for unknown indices, so a
+    /// monitor built before hot-plug stays permissive).
+    #[must_use]
+    pub fn state(&self, device: DeviceId) -> DeviceHealth {
+        self.tracks
+            .get(device.0)
+            .map_or(DeviceHealth::Healthy, |t| t.state)
+    }
+
+    /// Force `device` straight to Failed (e.g. the runtime saw the crash
+    /// directly instead of waiting out the deadline).
+    pub fn mark_failed(&mut self, device: DeviceId) {
+        if device.0 == 0 {
+            return;
+        }
+        if let Some(track) = self.tracks.get_mut(device.0) {
+            track.state = DeviceHealth::Failed;
+        }
+    }
+
+    /// Whether `device` has been declared Failed.
+    #[must_use]
+    pub fn is_failed(&self, device: DeviceId) -> bool {
+        self.state(device) == DeviceHealth::Failed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at_ms(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn silence_escalates_healthy_suspect_failed() {
+        let mut mon = HealthMonitor::new(HealthPolicy::default(), 3);
+        mon.beat(DeviceId(1), at_ms(0));
+        mon.beat(DeviceId(2), at_ms(0));
+        assert!(mon.poll(at_ms(1)).is_empty());
+
+        // Device 2 keeps beating; device 1 goes silent.
+        mon.beat(DeviceId(2), at_ms(2));
+        let t = mon.poll(at_ms(2));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].device, DeviceId(1));
+        assert_eq!(t[0].to, DeviceHealth::Suspect);
+
+        mon.beat(DeviceId(2), at_ms(4));
+        let t = mon.poll(at_ms(4));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].to, DeviceHealth::Failed);
+        assert!(mon.is_failed(DeviceId(1)));
+        assert_eq!(mon.state(DeviceId(2)), DeviceHealth::Healthy);
+    }
+
+    #[test]
+    fn beat_clears_suspect_but_failed_is_sticky() {
+        let mut mon = HealthMonitor::new(HealthPolicy::default(), 2);
+        let t = mon.poll(at_ms(3));
+        assert_eq!(t[0].to, DeviceHealth::Suspect);
+        mon.beat(DeviceId(1), at_ms(3));
+        assert_eq!(mon.state(DeviceId(1)), DeviceHealth::Healthy);
+
+        mon.mark_failed(DeviceId(1));
+        mon.beat(DeviceId(1), at_ms(4));
+        assert!(mon.is_failed(DeviceId(1)));
+        assert!(mon.poll(at_ms(100)).is_empty());
+    }
+
+    #[test]
+    fn host_is_exempt() {
+        let mut mon = HealthMonitor::new(HealthPolicy::default(), 2);
+        mon.mark_failed(DeviceId(0));
+        assert!(mon.poll(at_ms(1000)).iter().all(|t| t.device.0 != 0));
+        assert_eq!(mon.state(DeviceId(0)), DeviceHealth::Healthy);
+    }
+
+    #[test]
+    fn skipping_straight_to_failed_reports_one_edge() {
+        let mut mon = HealthMonitor::new(HealthPolicy::default(), 2);
+        let t = mon.poll(at_ms(50));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].from, DeviceHealth::Healthy);
+        assert_eq!(t[0].to, DeviceHealth::Failed);
+        assert!(t[0].missed >= 4);
+    }
+}

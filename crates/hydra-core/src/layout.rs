@@ -198,6 +198,44 @@ impl LayoutGraph {
         }
     }
 
+    /// Removes `device` from every node's compatibility vector, so the
+    /// resolvers route around it. Used by failure recovery: a fail-stopped
+    /// device must attract no Offcode in the replacement layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::BadObjective`] if `device` is the host —
+    /// the host can never be masked (it is the universal fallback and
+    /// `compat[0]` must stay `true`).
+    pub fn mask_device(&mut self, device: DeviceId) -> Result<(), LayoutError> {
+        if device.is_host() {
+            return Err(LayoutError::BadObjective(
+                "the host cannot be masked out of a layout".into(),
+            ));
+        }
+        for node in &mut self.nodes {
+            if let Some(slot) = node.compat.get_mut(device.0) {
+                *slot = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Pins node `n` to `device`: its compatibility vector keeps only the
+    /// host and `device`. Failure recovery pins Offcodes that cannot be
+    /// snapshot-migrated to wherever they already run, so the re-layout
+    /// cannot order a move that would lose their state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn pin_node(&mut self, n: NodeIdx, device: DeviceId) {
+        let node = &mut self.nodes[n.0];
+        for (k, slot) in node.compat.iter_mut().enumerate() {
+            *slot = k == 0 || k == device.0;
+        }
+    }
+
     /// The nodes.
     pub fn nodes(&self) -> &[LayoutNode] {
         &self.nodes
@@ -1015,6 +1053,28 @@ mod tests {
                 g.bus_value(&greedy)
             );
         }
+    }
+
+    #[test]
+    fn mask_device_routes_around_a_failure() {
+        let mut g = LayoutGraph::new();
+        g.add_node(node(1, vec![true, true, false]));
+        g.add_node(node(2, vec![true, true, true]));
+        g.mask_device(DeviceId(1)).unwrap();
+        let p = g.resolve_ilp(&Objective::MaximizeOffloading).unwrap();
+        assert_eq!(p.device_of(NodeIdx(0)), DeviceId::HOST);
+        assert_eq!(p.device_of(NodeIdx(1)), DeviceId(2));
+        assert!(g.mask_device(DeviceId::HOST).is_err());
+    }
+
+    #[test]
+    fn pin_node_keeps_only_host_and_home() {
+        let mut g = LayoutGraph::new();
+        let a = g.add_node(node(1, vec![true, true, true]));
+        g.pin_node(a, DeviceId(2));
+        assert_eq!(g.nodes()[0].compat, vec![true, false, true]);
+        let p = g.resolve_ilp(&Objective::MaximizeOffloading).unwrap();
+        assert_eq!(p.device_of(a), DeviceId(2));
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod call;
 pub mod channel;
 pub mod device;
 pub mod error;
+pub mod health;
 pub mod layout;
 pub mod offcode;
 pub mod proxy;
@@ -33,14 +34,17 @@ pub mod runtime;
 pub use call::{Call, CallTypeError, MarshalError, Value};
 pub use channel::{
     Buffering, Channel, ChannelConfig, ChannelCost, ChannelError, ChannelExecutive, ChannelId,
-    ChannelProvider, Reliability, SyncPolicy, Transport,
+    ChannelProvider, Reliability, RetryPolicy, SyncPolicy, Transport,
 };
 pub use device::{DeviceDescriptor, DeviceId, DeviceRegistry};
-pub use error::RuntimeError;
+pub use error::{MigrateError, MigrateLeg, RuntimeError};
+pub use health::{DeviceHealth, HealthMonitor, HealthPolicy, HealthTransition};
 pub use hydra_obs::{MetricsSnapshot, Recorder};
 pub use layout::{LayoutError, LayoutGraph, LayoutNode, NodeIdx, Objective, Placement};
 pub use offcode::{synthetic_object, Offcode, OffcodeCtx, OffcodeId};
 pub use proxy::Proxy;
 pub use pseudo::{HeapOffcode, RuntimeInfoOffcode, HEAP_GUID, RUNTIME_GUID};
 pub use resource::{ResourceId, ResourceKind, ResourceManager};
-pub use runtime::{Deployment, DispatchResult, Lifecycle, Runtime, RuntimeConfig, SolverKind};
+pub use runtime::{
+    Deployment, DispatchResult, Lifecycle, RecoveryReport, Runtime, RuntimeConfig, SolverKind,
+};

@@ -156,9 +156,9 @@ pub trait Offcode: fmt::Debug {
     ///
     /// # Errors
     ///
-    /// Failing aborts the migration; the original placement has already
-    /// been torn down, so the restored copy stays at the new device with
-    /// fresh state.
+    /// Failing aborts the migration leg: the runtime redeploys the
+    /// Offcode on the host and retries the restore there (see
+    /// `MigrateError::FellBack` in `hydra-core`'s error module).
     fn restore(&mut self, _state: Bytes) -> Result<(), RuntimeError> {
         Ok(())
     }

@@ -25,13 +25,15 @@ use hydra_link::loader::{
 };
 use hydra_obs::{MetricsSnapshot, Recorder, SpanId};
 use hydra_odf::odf::{Guid, OdfDocument};
+use hydra_sim::fault::{FaultInjector, FaultPlan};
 use hydra_sim::time::SimTime;
 
 use crate::call::{Call, Value};
 use crate::channel::{BatchSendOutcome, ChannelConfig, ChannelError, ChannelExecutive, ChannelId};
 use crate::device::{DeviceId, DeviceRegistry};
-use crate::error::RuntimeError;
-use crate::layout::{LayoutGraph, Objective, Placement};
+use crate::error::{MigrateError, MigrateLeg, RuntimeError};
+use crate::health::{DeviceHealth, HealthMonitor, HealthPolicy};
+use crate::layout::{LayoutGraph, NodeIdx, Objective, Placement};
 use crate::offcode::{Offcode, OffcodeCtx, OffcodeId};
 use crate::resource::{ResourceId, ResourceKind, ResourceManager};
 
@@ -62,6 +64,9 @@ pub struct RuntimeConfig {
     /// default; the escape hatch exists for tests that deliberately
     /// deploy broken sets to exercise runtime fallback paths.
     pub verify_deployments: bool,
+    /// Heartbeat deadlines for the device health monitor driven by
+    /// [`Runtime::pulse`].
+    pub health: HealthPolicy,
 }
 
 impl Default for RuntimeConfig {
@@ -72,6 +77,7 @@ impl Default for RuntimeConfig {
             load_strategy: LoadStrategy::HostSideLink,
             flight_capacity: hydra_obs::trace::DEFAULT_FLIGHT_CAPACITY,
             verify_deployments: true,
+            health: HealthPolicy::default(),
         }
     }
 }
@@ -161,6 +167,30 @@ pub struct Runtime {
     device_work: HashMap<DeviceId, Cycles>,
     next_offcode: u64,
     recorder: Recorder,
+    health: HealthMonitor,
+    injectors: Vec<Option<FaultInjector>>,
+}
+
+/// What failure recovery did for one fail-stopped device (see
+/// [`Runtime::on_device_failure`]). All vectors are sorted so identical
+/// runs produce identical reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// The device that failed.
+    pub device: DeviceId,
+    /// Bind names of every Offcode the recovery had to move (those on the
+    /// failed device plus constraint-dragged peers), sorted.
+    pub displaced: Vec<String>,
+    /// Snapshot migrations performed: (guid, where it landed), in the
+    /// order they ran.
+    pub migrated: Vec<(Guid, DeviceId)>,
+    /// How many displaced Offcodes ended up on the host.
+    pub host_fallbacks: usize,
+    /// Offcodes without snapshot support that were redeployed fresh.
+    pub redeployed: Vec<Guid>,
+    /// Whether the achieved placement satisfies the recovery layout graph
+    /// (false only if a cascade of load failures bent the constraints).
+    pub constraints_ok: bool,
 }
 
 impl Runtime {
@@ -168,7 +198,7 @@ impl Runtime {
     pub fn new(devices: DeviceRegistry, config: RuntimeConfig) -> Self {
         let mut resources = ResourceManager::new();
         let app_root = resources.register_root(ResourceKind::Other, "oa-application");
-        let allocators = devices
+        let allocators: Vec<DeviceMemoryAllocator> = devices
             .iter()
             .map(|(_, d)| DeviceMemoryAllocator::new(0x1_0000, d.offcode_memory))
             .collect();
@@ -176,6 +206,8 @@ impl Runtime {
         recorder.set_flight_capacity(config.flight_capacity);
         let mut executive = ChannelExecutive::with_default_providers();
         executive.set_recorder(recorder.clone());
+        let health = HealthMonitor::new(config.health, allocators.len());
+        let injectors = (0..allocators.len()).map(|_| None).collect();
         Runtime {
             devices,
             config,
@@ -191,7 +223,81 @@ impl Runtime {
             device_work: HashMap::new(),
             next_offcode: 1,
             recorder,
+            health,
+            injectors,
         }
+    }
+
+    /// Installs a deterministic fault schedule: one injector per device,
+    /// split from the plan's seed. Scenario code that also drives device
+    /// *models* derives its own injectors from the same plan, so the
+    /// runtime's health view and the models' behavior agree tick for tick.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        for (k, slot) in self.injectors.iter_mut().enumerate() {
+            let injector = plan.injector(k);
+            *slot = if injector.is_inert() {
+                None
+            } else {
+                Some(injector)
+            };
+        }
+    }
+
+    /// The health monitor's current verdict for a device.
+    pub fn device_health(&self, device: DeviceId) -> DeviceHealth {
+        self.health.state(device)
+    }
+
+    /// One health tick. Collects heartbeats from every device that has
+    /// not fail-stopped (a crashed device goes silent and earns a
+    /// `fault.heartbeat_missed` count), propagates ring-exhaustion faults
+    /// into channel capacity, escalates missed deadlines through the
+    /// Healthy → Suspect → Failed state machine, and runs
+    /// [`Runtime::on_device_failure`] for every device that crosses into
+    /// Failed. Call it on a cadence of [`HealthPolicy::heartbeat_every`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates recovery failures; see [`Runtime::on_device_failure`].
+    pub fn pulse(&mut self, now: SimTime) -> Result<Vec<RecoveryReport>, RuntimeError> {
+        for k in 1..self.injectors.len() {
+            let crashed = self.injectors[k].as_ref().is_some_and(|f| f.crashed(now));
+            if crashed {
+                self.recorder
+                    .counter_incr("fault.heartbeat_missed", &DeviceId(k).to_string());
+            } else {
+                self.health.beat(DeviceId(k), now);
+            }
+        }
+        for chan in self.executive.ids() {
+            let Some(target) = self.executive.get(chan).map(|c| c.config().target) else {
+                continue;
+            };
+            let wedged = self
+                .injectors
+                .get(target.0)
+                .and_then(Option::as_ref)
+                .map_or(0, |f| f.wedged_slots(now));
+            if wedged > 0 {
+                if let Some(ch) = self.executive.get_mut(chan) {
+                    ch.set_wedged_slots(wedged);
+                    self.recorder
+                        .counter_incr("fault.ring_wedged", &target.to_string());
+                }
+            }
+        }
+        let transitions = self.health.poll(now);
+        let mut reports = Vec::new();
+        for t in transitions {
+            match t.to {
+                DeviceHealth::Suspect => self
+                    .recorder
+                    .counter_incr("fault.device_suspect", &t.device.to_string()),
+                DeviceHealth::Failed => reports.push(self.on_device_failure(t.device, now)?),
+                DeviceHealth::Healthy => {}
+            }
+        }
+        Ok(reports)
     }
 
     /// The runtime's observability recorder.
@@ -567,47 +673,69 @@ impl Runtime {
         Ok(())
     }
 
+    /// Links and loads `guid`'s object at exactly `device` — no host
+    /// fallback, nothing registered. The migration path uses this to
+    /// validate the target *before* destroying the source instance.
+    fn load_at(
+        &mut self,
+        guid: Guid,
+        device: DeviceId,
+    ) -> Result<(Box<dyn Offcode>, LinkedImage, LoadPlan), LoadError> {
+        let entry = &self.depot[&guid];
+        let offcode = (entry.factory)();
+        let object = offcode.object_file();
+        let exports = self.devices.get(device).exports.clone();
+        let attempt = match self.config.load_strategy {
+            LoadStrategy::HostSideLink => load_host_side(
+                std::slice::from_ref(&object),
+                &mut self.allocators[device.0],
+                &exports,
+            ),
+            LoadStrategy::DeviceSideLink => load_device_side(
+                std::slice::from_ref(&object),
+                &mut self.allocators[device.0],
+                &exports,
+            ),
+        };
+        attempt.map(|(image, plan)| (offcode, image, plan))
+    }
+
     fn deploy_one(
         &mut self,
         guid: Guid,
         device: DeviceId,
         span_parent: Option<(SpanId, SimTime)>,
     ) -> Result<OffcodeId, RuntimeError> {
-        let entry = &self.depot[&guid];
-        let offcode = (entry.factory)();
-        let object = offcode.object_file();
-        let bind_name = entry.odf.bind_name.clone();
-
         // Try the chosen device; fall back to the host on OOM (§3.4).
-        let (device, image, plan) = {
-            let exports = self.devices.get(device).exports.clone();
-            let attempt = match self.config.load_strategy {
-                LoadStrategy::HostSideLink => load_host_side(
-                    std::slice::from_ref(&object),
-                    &mut self.allocators[device.0],
-                    &exports,
-                ),
-                LoadStrategy::DeviceSideLink => load_device_side(
-                    std::slice::from_ref(&object),
-                    &mut self.allocators[device.0],
-                    &exports,
-                ),
-            };
-            match attempt {
-                Ok((image, plan)) => (device, image, plan),
-                Err(LoadError::Memory(_)) if !device.is_host() => {
-                    self.recorder.counter_incr("deploy.host_fallback", "");
-                    let exports = self.devices.get(DeviceId::HOST).exports.clone();
-                    let (image, plan) = load_host_side(
-                        &[object],
-                        &mut self.allocators[DeviceId::HOST.0],
-                        &exports,
-                    )?;
-                    (DeviceId::HOST, image, plan)
-                }
-                Err(e) => return Err(e.into()),
+        let (device, offcode, image, plan) = match self.load_at(guid, device) {
+            Ok((offcode, image, plan)) => (device, offcode, image, plan),
+            Err(LoadError::Memory(_)) if !device.is_host() => {
+                self.recorder.counter_incr("deploy.host_fallback", "");
+                let entry = &self.depot[&guid];
+                let offcode = (entry.factory)();
+                let object = offcode.object_file();
+                let exports = self.devices.get(DeviceId::HOST).exports.clone();
+                let (image, plan) =
+                    load_host_side(&[object], &mut self.allocators[DeviceId::HOST.0], &exports)?;
+                (DeviceId::HOST, offcode, image, plan)
             }
+            Err(e) => return Err(e.into()),
         };
+        self.register_loaded(guid, device, offcode, image, plan, span_parent)
+    }
+
+    /// Registers an already-loaded image as a live instance: accounting
+    /// counters, resource subtree, OOB channel, instance table entry.
+    fn register_loaded(
+        &mut self,
+        guid: Guid,
+        device: DeviceId,
+        offcode: Box<dyn Offcode>,
+        image: LinkedImage,
+        plan: LoadPlan,
+        span_parent: Option<(SpanId, SimTime)>,
+    ) -> Result<OffcodeId, RuntimeError> {
+        let bind_name = self.depot[&guid].odf.bind_name.clone();
         let strategy_label = match plan.strategy {
             LoadStrategy::HostSideLink => "host-side",
             LoadStrategy::DeviceSideLink => "device-side",
@@ -877,18 +1005,21 @@ impl Runtime {
     /// Migrates a deployed Offcode to another device, carrying its state
     /// through [`Offcode::snapshot`]/[`Offcode::restore`].
     ///
-    /// The Offcode is stopped, its resources and channels are released (a
-    /// real system would quiesce in-flight calls first), a fresh copy is
-    /// linked and loaded at `target`, and the snapshot is restored before
-    /// the two-phase startup completes.
+    /// The move is transactional. Everything that can be checked without
+    /// destroying the source — snapshot support, ODF compatibility, the
+    /// hydra-verify capacity precheck against the target's *live* free
+    /// memory, and the actual link/load at the target — happens first;
+    /// any failure there returns a [`MigrateError`] with the original
+    /// instance untouched. Only then is the source torn down. If a
+    /// post-teardown leg (restore or a phase hook) fails, the Offcode is
+    /// redeployed on the host with its snapshot restored
+    /// ([`MigrateError::FellBack`]); the instance is lost only if that
+    /// host fallback fails too ([`MigrateError::Unrecoverable`]).
     ///
     /// # Errors
     ///
-    /// Fails if the instance does not exist, the Offcode is not
-    /// migratable (no snapshot), the target is incompatible with the
-    /// Offcode's ODF, or loading at the target fails. On a load failure
-    /// the Offcode ends up freshly deployed wherever the usual host
-    /// fallback puts it.
+    /// [`RuntimeError::NoSuchInstance`] for unknown ids; otherwise
+    /// [`RuntimeError::Migrate`] as above.
     pub fn migrate(
         &mut self,
         id: OffcodeId,
@@ -900,31 +1031,312 @@ impl Runtime {
             .get(&id)
             .ok_or(RuntimeError::NoSuchInstance(id.0))?;
         let guid = inst.guid;
-        let state = inst
-            .offcode
-            .snapshot()
-            .ok_or_else(|| RuntimeError::Rejected("offcode is not migratable".into()))?;
+        let bind_name = self.depot[&guid].odf.bind_name.clone();
+        let Some(state) = inst.offcode.snapshot() else {
+            return Err(MigrateError::NotMigratable { bind_name }.into());
+        };
         // Validate the target against the ODF's device classes.
         let odf = &self.depot[&guid].odf;
         let compat = self.devices.compatibility(&odf.targets);
         if target.0 >= compat.len() || !compat[target.0] {
-            return Err(RuntimeError::Rejected(format!(
-                "{} is not a compatible target for {}",
-                target, odf.bind_name
-            )));
+            return Err(MigrateError::IncompatibleTarget { bind_name, target }.into());
         }
+        if let Err(detail) = self.precheck_migration_capacity(guid, target) {
+            return Err(MigrateError::InsufficientCapacity {
+                bind_name,
+                target,
+                detail,
+            }
+            .into());
+        }
+        // Reserve the target: link and load there with no fallback, so a
+        // load failure leaves the source instance running.
+        let (offcode, image, plan) = match self.load_at(guid, target) {
+            Ok(loaded) => loaded,
+            Err(e) => {
+                return Err(MigrateError::TargetLoadFailed {
+                    bind_name,
+                    target,
+                    detail: e.to_string(),
+                }
+                .into())
+            }
+        };
+        // Point of no return: the source is destroyed, the reserved copy
+        // takes over.
         self.teardown(id);
         self.recorder.counter_incr("deploy.migrations", "");
-        let new_id = self.deploy_one(guid, target, None)?;
-        let inst = self.instances.get_mut(&new_id).expect("just deployed");
-        inst.offcode.restore(state)?;
-        self.run_phase(new_id, now, Phase::Initialize)?;
-        self.run_phase(new_id, now, Phase::Start)?;
-        Ok(new_id)
+        let new_id = match self.register_loaded(guid, target, offcode, image, plan, None) {
+            Ok(new_id) => new_id,
+            Err(e) => {
+                return self.migrate_fallback(guid, &bind_name, state, MigrateLeg::Load, &e, now)
+            }
+        };
+        match self.finish_migration(new_id, state.clone(), now) {
+            Ok(()) => Ok(new_id),
+            Err((leg, detail)) => {
+                self.teardown(new_id);
+                self.migrate_fallback(guid, &bind_name, state, leg, &detail, now)
+            }
+        }
+    }
+
+    /// Restore + two-phase startup on a freshly registered migration
+    /// target. Returns which leg failed so the caller can fall back.
+    fn finish_migration(
+        &mut self,
+        id: OffcodeId,
+        state: Bytes,
+        now: SimTime,
+    ) -> Result<(), (MigrateLeg, String)> {
+        let inst = self.instances.get_mut(&id).expect("just registered");
+        inst.offcode
+            .restore(state)
+            .map_err(|e| (MigrateLeg::Restore, e.to_string()))?;
+        self.run_phase(id, now, Phase::Initialize)
+            .map_err(|e| (MigrateLeg::Initialize, e.to_string()))?;
+        self.run_phase(id, now, Phase::Start)
+            .map_err(|e| (MigrateLeg::Start, e.to_string()))?;
+        Ok(())
+    }
+
+    /// Post-teardown rescue: redeploy on the host, restore the snapshot,
+    /// and report [`MigrateError::FellBack`] — or
+    /// [`MigrateError::Unrecoverable`] if even the host path fails.
+    fn migrate_fallback(
+        &mut self,
+        guid: Guid,
+        bind_name: &str,
+        state: Bytes,
+        leg: MigrateLeg,
+        detail: &impl std::fmt::Display,
+        now: SimTime,
+    ) -> Result<OffcodeId, RuntimeError> {
+        self.recorder.counter_incr("recover.host_fallback", "");
+        let unrecoverable = |detail: String| {
+            RuntimeError::from(MigrateError::Unrecoverable {
+                bind_name: bind_name.to_owned(),
+                leg,
+                detail,
+            })
+        };
+        let fallback = self
+            .deploy_one(guid, DeviceId::HOST, None)
+            .map_err(|e| unrecoverable(format!("{detail}; host fallback: {e}")))?;
+        if let Err((fleg, fdetail)) = self.finish_migration(fallback, state, now) {
+            self.teardown(fallback);
+            return Err(unrecoverable(format!(
+                "{detail}; host fallback {fleg}: {fdetail}"
+            )));
+        }
+        Err(MigrateError::FellBack {
+            bind_name: bind_name.to_owned(),
+            leg,
+            detail: detail.to_string(),
+            fallback,
+        }
+        .into())
+    }
+
+    /// The hydra-verify capacity pass, narrowed to this one Offcode
+    /// pinned on `target`, whose budget is the allocator's *live* free
+    /// space (the registry's static table reflects total memory, not what
+    /// is left after earlier deployments).
+    fn precheck_migration_capacity(&self, guid: Guid, target: DeviceId) -> Result<(), String> {
+        if target.is_host() {
+            return Ok(()); // the host is the fallback, never pre-rejected
+        }
+        let entry = &self.depot[&guid];
+        let full = self.devices.verify_table();
+        let mut target_info = full.devices[target.0].clone();
+        target_info.offcode_memory = self.allocators[target.0].available();
+        let table = hydra_verify::DeviceTable {
+            devices: vec![full.devices[0].clone(), target_info],
+        };
+        let mut odf = entry.odf.clone();
+        odf.imports.clear();
+        let demand = u64::from((entry.factory)().object_file().load_size());
+        let odfs = [odf];
+        let demands = [demand];
+        let roots = [guid];
+        let report = hydra_verify::verify(&hydra_verify::VerifyInput {
+            odfs: &odfs,
+            devices: &table,
+            demands: Some(&demands),
+            roots: Some(&roots),
+        });
+        if report.has_errors() {
+            let rendered: Vec<String> = report.errors().map(ToString::to_string).collect();
+            return Err(rendered.join("; "));
+        }
+        Ok(())
+    }
+
+    /// Failure recovery: quiesce everything on `failed`, re-run the
+    /// layout solver over the surviving devices (failed devices masked,
+    /// non-migratable healthy instances pinned where they run, so Gang
+    /// and Pull constraints are honored against reality), then migrate
+    /// snapshot-able Offcodes to their new homes — the host is the last
+    /// resort — and redeploy the rest fresh.
+    ///
+    /// [`Runtime::pulse`] calls this automatically when the health
+    /// monitor declares a device Failed; it is public so scenario code
+    /// that detects a crash out-of-band can trigger recovery directly.
+    ///
+    /// # Errors
+    ///
+    /// Rejects the host (it cannot fail-stop in this model); propagates
+    /// layout failures and unrecoverable migrations.
+    pub fn on_device_failure(
+        &mut self,
+        failed: DeviceId,
+        now: SimTime,
+    ) -> Result<RecoveryReport, RuntimeError> {
+        if failed.is_host() {
+            return Err(RuntimeError::Rejected("the host cannot fail-stop".into()));
+        }
+        self.health.mark_failed(failed);
+        let label = failed.to_string();
+        self.recorder.counter_incr("fault.device_failed", &label);
+
+        let mut deployed: Vec<(OffcodeId, Guid, DeviceId)> = self
+            .instances
+            .iter()
+            .map(|(&id, inst)| (id, inst.guid, inst.device))
+            .collect();
+        deployed.sort_by_key(|&(id, _, _)| id);
+        let on_failed = deployed.iter().filter(|&&(_, _, d)| d == failed).count();
+        let span = self
+            .recorder
+            .span("recover.device", &label, now, on_failed as u64);
+        if on_failed == 0 {
+            return Ok(RecoveryReport {
+                device: failed,
+                displaced: Vec::new(),
+                migrated: Vec::new(),
+                host_fallbacks: 0,
+                redeployed: Vec::new(),
+                constraints_ok: true,
+            });
+        }
+
+        // Re-layout over all live instances: imports narrowed to the set,
+        // every failed device masked, healthy non-migratable instances
+        // pinned to their current home.
+        let in_set: Vec<Guid> = deployed.iter().map(|&(_, g, _)| g).collect();
+        let odfs: Vec<OdfDocument> = deployed
+            .iter()
+            .map(|&(_, g, _)| {
+                let mut odf = self.depot[&g].odf.clone();
+                odf.imports.retain(|imp| in_set.contains(&imp.guid));
+                odf
+            })
+            .collect();
+        let mut graph = LayoutGraph::from_odfs(&odfs, &self.devices)?;
+        for k in 1..self.allocators.len() {
+            if self.health.is_failed(DeviceId(k)) {
+                graph.mask_device(DeviceId(k))?;
+            }
+        }
+        for (n, &(id, _, dev)) in deployed.iter().enumerate() {
+            let migratable = self.instances[&id].offcode.snapshot().is_some();
+            if dev != failed && !migratable && !self.health.is_failed(dev) {
+                graph.pin_node(NodeIdx(n), dev);
+            }
+        }
+        let placement = match self.config.solver {
+            SolverKind::Ilp => graph.resolve_ilp(&self.config.objective)?,
+            SolverKind::Greedy => graph.resolve_greedy(&self.config.objective),
+        };
+        graph.check(&placement)?;
+
+        let mut displaced = Vec::new();
+        let mut migrated = Vec::new();
+        let mut redeployed = Vec::new();
+        let mut host_fallbacks = 0usize;
+        for (n, &(id, guid, dev)) in deployed.iter().enumerate() {
+            let want = placement.0[n];
+            if want == dev && dev != failed {
+                continue;
+            }
+            displaced.push(self.depot[&guid].odf.bind_name.clone());
+            let migratable = self.instances[&id].offcode.snapshot().is_some();
+            if migratable {
+                let landed = match self.migrate(id, want, now) {
+                    Ok(_) => want,
+                    Err(RuntimeError::Migrate(MigrateError::InsufficientCapacity { .. }))
+                        if !want.is_host() =>
+                    {
+                        // The survivor is full: the host is the last resort.
+                        self.migrate(id, DeviceId::HOST, now)?;
+                        DeviceId::HOST
+                    }
+                    Err(RuntimeError::Migrate(MigrateError::FellBack { .. })) => DeviceId::HOST,
+                    Err(e) => return Err(e),
+                };
+                self.recorder.counter_incr("recover.migrations", "");
+                let bind = &self.depot[&guid].odf.bind_name;
+                let ctx = self
+                    .recorder
+                    .trace_begin("recover.migrate", bind, dev.0 as u64, now, 0);
+                self.recorder
+                    .trace_recv(ctx, "recover.landed", bind, landed.0 as u64, now, 0);
+                if landed.is_host() {
+                    host_fallbacks += 1;
+                }
+                migrated.push((guid, landed));
+            } else {
+                // No snapshot support: state is lost, a fresh instance is
+                // the only option.
+                self.teardown(id);
+                let new_id = self.deploy_one(guid, want, None)?;
+                self.run_phase(new_id, now, Phase::Initialize)?;
+                self.run_phase(new_id, now, Phase::Start)?;
+                self.recorder.counter_incr("recover.redeployed", "");
+                let final_dev = self.instances[&new_id].device;
+                let bind = &self.depot[&guid].odf.bind_name;
+                let ctx = self
+                    .recorder
+                    .trace_begin("recover.redeploy", bind, dev.0 as u64, now, 0);
+                self.recorder
+                    .trace_recv(ctx, "recover.landed", bind, final_dev.0 as u64, now, 0);
+                if final_dev.is_host() {
+                    host_fallbacks += 1;
+                }
+                redeployed.push(guid);
+            }
+        }
+        self.recorder.add_span_work(span, migrated.len() as u64);
+
+        let achieved = Placement(
+            deployed
+                .iter()
+                .map(|&(_, g, _)| {
+                    self.deployed_by_guid
+                        .get(&g)
+                        .and_then(|id| self.instances.get(id))
+                        .map_or(DeviceId::HOST, |inst| inst.device)
+                })
+                .collect(),
+        );
+        let constraints_ok = graph.check(&achieved).is_ok();
+        displaced.sort();
+        Ok(RecoveryReport {
+            device: failed,
+            displaced,
+            migrated,
+            host_fallbacks,
+            redeployed,
+            constraints_ok,
+        })
     }
 
     /// Tears down a deployed Offcode: releases its resource subtree,
-    /// destroys its channels, and forgets the instance.
+    /// destroys its channels, closes its endpoints on every channel it
+    /// was connected to as a receiver, and forgets the instance. Sweeping
+    /// the endpoints matters: a surviving sender must not keep queueing
+    /// into a dead receiver's slot, and the connection table must not
+    /// keep orphaned keys ([`Runtime::audit_connections`] checks both).
     pub fn teardown(&mut self, id: OffcodeId) -> bool {
         let Some(inst) = self.instances.remove(&id) else {
             return false;
@@ -933,10 +1345,60 @@ impl Runtime {
         let _ = self.resources.release(inst.resource);
         self.executive.destroy(inst.oob);
         self.connections.remove(&inst.oob);
-        for bindings in self.connections.values_mut() {
-            bindings.retain(|(_, oc)| *oc != id);
+        let mut chans: Vec<ChannelId> = self.connections.keys().copied().collect();
+        chans.sort_by_key(|c| c.0);
+        for chan in chans {
+            let bindings = self
+                .connections
+                .get_mut(&chan)
+                .expect("key came from the map");
+            let executive = &mut self.executive;
+            bindings.retain(|&(ep, oc)| {
+                if oc == id {
+                    if let Some(ch) = executive.get_mut(chan) {
+                        ch.close_endpoint(ep);
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+            if bindings.is_empty() {
+                self.connections.remove(&chan);
+            }
         }
         true
+    }
+
+    /// Invariant sweep over the channel-connection table; an empty result
+    /// means no orphans. Reported problems (sorted): empty binding lists,
+    /// bindings for destroyed channels, bindings pointing at dead
+    /// instances, and bindings whose endpoint is closed.
+    pub fn audit_connections(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for (&chan, bindings) in &self.connections {
+            if bindings.is_empty() {
+                problems.push(format!("{chan}: empty binding list"));
+                continue;
+            }
+            let Some(ch) = self.executive.get(chan) else {
+                problems.push(format!("{chan}: bindings for destroyed channel"));
+                continue;
+            };
+            for &(ep, id) in bindings {
+                if !self.instances.contains_key(&id) {
+                    problems.push(format!(
+                        "{chan}: endpoint {ep} bound to dead instance #{}",
+                        id.0
+                    ));
+                }
+                if !ch.endpoint_open(ep) {
+                    problems.push(format!("{chan}: endpoint {ep} is closed but still bound"));
+                }
+            }
+        }
+        problems.sort();
+        problems
     }
 }
 

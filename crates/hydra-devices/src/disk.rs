@@ -15,6 +15,7 @@ use hydra_hw::cpu::{Cpu, CpuSpec, Cycles, Reservation};
 use hydra_net::link::{Link, LinkSpec};
 use hydra_net::nfs::{FileHandle, NasServer, NfsError, NfsRequest, NfsResponse};
 use hydra_obs::{Recorder, TraceCtx};
+use hydra_sim::fault::FaultInjector;
 use hydra_sim::time::{SimDuration, SimTime};
 
 use crate::trace::{hop_if, DeviceTracer};
@@ -31,6 +32,10 @@ pub struct DiskStats {
     pub blocks_read: u64,
     /// NFS round trips issued to the NAS.
     pub nfs_round_trips: u64,
+    /// Operations refused because the controller crashed (injected).
+    pub io_faulted: u64,
+    /// Injected controller stalls absorbed.
+    pub fault_stalls: u64,
 }
 
 /// Errors from the smart disk.
@@ -40,6 +45,8 @@ pub enum DiskError {
     Nfs(NfsError),
     /// No backing file is open.
     NotOpen,
+    /// An injected fault has fail-stopped the controller.
+    DeviceFailed,
 }
 
 impl From<NfsError> for DiskError {
@@ -53,6 +60,7 @@ impl std::fmt::Display for DiskError {
         match self {
             DiskError::Nfs(e) => write!(f, "nas: {e}"),
             DiskError::NotOpen => f.write_str("no backing file open"),
+            DiskError::DeviceFailed => f.write_str("disk controller has fail-stopped"),
         }
     }
 }
@@ -95,6 +103,7 @@ pub struct SmartDiskModel {
     /// Controller firmware cost per block (checksums, mapping).
     per_block: Cycles,
     tracer: Option<DeviceTracer>,
+    faults: Option<FaultInjector>,
 }
 
 impl Default for SmartDiskModel {
@@ -113,6 +122,7 @@ impl SmartDiskModel {
             stats: DiskStats::default(),
             per_block: Cycles::new(2_000),
             tracer: None,
+            faults: None,
         }
     }
 
@@ -120,6 +130,35 @@ impl SmartDiskModel {
     /// pid `device`, enabling the `*_traced` block operations.
     pub fn set_recorder(&mut self, recorder: Recorder, device: u64) {
         self.tracer = Some(DeviceTracer::new(recorder, device));
+    }
+
+    /// Installs a fault injector; block operations then fail with
+    /// [`DiskError::DeviceFailed`] once a crash strikes, and stall
+    /// windows busy the controller CPU before an operation's own cycles.
+    pub fn install_faults(&mut self, injector: FaultInjector) {
+        self.faults = Some(injector);
+    }
+
+    /// Whether an injected crash has fail-stopped the controller by `now`.
+    pub fn is_crashed(&self, now: SimTime) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.crashed(now))
+    }
+
+    /// Fault gate shared by the block operations: refuses I/O after a
+    /// crash and absorbs any active stall window.
+    fn fault_gate(&mut self, now: SimTime) -> Result<(), DiskError> {
+        let Some(f) = &self.faults else { return Ok(()) };
+        if f.crashed(now) {
+            self.stats.io_faulted += 1;
+            return Err(DiskError::DeviceFailed);
+        }
+        let stall = f.stall_penalty(now);
+        if !stall.is_zero() {
+            self.stats.fault_stalls += 1;
+            let wasted = self.cpu.spec().cycles_in(stall);
+            let _ = self.cpu.reserve(now, wasted);
+        }
+        Ok(())
     }
 
     /// The statistics.
@@ -194,6 +233,7 @@ impl SmartDiskModel {
         idx: u64,
         data: Bytes,
     ) -> Result<DiskOp, DiskError> {
+        self.fault_gate(now)?;
         let fh = self.backing.ok_or(DiskError::NotOpen)?;
         let controller = self.cpu.reserve(now, self.per_block);
         let wire = data.len() + 96;
@@ -232,6 +272,7 @@ impl SmartDiskModel {
         start: u64,
         blocks: &[Bytes],
     ) -> Result<DiskOp, DiskError> {
+        self.fault_gate(now)?;
         let fh = self.backing.ok_or(DiskError::NotOpen)?;
         if blocks.is_empty() {
             return Ok(DiskOp {
@@ -275,6 +316,7 @@ impl SmartDiskModel {
         nas: &mut NasServer,
         idx: u64,
     ) -> Result<(Bytes, DiskOp), DiskError> {
+        self.fault_gate(now)?;
         let fh = self.backing.ok_or(DiskError::NotOpen)?;
         let controller = self.cpu.reserve(now, self.per_block);
         let req = NfsRequest::Read {
@@ -533,6 +575,47 @@ mod tests {
         let drops = snap.events_kind("drop");
         assert_eq!(drops.len(), 1);
         assert_eq!(drops[0].name, "disk.write_failed");
+    }
+
+    #[test]
+    fn crashed_controller_refuses_io_and_stall_delays_it() {
+        use hydra_sim::fault::{FaultKind, FaultPlan};
+        let plan = FaultPlan::new(11)
+            .with_event(
+                SimTime::from_micros(10),
+                2,
+                FaultKind::Stall {
+                    duration: SimDuration::from_micros(50),
+                },
+            )
+            .with_event(SimTime::from_millis(1), 2, FaultKind::Crash);
+        let mut nas = NasServer::default();
+        let mut disk = SmartDiskModel::new();
+        disk.install_faults(plan.injector(2));
+        disk.open(&mut nas, "/dvr/faulty");
+        let payload = Bytes::from(vec![1u8; BLOCK_BYTES]);
+        // Inside the stall window: the controller absorbs the remaining
+        // window before the block's own cycles.
+        let op = disk
+            .write_block(SimTime::from_micros(10), &mut nas, 0, payload.clone())
+            .unwrap();
+        assert!(op.controller.start >= SimTime::from_micros(60));
+        assert_eq!(disk.stats().fault_stalls, 1);
+        // After the crash: every operation is refused, forever.
+        assert_eq!(
+            disk.write_block(SimTime::from_millis(1), &mut nas, 1, payload),
+            Err(DiskError::DeviceFailed)
+        );
+        assert!(matches!(
+            disk.read_block(SimTime::from_secs(1), &mut nas, 0),
+            Err(DiskError::DeviceFailed)
+        ));
+        assert!(matches!(
+            disk.write_blocks(SimTime::from_secs(1), &mut nas, 0, &[]),
+            Err(DiskError::DeviceFailed)
+        ));
+        assert!(disk.is_crashed(SimTime::from_millis(1)));
+        assert_eq!(disk.stats().io_faulted, 3);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use hydra_hw::cpu::{Cpu, CpuSpec, Reservation};
 use hydra_media::codec::EncodedFrame;
 use hydra_media::cost::DecodeCostModel;
 use hydra_obs::{Recorder, TraceCtx};
+use hydra_sim::fault::FaultInjector;
 use hydra_sim::time::SimTime;
 
 use crate::trace::{hop_if, DeviceTracer};
@@ -25,6 +26,10 @@ pub struct GpuStats {
     pub frames_blitted: u64,
     /// Frames scanned out to the display.
     pub frames_displayed: u64,
+    /// Frames refused because of injected faults.
+    pub frames_faulted: u64,
+    /// Injected decode-engine stalls absorbed.
+    pub fault_stalls: u64,
 }
 
 /// A GPU with hardware MPEG decode and a framebuffer.
@@ -45,6 +50,7 @@ pub struct GpuModel {
     /// Display index of the frame currently scanned out.
     current_frame: Option<u64>,
     tracer: Option<DeviceTracer>,
+    faults: Option<FaultInjector>,
 }
 
 impl Default for GpuModel {
@@ -62,6 +68,7 @@ impl GpuModel {
             stats: GpuStats::default(),
             current_frame: None,
             tracer: None,
+            faults: None,
         }
     }
 
@@ -69,6 +76,17 @@ impl GpuModel {
     /// `device`, enabling [`GpuModel::hw_decode_traced`].
     pub fn set_recorder(&mut self, recorder: Recorder, device: u64) {
         self.tracer = Some(DeviceTracer::new(recorder, device));
+    }
+
+    /// Installs a fault injector; [`GpuModel::hw_decode_faulted`] then
+    /// consults it on every frame.
+    pub fn install_faults(&mut self, injector: FaultInjector) {
+        self.faults = Some(injector);
+    }
+
+    /// Whether an injected crash has fail-stopped the GPU by `now`.
+    pub fn is_crashed(&self, now: SimTime) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.crashed(now))
     }
 
     /// The statistics.
@@ -84,6 +102,26 @@ impl GpuModel {
         let r = self.cpu.reserve(now, hydra_hw::cpu::Cycles::new(cycles));
         self.current_frame = Some(frame.display_index);
         r
+    }
+
+    /// Fault-aware decode: like [`GpuModel::hw_decode`] but consults the
+    /// installed [`FaultInjector`] first. Returns `None` when the GPU has
+    /// crashed (the frame is refused); an active stall window busies the
+    /// decode engine for the remaining window before the frame's cycles.
+    pub fn hw_decode_faulted(&mut self, now: SimTime, frame: &EncodedFrame) -> Option<Reservation> {
+        if let Some(f) = &self.faults {
+            if f.crashed(now) {
+                self.stats.frames_faulted += 1;
+                return None;
+            }
+            let stall = f.stall_penalty(now);
+            if !stall.is_zero() {
+                self.stats.fault_stalls += 1;
+                let wasted = self.cpu.spec().cycles_in(stall);
+                let _ = self.cpu.reserve(now, wasted);
+            }
+        }
+        Some(self.hw_decode(now, frame))
     }
 
     /// Accepts a raw frame blitted from the host (the bus transfer is the
@@ -177,6 +215,33 @@ mod tests {
         assert_eq!(hops[0].name, "gpu.decode");
         assert_eq!(hops[0].device, 3);
         assert_eq!(hops[0].at_nanos, r.end.as_nanos());
+    }
+
+    #[test]
+    fn faulted_decode_refuses_after_crash_and_stalls_before() {
+        use hydra_sim::fault::{FaultKind, FaultPlan};
+        use hydra_sim::time::SimDuration;
+        let plan = FaultPlan::new(4)
+            .with_event(
+                SimTime::from_micros(5),
+                3,
+                FaultKind::Stall {
+                    duration: SimDuration::from_micros(30),
+                },
+            )
+            .with_event(SimTime::from_millis(1), 3, FaultKind::Crash);
+        let mut gpu = GpuModel::new();
+        gpu.install_faults(plan.injector(3));
+        let f = &frames()[0];
+        let clean = gpu.hw_decode_faulted(SimTime::ZERO, f).unwrap();
+        assert!(clean.end > clean.start);
+        let stalled = gpu.hw_decode_faulted(SimTime::from_micros(5), f).unwrap();
+        assert!(stalled.end >= SimTime::from_micros(35));
+        assert_eq!(gpu.stats().fault_stalls, 1);
+        assert!(gpu.hw_decode_faulted(SimTime::from_millis(1), f).is_none());
+        assert!(gpu.is_crashed(SimTime::from_millis(1)));
+        assert_eq!(gpu.stats().frames_faulted, 1);
+        assert_eq!(gpu.stats().frames_decoded, 2);
     }
 
     #[test]

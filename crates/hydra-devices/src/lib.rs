@@ -11,6 +11,11 @@
 //! All models follow the `hydra-hw` convention: passive accounting
 //! objects with busy-until processors, driven from a `hydra-sim` event
 //! loop by the scenario code in `hydra-tivo`.
+//!
+//! Each model optionally carries a [`hydra_sim::fault::FaultInjector`]
+//! (see `install_faults` on the NIC/GPU/disk): a deterministic,
+//! sim-time view of a `FaultPlan` that makes the device crash, stall,
+//! drop frames, or wedge descriptor-ring slots on schedule.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -15,6 +15,7 @@ use hydra_hw::irq::{CoalescePolicy, IrqCoalescer, IrqDecision};
 use hydra_hw::mem::Region;
 use hydra_hw::os::TimerModel;
 use hydra_obs::{Recorder, TraceCtx};
+use hydra_sim::fault::FaultInjector;
 use hydra_sim::time::SimTime;
 
 use crate::trace::{hop_if, DeviceTracer};
@@ -51,6 +52,10 @@ pub struct NicStats {
     pub host_dma_bytes: u64,
     /// Bytes forwarded device-to-device over the bus.
     pub peer_bytes: u64,
+    /// Frames lost to injected faults (crash or loss-burst).
+    pub rx_faulted: u64,
+    /// Injected firmware stalls absorbed by the receive path.
+    pub fault_stalls: u64,
 }
 
 /// A programmable NIC.
@@ -80,6 +85,7 @@ pub struct NicModel {
     stats: NicStats,
     rng: hydra_sim::rng::DetRng,
     tracer: Option<DeviceTracer>,
+    faults: Option<FaultInjector>,
 }
 
 impl NicModel {
@@ -94,6 +100,7 @@ impl NicModel {
             stats: NicStats::default(),
             rng: hydra_sim::rng::DetRng::new(seed ^ 0x3c98_5b00),
             tracer: None,
+            faults: None,
         }
     }
 
@@ -102,6 +109,25 @@ impl NicModel {
     /// firmware/DMA hop events.
     pub fn set_recorder(&mut self, recorder: Recorder, device: u64) {
         self.tracer = Some(DeviceTracer::new(recorder, device));
+    }
+
+    /// Installs a fault injector (the per-device view of a
+    /// [`hydra_sim::fault::FaultPlan`]); the fault-aware entry points
+    /// ([`NicModel::rx_frame`] and friends) then consult it.
+    pub fn install_faults(&mut self, injector: FaultInjector) {
+        self.faults = Some(injector);
+    }
+
+    /// Whether an injected crash has fail-stopped the NIC by `now`.
+    pub fn is_crashed(&self, now: SimTime) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.crashed(now))
+    }
+
+    /// Descriptor-ring slots wedged by injected ring-exhaustion faults at
+    /// `now` (zero without an injector). The channel layer subtracts this
+    /// from the usable ring.
+    pub fn wedged_ring_slots(&self, now: SimTime) -> usize {
+        self.faults.as_ref().map_or(0, |f| f.wedged_slots(now))
     }
 
     /// The statistics.
@@ -115,6 +141,27 @@ impl NicModel {
         self.stats.rx_frames += 1;
         let _ = bytes; // MAC cost is per frame; payload moves by DMA.
         self.cpu.reserve(now, self.costs.rx_frame)
+    }
+
+    /// Fault-aware receive: like [`NicModel::rx_process`] but consults the
+    /// installed [`FaultInjector`] first. Returns `None` when the frame is
+    /// lost — the NIC has crashed or a loss-burst is eating frames. An
+    /// active stall window busies the firmware for the remaining window
+    /// before the frame's own cycles are charged.
+    pub fn rx_frame(&mut self, now: SimTime, bytes: usize) -> Option<Reservation> {
+        if let Some(f) = &mut self.faults {
+            if f.crashed(now) || f.drop_frame(now) {
+                self.stats.rx_faulted += 1;
+                return None;
+            }
+            let stall = f.stall_penalty(now);
+            if !stall.is_zero() {
+                self.stats.fault_stalls += 1;
+                let wasted = self.cpu.spec().cycles_in(stall);
+                let _ = self.cpu.reserve(now, wasted);
+            }
+        }
+        Some(self.rx_process(now, bytes))
     }
 
     /// Processes a frame for transmission, returning the NIC CPU
@@ -378,6 +425,56 @@ mod tests {
         let (_, out) = nic.rx_process_traced(SimTime::ZERO, 64, ctx);
         assert_eq!(out, ctx, "no tracer: context passes through");
         assert_eq!(rec.snapshot().events.len(), 1);
+    }
+
+    #[test]
+    fn fault_injector_drops_and_stalls_rx() {
+        use hydra_sim::fault::{FaultKind, FaultPlan};
+        use hydra_sim::time::SimDuration;
+        let plan = FaultPlan::new(9)
+            .with_event(
+                SimTime::from_micros(10),
+                1,
+                FaultKind::LossBurst { frames: 2 },
+            )
+            .with_event(
+                SimTime::from_micros(50),
+                1,
+                FaultKind::Stall {
+                    duration: SimDuration::from_micros(40),
+                },
+            )
+            .with_event(SimTime::from_millis(1), 1, FaultKind::Crash);
+        let mut nic = NicModel::new_3c985b(8);
+        nic.install_faults(plan.injector(1));
+        // Before any fault: frames flow.
+        assert!(nic.rx_frame(SimTime::ZERO, 512).is_some());
+        // The burst eats exactly two frames.
+        assert!(nic.rx_frame(SimTime::from_micros(10), 512).is_none());
+        assert!(nic.rx_frame(SimTime::from_micros(10), 512).is_none());
+        let after_burst = nic.rx_frame(SimTime::from_micros(20), 512);
+        assert!(after_burst.is_some());
+        assert_eq!(nic.stats().rx_faulted, 2);
+        // Inside the stall window firmware pays the remaining window
+        // before the frame's own cycles.
+        let stalled = nic.rx_frame(SimTime::from_micros(50), 512).unwrap();
+        assert!(stalled.end >= SimTime::from_micros(90));
+        assert_eq!(nic.stats().fault_stalls, 1);
+        // After the crash nothing flows, ever.
+        assert!(nic.is_crashed(SimTime::from_millis(1)));
+        assert!(nic.rx_frame(SimTime::from_millis(1), 512).is_none());
+        assert!(nic.rx_frame(SimTime::from_secs(10), 512).is_none());
+    }
+
+    #[test]
+    fn faultless_nic_behaves_as_before() {
+        let mut plain = NicModel::new_3c985b(1);
+        let mut faulty = NicModel::new_3c985b(1);
+        faulty.install_faults(FaultInjector::inert(1));
+        let a = plain.rx_frame(SimTime::ZERO, 1024).unwrap();
+        let b = faulty.rx_frame(SimTime::ZERO, 1024).unwrap();
+        assert_eq!(a.end, b.end);
+        assert_eq!(plain.wedged_ring_slots(SimTime::ZERO), 0);
     }
 
     #[test]

@@ -33,12 +33,14 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use engine::{EventId, Sim};
+pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultParseError, FaultPlan};
 pub use rng::DetRng;
 pub use stats::{Histogram, Samples, Summary, TimeWeighted};
 pub use time::{SimDuration, SimTime};

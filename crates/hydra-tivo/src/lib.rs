@@ -16,6 +16,7 @@ pub mod client;
 pub mod components;
 pub mod demo;
 pub mod experiments;
+pub mod faults;
 pub mod onload;
 pub mod playback;
 pub mod server;
@@ -27,6 +28,8 @@ pub mod virtualization;
 pub use client::{run_client, ClientConfig, ClientKind, ClientRun};
 pub use components::{register_tivo_client, tivo_client_odfs, tivo_server_odfs, TivoComponent};
 pub use demo::demo_deployment;
+pub use faults::{fault_demo_odfs, fault_demo_plan, run_fault_demo};
+
 pub use experiments::{
     fig1, fig10_tab3, fig9_tab2, ilp_vs_greedy, tab4_client, ClientResults, Fig1, IlpResults,
     JitterResults, ServerSideResults, SuiteConfig,

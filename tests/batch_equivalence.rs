@@ -12,7 +12,7 @@
 
 use bytes::Bytes;
 use hydra::core::channel::{
-    Buffering, ChannelConfig, ChannelExecutive, Reliability, SyncPolicy, Transport,
+    Buffering, ChannelConfig, ChannelExecutive, Reliability, RetryPolicy, SyncPolicy, Transport,
 };
 use hydra::core::device::DeviceId;
 use hydra::sim::time::SimTime;
@@ -34,6 +34,7 @@ fn config(reliable: bool, zero_copy: bool, capacity: usize, target: usize) -> Ch
         },
         capacity,
         target: DeviceId(target),
+        retry: RetryPolicy::none(),
     }
 }
 

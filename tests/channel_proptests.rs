@@ -3,7 +3,8 @@
 
 use bytes::Bytes;
 use hydra::core::channel::{
-    Buffering, ChannelConfig, ChannelError, ChannelExecutive, Reliability, SyncPolicy, Transport,
+    Buffering, ChannelConfig, ChannelError, ChannelExecutive, Reliability, RetryPolicy, SyncPolicy,
+    Transport,
 };
 use hydra::core::device::DeviceId;
 use hydra::sim::time::SimTime;
@@ -40,6 +41,7 @@ fn config(
         },
         capacity,
         target: DeviceId(target),
+        retry: RetryPolicy::none(),
     }
 }
 

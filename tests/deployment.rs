@@ -368,7 +368,9 @@ fn migration_to_incompatible_device_is_rejected() {
     // The smart disk is not in the ODF's target classes.
     assert!(matches!(
         rt.migrate(id, DeviceId(2), SimTime::ZERO),
-        Err(RuntimeError::Rejected(_))
+        Err(RuntimeError::Migrate(
+            hydra::core::error::MigrateError::IncompatibleTarget { .. }
+        ))
     ));
     // Still deployed and functional at the original site.
     assert_eq!(rt.device_of(id), Some(DeviceId(1)));
@@ -387,7 +389,9 @@ fn non_migratable_offcodes_stay_put() {
     let id = rt.create_offcode(Guid(1), SimTime::ZERO).expect("deploys");
     assert!(matches!(
         rt.migrate(id, DeviceId(1), SimTime::ZERO),
-        Err(RuntimeError::Rejected(_))
+        Err(RuntimeError::Migrate(
+            hydra::core::error::MigrateError::NotMigratable { .. }
+        ))
     ));
     assert!(rt.device_of(id).is_some(), "untouched on refusal");
 }

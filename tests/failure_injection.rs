@@ -327,3 +327,187 @@ fn switch_overload_drops_are_bounded_and_counted() {
     assert_eq!(sw.stats().dropped, 92);
     assert_eq!(sw.stats().forwarded, 8);
 }
+
+// ---------------------------------------------------------------------------
+// Fault-plan injection and automatic recovery (PR 5).
+
+/// Two runs of the same committed fault schedule must be byte-identical:
+/// same recovery JSON, same metrics snapshot, same trace export. This is
+/// the property the CI faults-gate diffs.
+#[test]
+fn fault_schedule_replay_is_deterministic() {
+    use hydra::tivo::faults::{fault_demo_plan, run_fault_demo};
+    let plan = fault_demo_plan();
+    let (rt_a, json_a) = run_fault_demo(&plan);
+    let (rt_b, json_b) = run_fault_demo(&plan);
+    assert_eq!(json_a, json_b, "recovery reports diverge");
+    assert_eq!(
+        rt_a.metrics_snapshot().to_json(),
+        rt_b.metrics_snapshot().to_json(),
+        "metrics snapshots diverge"
+    );
+    assert_eq!(
+        rt_a.trace_export(),
+        rt_b.trace_export(),
+        "trace exports diverge"
+    );
+    // The committed fixture is this plan's canonical rendering: parsing it
+    // back must replay identically.
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/fixtures/faults/nic_crash.faults"
+    ))
+    .expect("fixture exists");
+    let parsed = hydra::sim::fault::FaultPlan::parse(&text).expect("fixture parses");
+    assert_eq!(parsed, plan, "fixture drifted from fault_demo_plan()");
+    let (_, json_c) = run_fault_demo(&parsed);
+    assert_eq!(json_a, json_c);
+}
+
+mod gang_recovery {
+    use bytes::Bytes;
+    use hydra::core::device::{DeviceDescriptor, DeviceId, DeviceRegistry};
+    use hydra::core::error::RuntimeError;
+    use hydra::core::offcode::{Offcode, OffcodeCtx};
+    use hydra::core::runtime::{Runtime, RuntimeConfig};
+    use hydra::odf::odf::{class_ids, ConstraintKind, DeviceClassSpec, Guid, Import, OdfDocument};
+    use hydra::sim::time::SimTime;
+
+    fn class(id: u32) -> DeviceClassSpec {
+        DeviceClassSpec {
+            id,
+            name: format!("class-{id}"),
+            bus: None,
+            mac: None,
+            vendor: None,
+        }
+    }
+
+    #[derive(Debug)]
+    struct Snap {
+        guid: Guid,
+        name: &'static str,
+    }
+
+    impl Offcode for Snap {
+        fn guid(&self) -> Guid {
+            self.guid
+        }
+        fn bind_name(&self) -> &str {
+            self.name
+        }
+        fn handle_call(
+            &mut self,
+            _ctx: &mut OffcodeCtx,
+            _call: &hydra::core::call::Call,
+        ) -> Result<hydra::core::call::Value, RuntimeError> {
+            Ok(hydra::core::call::Value::Unit)
+        }
+        fn snapshot(&self) -> Option<Bytes> {
+            Some(Bytes::from_static(b"s"))
+        }
+        fn restore(&mut self, _state: Bytes) -> Result<(), RuntimeError> {
+            Ok(())
+        }
+    }
+
+    fn registry() -> DeviceRegistry {
+        let mut reg = DeviceRegistry::new();
+        reg.install(DeviceDescriptor::programmable_nic()); // dev1
+        reg.install(DeviceDescriptor::gpu()); // dev2
+        reg
+    }
+
+    fn deploy_pair(a_classes: &[u32]) -> Runtime {
+        let mut rt = Runtime::new(registry(), RuntimeConfig::default());
+        let mut a = OdfDocument::new("test.A", Guid(1)).with_import(Import {
+            file: String::new(),
+            bind_name: "test.B".into(),
+            guid: Guid(2),
+            constraint: ConstraintKind::Gang,
+            priority: 0,
+        });
+        for c in a_classes {
+            a = a.with_target(class(*c));
+        }
+        let b = OdfDocument::new("test.B", Guid(2)).with_target(class(class_ids::GPU));
+        rt.register_offcode(a, || {
+            Box::new(Snap {
+                guid: Guid(1),
+                name: "test.A",
+            })
+        })
+        .expect("fresh depot");
+        rt.register_offcode(b, || {
+            Box::new(Snap {
+                guid: Guid(2),
+                name: "test.B",
+            })
+        })
+        .expect("fresh depot");
+        rt.create_offcode(Guid(1), SimTime::ZERO).expect("deploys");
+        rt
+    }
+
+    /// Gang-constrained recovery, offload reachable: the Gang edge means
+    /// "both offloaded, or neither" (layout eq. 3). When the NIC dies but
+    /// the displaced Offcode can also run on the GPU, it follows its
+    /// partner into offload instead of dragging the gang to the host.
+    #[test]
+    fn gang_partner_follows_to_surviving_device() {
+        let mut rt = deploy_pair(&[class_ids::NETWORK, class_ids::GPU]);
+        let a = rt.get_offcode(Guid(1)).expect("deployed");
+        let b = rt.get_offcode(Guid(2)).expect("deployed");
+        // Pin the interesting shape: a on the NIC, b offloaded on the GPU.
+        if rt.device_of(a) != Some(DeviceId(1)) {
+            rt.migrate(a, DeviceId(1), SimTime::from_millis(1))
+                .expect("a fits on the NIC");
+        }
+        assert_eq!(rt.device_of(b), Some(DeviceId(2)), "b offloaded on GPU");
+        let report = rt
+            .on_device_failure(DeviceId(1), SimTime::from_millis(5))
+            .expect("recovers");
+        let a2 = rt.get_offcode(Guid(1)).expect("a survived");
+        let b2 = rt.get_offcode(Guid(2)).expect("b survived");
+        assert_eq!(
+            rt.device_of(a2),
+            Some(DeviceId(2)),
+            "a follows its gang partner onto the surviving GPU"
+        );
+        assert_eq!(rt.device_of(b2), Some(DeviceId(2)), "b never moved");
+        assert!(report.constraints_ok, "achieved layout satisfies the ODFs");
+        assert_eq!(
+            rt.metrics_snapshot().counter_total("recover.migrations"),
+            report.displaced.len() as u64,
+            "every displaced offcode is accounted as a migration"
+        );
+        assert_eq!(report.host_fallbacks, 0, "nobody degraded to the host");
+    }
+
+    /// Gang-constrained recovery, offload unreachable: a NETWORK-only
+    /// Offcode can land nowhere but the host once the NIC dies, and the
+    /// Gang edge drags its partner off the (healthy!) GPU down with it.
+    #[test]
+    fn gang_falls_back_to_host_together() {
+        let mut rt = deploy_pair(&[class_ids::NETWORK]);
+        let a = rt.get_offcode(Guid(1)).expect("deployed");
+        let b = rt.get_offcode(Guid(2)).expect("deployed");
+        let home = rt.device_of(a).expect("live");
+        assert_eq!(home, DeviceId(1), "NETWORK-only a sits on the NIC");
+        assert_eq!(rt.device_of(b), Some(DeviceId(2)), "b offloaded on GPU");
+        let report = rt
+            .on_device_failure(home, SimTime::from_millis(5))
+            .expect("recovers");
+        let a2 = rt.get_offcode(Guid(1)).expect("a survived");
+        let b2 = rt.get_offcode(Guid(2)).expect("b survived");
+        assert_eq!(rt.device_of(a2), Some(DeviceId::HOST));
+        assert_eq!(
+            rt.device_of(b2),
+            Some(DeviceId::HOST),
+            "the gang constraint drags b down with a"
+        );
+        assert!(report.constraints_ok);
+        assert!(report.host_fallbacks >= 2);
+        assert!(rt.audit_connections().is_empty());
+    }
+}
