@@ -15,7 +15,7 @@
 use std::env;
 use std::process::ExitCode;
 
-use hydra_bench::{channel_bench, lint};
+use hydra_bench::{channel_bench, engine_bench, lint};
 use hydra_sim::time::SimDuration;
 use hydra_tivo::demo::demo_deployment;
 use hydra_tivo::experiments::{
@@ -49,7 +49,7 @@ const SELECTORS: &[(&str, &str)] = &[
     ),
     (
         "bench",
-        "channel data-path benchmark report (BENCH_channel.json)",
+        "bench [channel|engine]: benchmark report JSON (BENCH_*.json)",
     ),
     (
         "lint",
@@ -143,6 +143,37 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    // `bench [channel|engine]` is its own sub-command: the report JSON
+    // goes to stdout with no banner, ready to redirect into the
+    // committed `BENCH_channel.json` / `BENCH_engine.json`. Plain
+    // `bench` keeps its historical meaning (the channel report).
+    if selected.first() == Some(&"bench") {
+        return match &selected[1..] {
+            [] | ["channel"] => {
+                print!(
+                    "{}",
+                    channel_bench::render_json(&channel_bench::run_channel_bench())
+                );
+                ExitCode::SUCCESS
+            }
+            ["engine"] => {
+                print!(
+                    "{}",
+                    engine_bench::render_json(&engine_bench::run_engine_bench())
+                );
+                ExitCode::SUCCESS
+            }
+            _ => {
+                eprintln!(
+                    "repro: unknown bench selector '{}'\n",
+                    selected[1..].join(" ")
+                );
+                eprint!("{}", usage());
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let known = |name: &str| SELECTORS.iter().any(|(s, _)| *s == name);
     if let Some(bad) = selected.iter().find(|s| !known(s)) {
         eprintln!("repro: unknown selector '{bad}'\n");
@@ -151,18 +182,10 @@ fn main() -> ExitCode {
     }
     let want = |name: &str| selected.is_empty() || selected.contains(&name);
 
-    // `trace` and `bench` alone emit pure JSON on stdout — no banner, no
-    // prose — so the output pipes straight into a .json file (Perfetto
-    // for the trace, BENCH_channel.json for the bench report).
+    // `trace` alone emits pure JSON on stdout — no banner, no prose —
+    // so the output pipes straight into a .json file for Perfetto.
     if selected == ["trace"] {
         println!("{}", demo_deployment().trace_export());
-        return ExitCode::SUCCESS;
-    }
-    if selected == ["bench"] {
-        print!(
-            "{}",
-            channel_bench::render_json(&channel_bench::run_channel_bench())
-        );
         return ExitCode::SUCCESS;
     }
 
@@ -253,6 +276,23 @@ fn main() -> ExitCode {
                 r.ns_per_message
             );
         }
+        println!();
+        println!("Engine core — calendar queue vs binary heap (wall clock)");
+        let eng = engine_bench::run_engine_bench();
+        for h in &eng.hold {
+            println!(
+                "  {:<16} {} ops @ {} pending: {} events/s",
+                h.name,
+                h.ops,
+                h.pending,
+                h.wall_events_per_sec()
+            );
+        }
+        println!(
+            "  speedup x100: {} (demo batched path: {} ns/msg)",
+            eng.wall_speedup_x100(),
+            eng.demo.wall_ns_per_message()
+        );
         println!();
     }
     if want("metrics") || want("trace") {

@@ -18,6 +18,8 @@ use hydra_obs::{MetricsSnapshot, Recorder};
 use hydra_sim::time::SimTime;
 use hydra_tivo::demo::demo_deployment;
 
+use crate::report::{self, num, text, Report};
+
 /// Messages pushed through the channel per scenario.
 pub const MESSAGES: usize = 512;
 
@@ -102,31 +104,33 @@ fn run_scenario(batch_size: usize) -> BenchResult {
     }
 }
 
-/// Renders the results as the `BENCH_channel.json` report: stable key
-/// order, no floats, so two runs are byte-identical.
+/// Renders the results as the `BENCH_channel.json` report through the
+/// shared [`crate::report`] serializer: `"schema": 1`, stable key order,
+/// no floats, so two runs are byte-identical. Every field here is
+/// sim-time — the channel bench has no `wall_` lines at all.
 pub fn render_json(results: &[BenchResult]) -> String {
-    let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"channel\",\n");
-    out.push_str(&format!(
-        "  \"config\": {{\"messages\": {MESSAGES}, \"bytes_per_message\": {MSG_BYTES}}},\n"
-    ));
-    out.push_str("  \"scenarios\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"batch_size\": {}, \"messages\": {}, \"bytes\": {}, \
-             \"elapsed_ns\": {}, \"throughput_bytes_per_sec\": {}, \"ns_per_message\": {}}}{}\n",
-            r.name,
-            r.batch_size,
-            r.messages,
-            r.bytes,
-            r.elapsed_ns,
-            r.throughput_bytes_per_sec,
-            r.ns_per_message,
-            if i + 1 == results.len() { "" } else { "," }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
+    let rep = Report {
+        bench: "channel",
+        config: vec![
+            num("messages", MESSAGES as u64),
+            num("bytes_per_message", MSG_BYTES as u64),
+        ],
+        scenarios: results
+            .iter()
+            .map(|r| {
+                vec![
+                    text("name", &r.name),
+                    num("batch_size", r.batch_size as u64),
+                    num("messages", r.messages as u64),
+                    num("bytes", r.bytes),
+                    num("elapsed_ns", r.elapsed_ns),
+                    num("throughput_bytes_per_sec", r.throughput_bytes_per_sec),
+                    num("ns_per_message", r.ns_per_message),
+                ]
+            })
+            .collect(),
+    };
+    report::render(&rep)
 }
 
 /// Re-expresses the results as a [`MetricsSnapshot`] (scenario name as

@@ -15,7 +15,9 @@
 #![warn(missing_docs)]
 
 pub mod channel_bench;
+pub mod engine_bench;
 pub mod lint;
+pub mod report;
 
 use hydra_sim::time::SimDuration;
 use hydra_tivo::experiments::SuiteConfig;

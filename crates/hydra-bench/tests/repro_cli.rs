@@ -37,8 +37,64 @@ fn bench_alone_emits_pure_deterministic_json() {
     assert!(a.status.success());
     let text = String::from_utf8(a.stdout.clone()).unwrap();
     assert!(text.starts_with('{'), "no banner before the JSON");
+    assert!(text.contains("\"schema\": 1"));
     assert!(text.contains("\"bench\": \"channel\""));
     assert!(text.contains("\"name\": \"batch8\""));
     let b = repro(&["bench"]);
     assert_eq!(a.stdout, b.stdout, "byte-identical across runs");
+}
+
+#[test]
+fn bench_channel_subselector_matches_bare_bench() {
+    let bare = repro(&["bench"]);
+    let explicit = repro(&["bench", "channel"]);
+    assert!(explicit.status.success());
+    assert_eq!(
+        bare.stdout, explicit.stdout,
+        "`bench` and `bench channel` are the same report"
+    );
+}
+
+#[test]
+fn bench_engine_emits_json_with_stable_sim_fields() {
+    let a = repro(&["bench", "engine"]);
+    assert!(a.status.success());
+    let text = String::from_utf8(a.stdout.clone()).unwrap();
+    assert!(text.starts_with('{'), "no banner before the JSON");
+    assert!(text.contains("\"schema\": 1"));
+    assert!(text.contains("\"bench\": \"engine\""));
+    assert!(text.contains("\"name\": \"churn_calendar\""));
+    assert!(
+        text.contains("\"wall_elapsed_ns\""),
+        "wall-clock fields carry the wall_ prefix"
+    );
+    // Wall-clock lines differ run to run; everything else must not.
+    let b = repro(&["bench", "engine"]);
+    let sim_only = |bytes: &[u8]| -> String {
+        let mut out = String::new();
+        for l in String::from_utf8(bytes.to_vec())
+            .unwrap()
+            .lines()
+            .filter(|l| !l.contains("\"wall_"))
+        {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    };
+    assert_eq!(
+        sim_only(&a.stdout),
+        sim_only(&b.stdout),
+        "sim fields byte-identical across runs"
+    );
+}
+
+#[test]
+fn unknown_bench_subselector_exits_nonzero_with_usage() {
+    let out = repro(&["bench", "no-such-bench"]);
+    assert!(!out.status.success(), "unknown bench selector must fail");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown bench selector 'no-such-bench'"));
+    assert!(err.contains("usage: repro"), "usage goes to stderr");
+    assert!(out.stdout.is_empty(), "nothing on stdout on failure");
 }

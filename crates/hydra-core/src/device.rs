@@ -12,8 +12,12 @@ use hydra_link::linker::ExportTable;
 use hydra_odf::odf::{class_ids, DeviceClassSpec};
 
 /// Identifier of an installed device. Id 0 is always the host CPU.
+///
+/// Dense `u32` ids: device tables throughout the runtime are plain
+/// `Vec`s indexed by [`DeviceId::idx`], so the send/recv hot path does
+/// array indexing instead of hash lookups.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct DeviceId(pub usize);
+pub struct DeviceId(pub u32);
 
 impl DeviceId {
     /// The host CPU pseudo-device.
@@ -22,6 +26,11 @@ impl DeviceId {
     /// True for the host pseudo-device.
     pub fn is_host(&self) -> bool {
         self.0 == 0
+    }
+
+    /// The id as a `Vec` index into device-side tables.
+    pub const fn idx(self) -> usize {
+        self.0 as usize
     }
 }
 
@@ -171,7 +180,7 @@ impl DeviceRegistry {
 
     /// Installs a device, returning its id.
     pub fn install(&mut self, device: DeviceDescriptor) -> DeviceId {
-        let id = DeviceId(self.devices.len());
+        let id = DeviceId(self.devices.len() as u32);
         self.devices.push(device);
         id
     }
@@ -192,7 +201,7 @@ impl DeviceRegistry {
     ///
     /// Panics if the id is not installed.
     pub fn get(&self, id: DeviceId) -> &DeviceDescriptor {
-        &self.devices[id.0]
+        &self.devices[id.idx()]
     }
 
     /// Iterates over `(id, descriptor)` pairs.
@@ -200,7 +209,7 @@ impl DeviceRegistry {
         self.devices
             .iter()
             .enumerate()
-            .map(|(i, d)| (DeviceId(i), d))
+            .map(|(i, d)| (DeviceId(i as u32), d))
     }
 
     /// Devices matching any of the given class specs, in registry order.
@@ -345,7 +354,7 @@ mod tests {
             for (i, d) in reg.iter() {
                 assert_eq!(
                     d.matches(spec),
-                    table.devices[i.0].matches(spec),
+                    table.devices[i.idx()].matches(spec),
                     "divergent matching for {spec:?} on device {i:?}"
                 );
             }

@@ -165,7 +165,7 @@ pub enum RuntimeError {
     /// No Offcode with this GUID is registered in the depot.
     NotInDepot(Guid),
     /// The referenced deployed instance does not exist.
-    NoSuchInstance(u64),
+    NoSuchInstance(u32),
     /// An Offcode rejected an operation.
     Rejected(String),
     /// An Offcode does not implement the requested operation.

@@ -118,7 +118,7 @@ impl HealthMonitor {
     /// Record a heartbeat from `device` at `now`. Clears Suspect back to
     /// Healthy; Failed is sticky and ignores late beats.
     pub fn beat(&mut self, device: DeviceId, now: SimTime) {
-        let Some(track) = self.tracks.get_mut(device.0) else {
+        let Some(track) = self.tracks.get_mut(device.idx()) else {
             return;
         };
         if track.state == DeviceHealth::Failed {
@@ -151,7 +151,7 @@ impl HealthMonitor {
             };
             if next != track.state {
                 out.push(HealthTransition {
-                    device: DeviceId(idx),
+                    device: DeviceId(idx as u32),
                     from: track.state,
                     to: next,
                     missed,
@@ -167,7 +167,7 @@ impl HealthMonitor {
     #[must_use]
     pub fn state(&self, device: DeviceId) -> DeviceHealth {
         self.tracks
-            .get(device.0)
+            .get(device.idx())
             .map_or(DeviceHealth::Healthy, |t| t.state)
     }
 
@@ -177,7 +177,7 @@ impl HealthMonitor {
         if device.0 == 0 {
             return;
         }
-        if let Some(track) = self.tracks.get_mut(device.0) {
+        if let Some(track) = self.tracks.get_mut(device.idx()) {
             track.state = DeviceHealth::Failed;
         }
     }

@@ -214,7 +214,7 @@ impl LayoutGraph {
             ));
         }
         for node in &mut self.nodes {
-            if let Some(slot) = node.compat.get_mut(device.0) {
+            if let Some(slot) = node.compat.get_mut(device.idx()) {
                 *slot = false;
             }
         }
@@ -232,7 +232,7 @@ impl LayoutGraph {
     pub fn pin_node(&mut self, n: NodeIdx, device: DeviceId) {
         let node = &mut self.nodes[n.0];
         for (k, slot) in node.compat.iter_mut().enumerate() {
-            *slot = k == 0 || k == device.0;
+            *slot = k == 0 || k == device.idx();
         }
     }
 
@@ -343,7 +343,7 @@ impl LayoutGraph {
         }
         for (n, node) in self.nodes.iter().enumerate() {
             let dev = placement.0[n];
-            if dev.0 >= node.compat.len() || !node.compat[dev.0] {
+            if dev.idx() >= node.compat.len() || !node.compat[dev.idx()] {
                 return Err(LayoutError::Violation(format!(
                     "{} cannot run on {dev}",
                     node.bind_name
@@ -568,7 +568,7 @@ impl LayoutGraph {
             for (k, v) in row.iter().enumerate() {
                 if let Some(v) = v {
                     if sol.is_set(*v) {
-                        chosen = DeviceId(k);
+                        chosen = DeviceId(k as u32);
                         break;
                     }
                 }
@@ -615,13 +615,13 @@ impl LayoutGraph {
                 if node.price > remaining[k] {
                     continue;
                 }
-                if self.greedy_compatible(n, DeviceId(k), &devices) {
-                    chosen = DeviceId(k);
+                if self.greedy_compatible(n, DeviceId(k as u32), &devices) {
+                    chosen = DeviceId(k as u32);
                     break;
                 }
             }
             if !chosen.is_host() {
-                remaining[chosen.0] -= node.price;
+                remaining[chosen.idx()] -= node.price;
             } else if !self.greedy_compatible(n, DeviceId::HOST, &devices) {
                 // Host conflicts with a placed neighbour (e.g. Gang with an
                 // offloaded peer). Leave on host anyway: greedy is a

@@ -24,8 +24,22 @@ use crate::device::DeviceId;
 use crate::error::RuntimeError;
 
 /// Identifier of a deployed Offcode instance.
+///
+/// Dense `u32` ids, handed out monotonically starting at 1 (never
+/// reused — instance ids appear in traces and dispatch results). The
+/// runtime's instance table is a `Vec` indexed by [`OffcodeId::idx`],
+/// so the invoke/pump hot path does array indexing instead of hash
+/// lookups; `Guid` survives only at the API boundary (depot, ODF,
+/// verify).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct OffcodeId(pub u64);
+pub struct OffcodeId(pub u32);
+
+impl OffcodeId {
+    /// The id as a `Vec` index into instance-side tables.
+    pub const fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
 
 impl fmt::Display for OffcodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -162,7 +162,7 @@ impl Offcode for RuntimeInfoOffcode {
         self.calls_served += 1;
         match call.operation.as_str() {
             "version" => Ok(Value::Str("hydra-0.1 (ASPLOS'08 reproduction)".into())),
-            "device" => Ok(Value::U64(ctx.device().0 as u64)),
+            "device" => Ok(Value::U64(u64::from(ctx.device().0))),
             "calls_served" => Ok(Value::U64(self.calls_served)),
             other => Err(RuntimeError::UnknownOperation(other.to_owned())),
         }

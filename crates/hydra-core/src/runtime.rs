@@ -158,14 +158,22 @@ pub struct Runtime {
     executive: ChannelExecutive,
     resources: ResourceManager,
     app_root: ResourceId,
+    // The Guid-keyed maps below are the API boundary (depot, ODF,
+    // verify); everything on the invoke/pump hot path uses dense
+    // integer ids into the Vec tables that follow.
     depot: HashMap<Guid, DepotEntry>,
     bind_names: HashMap<String, Guid>,
-    instances: HashMap<OffcodeId, Instance>,
+    /// Instance table indexed by [`OffcodeId::idx`]. Ids are handed out
+    /// monotonically from 1 (slot 0 is permanently empty); teardown
+    /// retires a slot without recycling it.
+    instances: Vec<Option<Instance>>,
     deployed_by_guid: HashMap<Guid, OffcodeId>,
     allocators: Vec<DeviceMemoryAllocator>,
-    connections: HashMap<ChannelId, Vec<(usize, OffcodeId)>>,
-    device_work: HashMap<DeviceId, Cycles>,
-    next_offcode: u64,
+    /// Receiver bindings per channel, indexed by [`ChannelId::idx`].
+    connections: Vec<Option<Vec<(usize, OffcodeId)>>>,
+    /// Cycles charged per device, indexed by [`DeviceId::idx`].
+    device_work: Vec<Cycles>,
+    next_offcode: u32,
     recorder: Recorder,
     health: HealthMonitor,
     injectors: Vec<Option<FaultInjector>>,
@@ -194,6 +202,31 @@ pub struct RecoveryReport {
 }
 
 impl Runtime {
+    fn instance(&self, id: OffcodeId) -> Option<&Instance> {
+        self.instances.get(id.idx()).and_then(Option::as_ref)
+    }
+
+    fn instance_mut(&mut self, id: OffcodeId) -> Option<&mut Instance> {
+        self.instances.get_mut(id.idx()).and_then(Option::as_mut)
+    }
+
+    /// Live instances in ascending id order.
+    fn iter_instances(&self) -> impl Iterator<Item = (OffcodeId, &Instance)> {
+        self.instances
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|inst| (OffcodeId(i as u32), inst)))
+    }
+
+    /// The (possibly fresh) binding list of a channel.
+    fn connections_entry(&mut self, chan: ChannelId) -> &mut Vec<(usize, OffcodeId)> {
+        let i = chan.idx();
+        if self.connections.len() <= i {
+            self.connections.resize_with(i + 1, || None);
+        }
+        self.connections[i].get_or_insert_with(Vec::new)
+    }
+
     /// Creates a runtime over a set of installed devices.
     pub fn new(devices: DeviceRegistry, config: RuntimeConfig) -> Self {
         let mut resources = ResourceManager::new();
@@ -216,11 +249,11 @@ impl Runtime {
             app_root,
             depot: HashMap::new(),
             bind_names: HashMap::new(),
-            instances: HashMap::new(),
+            instances: vec![None], // ids start at 1; slot 0 stays empty
             deployed_by_guid: HashMap::new(),
+            device_work: vec![Cycles::ZERO; allocators.len()],
             allocators,
-            connections: HashMap::new(),
-            device_work: HashMap::new(),
+            connections: Vec::new(),
             next_offcode: 1,
             recorder,
             health,
@@ -262,11 +295,12 @@ impl Runtime {
     pub fn pulse(&mut self, now: SimTime) -> Result<Vec<RecoveryReport>, RuntimeError> {
         for k in 1..self.injectors.len() {
             let crashed = self.injectors[k].as_ref().is_some_and(|f| f.crashed(now));
+            let device = DeviceId(k as u32);
             if crashed {
                 self.recorder
-                    .counter_incr("fault.heartbeat_missed", &DeviceId(k).to_string());
+                    .counter_incr("fault.heartbeat_missed", &device.to_string());
             } else {
-                self.health.beat(DeviceId(k), now);
+                self.health.beat(device, now);
             }
         }
         for chan in self.executive.ids() {
@@ -275,7 +309,7 @@ impl Runtime {
             };
             let wedged = self
                 .injectors
-                .get(target.0)
+                .get(target.idx())
                 .and_then(Option::as_ref)
                 .map_or(0, |f| f.wedged_slots(now));
             if wedged > 0 {
@@ -398,30 +432,27 @@ impl Runtime {
 
     /// The device hosting a deployed instance.
     pub fn device_of(&self, id: OffcodeId) -> Option<DeviceId> {
-        self.instances.get(&id).map(|i| i.device)
+        self.instance(id).map(|i| i.device)
     }
 
-    /// Public deployment records, ordered by instance id.
+    /// Public deployment records, ordered by instance id (the table's
+    /// natural order).
     pub fn deployments(&self) -> Vec<Deployment> {
-        let mut v: Vec<Deployment> = self
-            .instances
-            .iter()
-            .map(|(&id, inst)| Deployment {
+        self.iter_instances()
+            .map(|(id, inst)| Deployment {
                 id,
                 device: inst.device,
                 state: inst.state,
                 oob: inst.oob,
                 plan: inst.plan,
             })
-            .collect();
-        v.sort_by_key(|d| d.id);
-        v
+            .collect()
     }
 
     /// Cycles charged per device so far.
     pub fn device_work(&self, device: DeviceId) -> Cycles {
         self.device_work
-            .get(&device)
+            .get(device.idx())
             .copied()
             .unwrap_or(Cycles::ZERO)
     }
@@ -651,7 +682,7 @@ impl Runtime {
             let device = placement.0[n];
             let id = self.deploy_one(g, device, Some((link_span, now)))?;
             created.push(id);
-            let plan = self.instances[&id].plan;
+            let plan = self.instance(id).expect("just deployed").plan;
             self.recorder
                 .add_span_work(link_span, plan.host_work_units + plan.device_work_units);
         }
@@ -688,12 +719,12 @@ impl Runtime {
         let attempt = match self.config.load_strategy {
             LoadStrategy::HostSideLink => load_host_side(
                 std::slice::from_ref(&object),
-                &mut self.allocators[device.0],
+                &mut self.allocators[device.idx()],
                 &exports,
             ),
             LoadStrategy::DeviceSideLink => load_device_side(
                 std::slice::from_ref(&object),
-                &mut self.allocators[device.0],
+                &mut self.allocators[device.idx()],
                 &exports,
             ),
         };
@@ -715,8 +746,11 @@ impl Runtime {
                 let offcode = (entry.factory)();
                 let object = offcode.object_file();
                 let exports = self.devices.get(DeviceId::HOST).exports.clone();
-                let (image, plan) =
-                    load_host_side(&[object], &mut self.allocators[DeviceId::HOST.0], &exports)?;
+                let (image, plan) = load_host_side(
+                    &[object],
+                    &mut self.allocators[DeviceId::HOST.idx()],
+                    &exports,
+                )?;
                 (DeviceId::HOST, offcode, image, plan)
             }
             Err(e) => return Err(e.into()),
@@ -775,32 +809,29 @@ impl Runtime {
             .expect("channel just created")
             .connect_endpoint()
             .expect("first endpoint");
-        self.connections.entry(oob).or_default().push((ep, id));
+        self.connections_entry(oob).push((ep, id));
         self.resources
             .register(ResourceKind::Channel, &format!("{bind_name}.oob"), resource)
             .expect("offcode resource is live");
 
-        self.instances.insert(
-            id,
-            Instance {
-                offcode,
-                guid,
-                device,
-                state: Lifecycle::Loaded,
-                oob,
-                resource,
-                plan,
-                image,
-            },
-        );
+        debug_assert_eq!(self.instances.len(), id.idx(), "ids are monotonic");
+        self.instances.push(Some(Instance {
+            offcode,
+            guid,
+            device,
+            state: Lifecycle::Loaded,
+            oob,
+            resource,
+            plan,
+            image,
+        }));
         self.deployed_by_guid.insert(guid, id);
         Ok(id)
     }
 
     fn run_phase(&mut self, id: OffcodeId, now: SimTime, phase: Phase) -> Result<(), RuntimeError> {
         let inst = self
-            .instances
-            .get_mut(&id)
+            .instance_mut(id)
             .ok_or(RuntimeError::NoSuchInstance(id.0))?;
         let expected = match phase {
             Phase::Initialize => Lifecycle::Loaded,
@@ -832,7 +863,7 @@ impl Runtime {
     }
 
     fn book_work(&mut self, device: DeviceId, work: Cycles) {
-        *self.device_work.entry(device).or_insert(Cycles::ZERO) += work;
+        self.device_work[device.idx()] += work;
     }
 
     fn deliver_outbox(&mut self, outbox: Vec<(ChannelId, Bytes)>, now: SimTime) {
@@ -866,10 +897,11 @@ impl Runtime {
         channel: ChannelId,
         id: OffcodeId,
     ) -> Result<(), RuntimeError> {
-        let Some(inst) = self.instances.get(&id) else {
+        let Some(inst) = self.instance(id) else {
             return Err(RuntimeError::NoSuchInstance(id.0));
         };
         let device = inst.device;
+        let resource = inst.resource;
         let ch = self
             .executive
             .get_mut(channel)
@@ -881,8 +913,7 @@ impl Runtime {
             )));
         }
         let ep = ch.connect_endpoint()?;
-        self.connections.entry(channel).or_default().push((ep, id));
-        let resource = self.instances[&id].resource;
+        self.connections_entry(channel).push((ep, id));
         self.resources
             .register(ResourceKind::Channel, &format!("{channel}"), resource)
             .expect("instance resource is live");
@@ -943,8 +974,7 @@ impl Runtime {
         now: SimTime,
     ) -> Result<Value, RuntimeError> {
         let inst = self
-            .instances
-            .get_mut(&id)
+            .instance_mut(id)
             .ok_or(RuntimeError::NoSuchInstance(id.0))?;
         if inst.state != Lifecycle::Started {
             return Err(RuntimeError::BadState("offcode not started"));
@@ -966,9 +996,13 @@ impl Runtime {
         let mut results = Vec::new();
         for _round in 0..64 {
             let mut progressed = false;
-            let channels: Vec<ChannelId> = self.connections.keys().copied().collect();
-            for chan in channels {
-                let bindings = self.connections[&chan].clone();
+            // Sweep the dense connection table in ascending channel-id
+            // order (invokes cannot add channels mid-round).
+            for ci in 0..self.connections.len() {
+                let Some(bindings) = self.connections[ci].clone() else {
+                    continue;
+                };
+                let chan = ChannelId(ci as u32);
                 for (ep, id) in bindings {
                     while let Some(msg) =
                         self.executive.get_mut(chan).and_then(|ch| ch.recv(now, ep))
@@ -1027,8 +1061,7 @@ impl Runtime {
         now: SimTime,
     ) -> Result<OffcodeId, RuntimeError> {
         let inst = self
-            .instances
-            .get(&id)
+            .instance(id)
             .ok_or(RuntimeError::NoSuchInstance(id.0))?;
         let guid = inst.guid;
         let bind_name = self.depot[&guid].odf.bind_name.clone();
@@ -1038,7 +1071,7 @@ impl Runtime {
         // Validate the target against the ODF's device classes.
         let odf = &self.depot[&guid].odf;
         let compat = self.devices.compatibility(&odf.targets);
-        if target.0 >= compat.len() || !compat[target.0] {
+        if target.idx() >= compat.len() || !compat[target.idx()] {
             return Err(MigrateError::IncompatibleTarget { bind_name, target }.into());
         }
         if let Err(detail) = self.precheck_migration_capacity(guid, target) {
@@ -1089,7 +1122,7 @@ impl Runtime {
         state: Bytes,
         now: SimTime,
     ) -> Result<(), (MigrateLeg, String)> {
-        let inst = self.instances.get_mut(&id).expect("just registered");
+        let inst = self.instance_mut(id).expect("just registered");
         inst.offcode
             .restore(state)
             .map_err(|e| (MigrateLeg::Restore, e.to_string()))?;
@@ -1148,8 +1181,8 @@ impl Runtime {
         }
         let entry = &self.depot[&guid];
         let full = self.devices.verify_table();
-        let mut target_info = full.devices[target.0].clone();
-        target_info.offcode_memory = self.allocators[target.0].available();
+        let mut target_info = full.devices[target.idx()].clone();
+        target_info.offcode_memory = self.allocators[target.idx()].available();
         let table = hydra_verify::DeviceTable {
             devices: vec![full.devices[0].clone(), target_info],
         };
@@ -1199,12 +1232,12 @@ impl Runtime {
         let label = failed.to_string();
         self.recorder.counter_incr("fault.device_failed", &label);
 
-        let mut deployed: Vec<(OffcodeId, Guid, DeviceId)> = self
-            .instances
-            .iter()
-            .map(|(&id, inst)| (id, inst.guid, inst.device))
+        // Already sorted by id: iter_instances walks the dense table in
+        // ascending order.
+        let deployed: Vec<(OffcodeId, Guid, DeviceId)> = self
+            .iter_instances()
+            .map(|(id, inst)| (id, inst.guid, inst.device))
             .collect();
-        deployed.sort_by_key(|&(id, _, _)| id);
         let on_failed = deployed.iter().filter(|&&(_, _, d)| d == failed).count();
         let span = self
             .recorder
@@ -1234,12 +1267,18 @@ impl Runtime {
             .collect();
         let mut graph = LayoutGraph::from_odfs(&odfs, &self.devices)?;
         for k in 1..self.allocators.len() {
-            if self.health.is_failed(DeviceId(k)) {
-                graph.mask_device(DeviceId(k))?;
+            let device = DeviceId(k as u32);
+            if self.health.is_failed(device) {
+                graph.mask_device(device)?;
             }
         }
         for (n, &(id, _, dev)) in deployed.iter().enumerate() {
-            let migratable = self.instances[&id].offcode.snapshot().is_some();
+            let migratable = self
+                .instance(id)
+                .expect("deployed list is live")
+                .offcode
+                .snapshot()
+                .is_some();
             if dev != failed && !migratable && !self.health.is_failed(dev) {
                 graph.pin_node(NodeIdx(n), dev);
             }
@@ -1260,7 +1299,12 @@ impl Runtime {
                 continue;
             }
             displaced.push(self.depot[&guid].odf.bind_name.clone());
-            let migratable = self.instances[&id].offcode.snapshot().is_some();
+            let migratable = self
+                .instance(id)
+                .expect("deployed list is live")
+                .offcode
+                .snapshot()
+                .is_some();
             if migratable {
                 let landed = match self.migrate(id, want, now) {
                     Ok(_) => want,
@@ -1276,11 +1320,11 @@ impl Runtime {
                 };
                 self.recorder.counter_incr("recover.migrations", "");
                 let bind = &self.depot[&guid].odf.bind_name;
-                let ctx = self
-                    .recorder
-                    .trace_begin("recover.migrate", bind, dev.0 as u64, now, 0);
+                let ctx =
+                    self.recorder
+                        .trace_begin("recover.migrate", bind, u64::from(dev.0), now, 0);
                 self.recorder
-                    .trace_recv(ctx, "recover.landed", bind, landed.0 as u64, now, 0);
+                    .trace_recv(ctx, "recover.landed", bind, u64::from(landed.0), now, 0);
                 if landed.is_host() {
                     host_fallbacks += 1;
                 }
@@ -1293,13 +1337,19 @@ impl Runtime {
                 self.run_phase(new_id, now, Phase::Initialize)?;
                 self.run_phase(new_id, now, Phase::Start)?;
                 self.recorder.counter_incr("recover.redeployed", "");
-                let final_dev = self.instances[&new_id].device;
+                let final_dev = self.instance(new_id).expect("just deployed").device;
                 let bind = &self.depot[&guid].odf.bind_name;
-                let ctx = self
-                    .recorder
-                    .trace_begin("recover.redeploy", bind, dev.0 as u64, now, 0);
-                self.recorder
-                    .trace_recv(ctx, "recover.landed", bind, final_dev.0 as u64, now, 0);
+                let ctx =
+                    self.recorder
+                        .trace_begin("recover.redeploy", bind, u64::from(dev.0), now, 0);
+                self.recorder.trace_recv(
+                    ctx,
+                    "recover.landed",
+                    bind,
+                    u64::from(final_dev.0),
+                    now,
+                    0,
+                );
                 if final_dev.is_host() {
                     host_fallbacks += 1;
                 }
@@ -1314,7 +1364,7 @@ impl Runtime {
                 .map(|&(_, g, _)| {
                     self.deployed_by_guid
                         .get(&g)
-                        .and_then(|id| self.instances.get(id))
+                        .and_then(|&id| self.instance(id))
                         .map_or(DeviceId::HOST, |inst| inst.device)
                 })
                 .collect(),
@@ -1338,20 +1388,21 @@ impl Runtime {
     /// into a dead receiver's slot, and the connection table must not
     /// keep orphaned keys ([`Runtime::audit_connections`] checks both).
     pub fn teardown(&mut self, id: OffcodeId) -> bool {
-        let Some(inst) = self.instances.remove(&id) else {
+        let Some(inst) = self.instances.get_mut(id.idx()).and_then(Option::take) else {
             return false;
         };
         self.deployed_by_guid.remove(&inst.guid);
         let _ = self.resources.release(inst.resource);
         self.executive.destroy(inst.oob);
-        self.connections.remove(&inst.oob);
-        let mut chans: Vec<ChannelId> = self.connections.keys().copied().collect();
-        chans.sort_by_key(|c| c.0);
-        for chan in chans {
-            let bindings = self
-                .connections
-                .get_mut(&chan)
-                .expect("key came from the map");
+        if let Some(slot) = self.connections.get_mut(inst.oob.idx()) {
+            *slot = None;
+        }
+        // Sweep the dense table in ascending channel-id order.
+        for ci in 0..self.connections.len() {
+            let Some(bindings) = self.connections[ci].as_mut() else {
+                continue;
+            };
+            let chan = ChannelId(ci as u32);
             let executive = &mut self.executive;
             bindings.retain(|&(ep, oc)| {
                 if oc == id {
@@ -1364,7 +1415,7 @@ impl Runtime {
                 }
             });
             if bindings.is_empty() {
-                self.connections.remove(&chan);
+                self.connections[ci] = None;
             }
         }
         true
@@ -1376,7 +1427,9 @@ impl Runtime {
     /// instances, and bindings whose endpoint is closed.
     pub fn audit_connections(&self) -> Vec<String> {
         let mut problems = Vec::new();
-        for (&chan, bindings) in &self.connections {
+        for (ci, slot) in self.connections.iter().enumerate() {
+            let Some(bindings) = slot else { continue };
+            let chan = ChannelId(ci as u32);
             if bindings.is_empty() {
                 problems.push(format!("{chan}: empty binding list"));
                 continue;
@@ -1386,7 +1439,7 @@ impl Runtime {
                 continue;
             };
             for &(ep, id) in bindings {
-                if !self.instances.contains_key(&id) {
+                if self.instance(id).is_none() {
                     problems.push(format!(
                         "{chan}: endpoint {ep} bound to dead instance #{}",
                         id.0

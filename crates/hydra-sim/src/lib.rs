@@ -35,12 +35,16 @@
 pub mod engine;
 pub mod fault;
 pub mod rng;
+pub mod slab;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use engine::{EventId, Sim};
+pub use engine::{
+    BinaryHeapScheduler, CalendarQueue, EventId, SchedEntry, Scheduler, SchedulerKind, Sim,
+};
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultParseError, FaultPlan};
 pub use rng::DetRng;
+pub use slab::{Slab, SlabKey};
 pub use stats::{Histogram, Samples, Summary, TimeWeighted};
 pub use time::{SimDuration, SimTime};

@@ -184,7 +184,7 @@ impl Offcode for TivoComponent {
                         "wire needs (channel, target guid)".into(),
                     ));
                 };
-                self.forward.push((ChannelId(chan), Guid(target)));
+                self.forward.push((ChannelId(chan as u32), Guid(target)));
                 Ok(Value::Unit)
             }
             // Data plane: count, charge, and forward payloads downstream.
@@ -352,7 +352,7 @@ mod tests {
         // Wire the graph via control calls (OOB channel in a real system).
         let wire = |rt: &mut Runtime, target, chan: ChannelId, peer: Guid| {
             let call = Call::new(Guid(0), "wire")
-                .with_arg(Value::U64(chan.0))
+                .with_arg(Value::U64(u64::from(chan.0)))
                 .with_arg(Value::U64(peer.0));
             rt.invoke(target, &call, SimTime::ZERO).unwrap();
         };

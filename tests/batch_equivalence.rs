@@ -33,7 +33,7 @@ fn config(reliable: bool, zero_copy: bool, capacity: usize, target: usize) -> Ch
             Buffering::Copied
         },
         capacity,
-        target: DeviceId(target),
+        target: DeviceId(target as u32),
         retry: RetryPolicy::none(),
     }
 }

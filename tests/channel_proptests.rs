@@ -40,7 +40,7 @@ fn config(
             Buffering::Copied
         },
         capacity,
-        target: DeviceId(target),
+        target: DeviceId(target as u32),
         retry: RetryPolicy::none(),
     }
 }
