@@ -24,6 +24,7 @@ use hydra_tivo::experiments::{
 use hydra_tivo::faults::{fault_demo_plan, run_fault_demo};
 use hydra_tivo::onload::compare_designs;
 use hydra_tivo::playback::{run_record_playback, PlaybackConfig};
+use hydra_tivo::stats::{run_stats_demo, stats_demo_plan};
 use hydra_tivo::storage::{build_corpus, run_search, SearchKind};
 use hydra_tivo::toe::{run_bulk_receive, TcpPlacement};
 use hydra_tivo::virtualization::vm_demux_comparison;
@@ -58,6 +59,10 @@ const SELECTORS: &[(&str, &str)] = &[
     (
         "faults",
         "replay a fault schedule on the demo deployment (JSON on stdout)",
+    ),
+    (
+        "stats",
+        "stats [faulted] [trace]: windowed telemetry timeline + channel cost profiles (JSON on stdout)",
     ),
 ];
 
@@ -137,6 +142,39 @@ fn main() -> ExitCode {
         let (rt, json) = run_fault_demo(&plan);
         if want_trace {
             println!("{}", rt.trace_export());
+        } else {
+            print!("{json}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // `stats [faulted] [trace]` is its own sub-command: it drives the
+    // telemetry scenario (1 ms windows over a 10 ms mixed workload) and
+    // prints the canonical timeline + cost-profile JSON — per-device
+    // utilization per window, per-channel queue depths and size-bucketed
+    // latency quantiles. Byte-identical across runs, which is exactly
+    // what the CI stats-gate diffs. `faulted` replays it under the
+    // committed crash/stall plan; `trace` prints the scenario's Chrome
+    // trace export instead — the one whose windowed tracks render as
+    // Perfetto counter graphs.
+    if selected.first() == Some(&"stats") {
+        let rest = &selected[1..];
+        let want_trace = rest.contains(&"trace");
+        let faulted = rest.contains(&"faulted");
+        if rest.iter().any(|a| *a != "trace" && *a != "faulted") {
+            eprintln!("repro: unknown stats selector '{}'\n", rest.join(" "));
+            eprint!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+        let plan;
+        let (snap, json) = if faulted {
+            plan = stats_demo_plan();
+            run_stats_demo(Some(&plan))
+        } else {
+            run_stats_demo(None)
+        };
+        if want_trace {
+            println!("{}", hydra_obs::export::chrome_trace(&snap));
         } else {
             print!("{json}");
         }

@@ -29,7 +29,7 @@ use hydra_core::channel::{BatchSendOutcome, ChannelConfig};
 use hydra_core::device::DeviceId;
 use hydra_obs::budget::{check_budget, parse_budget, BudgetParseError, BudgetViolation};
 use hydra_obs::{MetricsSnapshot, Recorder};
-use hydra_sim::engine::{SchedEntry, Scheduler};
+use hydra_sim::engine::{SchedEntry, SchedStats, Scheduler};
 use hydra_sim::time::{SimDuration, SimTime};
 use hydra_sim::{BinaryHeapScheduler, CalendarQueue, EventId, SchedulerKind, Sim, SlabKey};
 use hydra_tivo::demo::demo_deployment;
@@ -76,6 +76,12 @@ pub struct HoldResult {
     pub checksum: u64,
     /// Best-of-[`WALL_REPS`] wall-clock time for the run.
     pub wall_elapsed_ns: u64,
+    /// Scheduler introspection from the final rep (resize churn,
+    /// high-water occupancy, calendar geometry). Deterministic for a
+    /// given workload, but reported under `wall_sched_*` keys so
+    /// calendar sizing heuristics can evolve without breaking the
+    /// byte gate.
+    pub sched: SchedStats,
 }
 
 impl HoldResult {
@@ -97,6 +103,9 @@ pub struct ChurnResult {
     pub sim_elapsed_ns: u64,
     /// Wall-clock time for the run.
     pub wall_elapsed_ns: u64,
+    /// Scheduler introspection after the run (see
+    /// [`HoldResult::sched`]).
+    pub sched: SchedStats,
 }
 
 impl ChurnResult {
@@ -179,6 +188,7 @@ pub fn run_engine_bench() -> EngineBench {
 fn run_hold<S: Scheduler>(name: &'static str, make: impl Fn() -> S) -> HoldResult {
     let mut best_wall = u64::MAX;
     let mut checksum = 0u64;
+    let mut sched_stats = SchedStats::default();
     for _ in 0..WALL_REPS {
         let mut sched = make();
         let mut rng = 0x9e37_79b9_7f4a_7c15u64;
@@ -214,6 +224,7 @@ fn run_hold<S: Scheduler>(name: &'static str, make: impl Fn() -> S) -> HoldResul
         }
         best_wall = best_wall.min(start.elapsed().as_nanos() as u64);
         checksum = sum;
+        sched_stats = sched.stats();
         assert_eq!(sched.len(), HOLD_PENDING, "hold model keeps size fixed");
     }
     HoldResult {
@@ -222,6 +233,7 @@ fn run_hold<S: Scheduler>(name: &'static str, make: impl Fn() -> S) -> HoldResul
         pending: HOLD_PENDING as u64,
         checksum,
         wall_elapsed_ns: best_wall,
+        sched: sched_stats,
     }
 }
 
@@ -268,6 +280,7 @@ fn run_churn(name: &'static str, kind: SchedulerKind) -> ChurnResult {
         events: sim.events_executed(),
         sim_elapsed_ns: sim.now().as_nanos(),
         wall_elapsed_ns: wall,
+        sched: sim.sched_stats(),
     }
 }
 
@@ -343,6 +356,11 @@ pub fn render_json(bench: &EngineBench) -> String {
             num("checksum", h.checksum),
             num("wall_elapsed_ns", h.wall_elapsed_ns),
             num("wall_events_per_sec", h.wall_events_per_sec()),
+            num("wall_sched_grows", h.sched.grows),
+            num("wall_sched_shrinks", h.sched.shrinks),
+            num("wall_sched_max_pending", h.sched.max_pending),
+            num("wall_sched_buckets", h.sched.buckets),
+            num("wall_sched_bucket_width_ns", h.sched.bucket_width_ns),
         ]);
     }
     for c in &bench.churn {
@@ -352,6 +370,11 @@ pub fn render_json(bench: &EngineBench) -> String {
             num("sim_elapsed_ns", c.sim_elapsed_ns),
             num("wall_elapsed_ns", c.wall_elapsed_ns),
             num("wall_events_per_sec", c.wall_events_per_sec()),
+            num("wall_sched_grows", c.sched.grows),
+            num("wall_sched_shrinks", c.sched.shrinks),
+            num("wall_sched_max_pending", c.sched.max_pending),
+            num("wall_sched_buckets", c.sched.buckets),
+            num("wall_sched_bucket_width_ns", c.sched.bucket_width_ns),
         ]);
     }
     rep.scenarios.push(vec![
@@ -436,6 +459,24 @@ mod tests {
         );
         assert_eq!(bench.churn[0].events, bench.churn[1].events);
         assert_eq!(bench.churn[0].sim_elapsed_ns, bench.churn[1].sim_elapsed_ns);
+    }
+
+    #[test]
+    fn sched_introspection_lands_in_the_report() {
+        let bench = run_engine_bench();
+        // Hold model: the heap only tracks its high-water mark; the
+        // calendar additionally reports geometry and resize churn.
+        assert_eq!(bench.hold[0].sched.max_pending, HOLD_PENDING as u64);
+        assert_eq!(bench.hold[0].sched.buckets, 0);
+        assert!(bench.hold[1].sched.max_pending >= HOLD_PENDING as u64);
+        assert!(
+            bench.hold[1].sched.grows >= 1,
+            "pre-fill grows the calendar"
+        );
+        assert!(bench.hold[1].sched.buckets > 0);
+        let json = render_json(&bench);
+        assert!(json.contains("\"wall_sched_max_pending\""));
+        assert!(json.contains("\"wall_sched_buckets\""));
     }
 
     #[test]

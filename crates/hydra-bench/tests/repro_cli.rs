@@ -90,6 +90,85 @@ fn bench_engine_emits_json_with_stable_sim_fields() {
 }
 
 #[test]
+fn stats_emits_pure_deterministic_timeline_json() {
+    let a = repro(&["stats"]);
+    assert!(a.status.success());
+    let text = String::from_utf8(a.stdout.clone()).unwrap();
+    assert!(text.starts_with('{'), "no banner before the JSON");
+    assert!(text.contains("\"schema\": 1"));
+    assert!(text.contains("\"window_ns\": 1000000"));
+    assert!(
+        text.contains("\"label\": \"device-1\""),
+        "NIC utilization row"
+    );
+    assert!(text.contains("\"label\": \"host\""), "host utilization row");
+    assert!(
+        text.contains("\"p50_ns\""),
+        "latency quantiles by size bucket"
+    );
+    assert!(text.contains("\"p99_ns\""));
+    assert!(text.contains("\"bucket_bytes\": 16384"), "bulk size class");
+    let b = repro(&["stats"]);
+    assert_eq!(a.stdout, b.stdout, "byte-identical across runs");
+}
+
+#[test]
+fn stats_faulted_is_deterministic_and_differs_from_clean() {
+    let clean = repro(&["stats"]);
+    let a = repro(&["stats", "faulted"]);
+    assert!(a.status.success());
+    let b = repro(&["stats", "faulted"]);
+    assert_eq!(a.stdout, b.stdout, "faulted run byte-identical across runs");
+    assert_ne!(
+        a.stdout, clean.stdout,
+        "the fault plan perturbs the timeline"
+    );
+}
+
+#[test]
+fn stats_trace_renders_perfetto_counter_tracks() {
+    let a = repro(&["stats", "trace"]);
+    assert!(a.status.success());
+    let text = String::from_utf8(a.stdout.clone()).unwrap();
+    assert!(text.starts_with('{'), "no banner before the JSON");
+    assert!(
+        text.contains("\"ph\":\"C\""),
+        "sampled windows become Perfetto counter events"
+    );
+    assert!(text.contains("device.busy_ns"), "utilization counter track");
+    assert!(
+        text.contains("channel.queue_depth"),
+        "queue-depth counter track"
+    );
+    let b = repro(&["stats", "trace"]);
+    assert_eq!(a.stdout, b.stdout, "byte-identical across runs");
+    let faulted = repro(&["stats", "faulted", "trace"]);
+    assert!(faulted.status.success());
+    assert_ne!(
+        faulted.stdout, a.stdout,
+        "the fault plan perturbs the trace"
+    );
+}
+
+#[test]
+fn unknown_stats_subselector_exits_nonzero_with_usage() {
+    let out = repro(&["stats", "no-such-mode"]);
+    assert!(!out.status.success(), "unknown stats selector must fail");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown stats selector 'no-such-mode'"));
+    assert!(err.contains("usage: repro"), "usage goes to stderr");
+    assert!(out.stdout.is_empty(), "nothing on stdout on failure");
+}
+
+#[test]
+fn help_lists_stats_selector() {
+    let out = repro(&["--help"]);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("stats"), "--help must list 'stats'");
+    assert!(text.contains("telemetry timeline"));
+}
+
+#[test]
 fn unknown_bench_subselector_exits_nonzero_with_usage() {
     let out = repro(&["bench", "no-such-bench"]);
     assert!(!out.status.success(), "unknown bench selector must fail");

@@ -10,11 +10,11 @@
 //! specific channel, in terms of latency and throughput"); the **Channel
 //! Executive** picks the cheapest capable provider.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 use bytes::Bytes;
-use hydra_obs::{Recorder, TraceCtx};
+use hydra_obs::{Histogram, Recorder, TraceCtx};
 use hydra_sim::time::{SimDuration, SimTime};
 
 use crate::device::DeviceId;
@@ -344,6 +344,120 @@ impl BatchSendOutcome {
     }
 }
 
+/// Level-track name for per-channel descriptor-ring occupancy: the
+/// deepest open endpoint queue, sampled into telemetry windows by the
+/// shared recorder (labeled `chan#N`).
+pub const CHANNEL_QUEUE_DEPTH: &str = "channel.queue_depth";
+
+/// Live cost profile of one channel: what communicating through it has
+/// *actually* cost so far, as opposed to the provider's advertised
+/// [`ChannelCost`].
+///
+/// Latencies are measured from the caller's `now` to the message's
+/// delivery instant, so queueing behind earlier messages and retry
+/// backoff are included — this is the observed price, not the unloaded
+/// one. Messages are binned by payload size into power-of-two buckets
+/// (bucket `B` covers sizes in `(B/2, B]`), each bucket holding a
+/// latency [`Histogram`] so p50/p99 per size class fall out of
+/// [`Histogram::quantile`]. The fixed per-message charge paid at each
+/// doorbell accumulates separately as launch overhead — the channel
+/// analogue of kernel-launch cost.
+#[derive(Debug, Clone, Default)]
+pub struct CostProfile {
+    messages: u64,
+    bytes: u64,
+    doorbells: u64,
+    launch_overhead_ns: u64,
+    ewma_latency_ns: u64,
+    first_send_ns: Option<u64>,
+    last_delivery_ns: u64,
+    by_size: BTreeMap<u64, Histogram>,
+}
+
+impl CostProfile {
+    /// The power-of-two size bucket a payload of `bytes` falls into
+    /// (its upper bound; zero-length payloads share the 1-byte bucket).
+    pub fn size_bucket(bytes: usize) -> u64 {
+        (bytes.max(1) as u64).next_power_of_two()
+    }
+
+    fn record(&mut self, send_ns: u64, bytes: u64, latency_ns: u64) {
+        self.messages += 1;
+        self.bytes += bytes;
+        self.ewma_latency_ns = if self.messages == 1 {
+            latency_ns
+        } else {
+            // Integer EWMA with alpha = 1/8: old weight 7/8, new 1/8.
+            (7 * self.ewma_latency_ns + latency_ns) / 8
+        };
+        if self.first_send_ns.is_none() {
+            self.first_send_ns = Some(send_ns);
+        }
+        self.last_delivery_ns = self.last_delivery_ns.max(send_ns + latency_ns);
+        self.by_size
+            .entry(Self::size_bucket(bytes as usize))
+            .or_default()
+            .record(latency_ns);
+    }
+
+    fn doorbell(&mut self, per_message: SimDuration) {
+        self.doorbells += 1;
+        self.launch_overhead_ns += per_message.as_nanos();
+    }
+
+    /// Messages delivered through the channel.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Payload bytes delivered.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Doorbells rung (single sends, batch submissions, and per-message
+    /// retry admissions each pay one).
+    pub fn doorbells(&self) -> u64 {
+        self.doorbells
+    }
+
+    /// Accumulated fixed per-message charge across all doorbells.
+    pub fn launch_overhead_ns(&self) -> u64 {
+        self.launch_overhead_ns
+    }
+
+    /// Exponentially-weighted moving average of observed latency
+    /// (alpha 1/8), in nanoseconds. Zero before the first message.
+    pub fn ewma_latency_ns(&self) -> u64 {
+        self.ewma_latency_ns
+    }
+
+    /// Observed payload throughput over the channel's active span
+    /// (first send to last delivery), in bytes per second. `None` until
+    /// the span is non-empty.
+    pub fn throughput_bytes_per_sec(&self) -> Option<u64> {
+        let first = self.first_send_ns?;
+        let span = self.last_delivery_ns.checked_sub(first)?;
+        if span == 0 {
+            return None;
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        Some(((u128::from(self.bytes) * 1_000_000_000) / u128::from(span)) as u64)
+    }
+
+    /// The size buckets seen so far, ascending: `(upper bound bytes,
+    /// latency histogram)`.
+    pub fn size_buckets(&self) -> impl Iterator<Item = (u64, &Histogram)> {
+        self.by_size.iter().map(|(&b, h)| (b, h))
+    }
+
+    /// The latency histogram of the bucket a payload of `bytes` falls
+    /// into, if any message of that class has been delivered.
+    pub fn latency_for(&self, bytes: usize) -> Option<&Histogram> {
+        self.by_size.get(&Self::size_bucket(bytes))
+    }
+}
+
 /// Per-channel counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ChannelStats {
@@ -375,6 +489,9 @@ pub struct Channel {
     /// subtracted from the configured capacity.
     wedged_slots: usize,
     stats: ChannelStats,
+    profile: CostProfile,
+    /// Label for per-channel level tracks (`chan#N`), built once.
+    depth_label: String,
     handler_installed: bool,
     recorder: Recorder,
 }
@@ -403,6 +520,20 @@ impl Channel {
     /// The counters.
     pub fn stats(&self) -> ChannelStats {
         self.stats
+    }
+
+    /// The live cost profile: observed latency by size bucket, EWMA
+    /// latency, throughput, and accumulated launch overhead.
+    pub fn cost_profile(&self) -> &CostProfile {
+        &self.profile
+    }
+
+    /// Publishes the deepest open endpoint queue as the channel's
+    /// [`CHANNEL_QUEUE_DEPTH`] level track.
+    fn publish_queue_depth(&self) {
+        let depth = self.open_queues().map(VecDeque::len).max().unwrap_or(0);
+        self.recorder
+            .level_set(CHANNEL_QUEUE_DEPTH, &self.depth_label, depth as u64);
     }
 
     /// Number of attached receiving endpoints (open or closed).
@@ -443,6 +574,7 @@ impl Channel {
         self.closed[ep] = true;
         self.recorder
             .counter_incr("channel.endpoint_closed", &self.provider_name);
+        self.publish_queue_depth();
         true
     }
 
@@ -616,6 +748,12 @@ impl Channel {
         self.busy_until = deliver_at;
         self.stats.sent += 1;
         self.stats.bytes += bytes;
+        self.profile.doorbell(self.cost.per_message);
+        self.profile.record(
+            now.as_nanos(),
+            bytes,
+            deliver_at.as_nanos().saturating_sub(now.as_nanos()),
+        );
         let ctx = self.recorder.trace_hop(
             ctx,
             "provider.hop",
@@ -649,6 +787,7 @@ impl Channel {
             &self.provider_name,
             backlog as u64,
         );
+        self.publish_queue_depth();
         Ok(deliver_at)
     }
 
@@ -732,10 +871,16 @@ impl Channel {
                 start,
                 accepted_bytes,
             );
+            self.profile.doorbell(self.cost.per_message);
             let mut cum_bytes = 0usize;
             for msg in &batch[..accepted] {
                 cum_bytes += msg.len();
                 let deliver_at = start + self.cost.latency(cum_bytes);
+                self.profile.record(
+                    now.as_nanos(),
+                    msg.len() as u64,
+                    deliver_at.as_nanos().saturating_sub(now.as_nanos()),
+                );
                 out.delivered_at.push(deliver_at);
                 for (q, &ep_closed) in self.queues.iter_mut().zip(&self.closed) {
                     if ep_closed {
@@ -781,6 +926,12 @@ impl Channel {
                 let bytes = msg.len() as u64;
                 let start = self.busy_until.max(at);
                 let deliver_at = start + self.cost.latency(msg.len());
+                self.profile.doorbell(self.cost.per_message);
+                self.profile.record(
+                    now.as_nanos(),
+                    bytes,
+                    deliver_at.as_nanos().saturating_sub(now.as_nanos()),
+                );
                 let mctx = self.recorder.trace_hop(
                     ctx,
                     "provider.retry",
@@ -851,6 +1002,7 @@ impl Channel {
             }
         }
         out.complete_at = self.busy_until.max(start);
+        self.publish_queue_depth();
     }
 
     /// Receives up to `max` messages visible at `now` on endpoint `ep` —
@@ -876,6 +1028,7 @@ impl Channel {
         if out.is_empty() {
             return out;
         }
+        self.publish_queue_depth();
         self.stats.received += out.len() as u64;
         self.recorder
             .counter_add("channel.received", &self.provider_name, out.len() as u64);
@@ -907,6 +1060,7 @@ impl Channel {
             self.recorder
                 .counter_incr("channel.received", &self.provider_name);
             let mut msg = q.pop_front()?;
+            self.publish_queue_depth();
             msg.trace = self.recorder.trace_recv(
                 msg.trace,
                 "channel.recv",
@@ -936,6 +1090,7 @@ impl Channel {
                 );
             }
         }
+        self.publish_queue_depth();
     }
 
     /// Polls whether endpoint `ep` has a visible message at `now` (the
@@ -1055,6 +1210,8 @@ impl ChannelExecutive {
             closed: Vec::new(),
             wedged_slots: 0,
             stats: ChannelStats::default(),
+            profile: CostProfile::default(),
+            depth_label: format!("chan#{}", id.0),
             handler_installed: false,
             recorder: self.recorder.clone(),
         }));
@@ -1555,6 +1712,90 @@ mod tests {
             ts
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn cost_profile_tracks_observed_prices() {
+        let mut e = exec();
+        let id = e
+            .create_channel(ChannelConfig::figure3(DeviceId(1)))
+            .unwrap();
+        let ch = e.get_mut(id).unwrap();
+        let ep = ch.connect_endpoint().unwrap();
+        assert_eq!(ch.cost_profile().messages(), 0);
+        assert_eq!(ch.cost_profile().ewma_latency_ns(), 0);
+        assert!(ch.cost_profile().throughput_bytes_per_sec().is_none());
+        // Two size classes: small control messages and large payloads.
+        let mut now = SimTime::ZERO;
+        for _ in 0..10 {
+            now = ch.send(now, Bytes::from(vec![0u8; 100])).unwrap();
+        }
+        for _ in 0..5 {
+            now = ch.send(now, Bytes::from(vec![0u8; 60_000])).unwrap();
+        }
+        ch.recv_batch(now, ep, usize::MAX);
+        let p = ch.cost_profile();
+        assert_eq!(p.messages(), 15);
+        assert_eq!(p.bytes(), 10 * 100 + 5 * 60_000);
+        assert_eq!(p.doorbells(), 15);
+        let per_msg = ch.cost().per_message.as_nanos();
+        assert_eq!(p.launch_overhead_ns(), 15 * per_msg);
+        // Each send was issued at the previous delivery instant, so the
+        // observed latency is the unloaded cost — and the size classes
+        // land in distinct buckets with distinct quantiles.
+        let small = p.latency_for(100).unwrap();
+        let large = p.latency_for(60_000).unwrap();
+        assert_eq!(small.count(), 10);
+        assert_eq!(large.count(), 5);
+        assert!(large.p50().unwrap() > small.p99().unwrap());
+        assert_eq!(CostProfile::size_bucket(100), 128);
+        assert_eq!(CostProfile::size_bucket(60_000), 65_536);
+        assert_eq!(CostProfile::size_bucket(0), 1);
+        assert!(p.ewma_latency_ns() > 0);
+        assert!(p.throughput_bytes_per_sec().unwrap() > 0);
+        let buckets: Vec<u64> = p.size_buckets().map(|(b, _)| b).collect();
+        assert_eq!(buckets, vec![128, 65_536]);
+    }
+
+    #[test]
+    fn batch_pays_one_launch_overhead_charge() {
+        let mut e = exec();
+        let id = e
+            .create_channel(ChannelConfig::figure3(DeviceId(1)))
+            .unwrap();
+        let ch = e.get_mut(id).unwrap();
+        ch.connect_endpoint().unwrap();
+        ch.send_batch(SimTime::ZERO, &payloads(8, 256));
+        let p = ch.cost_profile();
+        assert_eq!(p.messages(), 8);
+        assert_eq!(p.doorbells(), 1, "one doorbell for the whole batch");
+        assert_eq!(p.launch_overhead_ns(), ch.cost().per_message.as_nanos());
+    }
+
+    #[test]
+    fn queue_depth_level_rises_and_drains() {
+        let mut e = exec();
+        let id = e
+            .create_channel(ChannelConfig::figure3(DeviceId(1)))
+            .unwrap();
+        let ch = e.get_mut(id).unwrap();
+        let ep = ch.connect_endpoint().unwrap();
+        let mut last = SimTime::ZERO;
+        for i in 0..3u8 {
+            last = ch.send(SimTime::ZERO, Bytes::from(vec![i; 64])).unwrap();
+        }
+        e.recorder().sample_window(SimTime::from_millis(1));
+        e.get_mut(id).unwrap().recv_batch(last, ep, usize::MAX);
+        e.recorder().sample_window(SimTime::from_millis(2));
+        let snap = e.recorder().snapshot();
+        assert_eq!(
+            snap.windows[0].level(CHANNEL_QUEUE_DEPTH, "chan#0"),
+            Some(3)
+        );
+        assert_eq!(
+            snap.windows[1].level(CHANNEL_QUEUE_DEPTH, "chan#0"),
+            Some(0)
+        );
     }
 
     #[test]

@@ -34,7 +34,8 @@ pub mod runtime;
 pub use call::{Call, CallTypeError, MarshalError, Value};
 pub use channel::{
     Buffering, Channel, ChannelConfig, ChannelCost, ChannelError, ChannelExecutive, ChannelId,
-    ChannelProvider, Reliability, RetryPolicy, SyncPolicy, Transport,
+    ChannelProvider, CostProfile, Reliability, RetryPolicy, SyncPolicy, Transport,
+    CHANNEL_QUEUE_DEPTH,
 };
 pub use device::{DeviceDescriptor, DeviceId, DeviceRegistry};
 pub use error::{MigrateError, MigrateLeg, RuntimeError};

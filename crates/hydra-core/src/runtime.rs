@@ -362,6 +362,11 @@ impl Runtime {
         &self.devices
     }
 
+    /// The channel executive (e.g. to read per-channel cost profiles).
+    pub fn executive(&self) -> &ChannelExecutive {
+        &self.executive
+    }
+
     /// The channel executive (e.g. to register device-specific providers).
     pub fn executive_mut(&mut self) -> &mut ChannelExecutive {
         &mut self.executive

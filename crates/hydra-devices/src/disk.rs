@@ -18,7 +18,7 @@ use hydra_obs::{Recorder, TraceCtx};
 use hydra_sim::fault::FaultInjector;
 use hydra_sim::time::{SimDuration, SimTime};
 
-use crate::trace::{hop_if, DeviceTracer};
+use crate::trace::{busy_if, hop_if, DeviceTracer, LINK_BUSY_NS};
 
 /// Block size of the exported block device.
 pub const BLOCK_BYTES: usize = 4096;
@@ -156,7 +156,8 @@ impl SmartDiskModel {
         if !stall.is_zero() {
             self.stats.fault_stalls += 1;
             let wasted = self.cpu.spec().cycles_in(stall);
-            let _ = self.cpu.reserve(now, wasted);
+            let r = self.cpu.reserve(now, wasted);
+            busy_if(&self.tracer, r.start, r.end);
         }
         Ok(())
     }
@@ -210,6 +211,7 @@ impl SmartDiskModel {
         wire_bytes: usize,
     ) -> (NfsResponse, SimTime) {
         // Request on the wire, service at the NAS, response back.
+        let wire_before = self.nas_link.busy_nanos();
         let arrive = self.nas_link.transmit(start, wire_bytes.max(64));
         let (resp, service) = nas.handle(req);
         let resp_bytes = match &resp {
@@ -218,6 +220,9 @@ impl SmartDiskModel {
         };
         let done = self.nas_link.transmit(arrive + service, resp_bytes);
         self.stats.nfs_round_trips += 1;
+        if let Some(t) = &self.tracer {
+            t.counter_add(LINK_BUSY_NS, self.nas_link.busy_nanos() - wire_before);
+        }
         (resp, done)
     }
 
@@ -236,6 +241,7 @@ impl SmartDiskModel {
         self.fault_gate(now)?;
         let fh = self.backing.ok_or(DiskError::NotOpen)?;
         let controller = self.cpu.reserve(now, self.per_block);
+        busy_if(&self.tracer, controller.start, controller.end);
         let wire = data.len() + 96;
         let req = NfsRequest::Write {
             fh,
@@ -281,6 +287,7 @@ impl SmartDiskModel {
             });
         }
         let controller = self.cpu.reserve(now, self.per_block * blocks.len() as u64);
+        busy_if(&self.tracer, controller.start, controller.end);
         let mut data = Vec::with_capacity(blocks.iter().map(Bytes::len).sum());
         for b in blocks {
             data.extend_from_slice(b);
@@ -319,6 +326,7 @@ impl SmartDiskModel {
         self.fault_gate(now)?;
         let fh = self.backing.ok_or(DiskError::NotOpen)?;
         let controller = self.cpu.reserve(now, self.per_block);
+        busy_if(&self.tracer, controller.start, controller.end);
         let req = NfsRequest::Read {
             fh,
             offset: idx * BLOCK_BYTES as u64,
@@ -410,7 +418,9 @@ impl SmartDiskModel {
     /// Runs Offcode work on the controller CPU (e.g. the playback
     /// Streamer's pacing loop).
     pub fn offcode_work(&mut self, now: SimTime, work: Cycles) -> Reservation {
-        self.cpu.reserve(now, work)
+        let r = self.cpu.reserve(now, work);
+        busy_if(&self.tracer, r.start, r.end);
+        r
     }
 
     /// Size of the backing file, if open.
@@ -616,6 +626,39 @@ mod tests {
         ));
         assert!(disk.is_crashed(SimTime::from_millis(1)));
         assert_eq!(disk.stats().io_faulted, 3);
+    }
+
+    #[test]
+    fn busy_time_covers_controller_and_nas_wire() {
+        let rec = Recorder::new();
+        let mut nas = NasServer::default();
+        let mut disk = SmartDiskModel::new();
+        disk.set_recorder(rec.clone(), 2);
+        disk.open(&mut nas, "/dvr/busy");
+        let w = disk
+            .write_block(
+                SimTime::ZERO,
+                &mut nas,
+                0,
+                Bytes::from(vec![9u8; BLOCK_BYTES]),
+            )
+            .unwrap();
+        let (_, r) = disk.read_block(w.complete_at, &mut nas, 0).unwrap();
+        let work = disk.offcode_work(r.complete_at, Cycles::new(6_000));
+        let controller_ns = (w.controller.end.as_nanos() - w.controller.start.as_nanos())
+            + (r.controller.end.as_nanos() - r.controller.start.as_nanos())
+            + (work.end.as_nanos() - work.start.as_nanos());
+        let snap = rec.snapshot();
+        assert_eq!(
+            snap.counter(crate::trace::DEVICE_BUSY_NS, "device-2"),
+            Some(controller_ns)
+        );
+        assert_eq!(
+            snap.counter(LINK_BUSY_NS, "device-2"),
+            Some(disk.nas_link.busy_nanos()),
+            "wire occupancy mirrors the link's own accounting"
+        );
+        assert!(disk.nas_link.busy_nanos() > 0);
     }
 
     #[test]

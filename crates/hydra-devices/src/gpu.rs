@@ -15,7 +15,7 @@ use hydra_obs::{Recorder, TraceCtx};
 use hydra_sim::fault::FaultInjector;
 use hydra_sim::time::SimTime;
 
-use crate::trace::{hop_if, DeviceTracer};
+use crate::trace::{busy_if, hop_if, DeviceTracer};
 
 /// Lifetime statistics of a GPU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -100,6 +100,7 @@ impl GpuModel {
         let cycles = self.decode_model.cycles(frame);
         self.stats.frames_decoded += 1;
         let r = self.cpu.reserve(now, hydra_hw::cpu::Cycles::new(cycles));
+        busy_if(&self.tracer, r.start, r.end);
         self.current_frame = Some(frame.display_index);
         r
     }
@@ -118,7 +119,8 @@ impl GpuModel {
             if !stall.is_zero() {
                 self.stats.fault_stalls += 1;
                 let wasted = self.cpu.spec().cycles_in(stall);
-                let _ = self.cpu.reserve(now, wasted);
+                let wasted_r = self.cpu.reserve(now, wasted);
+                busy_if(&self.tracer, wasted_r.start, wasted_r.end);
             }
         }
         Some(self.hw_decode(now, frame))
@@ -131,7 +133,9 @@ impl GpuModel {
         self.current_frame = Some(display_index);
         // Framebuffer writes: ~1 cycle per 16 bytes on the GPU side.
         let work = hydra_hw::cpu::Cycles::new(raw_bytes as u64 / 16);
-        self.cpu.reserve(now, work)
+        let r = self.cpu.reserve(now, work);
+        busy_if(&self.tracer, r.start, r.end);
+        r
     }
 
     /// [`GpuModel::hw_decode`] extending a causal chain: records a
@@ -215,6 +219,25 @@ mod tests {
         assert_eq!(hops[0].name, "gpu.decode");
         assert_eq!(hops[0].device, 3);
         assert_eq!(hops[0].at_nanos, r.end.as_nanos());
+    }
+
+    #[test]
+    fn decode_busy_time_matches_reservations() {
+        let rec = Recorder::new();
+        let mut gpu = GpuModel::new();
+        gpu.set_recorder(rec.clone(), 3);
+        let mut busy = 0;
+        let mut at = SimTime::ZERO;
+        for f in &frames() {
+            let r = gpu.hw_decode(at, f);
+            busy += r.end.as_nanos() - r.start.as_nanos();
+            at = r.end;
+        }
+        assert_eq!(
+            rec.snapshot()
+                .counter(crate::trace::DEVICE_BUSY_NS, "device-3"),
+            Some(busy)
+        );
     }
 
     #[test]

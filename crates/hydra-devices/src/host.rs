@@ -12,8 +12,11 @@ use hydra_hw::cache::{AccessKind, CacheConfig};
 use hydra_hw::cpu::{Cpu, CpuSpec, Cycles, Reservation};
 use hydra_hw::mem::{AddressSpace, MemLatency, MemorySystem, Region};
 use hydra_hw::os::{BackgroundLoad, TimerModel};
+use hydra_obs::Recorder;
 use hydra_sim::rng::DetRng;
 use hydra_sim::time::{SimDuration, SimTime};
+
+use crate::trace::{busy_if, DeviceTracer};
 
 /// A complete host: CPU + memory system + OS model + I/O bus.
 #[derive(Debug, Clone)]
@@ -32,6 +35,7 @@ pub struct HostModel {
     pub bus: Bus,
     /// Deterministic noise source.
     pub rng: DetRng,
+    tracer: Option<DeviceTracer>,
 }
 
 impl HostModel {
@@ -46,7 +50,15 @@ impl HostModel {
             background: BackgroundLoad::paper_idle(),
             bus: Bus::new(BusSpec::pci64()),
             rng: DetRng::new(seed),
+            tracer: None,
         }
+    }
+
+    /// Couples the host to a shared flight recorder under trace pid 0
+    /// (label `host`): every charged reservation then feeds the
+    /// `device.busy_ns{host}` utilization counter.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.tracer = Some(DeviceTracer::new(recorder, 0));
     }
 
     /// Executes one kernel timer tick plus any daemon burst due, charging
@@ -67,25 +79,33 @@ impl HostModel {
             let addr = 0x4000_0000 + self.rng.next_below(1 << 24);
             self.mem.touch_at(addr & !0x3F, 64 * 1024, AccessKind::Read);
         }
-        self.cpu.reserve(now, work)
+        let r = self.cpu.reserve(now, work);
+        busy_if(&self.tracer, r.start, r.end);
+        r
     }
 
     /// Charges a system call entry/exit.
     pub fn syscall(&mut self, now: SimTime) -> Reservation {
         let work = self.cpu.spec().syscall;
-        self.cpu.reserve(now, work)
+        let r = self.cpu.reserve(now, work);
+        busy_if(&self.tracer, r.start, r.end);
+        r
     }
 
     /// Charges a context switch.
     pub fn context_switch(&mut self, now: SimTime) -> Reservation {
         let work = self.cpu.spec().context_switch;
-        self.cpu.reserve(now, work)
+        let r = self.cpu.reserve(now, work);
+        busy_if(&self.tracer, r.start, r.end);
+        r
     }
 
     /// Charges an interrupt (dispatch + handler prologue).
     pub fn interrupt(&mut self, now: SimTime) -> Reservation {
         let work = self.cpu.spec().interrupt;
-        self.cpu.reserve(now, work)
+        let r = self.cpu.reserve(now, work);
+        busy_if(&self.tracer, r.start, r.end);
+        r
     }
 
     /// A CPU copy of `len` bytes between two buffers: the memory system
@@ -94,7 +114,9 @@ impl HostModel {
         let mem_time = self.mem.copy(src, dst, len);
         // Add the ALU side of the copy loop: ~1 cycle per 8 bytes.
         let work = self.cpu.spec().cycles_in(mem_time) + Cycles::new(len as u64 / 8);
-        self.cpu.reserve(now, work)
+        let r = self.cpu.reserve(now, work);
+        busy_if(&self.tracer, r.start, r.end);
+        r
     }
 
     /// A batched kernel copy: one syscall entry/exit covering `copies`
@@ -111,7 +133,9 @@ impl HostModel {
             let mem_time = self.mem.copy(src, dst, len);
             work += self.cpu.spec().cycles_in(mem_time) + Cycles::new(len as u64 / 8);
         }
-        self.cpu.reserve(now, work)
+        let r = self.cpu.reserve(now, work);
+        busy_if(&self.tracer, r.start, r.end);
+        r
     }
 
     /// CPU work that also touches a buffer (e.g. checksum, MPEG decode on
@@ -125,7 +149,9 @@ impl HostModel {
     ) -> Reservation {
         let mem_time = self.mem.touch(buf, kind);
         let work = compute + self.cpu.spec().cycles_in(mem_time);
-        self.cpu.reserve(now, work)
+        let r = self.cpu.reserve(now, work);
+        busy_if(&self.tracer, r.start, r.end);
+        r
     }
 
     /// Computes when a sleeping task that asked to wake at `target`
@@ -210,6 +236,28 @@ mod tests {
         }
         // Same copies, seven fewer syscall entries: batch finishes earlier.
         assert!(r.end < end);
+    }
+
+    #[test]
+    fn host_busy_time_lands_on_the_host_label() {
+        let rec = Recorder::new();
+        let mut host = HostModel::paper_host(5);
+        host.set_recorder(rec.clone());
+        let mut busy = 0;
+        let src = host.space.alloc("s", 4096);
+        let dst = host.space.alloc("d", 4096);
+        for r in [
+            host.syscall(SimTime::ZERO),
+            host.context_switch(SimTime::ZERO),
+            host.interrupt(SimTime::ZERO),
+            host.cpu_copy(SimTime::ZERO, src, dst, 4096),
+        ] {
+            busy += r.end.as_nanos() - r.start.as_nanos();
+        }
+        assert_eq!(
+            rec.snapshot().counter(crate::trace::DEVICE_BUSY_NS, "host"),
+            Some(busy)
+        );
     }
 
     #[test]

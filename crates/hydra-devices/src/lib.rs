@@ -30,4 +30,4 @@ pub use disk::{DiskError, DiskOp, DiskStats, SmartDiskModel, BLOCK_BYTES};
 pub use gpu::{GpuModel, GpuStats};
 pub use host::HostModel;
 pub use nic::{NicCosts, NicModel, NicStats};
-pub use trace::DeviceTracer;
+pub use trace::{busy_if, DeviceTracer, DEVICE_BUSY_NS, LINK_BUSY_NS};

@@ -18,7 +18,7 @@ use hydra_obs::{Recorder, TraceCtx};
 use hydra_sim::fault::FaultInjector;
 use hydra_sim::time::SimTime;
 
-use crate::trace::{hop_if, DeviceTracer};
+use crate::trace::{busy_if, hop_if, DeviceTracer};
 
 /// Fixed MAC/firmware costs of the NIC datapath.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,7 +140,9 @@ impl NicModel {
     pub fn rx_process(&mut self, now: SimTime, bytes: usize) -> Reservation {
         self.stats.rx_frames += 1;
         let _ = bytes; // MAC cost is per frame; payload moves by DMA.
-        self.cpu.reserve(now, self.costs.rx_frame)
+        let r = self.cpu.reserve(now, self.costs.rx_frame);
+        busy_if(&self.tracer, r.start, r.end);
+        r
     }
 
     /// Fault-aware receive: like [`NicModel::rx_process`] but consults the
@@ -158,7 +160,8 @@ impl NicModel {
             if !stall.is_zero() {
                 self.stats.fault_stalls += 1;
                 let wasted = self.cpu.spec().cycles_in(stall);
-                let _ = self.cpu.reserve(now, wasted);
+                let r = self.cpu.reserve(now, wasted);
+                busy_if(&self.tracer, r.start, r.end);
             }
         }
         Some(self.rx_process(now, bytes))
@@ -169,7 +172,9 @@ impl NicModel {
     pub fn tx_process(&mut self, now: SimTime, bytes: usize) -> Reservation {
         self.stats.tx_frames += 1;
         let _ = bytes;
-        self.cpu.reserve(now, self.costs.tx_frame)
+        let r = self.cpu.reserve(now, self.costs.tx_frame);
+        busy_if(&self.tracer, r.start, r.end);
+        r
     }
 
     /// DMAs a payload into host memory (the conventional receive path),
@@ -231,7 +236,9 @@ impl NicModel {
     /// extra cycles.
     pub fn offcode_work(&mut self, now: SimTime, bytes: usize, extra: Cycles) -> Reservation {
         let work = self.costs.offcode_per_byte * bytes as u64 + extra;
-        self.cpu.reserve(now, work)
+        let r = self.cpu.reserve(now, work);
+        busy_if(&self.tracer, r.start, r.end);
+        r
     }
 
     /// The firmware timer's actual fire time for a target instant — the
@@ -425,6 +432,26 @@ mod tests {
         let (_, out) = nic.rx_process_traced(SimTime::ZERO, 64, ctx);
         assert_eq!(out, ctx, "no tracer: context passes through");
         assert_eq!(rec.snapshot().events.len(), 1);
+    }
+
+    #[test]
+    fn firmware_busy_time_sums_rx_tx_offcode() {
+        let rec = Recorder::new();
+        let mut nic = NicModel::new_3c985b(11);
+        nic.set_recorder(rec.clone(), 1);
+        let mut busy = 0;
+        for r in [
+            nic.rx_process(SimTime::ZERO, 1024),
+            nic.tx_process(SimTime::ZERO, 1024),
+            nic.offcode_work(SimTime::ZERO, 4096, Cycles::new(1_000)),
+        ] {
+            busy += r.end.as_nanos() - r.start.as_nanos();
+        }
+        assert_eq!(
+            rec.snapshot()
+                .counter(crate::trace::DEVICE_BUSY_NS, "device-1"),
+            Some(busy)
+        );
     }
 
     #[test]

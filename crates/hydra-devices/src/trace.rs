@@ -8,7 +8,17 @@
 //! every model — untraced call sites behave exactly as before.
 
 use hydra_obs::{Recorder, TraceCtx};
-use hydra_sim::time::SimTime;
+use hydra_sim::time::{SimDuration, SimTime};
+
+/// The canonical busy-time counter every device model feeds: windowed
+/// deltas of `device.busy_ns{<device label>}` divided by the window
+/// width are the per-device utilization timeline.
+pub const DEVICE_BUSY_NS: &str = "device.busy_ns";
+
+/// Wire-occupancy counter for links owned by a device (e.g. the smart
+/// disk's private NAS path): serialization nanoseconds clocked onto the
+/// wire, labeled with the owning device's label.
+pub const LINK_BUSY_NS: &str = "link.busy_ns";
 
 /// A device model's handle into the shared flight recorder.
 #[derive(Debug, Clone)]
@@ -27,6 +37,34 @@ impl DeviceTracer {
     /// The device's trace pid.
     pub fn pid(&self) -> u64 {
         self.pid
+    }
+
+    /// The device's metric label: `host` for pid 0, else `device-N` —
+    /// the same names the Chrome trace export gives the process rows,
+    /// so Perfetto counter tracks attach to the right process.
+    pub fn device_label(&self) -> String {
+        if self.pid == 0 {
+            "host".to_owned()
+        } else {
+            format!("device-{}", self.pid)
+        }
+    }
+
+    /// Charges `dur` of busy time to this device's
+    /// [`DEVICE_BUSY_NS`] utilization counter.
+    pub fn busy(&self, dur: SimDuration) {
+        self.counter_add(DEVICE_BUSY_NS, dur.as_nanos());
+    }
+
+    /// Adds to a counter labeled with this device's label.
+    pub fn counter_add(&self, name: &'static str, delta: u64) {
+        self.recorder.counter_add(name, &self.device_label(), delta);
+    }
+
+    /// Sets an instantaneous level track (queue depth, ring occupancy)
+    /// labeled with this device's label.
+    pub fn level_set(&self, name: &'static str, value: u64) {
+        self.recorder.level_set(name, &self.device_label(), value);
     }
 
     /// Records a datapath *hop* on this device, returning the advanced
@@ -55,6 +93,15 @@ impl DeviceTracer {
     ) {
         self.recorder
             .trace_drop(ctx, name, label, self.pid, at, bytes);
+    }
+}
+
+/// Charges the busy span `start..end` to an optional tracer's
+/// [`DEVICE_BUSY_NS`] counter: a `None` tracer is a no-op, so models can
+/// account utilization unconditionally.
+pub fn busy_if(tracer: &Option<DeviceTracer>, start: SimTime, end: SimTime) {
+    if let Some(t) = tracer {
+        t.busy(end.saturating_duration_since(start));
     }
 }
 
@@ -99,6 +146,28 @@ mod tests {
         assert_eq!(hops.len(), 1);
         assert_eq!(hops[0].device, 3);
         assert_eq!(hops[0].label, "wire");
+    }
+
+    #[test]
+    fn busy_time_lands_on_the_device_label() {
+        let rec = Recorder::new();
+        let tracer = DeviceTracer::new(rec.clone(), 3);
+        tracer.busy(SimDuration::from_micros(5));
+        busy_if(
+            &Some(tracer.clone()),
+            SimTime::from_micros(10),
+            SimTime::from_micros(12),
+        );
+        busy_if(&None, SimTime::ZERO, SimTime::from_micros(99));
+        tracer.level_set("device.ring_depth", 7);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter(DEVICE_BUSY_NS, "device-3"), Some(7_000));
+        rec.sample_window(SimTime::from_micros(20));
+        let snap = rec.snapshot();
+        assert_eq!(
+            snap.windows[0].level("device.ring_depth", "device-3"),
+            Some(7)
+        );
     }
 
     #[test]

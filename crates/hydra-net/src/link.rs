@@ -63,6 +63,7 @@ pub struct Link {
     busy_until: SimTime,
     frames: u64,
     bytes: u64,
+    busy_ns: u64,
 }
 
 impl Link {
@@ -73,6 +74,7 @@ impl Link {
             busy_until: SimTime::ZERO,
             frames: 0,
             bytes: 0,
+            busy_ns: 0,
         }
     }
 
@@ -96,14 +98,24 @@ impl Link {
         self.busy_until
     }
 
+    /// Cumulative wire occupancy: total serialization time clocked onto
+    /// the link, in nanoseconds. Windowed deltas of this counter over the
+    /// window width are the link's utilization timeline (propagation is
+    /// pipeline latency, not occupancy, so it is excluded).
+    pub fn busy_nanos(&self) -> u64 {
+        self.busy_ns
+    }
+
     /// Transmits a frame of `bytes` starting no earlier than `now`,
     /// returning the instant the last bit *arrives* at the far end.
     pub fn transmit(&mut self, now: SimTime, bytes: usize) -> SimTime {
         let start = self.busy_until.max(now);
-        let done_sending = start + self.spec.serialization(bytes);
+        let serialization = self.spec.serialization(bytes);
+        let done_sending = start + serialization;
         self.busy_until = done_sending;
         self.frames += 1;
         self.bytes += bytes as u64;
+        self.busy_ns += serialization.as_nanos();
         done_sending + self.spec.propagation
     }
 
@@ -113,7 +125,8 @@ impl Link {
     /// instants (same wire timing as sequential [`Link::transmit`] calls,
     /// but stats and `busy_until` are updated once).
     pub fn transmit_batch(&mut self, now: SimTime, frames: &[usize]) -> Vec<SimTime> {
-        let mut cursor = self.busy_until.max(now);
+        let start = self.busy_until.max(now);
+        let mut cursor = start;
         let mut arrivals = Vec::with_capacity(frames.len());
         let mut total = 0u64;
         for &bytes in frames {
@@ -125,6 +138,7 @@ impl Link {
             self.busy_until = cursor;
             self.frames += frames.len() as u64;
             self.bytes += total;
+            self.busy_ns += cursor.duration_since(start).as_nanos();
         }
         arrivals
     }
@@ -153,6 +167,24 @@ mod tests {
         assert_eq!(a2, SimTime::from_nanos(250));
         assert_eq!(l.frames(), 2);
         assert_eq!(l.bytes(), 200);
+        assert_eq!(l.busy_nanos(), 200, "occupancy excludes propagation");
+    }
+
+    #[test]
+    fn batched_and_sequential_occupancy_agree() {
+        let spec = LinkSpec {
+            bits_per_sec: 8_000_000_000, // 1 byte/ns
+            propagation: SimDuration::from_nanos(50),
+        };
+        let mut seq = Link::new(spec);
+        let mut batched = Link::new(spec);
+        let frames = [100usize, 200, 50];
+        for &b in &frames {
+            seq.transmit(SimTime::ZERO, b);
+        }
+        batched.transmit_batch(SimTime::ZERO, &frames);
+        assert_eq!(seq.busy_nanos(), 350);
+        assert_eq!(batched.busy_nanos(), seq.busy_nanos());
     }
 
     #[test]

@@ -23,6 +23,25 @@ use std::collections::BTreeSet;
 
 use crate::snapshot::{MetricsSnapshot, TraceEventSample};
 
+/// The Perfetto process a telemetry track attaches to: labels of the
+/// form `device-N` map to that device's pid, everything else (including
+/// `host`) to the host's pid 0 — so counter tracks land on the same
+/// process rows as the device's trace slices.
+fn track_pid(label: &str) -> u64 {
+    label
+        .strip_prefix("device-")
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(0)
+}
+
+fn track_name(name: &str, label: &str) -> String {
+    if label.is_empty() {
+        name.to_owned()
+    } else {
+        format!("{name}{{{label}}}")
+    }
+}
+
 /// Duration charged to a slice when the event is the last of its trace or
 /// its successor shares the same instant (µs) — keeps zero-width slices
 /// visible in the viewer.
@@ -104,8 +123,14 @@ pub fn chrome_trace(snapshot: &MetricsSnapshot) -> String {
         format!("{sep}{s}")
     };
 
-    // Process-name metadata, one per device, sorted for stability.
-    let devices: BTreeSet<u64> = events.iter().map(|e| e.device).collect();
+    // Process-name metadata, one per device, sorted for stability. The
+    // telemetry windows' counter tracks attach to device processes too,
+    // so their pids also need naming.
+    let mut devices: BTreeSet<u64> = events.iter().map(|e| e.device).collect();
+    for w in &snapshot.windows {
+        devices.extend(w.counters.iter().map(|t| track_pid(&t.label)));
+        devices.extend(w.levels.iter().map(|l| track_pid(&l.label)));
+    }
     let mut body = String::new();
     for d in devices {
         body.push_str(&push(
@@ -169,6 +194,35 @@ pub fn chrome_trace(snapshot: &MetricsSnapshot) -> String {
             &mut first,
         ));
     }
+    // Telemetry windows as Perfetto counter tracks ("ph":"C"): one
+    // sample per window at its closing edge — counter deltas as rates,
+    // levels as instantaneous values. Window order then (name, label)
+    // order keeps the rendering byte-stable.
+    for w in &snapshot.windows {
+        let ts = micros(w.end_nanos);
+        for t in &w.counters {
+            body.push_str(&push(
+                format!(
+                    "{{\"name\":{},\"ph\":\"C\",\"ts\":{ts},\"pid\":{},\"tid\":0,\"args\":{{\"value\":{}}}}}",
+                    json_str(&track_name(t.name, &t.label)),
+                    track_pid(&t.label),
+                    t.delta
+                ),
+                &mut first,
+            ));
+        }
+        for l in &w.levels {
+            body.push_str(&push(
+                format!(
+                    "{{\"name\":{},\"ph\":\"C\",\"ts\":{ts},\"pid\":{},\"tid\":0,\"args\":{{\"value\":{}}}}}",
+                    json_str(&track_name(l.name, &l.label)),
+                    track_pid(&l.label),
+                    l.value
+                ),
+                &mut first,
+            ));
+        }
+    }
     out.push_str(&body);
     out.push_str("]}");
     out
@@ -227,6 +281,27 @@ mod tests {
         assert!(json.contains("\"dur\":3.000"));
         assert!(json.contains("\"dur\":2.000"));
         assert!(json.contains("\"dur\":1.000"));
+    }
+
+    #[test]
+    fn windows_render_as_perfetto_counter_tracks() {
+        let rec = Recorder::new();
+        rec.counter_add("device.busy_ns", "device-2", 400_000);
+        rec.level_set("channel.queue_depth", "figure3", 3);
+        rec.sample_window(SimTime::from_millis(1));
+        let json = chrome_trace(&rec.snapshot());
+        // The busy track attaches to device 2's process, which gets
+        // named even though no trace slice ran there.
+        assert!(json.contains("\"args\":{\"name\":\"device-2\"}"));
+        assert!(json.contains(
+            "{\"name\":\"device.busy_ns{device-2}\",\"ph\":\"C\",\"ts\":1000.000,\
+             \"pid\":2,\"tid\":0,\"args\":{\"value\":400000}}"
+        ));
+        assert!(json.contains(
+            "{\"name\":\"channel.queue_depth{figure3}\",\"ph\":\"C\",\"ts\":1000.000,\
+             \"pid\":0,\"tid\":0,\"args\":{\"value\":3}}"
+        ));
+        assert_eq!(chrome_trace(&rec.snapshot()), json, "byte-stable");
     }
 
     #[test]

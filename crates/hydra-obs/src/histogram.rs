@@ -90,6 +90,76 @@ impl Histogram {
             .map(|(i, &c)| (Self::bucket_bound(i), c))
             .collect()
     }
+
+    /// Estimates the `pct`-th percentile (`0..=100`) by bucket-bound
+    /// interpolation; `None` when empty.
+    ///
+    /// The estimator is integer-only: the target rank is the ceiling
+    /// nearest rank `⌈pct·count/100⌉`, the containing bucket is found by
+    /// cumulative count, and the value is interpolated linearly between
+    /// the bucket's edges (tightened to the observed `min`/`max`). This
+    /// trades the exactness of `hydra_sim::stats::Samples::percentile`
+    /// (which keeps every sample and interpolates between neighbours)
+    /// for O(1) recording and fixed memory: the estimate always lands in
+    /// the same power-of-two bucket as the exact answer.
+    pub fn quantile(&self, pct: u64) -> Option<u64> {
+        quantile_from_buckets(
+            &self.nonzero_buckets(),
+            self.count,
+            self.min(),
+            self.max,
+            pct,
+        )
+    }
+
+    /// Median estimate ([`Histogram::quantile`] at 50).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(50)
+    }
+
+    /// 95th-percentile estimate ([`Histogram::quantile`] at 95).
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile(95)
+    }
+
+    /// 99th-percentile estimate ([`Histogram::quantile`] at 99).
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(99)
+    }
+}
+
+/// Shared quantile estimator over `(inclusive bound, count)` buckets in
+/// ascending order — the representation both [`Histogram`] and
+/// [`crate::HistogramSample`] expose.
+pub(crate) fn quantile_from_buckets(
+    buckets: &[(u64, u64)],
+    count: u64,
+    min: u64,
+    max: u64,
+    pct: u64,
+) -> Option<u64> {
+    if count == 0 {
+        return None;
+    }
+    let pct = pct.min(100);
+    #[allow(clippy::cast_possible_truncation)] // quotient <= count, a u64
+    let rank = ((u128::from(pct) * u128::from(count)).div_ceil(100) as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for &(bound, in_bucket) in buckets {
+        seen += in_bucket;
+        if seen >= rank {
+            // A bucket bounded by 2^i - 1 starts at 2^(i-1); bucket 0
+            // (bound 0) holds only zero.
+            let bucket_lo = if bound == 0 { 0 } else { bound / 2 + 1 };
+            let lo = bucket_lo.max(min).min(max);
+            let hi = bound.min(max).max(lo);
+            let pos = rank - (seen - in_bucket); // 1..=in_bucket
+            let span = u128::from(hi - lo);
+            #[allow(clippy::cast_possible_truncation)] // result <= hi - lo
+            return Some(lo + ((span * u128::from(pos)) / u128::from(in_bucket)) as u64);
+        }
+    }
+    Some(max)
 }
 
 #[cfg(test)]
@@ -143,6 +213,70 @@ mod tests {
         assert_eq!(h.sum(), u64::MAX);
         assert_eq!(h.count(), 2);
         assert_eq!(h.nonzero_buckets(), vec![(u64::MAX, 2)]);
+    }
+
+    #[test]
+    fn quantiles_of_empty_histogram_are_none() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(50), None);
+        assert_eq!(h.p99(), None);
+    }
+
+    #[test]
+    fn quantiles_of_a_constant_are_exact() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(7);
+        }
+        for pct in [0, 1, 50, 95, 99, 100] {
+            assert_eq!(h.quantile(pct), Some(7), "pct {pct}");
+        }
+    }
+
+    #[test]
+    fn quantiles_respect_power_of_two_boundaries() {
+        // 99 values in bucket 10 (513..=1023) and one outlier at 4096:
+        // p50/p95 must stay inside bucket 10, p100 must hit the outlier.
+        let mut h = Histogram::new();
+        for i in 0..99u64 {
+            h.record(513 + i * 5);
+        }
+        h.record(4096);
+        let p50 = h.p50().unwrap();
+        let p95 = h.p95().unwrap();
+        assert!((513..=1023).contains(&p50), "p50 {p50} inside bucket");
+        assert!((513..=1023).contains(&p95), "p95 {p95} inside bucket");
+        assert!(p50 <= p95, "quantiles are monotone");
+        assert_eq!(h.quantile(100), Some(4096), "p100 is the max");
+    }
+
+    #[test]
+    fn quantile_interpolates_within_bucket_and_clamps_to_extremes() {
+        // 1..=8: ranks are exact at bucket edges. p50 rank 4 falls in
+        // bucket 3 (4..=7) at position 1 of 4 -> 4 + 3/4 = 4.
+        let mut h = Histogram::new();
+        for v in 1..=8 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0), Some(1), "p0 is the min");
+        assert_eq!(h.p50(), Some(4));
+        assert_eq!(h.quantile(100), Some(8), "p100 is the max");
+        // The estimate lands in the same bucket as the exact answer 4.5.
+        assert_eq!(
+            Histogram::bucket_index(h.p50().unwrap()),
+            Histogram::bucket_index(4)
+        );
+    }
+
+    #[test]
+    fn quantile_tightens_bucket_edges_to_observed_min_max() {
+        // Both observations sit in bucket 10 (513..=1023); min/max pin
+        // the interpolation range to [600, 700].
+        let mut h = Histogram::new();
+        h.record(600);
+        h.record(700);
+        let p99 = h.p99().unwrap();
+        assert!((600..=700).contains(&p99), "p99 {p99} within min..=max");
     }
 
     #[test]

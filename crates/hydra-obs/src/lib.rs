@@ -19,6 +19,12 @@
 //!   rings as *hop* events, and closed at `recv`/`drop`, stored in a
 //!   bounded flight-recorder ring with visible overflow accounting.
 //!
+//! - **telemetry windows** ([`timeline`]): a [`Sampler`] ticking on the
+//!   DES engine clock closes fixed-width windows of counter deltas and
+//!   instantaneous *level* tracks (queue depths), turning end-of-run
+//!   aggregates into deterministic time series — per-device utilization,
+//!   occupancy, and throughput over time.
+//!
 //! Everything is keyed by a static metric name plus an instance label and
 //! stored in `BTreeMap`s, so a [`MetricsSnapshot`] — including its JSON
 //! rendering — is byte-for-byte identical across identical executions.
@@ -36,6 +42,7 @@ pub mod export;
 pub mod histogram;
 pub mod recorder;
 pub mod snapshot;
+pub mod timeline;
 pub mod trace;
 
 pub use budget::{check_budget, parse_budget, BudgetSpec, BudgetViolation, CounterBudget};
@@ -44,5 +51,8 @@ pub use histogram::Histogram;
 pub use recorder::{Recorder, SpanId, SpanRecord};
 pub use snapshot::{
     CounterSample, GaugeSample, HistogramSample, MetricsSnapshot, SpanSample, TraceEventSample,
+};
+pub use timeline::{
+    timeline_csv, Sampler, TimeSeries, WindowLevelSample, WindowSample, WindowTrackSample,
 };
 pub use trace::{EventId, FlightRecorder, TraceCtx, TraceEvent, TraceEventKind, TraceId};

@@ -22,6 +22,7 @@ use crate::histogram::Histogram;
 use crate::snapshot::{
     CounterSample, GaugeSample, HistogramSample, MetricsSnapshot, SpanSample, TraceEventSample,
 };
+use crate::timeline::{WindowLevelSample, WindowSample, WindowTrackSample};
 use crate::trace::{FlightRecorder, TraceCtx};
 
 /// Identifier of a recorded span, usable as a parent for child spans.
@@ -52,9 +53,12 @@ pub struct SpanRecord {
 struct Registry {
     counters: BTreeMap<(&'static str, String), u64>,
     gauges: BTreeMap<(&'static str, String), u64>,
+    levels: BTreeMap<(&'static str, String), u64>,
     histograms: BTreeMap<(&'static str, String), Histogram>,
     spans: Vec<SpanRecord>,
     flight: FlightRecorder,
+    windows: Vec<WindowSample>,
+    window_base: BTreeMap<(&'static str, String), u64>,
 }
 
 /// A clonable handle to a shared metrics registry.
@@ -106,6 +110,71 @@ impl Recorder {
         self.with(|r| {
             let g = r.gauges.entry((name, label.to_owned())).or_insert(0);
             *g = (*g).max(value);
+        });
+    }
+
+    /// Sets the instantaneous level track `name{label}` (queue depth,
+    /// ring occupancy). Unlike [`Recorder::gauge_max`], levels move both
+    /// ways; the [`Sampler`](crate::Sampler) reads them at each window's
+    /// closing edge.
+    pub fn level_set(&self, name: &'static str, label: &str, value: u64) {
+        self.with(|r| {
+            *r.levels.entry((name, label.to_owned())).or_insert(0) = value;
+        });
+    }
+
+    /// Raises the level track `name{label}` by `delta`.
+    pub fn level_add(&self, name: &'static str, label: &str, delta: u64) {
+        self.with(|r| {
+            *r.levels.entry((name, label.to_owned())).or_insert(0) += delta;
+        });
+    }
+
+    /// Lowers the level track `name{label}` by `delta`, saturating at 0.
+    pub fn level_sub(&self, name: &'static str, label: &str, delta: u64) {
+        self.with(|r| {
+            let l = r.levels.entry((name, label.to_owned())).or_insert(0);
+            *l = l.saturating_sub(delta);
+        });
+    }
+
+    /// Closes one telemetry window at sim instant `at`: records every
+    /// counter's delta since the previous window plus the current value
+    /// of every level track. Normally called by an installed
+    /// [`Sampler`](crate::Sampler) tick, not by hand.
+    pub fn sample_window(&self, at: SimTime) {
+        self.with(|r| {
+            let index = r.windows.len() as u64;
+            let start_nanos = r.windows.last().map_or(0, |w| w.end_nanos);
+            let mut counters = Vec::new();
+            for (key, &value) in &r.counters {
+                let base = r.window_base.get(key).copied().unwrap_or(0);
+                if value != base {
+                    counters.push(WindowTrackSample {
+                        name: key.0,
+                        label: key.1.clone(),
+                        delta: value - base,
+                        total: value,
+                    });
+                }
+            }
+            r.window_base = r.counters.clone();
+            let levels = r
+                .levels
+                .iter()
+                .map(|(&(name, ref label), &value)| WindowLevelSample {
+                    name,
+                    label: label.clone(),
+                    value,
+                })
+                .collect();
+            r.windows.push(WindowSample {
+                index,
+                start_nanos,
+                end_nanos: at.as_nanos(),
+                counters,
+                levels,
+            });
         });
     }
 
@@ -313,6 +382,7 @@ impl Recorder {
                 })
                 .collect(),
             events_dropped: r.flight.dropped(),
+            windows: r.windows.clone(),
         })
     }
 

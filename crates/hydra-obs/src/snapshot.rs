@@ -9,6 +9,9 @@
 
 use std::fmt;
 
+use crate::histogram::quantile_from_buckets;
+use crate::timeline::WindowSample;
+
 /// One counter value.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CounterSample {
@@ -48,6 +51,30 @@ pub struct HistogramSample {
     pub max: u64,
     /// Non-empty power-of-two buckets as `(inclusive bound, count)`.
     pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSample {
+    /// Estimates the `pct`-th percentile (`0..=100`) by bucket-bound
+    /// interpolation, matching [`crate::Histogram::quantile`]; `None`
+    /// when empty.
+    pub fn quantile(&self, pct: u64) -> Option<u64> {
+        quantile_from_buckets(&self.buckets, self.count, self.min, self.max, pct)
+    }
+
+    /// Median estimate ([`HistogramSample::quantile`] at 50).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(50)
+    }
+
+    /// 95th-percentile estimate ([`HistogramSample::quantile`] at 95).
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile(95)
+    }
+
+    /// 99th-percentile estimate ([`HistogramSample::quantile`] at 99).
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(99)
+    }
 }
 
 /// One span rendering.
@@ -107,6 +134,10 @@ pub struct MetricsSnapshot {
     /// Events the bounded flight recorder had to evict; non-zero means
     /// `events` is a suffix of the true history.
     pub events_dropped: u64,
+    /// Telemetry windows closed by the sampler, in time order (empty
+    /// unless a [`crate::Sampler`] ran or
+    /// [`crate::Recorder::sample_window`] was called).
+    pub windows: Vec<WindowSample>,
 }
 
 impl MetricsSnapshot {
@@ -248,6 +279,41 @@ impl MetricsSnapshot {
                 e.bytes
             ));
         }
+        out.push_str("],\"windows\":[");
+        for (i, w) in self.windows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"index\":{},\"start_nanos\":{},\"end_nanos\":{},\"counters\":[",
+                w.index, w.start_nanos, w.end_nanos
+            ));
+            for (j, t) in w.counters.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"name\":{},\"label\":{},\"delta\":{},\"total\":{}}}",
+                    json_str(t.name),
+                    json_str(&t.label),
+                    t.delta,
+                    t.total
+                ));
+            }
+            out.push_str("],\"levels\":[");
+            for (j, l) in w.levels.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"name\":{},\"label\":{},\"value\":{}}}",
+                    json_str(l.name),
+                    json_str(&l.label),
+                    l.value
+                ));
+            }
+            out.push_str("]}");
+        }
         out.push_str(&format!("],\"events_dropped\":{}}}", self.events_dropped));
         out
     }
@@ -324,6 +390,20 @@ impl fmt::Display for MetricsSnapshot {
                 writeln!(f, "    ({} older events dropped)", self.events_dropped)?;
             }
         }
+        if !self.windows.is_empty() {
+            writeln!(f, "  telemetry windows:")?;
+            for w in &self.windows {
+                writeln!(
+                    f,
+                    "    [{}] {}..{} ns: {} counter tracks, {} levels",
+                    w.index,
+                    w.start_nanos,
+                    w.end_nanos,
+                    w.counters.len(),
+                    w.levels.len()
+                )?;
+            }
+        }
         Ok(())
     }
 }
@@ -343,7 +423,7 @@ mod tests {
         let s = MetricsSnapshot::default();
         assert_eq!(
             s.to_json(),
-            "{\"counters\":[],\"gauges\":[],\"histograms\":[],\"spans\":[],\"events\":[],\"events_dropped\":0}"
+            "{\"counters\":[],\"gauges\":[],\"histograms\":[],\"spans\":[],\"events\":[],\"windows\":[],\"events_dropped\":0}"
         );
     }
 

@@ -96,6 +96,31 @@ pub trait Scheduler: fmt::Debug {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Self-profile counters accumulated since construction. The default
+    /// is all-zero for schedulers that keep none.
+    fn stats(&self) -> SchedStats {
+        SchedStats::default()
+    }
+}
+
+/// A scheduler's self-profile: occupancy high-water and, for the
+/// calendar queue, how the resize policy behaved. Deterministic for a
+/// deterministic schedule — the engine benchmark surfaces these as
+/// `wall_sched_*` report fields so CI's byte-diff stays indifferent to
+/// cross-version policy tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedStats {
+    /// Times the structure doubled its bucket count.
+    pub grows: u64,
+    /// Times the structure halved its bucket count.
+    pub shrinks: u64,
+    /// Largest number of simultaneously queued entries.
+    pub max_pending: u64,
+    /// Current bucket count (0 for the binary heap).
+    pub buckets: u64,
+    /// Current bucket width in nanoseconds (0 for the binary heap).
+    pub bucket_width_ns: u64,
 }
 
 /// Which [`Scheduler`] a [`Sim`] runs on.
@@ -141,6 +166,7 @@ impl Ord for HeapEntry {
 #[derive(Debug, Default)]
 pub struct BinaryHeapScheduler {
     heap: BinaryHeap<HeapEntry>,
+    max_pending: u64,
 }
 
 impl BinaryHeapScheduler {
@@ -153,6 +179,7 @@ impl BinaryHeapScheduler {
 impl Scheduler for BinaryHeapScheduler {
     fn push(&mut self, entry: SchedEntry) {
         self.heap.push(HeapEntry(entry));
+        self.max_pending = self.max_pending.max(self.heap.len() as u64);
     }
 
     fn pop(&mut self) -> Option<SchedEntry> {
@@ -165,6 +192,13 @@ impl Scheduler for BinaryHeapScheduler {
 
     fn len(&self) -> usize {
         self.heap.len()
+    }
+
+    fn stats(&self) -> SchedStats {
+        SchedStats {
+            max_pending: self.max_pending,
+            ..SchedStats::default()
+        }
     }
 }
 
@@ -209,6 +243,8 @@ pub struct CalendarQueue {
     cur: usize,
     /// Absolute nanosecond start of `cur`'s active (current-year) window.
     day_start: u64,
+    /// Resize-policy self-profile (grows/shrinks/occupancy high-water).
+    stats: SchedStats,
 }
 
 /// Smallest bucket count the resize policy will shrink to.
@@ -239,6 +275,7 @@ impl CalendarQueue {
             len: 0,
             cur: 0,
             day_start: 0,
+            stats: SchedStats::default(),
         }
     }
 
@@ -364,8 +401,10 @@ impl CalendarQueue {
 impl Scheduler for CalendarQueue {
     fn push(&mut self, entry: SchedEntry) {
         self.insert_raw(entry);
+        self.stats.max_pending = self.stats.max_pending.max(self.len as u64);
         if self.len > self.buckets.len() * 2 {
             self.resize(self.buckets.len() * 2);
+            self.stats.grows += 1;
         }
     }
 
@@ -375,6 +414,7 @@ impl Scheduler for CalendarQueue {
         self.len -= 1;
         if self.buckets.len() > MIN_BUCKETS && self.len * 4 < self.buckets.len() {
             self.resize(self.buckets.len() / 2);
+            self.stats.shrinks += 1;
         }
         Some(entry)
     }
@@ -386,6 +426,14 @@ impl Scheduler for CalendarQueue {
 
     fn len(&self) -> usize {
         self.len
+    }
+
+    fn stats(&self) -> SchedStats {
+        SchedStats {
+            buckets: self.buckets.len() as u64,
+            bucket_width_ns: self.bucket_width_ns(),
+            ..self.stats
+        }
     }
 }
 
@@ -438,6 +486,13 @@ impl Scheduler for AnyScheduler {
         match self {
             AnyScheduler::Heap(s) => s.len(),
             AnyScheduler::Calendar(s) => s.len(),
+        }
+    }
+
+    fn stats(&self) -> SchedStats {
+        match self {
+            AnyScheduler::Heap(s) => s.stats(),
+            AnyScheduler::Calendar(s) => s.stats(),
         }
     }
 }
@@ -502,6 +557,12 @@ impl<M> Sim<M> {
     /// Which scheduler this simulator runs on.
     pub fn scheduler_kind(&self) -> SchedulerKind {
         self.sched.kind()
+    }
+
+    /// The scheduler's self-profile (resize counts, occupancy
+    /// high-water, current geometry) — see [`SchedStats`].
+    pub fn sched_stats(&self) -> SchedStats {
+        self.sched.stats()
     }
 
     /// The current simulation time.
@@ -891,6 +952,35 @@ mod tests {
             popped.push(e.at.as_nanos());
         }
         assert_eq!(popped, times);
+    }
+
+    #[test]
+    fn sched_stats_track_growth_and_occupancy() {
+        let mut sim: Sim<()> = Sim::with_scheduler((), SchedulerKind::Calendar);
+        for i in 0..100u64 {
+            sim.schedule_at(SimTime::from_micros(i), |_| {});
+        }
+        let stats = sim.sched_stats();
+        assert_eq!(stats.max_pending, 100);
+        assert!(stats.grows >= 1, "100 pending forces at least one double");
+        assert!(stats.buckets > MIN_BUCKETS as u64);
+        assert!(stats.bucket_width_ns > 0);
+        sim.run();
+        let drained = sim.sched_stats();
+        assert!(drained.shrinks >= 1, "draining shrinks the calendar");
+        assert_eq!(drained.max_pending, 100, "high-water survives the drain");
+
+        // The heap oracle keeps occupancy only.
+        let mut heap: Sim<()> = Sim::with_scheduler((), SchedulerKind::BinaryHeap);
+        for i in 0..10u64 {
+            heap.schedule_at(SimTime::from_micros(i), |_| {});
+        }
+        let hs = heap.sched_stats();
+        assert_eq!(hs.max_pending, 10);
+        assert_eq!(
+            (hs.grows, hs.shrinks, hs.buckets, hs.bucket_width_ns),
+            (0, 0, 0, 0)
+        );
     }
 
     #[test]

@@ -41,7 +41,8 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{
-    BinaryHeapScheduler, CalendarQueue, EventId, SchedEntry, Scheduler, SchedulerKind, Sim,
+    BinaryHeapScheduler, CalendarQueue, EventId, SchedEntry, SchedStats, Scheduler, SchedulerKind,
+    Sim,
 };
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultParseError, FaultPlan};
 pub use rng::DetRng;

@@ -84,6 +84,26 @@ impl Samples {
 
     /// Exact percentile in `[0, 100]` by linear interpolation.
     ///
+    /// # Relation to `hydra_obs::Histogram::quantile`
+    ///
+    /// The workspace has two percentile estimators with deliberately
+    /// different semantics:
+    ///
+    /// * **This one** keeps every observation and interpolates between
+    ///   the two neighbouring order statistics at fractional rank
+    ///   `p/100 · (n−1)` (the "linear between closest ranks" / R-7
+    ///   definition). Exact, but O(n) memory and floating-point — for
+    ///   the experiment harness, whose reports are rendered with
+    ///   explicit rounding.
+    /// * **`hydra_obs`'s** works on power-of-two bucket counts with a
+    ///   ceiling *nearest rank* `⌈p·n/100⌉` and integer interpolation
+    ///   between bucket bounds. Approximate (bucket-bound resolution),
+    ///   but O(1) recording, fixed memory, and bit-for-bit deterministic
+    ///   — for the telemetry plane, whose outputs are byte-diffed.
+    ///
+    /// Both always land in the same power-of-two bucket; the root
+    /// `telemetry_timeline` tests cross-check that invariant.
+    ///
     /// # Panics
     ///
     /// Panics if the set is empty or `p` is outside `[0, 100]`.

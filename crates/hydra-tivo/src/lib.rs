@@ -20,6 +20,7 @@ pub mod faults;
 pub mod onload;
 pub mod playback;
 pub mod server;
+pub mod stats;
 pub mod storage;
 pub mod tcpmodel;
 pub mod toe;
@@ -37,6 +38,7 @@ pub use experiments::{
 pub use onload::{compare_designs, IoDesign, IoDesignPoint};
 pub use playback::{run_record_playback, PlaybackConfig, PlaybackRun};
 pub use server::{run_server, ServerConfig, ServerKind, ServerRun};
+pub use stats::{run_stats_demo, stats_demo_plan};
 pub use storage::{build_corpus, run_search, SearchKind, SearchRun};
 pub use tcpmodel::{GhzGbpsModel, GhzGbpsPoint, TcpDirection};
 pub use toe::{run_bulk_receive, TcpPlacement, ToeRun};

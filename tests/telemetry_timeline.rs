@@ -1,0 +1,135 @@
+//! Property tests for the windowed telemetry plane (tier 1):
+//! conservation (window deltas reconcile with end-of-run totals under
+//! arbitrary interleavings), timeline byte-identity under randomized
+//! fault plans, and the documented cross-check between the two
+//! percentile implementations ([`hydra::sim::stats::Samples`] keeps
+//! every sample, [`hydra::obs::Histogram`] keeps power-of-two buckets —
+//! both must land in the same bucket).
+
+use proptest::prelude::*;
+
+use hydra::obs::{Histogram, Recorder};
+use hydra::sim::fault::{FaultKind, FaultPlan};
+use hydra::sim::stats::Samples;
+use hydra::sim::time::{SimDuration, SimTime};
+use hydra::tivo::stats::run_stats_demo;
+
+const TRACKS: [&str; 4] = ["a", "b", "c", "d"];
+
+/// Builds a fault plan from parallel raw streams (the vendored proptest
+/// has no tuple strategies): event `i` fires at `ats[i]` on device
+/// `devs[i]`, with `kinds[i]` selecting the fault class and `vals[i]`
+/// parameterizing it.
+fn plan_from_raw(seed: u64, ats: &[u64], devs: &[usize], kinds: &[u8], vals: &[u64]) -> FaultPlan {
+    let mut plan = FaultPlan::new(seed);
+    for (i, &at) in ats.iter().enumerate() {
+        let kind = match kinds[i] % 4 {
+            0 => FaultKind::Crash,
+            1 => FaultKind::Stall {
+                duration: SimDuration::from_nanos(vals[i]),
+            },
+            2 => FaultKind::LossBurst {
+                frames: (vals[i] % 8 + 1) as u32,
+            },
+            _ => FaultKind::RingExhaustion {
+                slots: (vals[i] % 31 + 1) as usize,
+            },
+        };
+        plan = plan.with_event(SimTime::from_nanos(at), devs[i], kind);
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation: however counter increments interleave with window
+    /// closes, once a final window seals the run the per-window deltas
+    /// of every track sum to exactly its end-of-run total. Op codes
+    /// 0..4 add `amounts[i]` to that track; code 4 closes a window.
+    #[test]
+    fn window_deltas_conserve_counter_totals(
+        codes in proptest::collection::vec(0u8..5, 1..60),
+        amounts in proptest::collection::vec(1u64..10_000, 60usize),
+    ) {
+        let rec = Recorder::new();
+        let mut t = 0u64;
+        for (i, &code) in codes.iter().enumerate() {
+            if code < 4 {
+                rec.counter_add("prop.counter", TRACKS[code as usize], amounts[i]);
+            } else {
+                t += 1_000;
+                rec.sample_window(SimTime::from_nanos(t));
+            }
+        }
+        // Seal whatever the last window left behind.
+        t += 1_000;
+        rec.sample_window(SimTime::from_nanos(t));
+        let snap = rec.snapshot();
+        for track in TRACKS {
+            let summed: u64 = snap
+                .windows
+                .iter()
+                .map(|w| w.delta("prop.counter", track))
+                .sum();
+            prop_assert_eq!(summed, snap.counter("prop.counter", track).unwrap_or(0));
+        }
+        // And the windows tile sim time with no gaps.
+        for pair in snap.windows.windows(2) {
+            prop_assert_eq!(pair[0].end_nanos, pair[1].start_nanos);
+        }
+    }
+
+    /// The full stats scenario re-renders byte-identically under any
+    /// fault plan — crashes, stalls, loss bursts and ring exhaustion
+    /// perturb the timeline but never its determinism.
+    #[test]
+    fn stats_timeline_is_byte_identical_under_random_faults(
+        seed in 1u64..u64::MAX,
+        ats in proptest::collection::vec(0u64..10_000_000, 0..4),
+        devs in proptest::collection::vec(1usize..4, 4usize),
+        kinds in proptest::collection::vec(0u8..4, 4usize),
+        vals in proptest::collection::vec(1u64..1_000_000, 4usize),
+    ) {
+        let plan = plan_from_raw(seed, &ats, &devs, &kinds, &vals);
+        let (_, a) = run_stats_demo(Some(&plan));
+        let (_, b) = run_stats_demo(Some(&plan));
+        prop_assert_eq!(a, b);
+    }
+
+    /// The cross-check promised by the `Samples::percentile` docs: the
+    /// exact keep-every-sample estimator and the bucketed telemetry
+    /// estimator always agree on the power-of-two bucket containing the
+    /// ceiling-nearest-rank order statistic.
+    #[test]
+    fn both_percentile_estimators_land_in_the_same_bucket(
+        values in proptest::collection::vec(1u64..1_000_000, 1..200),
+        pct in 1u64..=100,
+    ) {
+        let mut hist = Histogram::new();
+        let mut samples = Samples::new();
+        for &v in &values {
+            hist.record(v);
+            #[allow(clippy::cast_precision_loss)]
+            samples.record(v as f64);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((pct * sorted.len() as u64).div_ceil(100)).max(1) as usize;
+        let exact_rank_value = sorted[rank - 1];
+        let estimate = hist.quantile(pct).expect("non-empty histogram");
+        prop_assert_eq!(
+            Histogram::bucket_index(estimate),
+            Histogram::bucket_index(exact_rank_value),
+            "estimate {} vs order statistic {}",
+            estimate,
+            exact_rank_value
+        );
+        // The sim-side estimator interpolates, but stays inside the
+        // observed range — both agree on the support.
+        #[allow(clippy::cast_precision_loss)]
+        let exact = samples.percentile(pct as f64);
+        prop_assert!(exact >= sorted[0] as f64);
+        prop_assert!(exact <= *sorted.last().unwrap() as f64);
+    }
+}
