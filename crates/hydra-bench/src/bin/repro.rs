@@ -50,7 +50,7 @@ const SELECTORS: &[(&str, &str)] = &[
     ),
     (
         "bench",
-        "bench [channel|engine]: benchmark report JSON (BENCH_*.json)",
+        "bench [channel|engine|crossover]: benchmark report JSON (BENCH_*.json)",
     ),
     (
         "lint",
@@ -181,30 +181,32 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    // `bench [channel|engine]` is its own sub-command: the report JSON
-    // goes to stdout with no banner, ready to redirect into the
-    // committed `BENCH_channel.json` / `BENCH_engine.json`. Plain
-    // `bench` keeps its historical meaning (the channel report).
+    // `bench [<name>]` is its own sub-command: the report JSON goes to
+    // stdout with no banner, ready to redirect into the committed
+    // `BENCH_<name>.json`. Dispatch goes through the
+    // `hydra_bench::BENCHES` manifest, so every committed report has a
+    // selector by construction. Plain `bench` keeps its historical
+    // meaning (the channel report).
     if selected.first() == Some(&"bench") {
-        return match &selected[1..] {
-            [] | ["channel"] => {
-                print!(
-                    "{}",
-                    channel_bench::render_json(&channel_bench::run_channel_bench())
-                );
+        let name = match &selected[1..] {
+            [] => "channel",
+            [one] => *one,
+            _ => "",
+        };
+        return match hydra_bench::run_bench(name) {
+            Some(json) => {
+                print!("{json}");
                 ExitCode::SUCCESS
             }
-            ["engine"] => {
-                print!(
-                    "{}",
-                    engine_bench::render_json(&engine_bench::run_engine_bench())
-                );
-                ExitCode::SUCCESS
-            }
-            _ => {
+            None => {
                 eprintln!(
-                    "repro: unknown bench selector '{}'\n",
-                    selected[1..].join(" ")
+                    "repro: unknown bench selector '{}' (known: {})\n",
+                    selected[1..].join(" "),
+                    hydra_bench::BENCHES
+                        .iter()
+                        .map(|(n, _)| *n)
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 );
                 eprint!("{}", usage());
                 ExitCode::FAILURE

@@ -15,12 +15,43 @@
 #![warn(missing_docs)]
 
 pub mod channel_bench;
+pub mod crossover_bench;
 pub mod engine_bench;
 pub mod lint;
 pub mod report;
 
 use hydra_sim::time::SimDuration;
 use hydra_tivo::experiments::SuiteConfig;
+
+/// The bench manifest: every `repro -- bench <name>` selector paired
+/// with the committed report it regenerates at the workspace root.
+///
+/// This is the single source of truth the stale-report failsafe keys
+/// on: a committed `BENCH_*.json` with no manifest row (or a manifest
+/// row [`run_bench`] cannot dispatch) fails `tests/report_manifest.rs`
+/// and the CI report-manifest job.
+pub const BENCHES: &[(&str, &str)] = &[
+    ("channel", "BENCH_channel.json"),
+    ("engine", "BENCH_engine.json"),
+    ("crossover", "BENCH_crossover.json"),
+];
+
+/// Runs the named bench and renders its report JSON, or `None` for a
+/// name outside [`BENCHES`]. The `repro` binary's `bench` sub-command
+/// dispatches through here, so the manifest and the CLI cannot drift.
+#[must_use]
+pub fn run_bench(name: &str) -> Option<String> {
+    match name {
+        "channel" => Some(channel_bench::render_json(
+            &channel_bench::run_channel_bench(),
+        )),
+        "engine" => Some(engine_bench::render_json(&engine_bench::run_engine_bench())),
+        "crossover" => Some(crossover_bench::render_json(
+            &crossover_bench::run_crossover_bench(),
+        )),
+        _ => None,
+    }
+}
 
 /// A short-duration suite configuration for benches: 6 simulated seconds
 /// — enough for the pipelines to reach steady state *and* to land at
@@ -39,5 +70,26 @@ mod tests {
     #[test]
     fn bench_suite_is_short() {
         assert_eq!(bench_suite().duration.as_millis(), 6_000);
+    }
+
+    #[test]
+    // The BENCH_*.json convention is deliberately case-sensitive — it
+    // mirrors the shell glob the CI report-manifest job walks.
+    #[allow(clippy::case_sensitive_file_extension_comparisons)]
+    fn every_manifest_row_dispatches_and_unknown_names_do_not() {
+        for (name, report_file) in BENCHES {
+            assert!(
+                report_file.starts_with("BENCH_") && report_file.ends_with(".json"),
+                "{report_file}: committed reports follow the BENCH_*.json convention"
+            );
+            // Dispatch must recognize the name; running the bench here
+            // would be slow, so the full round-trip lives in
+            // tests/report_manifest.rs.
+            assert!(
+                matches!(*name, "channel" | "engine" | "crossover"),
+                "{name}: run_bench() match arm missing for manifest row"
+            );
+        }
+        assert_eq!(run_bench("no-such-bench"), None);
     }
 }

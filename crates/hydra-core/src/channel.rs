@@ -167,20 +167,79 @@ impl ChannelConfig {
 }
 
 /// A provider's cost metric for a channel.
+///
+/// The fixed cost of a message splits into two explicit parts, after
+/// *Taming Offload Overheads*: `per_message` is the host-side work that
+/// can never be avoided (descriptor/word preparation), while
+/// `launch_overhead` is the offload-launch charge — the MMIO doorbell
+/// write plus the device's engine-start cost. PIO-style providers drive
+/// every word from the CPU over the coherent interconnect and have no
+/// launch at all; DMA-style providers pay it per doorbell; async
+/// double-buffered providers ([`ChannelCost::coalesce_launch`]) hide it
+/// behind an in-flight transfer whenever the pipe is already busy.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChannelCost {
     /// One-time endpoint construction cost.
     pub setup: SimDuration,
-    /// Fixed cost per message.
+    /// Fixed host-side cost per message (descriptor or word setup).
     pub per_message: SimDuration,
+    /// Offload-launch charge per doorbell (MMIO write + engine start);
+    /// zero for CPU-driven providers that never ring one.
+    pub launch_overhead: SimDuration,
+    /// Async double-buffered amortization: when the pipe is already
+    /// busy, the launch overlaps the in-flight transfer and is not
+    /// charged again (the next doorbell is pre-armed while the engine
+    /// drains the previous buffer).
+    pub coalesce_launch: bool,
     /// Sustained payload throughput in bytes per second.
     pub bytes_per_sec: u64,
 }
 
 impl ChannelCost {
-    /// End-to-end latency for one message of `bytes`.
+    /// A cost metric with the launch charge folded into `per_message`
+    /// (the historical shape: every send pays the full fixed cost).
+    pub const fn basic(setup: SimDuration, per_message: SimDuration, bytes_per_sec: u64) -> Self {
+        ChannelCost {
+            setup,
+            per_message,
+            launch_overhead: SimDuration::ZERO,
+            coalesce_launch: false,
+            bytes_per_sec,
+        }
+    }
+
+    /// Unloaded end-to-end latency for one message of `bytes` (idle
+    /// pipe: the launch overhead is always paid).
     pub fn latency(&self, bytes: usize) -> SimDuration {
-        self.per_message + self.wire_time(bytes)
+        self.per_message + self.launch_overhead + self.wire_time(bytes)
+    }
+
+    /// Marginal latency for one message of `bytes` on a saturated pipe:
+    /// a coalescing provider hides the launch behind the in-flight
+    /// transfer, everyone else still pays it.
+    pub fn streaming_latency(&self, bytes: usize) -> SimDuration {
+        self.per_message + self.launch_if(false) + self.wire_time(bytes)
+    }
+
+    /// Latency of one message of `bytes` given whether the pipe was
+    /// idle when the send was admitted.
+    pub fn send_latency(&self, bytes: usize, pipe_idle: bool) -> SimDuration {
+        self.per_message + self.launch_if(pipe_idle) + self.wire_time(bytes)
+    }
+
+    /// The full fixed charge paid at a doorbell rung on an idle/busy
+    /// pipe — what the [`CostProfile`] accumulates as launch overhead.
+    pub fn launch_charge(&self, pipe_idle: bool) -> SimDuration {
+        self.per_message + self.launch_if(pipe_idle)
+    }
+
+    /// The launch overhead actually charged for the given pipe state.
+    fn launch_if(&self, pipe_idle: bool) -> SimDuration {
+        if self.coalesce_launch && !pipe_idle {
+            SimDuration::ZERO
+        } else {
+            self.launch_overhead
+        }
     }
 
     /// Pure payload transfer time for `bytes`, excluding the fixed
@@ -188,6 +247,18 @@ impl ChannelCost {
     pub fn wire_time(&self, bytes: usize) -> SimDuration {
         let wire = (bytes as u128 * 1_000_000_000).div_ceil(u128::from(self.bytes_per_sec));
         SimDuration::from_nanos(wire as u64)
+    }
+
+    /// Effective delivered throughput for back-to-back messages of
+    /// `bytes` each, in bytes per second — the fixed charges folded
+    /// into the wire rate. This is the size-dependent "bus price" the
+    /// ILP layout objective consumes.
+    pub fn effective_throughput(&self, bytes: usize) -> u64 {
+        let ns = self.streaming_latency(bytes).as_nanos().max(1);
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            ((bytes as u128 * 1_000_000_000) / u128::from(ns)) as u64
+        }
     }
 }
 
@@ -220,7 +291,12 @@ impl ChannelProvider for ZeroCopyDmaProvider {
     fn cost(&self, config: &ChannelConfig) -> ChannelCost {
         ChannelCost {
             setup: SimDuration::from_micros(120), // ring + shared region setup
-            per_message: SimDuration::from_micros(3),
+            per_message: SimDuration::from_micros(1), // descriptor prep
+            // Synchronous launch: the doorbell MMIO write + DMA engine
+            // start is paid on every send (batches still amortize it to
+            // one charge per submission).
+            launch_overhead: SimDuration::from_micros(2),
+            coalesce_launch: false,
             bytes_per_sec: match config.transport {
                 Transport::Unicast => 500_000_000,
                 Transport::Multicast => 400_000_000,
@@ -243,15 +319,17 @@ impl ChannelProvider for KernelCopyProvider {
     }
 
     fn cost(&self, config: &ChannelConfig) -> ChannelCost {
-        ChannelCost {
-            setup: SimDuration::from_micros(30),
-            per_message: SimDuration::from_micros(9),
-            bytes_per_sec: if config.target.is_host() {
+        // Syscall + staging copy dominate; there is no device doorbell,
+        // so the whole fixed cost is per-message host work.
+        ChannelCost::basic(
+            SimDuration::from_micros(30),
+            SimDuration::from_micros(9),
+            if config.target.is_host() {
                 1_500_000_000
             } else {
                 250_000_000
             },
-        }
+        )
     }
 }
 
@@ -458,6 +536,70 @@ impl CostProfile {
     }
 }
 
+/// Policy knobs for online, per-size-bucket provider selection on a
+/// cost-adaptive channel (see
+/// [`ChannelExecutive::create_channel_adaptive`]).
+///
+/// All decisions are functions of the channel's own [`CostProfile`]
+/// and sim-time traffic, so selection is deterministic and
+/// byte-reproducible: same traffic, same choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptivePolicy {
+    /// Messages a size bucket must accumulate before its first
+    /// re-evaluation; colder buckets keep the static advertised-cost
+    /// argmin.
+    pub min_samples: u64,
+    /// Messages between re-evaluations of a bucket: selection is only
+    /// reconsidered at these epoch boundaries, never mid-epoch.
+    pub epoch: u64,
+    /// Hysteresis numerator: a challenger wins only when its estimated
+    /// cost times `hysteresis_den` is at most the incumbent's times
+    /// `hysteresis_num` (7/8 = the challenger must be ≥ 12.5% better).
+    pub hysteresis_num: u64,
+    /// Hysteresis denominator (see `hysteresis_num`).
+    pub hysteresis_den: u64,
+}
+
+impl Default for AdaptivePolicy {
+    fn default() -> Self {
+        AdaptivePolicy {
+            min_samples: 8,
+            epoch: 16,
+            hysteresis_num: 7,
+            hysteresis_den: 8,
+        }
+    }
+}
+
+/// Online selection state of a cost-adaptive channel: the live
+/// candidate providers and the per-size-bucket incumbents.
+#[derive(Debug)]
+struct AdaptiveState {
+    /// `(name, advertised cost)` of every capable provider, in
+    /// registration order (the deterministic tie-break order).
+    candidates: Vec<(String, ChannelCost)>,
+    policy: AdaptivePolicy,
+    /// Active candidate index per size bucket (keyed by the bucket's
+    /// upper bound, as in [`CostProfile::size_bucket`]).
+    selected: BTreeMap<u64, usize>,
+    /// Epoch-boundary re-selections that actually changed a bucket's
+    /// provider.
+    switches: u64,
+}
+
+impl AdaptiveState {
+    /// Index of the candidate with the lowest unloaded advertised
+    /// latency for a `bytes`-sized message (ties keep the earliest
+    /// registration).
+    fn static_default(&self, bytes: usize) -> usize {
+        self.candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (_, c))| c.latency(bytes))
+            .map_or(0, |(i, _)| i)
+    }
+}
+
 /// Per-channel counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ChannelStats {
@@ -490,6 +632,9 @@ pub struct Channel {
     wedged_slots: usize,
     stats: ChannelStats,
     profile: CostProfile,
+    /// Online per-bucket provider selection; `None` on a classic
+    /// fixed-provider channel.
+    adaptive: Option<AdaptiveState>,
     /// Label for per-channel level tracks (`chan#N`), built once.
     depth_label: String,
     handler_installed: bool,
@@ -497,6 +642,32 @@ pub struct Channel {
 }
 
 impl Channel {
+    fn new(
+        id: ChannelId,
+        config: ChannelConfig,
+        provider_name: String,
+        cost: ChannelCost,
+        adaptive: Option<AdaptiveState>,
+        recorder: Recorder,
+    ) -> Self {
+        Channel {
+            id,
+            config,
+            provider_name,
+            cost,
+            busy_until: SimTime::ZERO,
+            queues: Vec::new(),
+            closed: Vec::new(),
+            wedged_slots: 0,
+            stats: ChannelStats::default(),
+            profile: CostProfile::default(),
+            adaptive,
+            depth_label: format!("chan#{}", id.0),
+            handler_installed: false,
+            recorder,
+        }
+    }
+
     /// The channel id.
     pub fn id(&self) -> ChannelId {
         self.id
@@ -526,6 +697,104 @@ impl Channel {
     /// latency, throughput, and accumulated launch overhead.
     pub fn cost_profile(&self) -> &CostProfile {
         &self.profile
+    }
+
+    /// Whether this channel re-selects its provider online from the
+    /// live cost profile.
+    pub fn is_adaptive(&self) -> bool {
+        self.adaptive.is_some()
+    }
+
+    /// Epoch-boundary provider switches performed so far (zero on a
+    /// fixed-provider channel).
+    pub fn provider_switches(&self) -> u64 {
+        self.adaptive.as_ref().map_or(0, |s| s.switches)
+    }
+
+    /// Names of the live candidate providers of an adaptive channel
+    /// (empty on a fixed-provider channel), in registration order.
+    pub fn candidate_providers(&self) -> Vec<&str> {
+        self.adaptive.as_ref().map_or_else(Vec::new, |s| {
+            s.candidates.iter().map(|(n, _)| n.as_str()).collect()
+        })
+    }
+
+    /// Online provider selection for the next send of `bytes`: picks
+    /// (and possibly re-picks) the active candidate for the payload's
+    /// size bucket from the live [`CostProfile`], then installs it as
+    /// the channel's current provider/cost. No-op on fixed channels.
+    ///
+    /// A cold bucket (fewer than [`AdaptivePolicy::min_samples`]
+    /// observations) uses the static argmin of the advertised unloaded
+    /// latency. Warm buckets re-rank only at epoch boundaries: when the
+    /// observed p50 shows the pipe is saturated (≥ 2× the incumbent's
+    /// unloaded latency, i.e. queueing dominates), candidates are
+    /// compared by their *streaming* marginal latency — where a
+    /// double-buffered provider's hidden launch pays off — otherwise by
+    /// unloaded latency. The incumbent keeps the bucket unless a
+    /// challenger clears the policy's hysteresis margin, so selection
+    /// cannot flap.
+    fn select_provider(&mut self, bytes: usize) {
+        let Some(state) = self.adaptive.as_mut() else {
+            return;
+        };
+        let bucket = CostProfile::size_bucket(bytes);
+        #[allow(clippy::cast_possible_truncation)]
+        let rep = bucket as usize;
+        let idx = match state.selected.get(&bucket) {
+            None => {
+                let idx = state.static_default(rep);
+                state.selected.insert(bucket, idx);
+                idx
+            }
+            Some(&incumbent) => {
+                let hist = self.profile.latency_for(rep);
+                let count = hist.map_or(0, Histogram::count);
+                let due = count >= state.policy.min_samples
+                    && (count - state.policy.min_samples).is_multiple_of(state.policy.epoch);
+                if due {
+                    let observed_p50 = hist.and_then(Histogram::p50).unwrap_or(0);
+                    let inc_cost = state.candidates[incumbent].1;
+                    let hot = observed_p50 >= inc_cost.latency(rep).as_nanos().saturating_mul(2);
+                    let est = |c: &ChannelCost| {
+                        if hot {
+                            c.streaming_latency(rep).as_nanos()
+                        } else {
+                            c.latency(rep).as_nanos()
+                        }
+                    };
+                    let challenger = state
+                        .candidates
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, (_, c))| est(c))
+                        .map_or(incumbent, |(i, _)| i);
+                    let wins = challenger != incumbent
+                        && u128::from(est(&state.candidates[challenger].1))
+                            * u128::from(state.policy.hysteresis_den)
+                            <= u128::from(est(&state.candidates[incumbent].1))
+                                * u128::from(state.policy.hysteresis_num);
+                    if wins {
+                        state.selected.insert(bucket, challenger);
+                        state.switches += 1;
+                        self.recorder.counter_incr(
+                            "channel.provider_switch",
+                            &state.candidates[challenger].0,
+                        );
+                        challenger
+                    } else {
+                        incumbent
+                    }
+                } else {
+                    incumbent
+                }
+            }
+        };
+        let (name, cost) = &state.candidates[idx];
+        if *name != self.provider_name {
+            self.provider_name.clone_from(name);
+            self.cost = *cost;
+        }
     }
 
     /// Publishes the deepest open endpoint queue as the channel's
@@ -715,6 +984,7 @@ impl Channel {
     /// when every attempt inside the policy's bounds still finds the ring
     /// full does the send fail (or drop) as above.
     pub fn send(&mut self, now: SimTime, data: Bytes) -> Result<SimTime, ChannelError> {
+        self.select_provider(data.len());
         let bytes = data.len() as u64;
         let ctx = self
             .recorder
@@ -744,11 +1014,15 @@ impl Channel {
             }
         }
         let start = self.busy_until.max(admit_at);
-        let deliver_at = start + self.cost.latency(data.len());
+        // Idle pipe: the doorbell must actually start the engine. Busy
+        // pipe: a coalescing (double-buffered) provider pre-armed the
+        // launch while the previous transfer drained.
+        let pipe_idle = self.busy_until <= admit_at;
+        let deliver_at = start + self.cost.send_latency(data.len(), pipe_idle);
         self.busy_until = deliver_at;
         self.stats.sent += 1;
         self.stats.bytes += bytes;
-        self.profile.doorbell(self.cost.per_message);
+        self.profile.doorbell(self.cost.launch_charge(pipe_idle));
         self.profile.record(
             now.as_nanos(),
             bytes,
@@ -847,6 +1121,10 @@ impl Channel {
             return;
         }
         let total_bytes: u64 = batch.iter().map(|m| m.len() as u64).sum();
+        // A batch selects once, by its mean payload size (one doorbell,
+        // one provider: a batch cannot straddle two rings).
+        #[allow(clippy::cast_possible_truncation)]
+        self.select_provider((total_bytes / batch.len() as u64) as usize);
         let ctx = self.recorder.trace_begin(
             "channel.send_batch",
             &self.provider_name,
@@ -871,11 +1149,16 @@ impl Channel {
                 start,
                 accepted_bytes,
             );
-            self.profile.doorbell(self.cost.per_message);
+            // One doorbell covers the batch; whether its launch charge
+            // is paid depends on the pipe state, exactly like a single
+            // send (a coalescing provider submitting onto a busy pipe
+            // pays nothing extra).
+            let pipe_idle = self.busy_until <= now;
+            self.profile.doorbell(self.cost.launch_charge(pipe_idle));
             let mut cum_bytes = 0usize;
             for msg in &batch[..accepted] {
                 cum_bytes += msg.len();
-                let deliver_at = start + self.cost.latency(cum_bytes);
+                let deliver_at = start + self.cost.send_latency(cum_bytes, pipe_idle);
                 self.profile.record(
                     now.as_nanos(),
                     msg.len() as u64,
@@ -925,8 +1208,9 @@ impl Channel {
             if let Some((at, attempts)) = self.retry_admit(now) {
                 let bytes = msg.len() as u64;
                 let start = self.busy_until.max(at);
-                let deliver_at = start + self.cost.latency(msg.len());
-                self.profile.doorbell(self.cost.per_message);
+                let pipe_idle = self.busy_until <= at;
+                let deliver_at = start + self.cost.send_latency(msg.len(), pipe_idle);
+                self.profile.doorbell(self.cost.launch_charge(pipe_idle));
                 self.profile.record(
                     now.as_nanos(),
                     bytes,
@@ -1200,21 +1484,97 @@ impl ChannelExecutive {
         let id = ChannelId(self.channels.len() as u32);
         self.recorder
             .counter_incr("channel.provider_selected", best.name());
-        self.channels.push(Some(Channel {
+        let channel = Channel::new(
             id,
             config,
-            provider_name: best.name().to_owned(),
-            cost: best.cost(&config),
-            busy_until: SimTime::ZERO,
-            queues: Vec::new(),
-            closed: Vec::new(),
-            wedged_slots: 0,
-            stats: ChannelStats::default(),
-            profile: CostProfile::default(),
-            depth_label: format!("chan#{}", id.0),
-            handler_installed: false,
-            recorder: self.recorder.clone(),
-        }));
+            best.name().to_owned(),
+            best.cost(&config),
+            None,
+            self.recorder.clone(),
+        );
+        self.channels.push(Some(channel));
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Creates a channel pinned to the named provider, bypassing the
+    /// cost auction — the benchmarking/pinning API behind the crossover
+    /// sweeps (each provider measured in isolation).
+    ///
+    /// # Errors
+    ///
+    /// Fails when no provider of that name supports the configuration.
+    pub fn create_channel_forced(
+        &mut self,
+        config: ChannelConfig,
+        provider: &str,
+    ) -> Result<ChannelId, ChannelError> {
+        let chosen = self
+            .providers
+            .iter()
+            .find(|p| p.name() == provider && p.supports(&config))
+            .ok_or(ChannelError::NoProvider)?;
+        let id = ChannelId(self.channels.len() as u32);
+        self.recorder
+            .counter_incr("channel.provider_selected", chosen.name());
+        let channel = Channel::new(
+            id,
+            config,
+            chosen.name().to_owned(),
+            chosen.cost(&config),
+            None,
+            self.recorder.clone(),
+        );
+        self.channels.push(Some(channel));
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Creates a **cost-adaptive** channel: every supporting provider
+    /// stays a live candidate, and each message-size bucket re-selects
+    /// among them online from the channel's [`CostProfile`] under
+    /// `policy` (see [`AdaptivePolicy`] for the deterministic
+    /// hysteresis rules). The initial provider is the same static
+    /// argmin [`ChannelExecutive::create_channel`] would pick.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no provider supports the configuration.
+    pub fn create_channel_adaptive(
+        &mut self,
+        config: ChannelConfig,
+        policy: AdaptivePolicy,
+    ) -> Result<ChannelId, ChannelError> {
+        let candidates: Vec<(String, ChannelCost)> = self
+            .providers
+            .iter()
+            .filter(|p| p.supports(&config))
+            .map(|p| (p.name().to_owned(), p.cost(&config)))
+            .collect();
+        let initial = candidates
+            .iter()
+            .min_by_key(|(_, c)| c.latency(1024))
+            .ok_or(ChannelError::NoProvider)?
+            .clone();
+        let id = ChannelId(self.channels.len() as u32);
+        self.recorder
+            .counter_incr("channel.provider_selected", &initial.0);
+        self.recorder
+            .counter_incr("channel.adaptive_created", &initial.0);
+        let channel = Channel::new(
+            id,
+            config,
+            initial.0,
+            initial.1,
+            Some(AdaptiveState {
+                candidates,
+                policy,
+                selected: BTreeMap::new(),
+                switches: 0,
+            }),
+            self.recorder.clone(),
+        );
+        self.channels.push(Some(channel));
         self.live += 1;
         Ok(id)
     }
@@ -1431,9 +1791,11 @@ mod tests {
         }
         let outcome = e.get_mut(batched).unwrap().send_batch(SimTime::ZERO, &msgs);
         assert_eq!(outcome.accepted(), 8);
-        // One doorbell instead of eight: exactly 7 per-message charges saved.
-        let per_msg = e.get(single).unwrap().cost().per_message;
-        assert_eq!(outcome.complete_at + per_msg * 7, last_single);
+        // One doorbell instead of eight: exactly 7 fixed charges
+        // (descriptor prep + launch overhead) saved.
+        let cost = e.get(single).unwrap().cost();
+        let fixed = cost.per_message + cost.launch_overhead;
+        assert_eq!(outcome.complete_at + fixed * 7, last_single);
     }
 
     #[test]
@@ -1738,8 +2100,8 @@ mod tests {
         assert_eq!(p.messages(), 15);
         assert_eq!(p.bytes(), 10 * 100 + 5 * 60_000);
         assert_eq!(p.doorbells(), 15);
-        let per_msg = ch.cost().per_message.as_nanos();
-        assert_eq!(p.launch_overhead_ns(), 15 * per_msg);
+        let fixed = ch.cost().launch_charge(true).as_nanos();
+        assert_eq!(p.launch_overhead_ns(), 15 * fixed);
         // Each send was issued at the previous delivery instant, so the
         // observed latency is the unloaded cost — and the size classes
         // land in distinct buckets with distinct quantiles.
@@ -1769,7 +2131,10 @@ mod tests {
         let p = ch.cost_profile();
         assert_eq!(p.messages(), 8);
         assert_eq!(p.doorbells(), 1, "one doorbell for the whole batch");
-        assert_eq!(p.launch_overhead_ns(), ch.cost().per_message.as_nanos());
+        assert_eq!(
+            p.launch_overhead_ns(),
+            ch.cost().launch_charge(true).as_nanos()
+        );
     }
 
     #[test]

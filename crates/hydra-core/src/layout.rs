@@ -28,7 +28,22 @@ use hydra_ilp::model::{Direction, Outcome, Problem, Sense, VarId};
 use hydra_ilp::solve_ilp;
 use hydra_odf::odf::{ConstraintKind, Guid, OdfDocument};
 
+use crate::channel::ChannelCost;
 use crate::device::{DeviceId, DeviceRegistry};
+
+/// The bus-bandwidth price of an Offcode whose channel moves
+/// `bytes`-sized messages under `cost`, in MB/s of *effective*
+/// delivered bandwidth: the streaming per-message and launch charges
+/// folded into the wire rate ([`ChannelCost::effective_throughput`]).
+///
+/// This is the richer price the crossover curves feed into
+/// [`Objective::MaximizeBusUsage`]: a chatty small-message Offcode on a
+/// high-setup DMA channel prices low (the doorbells dominate), while
+/// the same traffic over PIO — or bulk traffic over DMA — prices high.
+#[allow(clippy::cast_precision_loss)]
+pub fn bus_price(cost: &ChannelCost, bytes: usize) -> f64 {
+    cost.effective_throughput(bytes) as f64 / 1_000_000.0
+}
 
 /// Index of a node within a [`LayoutGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -234,6 +249,31 @@ impl LayoutGraph {
         for (k, slot) in node.compat.iter_mut().enumerate() {
             *slot = k == 0 || k == device.idx();
         }
+    }
+
+    /// Overrides node `n`'s bus-bandwidth price (the §5 objective
+    /// weight), e.g. from a measured channel cost via [`bus_price`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn set_price(&mut self, n: NodeIdx, price: f64) {
+        self.nodes[n.0].price = price;
+    }
+
+    /// Reprices node `n` from a provider's [`ChannelCost`] at the
+    /// Offcode's typical message size: the node's bus demand becomes
+    /// the channel's effective delivered bandwidth (see [`bus_price`]),
+    /// so [`Objective::MaximizeBusUsage`] prefers offloading the
+    /// Offcodes whose channels actually move the most bytes per second
+    /// — small-message Offcodes are priced by the fixed per-message and
+    /// launch charges, not the headline wire rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn reprice_from_cost(&mut self, n: NodeIdx, cost: &ChannelCost, message_bytes: usize) {
+        self.set_price(n, bus_price(cost, message_bytes));
     }
 
     /// The nodes.
@@ -949,6 +989,40 @@ mod tests {
         let p = g.resolve_ilp(&obj).unwrap();
         assert_eq!(p.offloaded_count(), 2);
         assert!((g.bus_value(&p) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn channel_cost_repricing_steers_bus_usage_objective() {
+        use crate::channel::{ChannelConfig, ChannelProvider, ZeroCopyDmaProvider};
+        use crate::providers::PioProvider;
+
+        let cfg = ChannelConfig::figure3(DeviceId(1));
+        let dma = ZeroCopyDmaProvider.cost(&cfg);
+        let pio = PioProvider::coherent_interconnect().cost(&cfg);
+
+        // The richer price model: fixed charges fold into the rate, so
+        // DMA prices *below* PIO for chatty small messages and far
+        // above it for bulk.
+        assert!(bus_price(&dma, 128) < bus_price(&pio, 128));
+        assert!(bus_price(&dma, 65_536) > bus_price(&pio, 65_536));
+
+        // Two Offcodes compete for one device: a chatty control-plane
+        // node and a bulk streamer, both on DMA channels. With the flat
+        // default prices the solver is indifferent; repriced from the
+        // channel costs, capacity only admits one and the bulk node's
+        // effective bandwidth must win the slot.
+        let mut g = LayoutGraph::new();
+        let chatty = g.add_node(node(1, vec![true, true]));
+        let bulk = g.add_node(node(2, vec![true, true]));
+        g.reprice_from_cost(chatty, &dma, 128);
+        g.reprice_from_cost(bulk, &dma, 65_536);
+        let obj = Objective::MaximizeBusUsage {
+            capacities: vec![f64::INFINITY, bus_price(&dma, 65_536) + 1.0],
+        };
+        let p = g.resolve_ilp(&obj).unwrap();
+        assert_eq!(p.device_of(bulk), DeviceId(1));
+        assert_eq!(p.device_of(chatty), DeviceId::HOST);
+        g.check(&p).unwrap();
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod error;
 pub mod health;
 pub mod layout;
 pub mod offcode;
+pub mod providers;
 pub mod proxy;
 pub mod pseudo;
 pub mod resource;
@@ -33,8 +34,8 @@ pub mod runtime;
 
 pub use call::{Call, CallTypeError, MarshalError, Value};
 pub use channel::{
-    Buffering, Channel, ChannelConfig, ChannelCost, ChannelError, ChannelExecutive, ChannelId,
-    ChannelProvider, CostProfile, Reliability, RetryPolicy, SyncPolicy, Transport,
+    AdaptivePolicy, Buffering, Channel, ChannelConfig, ChannelCost, ChannelError, ChannelExecutive,
+    ChannelId, ChannelProvider, CostProfile, Reliability, RetryPolicy, SyncPolicy, Transport,
     CHANNEL_QUEUE_DEPTH,
 };
 pub use device::{DeviceDescriptor, DeviceId, DeviceRegistry};
@@ -43,6 +44,7 @@ pub use health::{DeviceHealth, HealthMonitor, HealthPolicy, HealthTransition};
 pub use hydra_obs::{MetricsSnapshot, Recorder};
 pub use layout::{LayoutError, LayoutGraph, LayoutNode, NodeIdx, Objective, Placement};
 pub use offcode::{synthetic_object, Offcode, OffcodeCtx, OffcodeId};
+pub use providers::{DoorbellBatchProvider, PioProvider};
 pub use proxy::Proxy;
 pub use pseudo::{HeapOffcode, RuntimeInfoOffcode, HEAP_GUID, RUNTIME_GUID};
 pub use resource::{ResourceId, ResourceKind, ResourceManager};

@@ -1,0 +1,250 @@
+//! The cost-adaptive channel provider family: programmed I/O and
+//! doorbell-batched DMA, next to the classic providers in
+//! [`crate::channel`].
+//!
+//! Three ways to move a payload to a device, after *Rethinking
+//! Programmed I/O* and *Taming Offload Overheads* (PAPERS.md):
+//!
+//! * **PIO** ([`PioProvider`]) — the host CPU writes every cacheline
+//!   itself over the coherent interconnect. No descriptor ring, no
+//!   doorbell, no DMA engine start: the fixed cost is a couple of
+//!   hundred nanoseconds of issue work, so tiny messages win big — but
+//!   the payload moves at CPU store bandwidth, so large messages lose.
+//! * **DMA** ([`ZeroCopyDmaProvider`]) — descriptor prep plus
+//!   a synchronous doorbell/engine-start launch per send. High fixed
+//!   cost, highest wire rate: large messages win.
+//! * **Doorbell-batched DMA** ([`DoorbellBatchProvider`]) — a DMA ring
+//!   with async double-buffered launches: while the engine drains one
+//!   buffer the host pre-arms the next, so on a busy pipe the launch
+//!   overhead vanishes ([`ChannelCost::coalesce_launch`]). Streaming
+//!   mid-sized traffic lands between the other two.
+//!
+//! [`install_cost_adaptive`] registers the full family on an executive
+//! so [`ChannelExecutive::create_channel_adaptive`] can auction every
+//! message-size bucket among them online.
+
+use hydra_sim::time::SimDuration;
+
+use crate::channel::{
+    Buffering, ChannelConfig, ChannelCost, ChannelExecutive, ChannelProvider, KernelCopyProvider,
+    Transport, ZeroCopyDmaProvider,
+};
+
+/// Cacheline size of the modeled coherent interconnect, in bytes.
+pub const CACHELINE_BYTES: u64 = 64;
+
+/// A programmed-I/O provider: per-word CPU-driven transfers over the
+/// coherent interconnect.
+///
+/// The cost model is per-cacheline: each 64-byte line costs
+/// [`PioProvider::per_cacheline`] of CPU store + interconnect time,
+/// which folds into the advertised wire rate. There is no doorbell and
+/// no DMA setup — [`ChannelCost::launch_overhead`] is zero and the
+/// endpoint setup is just mapping the device window.
+#[derive(Debug, Clone)]
+pub struct PioProvider {
+    /// Fixed CPU issue cost per message (address computation, fences).
+    pub issue: SimDuration,
+    /// CPU store + coherent-interconnect time per 64-byte cacheline.
+    pub per_cacheline: SimDuration,
+    /// One-time cost of mapping the device window (no ring to build).
+    pub window_setup: SimDuration,
+}
+
+impl PioProvider {
+    /// The default coherent-interconnect model: 250 ns of issue work
+    /// per message, 192 ns per cacheline (≈ 333 MB/s of CPU-driven
+    /// store bandwidth), 5 µs to map the window.
+    pub fn coherent_interconnect() -> Self {
+        PioProvider {
+            issue: SimDuration::from_nanos(250),
+            per_cacheline: SimDuration::from_nanos(192),
+            window_setup: SimDuration::from_micros(5),
+        }
+    }
+}
+
+impl Default for PioProvider {
+    fn default() -> Self {
+        Self::coherent_interconnect()
+    }
+}
+
+impl ChannelProvider for PioProvider {
+    fn name(&self) -> &'static str {
+        "pio"
+    }
+
+    fn supports(&self, config: &ChannelConfig) -> bool {
+        // The CPU writes into the mapped device window directly; the
+        // host is not a PIO target of itself. Both buffering modes work
+        // (the "copy" is the transfer itself).
+        !config.target.is_host()
+    }
+
+    fn cost(&self, _config: &ChannelConfig) -> ChannelCost {
+        let per_ns = self.per_cacheline.as_nanos().max(1);
+        ChannelCost {
+            setup: self.window_setup,
+            per_message: self.issue,
+            launch_overhead: SimDuration::ZERO, // no doorbell, no engine
+            coalesce_launch: false,
+            bytes_per_sec: CACHELINE_BYTES * 1_000_000_000 / per_ns,
+        }
+    }
+}
+
+/// A doorbell-batched zero-copy DMA provider: the async
+/// double-buffered amortization mode.
+///
+/// Same ring structure as [`ZeroCopyDmaProvider`], but the driver
+/// defers and coalesces doorbells: while the engine drains one buffer
+/// the next descriptors are pre-armed, so a send landing on a busy
+/// pipe pays no launch at all ([`ChannelCost::coalesce_launch`]). The
+/// price is a slightly lower sustained wire rate (the engine polls the
+/// pre-armed buffer boundary) and a bigger setup (double buffers).
+#[derive(Debug, Clone)]
+pub struct DoorbellBatchProvider;
+
+impl ChannelProvider for DoorbellBatchProvider {
+    fn name(&self) -> &'static str {
+        "doorbell-batch"
+    }
+
+    fn supports(&self, config: &ChannelConfig) -> bool {
+        !config.target.is_host() && config.buffering == Buffering::ZeroCopy
+    }
+
+    fn cost(&self, config: &ChannelConfig) -> ChannelCost {
+        ChannelCost {
+            setup: SimDuration::from_micros(140), // ring + double buffers
+            per_message: SimDuration::from_nanos(400), // descriptor prep
+            launch_overhead: SimDuration::from_nanos(2_600),
+            coalesce_launch: true,
+            bytes_per_sec: match config.transport {
+                Transport::Unicast => 480_000_000,
+                Transport::Multicast => 384_000_000,
+            },
+        }
+    }
+}
+
+/// Registers the full cost-adaptive provider family on `exec`: the two
+/// classic providers plus [`PioProvider`] and [`DoorbellBatchProvider`].
+///
+/// Registration order is the deterministic tie-break order for every
+/// auction, so it is fixed: zero-copy-dma, kernel-copy, pio,
+/// doorbell-batch (the classic pair first keeps every existing
+/// [`ChannelExecutive::create_channel`] decision stable).
+pub fn install_cost_adaptive(exec: &mut ChannelExecutive) {
+    exec.register_provider(Box::new(ZeroCopyDmaProvider));
+    exec.register_provider(Box::new(KernelCopyProvider));
+    exec.register_provider(Box::new(PioProvider::coherent_interconnect()));
+    exec.register_provider(Box::new(DoorbellBatchProvider));
+}
+
+/// Registers only the new providers on an executive that already has
+/// the defaults (e.g. a [`crate::runtime::Runtime`]'s executive).
+pub fn install_extras(exec: &mut ChannelExecutive) {
+    exec.register_provider(Box::new(PioProvider::coherent_interconnect()));
+    exec.register_provider(Box::new(DoorbellBatchProvider));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{AdaptivePolicy, ChannelError};
+    use crate::device::DeviceId;
+    use bytes::Bytes;
+    use hydra_sim::time::SimTime;
+
+    fn adaptive_exec() -> ChannelExecutive {
+        let mut e = ChannelExecutive::new();
+        install_cost_adaptive(&mut e);
+        e
+    }
+
+    #[test]
+    fn pio_has_no_launch_and_wins_small_messages() {
+        let cfg = ChannelConfig::figure3(DeviceId(1));
+        let pio = PioProvider::coherent_interconnect().cost(&cfg);
+        let dma = ZeroCopyDmaProvider.cost(&cfg);
+        assert_eq!(pio.launch_overhead, SimDuration::ZERO);
+        assert!(pio.latency(64) < dma.latency(64), "PIO wins small");
+        assert!(pio.latency(65_536) > dma.latency(65_536), "DMA wins large");
+    }
+
+    #[test]
+    fn doorbell_batch_hides_launch_on_busy_pipe() {
+        let cfg = ChannelConfig::figure3(DeviceId(1));
+        let db = DoorbellBatchProvider.cost(&cfg);
+        assert!(db.coalesce_launch);
+        assert_eq!(
+            db.latency(1024),
+            db.streaming_latency(1024) + db.launch_overhead
+        );
+        // Streaming mid-sized messages: cheaper than both PIO and DMA.
+        let pio = PioProvider::coherent_interconnect().cost(&cfg);
+        let dma = ZeroCopyDmaProvider.cost(&cfg);
+        assert!(db.streaming_latency(4096) < pio.streaming_latency(4096));
+        assert!(db.streaming_latency(4096) < dma.streaming_latency(4096));
+    }
+
+    #[test]
+    fn forced_creation_pins_the_provider() {
+        let mut e = adaptive_exec();
+        let cfg = ChannelConfig::figure3(DeviceId(1));
+        for name in ["pio", "doorbell-batch", "zero-copy-dma", "kernel-copy"] {
+            let id = e.create_channel_forced(cfg, name).unwrap();
+            assert_eq!(e.get(id).unwrap().provider_name(), name);
+            assert!(!e.get(id).unwrap().is_adaptive());
+        }
+        assert_eq!(
+            e.create_channel_forced(cfg, "carrier-pigeon"),
+            Err(ChannelError::NoProvider)
+        );
+        // A provider that exists but cannot realize the config is no
+        // provider either.
+        assert_eq!(
+            e.create_channel_forced(ChannelConfig::oob(DeviceId(1)), "doorbell-batch"),
+            Err(ChannelError::NoProvider)
+        );
+    }
+
+    #[test]
+    fn adaptive_channel_switches_to_doorbell_batch_under_streaming_load() {
+        let mut e = adaptive_exec();
+        let id = e
+            .create_channel_adaptive(
+                ChannelConfig::figure3(DeviceId(1)),
+                AdaptivePolicy::default(),
+            )
+            .unwrap();
+        let ch = e.get_mut(id).unwrap();
+        ch.connect_endpoint().unwrap();
+        assert!(ch.is_adaptive());
+        assert_eq!(ch.candidate_providers().len(), 4);
+        // 1 KiB burst at t=0: the cold bucket starts on PIO (cheapest
+        // unloaded), then the saturated pipe re-ranks by streaming
+        // latency and the double-buffered ring takes over.
+        for i in 0..32u8 {
+            ch.send(SimTime::ZERO, Bytes::from(vec![i; 1024])).unwrap();
+        }
+        assert_eq!(ch.provider_name(), "doorbell-batch");
+        assert!(ch.provider_switches() >= 1);
+    }
+
+    #[test]
+    fn default_registration_keeps_classic_auction_results() {
+        // Registering the new family must not re-route channels created
+        // through the classic auction: it still ranks by unloaded 1 KiB
+        // latency, which PIO wins — so the classic API is only stable
+        // when the extras are not registered. This pins that the
+        // *default* executive (without extras) behaves as before.
+        let mut e = ChannelExecutive::with_default_providers();
+        let id = e
+            .create_channel(ChannelConfig::figure3(DeviceId(1)))
+            .unwrap();
+        assert_eq!(e.get(id).unwrap().provider_name(), "zero-copy-dma");
+    }
+}

@@ -341,10 +341,46 @@ impl Runtime {
 
     /// An ordering-stable report of everything recorded so far: pipeline
     /// stage spans, channel counters/histograms, solver and loader
-    /// statistics. Identical runs render identical snapshots (see
+    /// statistics — plus every live channel's [`CostProfile`] and
+    /// provider-selection state, so the observed channel prices and the
+    /// executive's online decisions are auditable from one snapshot.
+    /// Identical runs render identical snapshots (see
     /// `tests/obs_determinism.rs`).
+    ///
+    /// [`CostProfile`]: crate::channel::CostProfile
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        self.recorder.snapshot()
+        let mut snap = self.recorder.snapshot();
+        snap.channels = self
+            .executive
+            .ids()
+            .into_iter()
+            .filter_map(|id| self.executive.get(id))
+            .map(|ch| {
+                let p = ch.cost_profile();
+                hydra_obs::ChannelProfileSample {
+                    label: ch.id().to_string(),
+                    provider: ch.provider_name().to_owned(),
+                    adaptive: ch.is_adaptive(),
+                    switches: ch.provider_switches(),
+                    messages: p.messages(),
+                    bytes: p.bytes(),
+                    doorbells: p.doorbells(),
+                    launch_overhead_ns: p.launch_overhead_ns(),
+                    ewma_latency_ns: p.ewma_latency_ns(),
+                    throughput_bytes_per_sec: p.throughput_bytes_per_sec().unwrap_or(0),
+                    buckets: p
+                        .size_buckets()
+                        .map(|(bucket, h)| hydra_obs::ProfileBucketSample {
+                            bucket_bytes: bucket,
+                            count: h.count(),
+                            p50_ns: h.p50().unwrap_or(0),
+                            p99_ns: h.p99().unwrap_or(0),
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        snap
     }
 
     /// The flight recorder's causal event chains rendered as Chrome
@@ -888,6 +924,36 @@ impl Runtime {
     /// Fails if no provider supports the configuration.
     pub fn create_channel(&mut self, config: ChannelConfig) -> Result<ChannelId, RuntimeError> {
         Ok(self.executive.create_channel(config)?)
+    }
+
+    /// Creates a channel pinned to a named provider (benchmarking /
+    /// explicit placement; see
+    /// [`ChannelExecutive::create_channel_forced`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails if no provider of that name supports the configuration.
+    pub fn create_channel_forced(
+        &mut self,
+        config: ChannelConfig,
+        provider: &str,
+    ) -> Result<ChannelId, RuntimeError> {
+        Ok(self.executive.create_channel_forced(config, provider)?)
+    }
+
+    /// Creates a cost-adaptive channel whose provider is re-selected
+    /// online per message-size bucket from its live cost profile (see
+    /// [`ChannelExecutive::create_channel_adaptive`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails if no provider supports the configuration.
+    pub fn create_channel_adaptive(
+        &mut self,
+        config: ChannelConfig,
+        policy: crate::channel::AdaptivePolicy,
+    ) -> Result<ChannelId, RuntimeError> {
+        Ok(self.executive.create_channel_adaptive(config, policy)?)
     }
 
     /// Connects a deployed Offcode as a receiver on a channel (the

@@ -50,7 +50,8 @@ pub use export::chrome_trace;
 pub use histogram::Histogram;
 pub use recorder::{Recorder, SpanId, SpanRecord};
 pub use snapshot::{
-    CounterSample, GaugeSample, HistogramSample, MetricsSnapshot, SpanSample, TraceEventSample,
+    ChannelProfileSample, CounterSample, GaugeSample, HistogramSample, MetricsSnapshot,
+    ProfileBucketSample, SpanSample, TraceEventSample,
 };
 pub use timeline::{
     timeline_csv, Sampler, TimeSeries, WindowLevelSample, WindowSample, WindowTrackSample,

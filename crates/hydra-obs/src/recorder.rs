@@ -383,6 +383,7 @@ impl Recorder {
                 .collect(),
             events_dropped: r.flight.dropped(),
             windows: r.windows.clone(),
+            channels: Vec::new(),
         })
     }
 

@@ -117,6 +117,50 @@ pub struct TraceEventSample {
     pub bytes: u64,
 }
 
+/// One size bucket of a channel's live cost profile: payloads in
+/// `(bucket/2, bucket]` bytes with their observed-latency quantiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileBucketSample {
+    /// Bucket upper bound in bytes (power of two).
+    pub bucket_bytes: u64,
+    /// Messages observed in this bucket.
+    pub count: u64,
+    /// Median observed latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile observed latency in nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// One channel's live cost profile, as published by the runtime into
+/// its metrics snapshot: the observed price of the channel (per size
+/// bucket) next to the provider decision history, so online selection
+/// is auditable from the same report as everything else.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelProfileSample {
+    /// The channel's stable label (`chan#N`).
+    pub label: String,
+    /// The currently active provider.
+    pub provider: String,
+    /// Whether the channel re-selects its provider online.
+    pub adaptive: bool,
+    /// Epoch-boundary provider switches performed so far.
+    pub switches: u64,
+    /// Messages delivered.
+    pub messages: u64,
+    /// Payload bytes delivered.
+    pub bytes: u64,
+    /// Doorbells rung.
+    pub doorbells: u64,
+    /// Accumulated fixed launch charges, in nanoseconds.
+    pub launch_overhead_ns: u64,
+    /// EWMA of observed latency, in nanoseconds.
+    pub ewma_latency_ns: u64,
+    /// Observed throughput over the active span (0 until known).
+    pub throughput_bytes_per_sec: u64,
+    /// Observed latency quantiles per size bucket, ascending.
+    pub buckets: Vec<ProfileBucketSample>,
+}
+
 /// A full metrics report.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct MetricsSnapshot {
@@ -138,6 +182,10 @@ pub struct MetricsSnapshot {
     /// unless a [`crate::Sampler`] ran or
     /// [`crate::Recorder::sample_window`] was called).
     pub windows: Vec<WindowSample>,
+    /// Live per-channel cost profiles, ascending by label (empty unless
+    /// the producer publishes them — the runtime's `metrics_snapshot`
+    /// does).
+    pub channels: Vec<ChannelProfileSample>,
 }
 
 impl MetricsSnapshot {
@@ -314,6 +362,35 @@ impl MetricsSnapshot {
             }
             out.push_str("]}");
         }
+        out.push_str("],\"channels\":[");
+        for (i, ch) in self.channels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"label\":{},\"provider\":{},\"adaptive\":{},\"switches\":{},\"messages\":{},\"bytes\":{},\"doorbells\":{},\"launch_overhead_ns\":{},\"ewma_latency_ns\":{},\"throughput_bytes_per_sec\":{},\"buckets\":[",
+                json_str(&ch.label),
+                json_str(&ch.provider),
+                ch.adaptive,
+                ch.switches,
+                ch.messages,
+                ch.bytes,
+                ch.doorbells,
+                ch.launch_overhead_ns,
+                ch.ewma_latency_ns,
+                ch.throughput_bytes_per_sec
+            ));
+            for (j, b) in ch.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"bucket_bytes\":{},\"count\":{},\"p50_ns\":{},\"p99_ns\":{}}}",
+                    b.bucket_bytes, b.count, b.p50_ns, b.p99_ns
+                ));
+            }
+            out.push_str("]}");
+        }
         out.push_str(&format!("],\"events_dropped\":{}}}", self.events_dropped));
         out
     }
@@ -404,6 +481,24 @@ impl fmt::Display for MetricsSnapshot {
                 )?;
             }
         }
+        if !self.channels.is_empty() {
+            writeln!(f, "  channel cost profiles:")?;
+            for ch in &self.channels {
+                writeln!(
+                    f,
+                    "    {} via {}{}: msgs={} bytes={} doorbells={} launch={}ns ewma={}ns switches={}",
+                    ch.label,
+                    ch.provider,
+                    if ch.adaptive { " (adaptive)" } else { "" },
+                    ch.messages,
+                    ch.bytes,
+                    ch.doorbells,
+                    ch.launch_overhead_ns,
+                    ch.ewma_latency_ns,
+                    ch.switches
+                )?;
+            }
+        }
         Ok(())
     }
 }
@@ -423,7 +518,7 @@ mod tests {
         let s = MetricsSnapshot::default();
         assert_eq!(
             s.to_json(),
-            "{\"counters\":[],\"gauges\":[],\"histograms\":[],\"spans\":[],\"events\":[],\"windows\":[],\"events_dropped\":0}"
+            "{\"counters\":[],\"gauges\":[],\"histograms\":[],\"spans\":[],\"events\":[],\"windows\":[],\"channels\":[],\"events_dropped\":0}"
         );
     }
 

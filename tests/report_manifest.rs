@@ -1,0 +1,78 @@
+//! The stale-report failsafe (tier 1): every committed `BENCH_*.json`
+//! at the workspace root must be a report `repro` knows how to
+//! regenerate (`hydra_bench::BENCHES`) and must have a matching budget
+//! baseline under `budgets/`. A bench someone adds without wiring the
+//! selector — or a report left behind after a bench is removed — fails
+//! here (and in CI's report-manifest job) instead of rotting silently.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::Path;
+
+use hydra_bench::report::{schema_version, SCHEMA_VERSION};
+use hydra_bench::{run_bench, BENCHES};
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// `BENCH_*.json` files actually committed at the workspace root. The
+/// match is deliberately case-sensitive: it mirrors the shell glob the
+/// CI report-manifest job walks.
+#[allow(clippy::case_sensitive_file_extension_comparisons)]
+fn committed_reports() -> BTreeSet<String> {
+    fs::read_dir(workspace_root())
+        .expect("workspace root lists")
+        .filter_map(Result::ok)
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect()
+}
+
+#[test]
+fn every_committed_report_has_a_manifest_row() {
+    let manifest: BTreeSet<String> = BENCHES.iter().map(|(_, f)| (*f).to_owned()).collect();
+    let committed = committed_reports();
+    let orphans: Vec<&String> = committed.difference(&manifest).collect();
+    assert!(
+        orphans.is_empty(),
+        "committed BENCH_*.json without a repro selector (stale?): {orphans:?}"
+    );
+}
+
+#[test]
+fn every_manifest_row_has_its_artifacts_committed() {
+    let root = workspace_root();
+    for (name, report_file) in BENCHES {
+        let report = root.join(report_file);
+        assert!(
+            report.is_file(),
+            "{report_file}: manifest row '{name}' has no committed report \
+             (regenerate with `repro -- bench {name} > {report_file}`)"
+        );
+        let budget = root.join("budgets").join(format!("bench_{name}.json"));
+        assert!(
+            budget.is_file(),
+            "budgets/bench_{name}.json: manifest row '{name}' has no budget baseline"
+        );
+        let rendered = fs::read_to_string(&report).expect("committed report reads");
+        assert_eq!(
+            schema_version(&rendered),
+            Some(SCHEMA_VERSION),
+            "{report_file}: committed report schema is not version {SCHEMA_VERSION}"
+        );
+    }
+}
+
+#[test]
+fn every_manifest_row_dispatches_through_run_bench() {
+    for (name, _) in BENCHES {
+        let json = run_bench(name).unwrap_or_else(|| panic!("run_bench({name:?}) must dispatch"));
+        assert_eq!(
+            schema_version(&json),
+            Some(SCHEMA_VERSION),
+            "bench '{name}' renders the shared schema"
+        );
+    }
+    assert_eq!(run_bench("nonexistent"), None);
+}
