@@ -15,7 +15,7 @@
 use std::env;
 use std::process::ExitCode;
 
-use hydra_bench::{channel_bench, engine_bench, lint};
+use hydra_bench::{certify, channel_bench, engine_bench, lint};
 use hydra_sim::time::SimDuration;
 use hydra_tivo::demo::demo_deployment;
 use hydra_tivo::experiments::{
@@ -55,6 +55,10 @@ const SELECTORS: &[(&str, &str)] = &[
     (
         "lint",
         "static deployment verification (JSON on stdout, non-zero on errors)",
+    ),
+    (
+        "certify",
+        "certify [set|path...]: quantitative bound certification (JSON on stdout, non-zero on errors)",
     ),
     (
         "faults",
@@ -107,6 +111,23 @@ fn main() -> ExitCode {
         eprint!("{}", lint::render_human(&results));
         println!("{}", lint::render_json(&results));
         return if lint::any_errors(&results) {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    // `certify [set|path...]` mirrors `lint` for the quantitative
+    // passes: everything after `certify` names a built-in set (`demo`,
+    // `tivo`, `stats`) or a deployment file. Canonical JSON — report
+    // plus bound certificate — goes to stdout, human-readable findings
+    // and bounds to stderr, and the exit code is non-zero iff any
+    // error-severity diagnostic fired — the CI certify-gate contract.
+    if selected.first() == Some(&"certify") {
+        let results = certify::run_certify(&selected[1..]);
+        eprint!("{}", certify::render_human(&results));
+        println!("{}", certify::render_json(&results));
+        return if certify::any_errors(&results) {
             ExitCode::FAILURE
         } else {
             ExitCode::SUCCESS

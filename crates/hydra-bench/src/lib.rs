@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod certify;
 pub mod channel_bench;
 pub mod crossover_bench;
 pub mod engine_bench;

@@ -33,7 +33,7 @@ pub struct LintResult {
 /// The full simulated testbed every deployment is linted against: host
 /// CPU, programmable NIC, smart disk, and GPU — the same registry the
 /// demo deployment and the paper's experiments use.
-fn testbed_table() -> hydra_verify::DeviceTable {
+pub(crate) fn testbed_table() -> hydra_verify::DeviceTable {
     let mut reg = DeviceRegistry::new();
     reg.install(DeviceDescriptor::programmable_nic());
     reg.install(DeviceDescriptor::smart_disk());
@@ -54,7 +54,7 @@ fn verify_set(odfs: &[OdfDocument]) -> Report {
 /// Parses a lint input file: either a single `<offcode>` document or a
 /// `<deployment>` element wrapping several of them. Documents that fail
 /// to parse become `HV009` diagnostics; the rest are still verified.
-fn parse_deployment_file(text: &str) -> (Vec<OdfDocument>, Vec<Diagnostic>) {
+pub(crate) fn parse_deployment_file(text: &str) -> (Vec<OdfDocument>, Vec<Diagnostic>) {
     let mut odfs = Vec::new();
     let mut diags = Vec::new();
     match xml::parse(text) {

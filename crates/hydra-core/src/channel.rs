@@ -1468,6 +1468,40 @@ impl ChannelExecutive {
             .collect()
     }
 
+    /// Exports the provider family as `hydra-verify`'s static
+    /// [`ServiceTable`](hydra_verify::ServiceTable), probed against the
+    /// Figure-3 NIC channel shape. This is the *only* path certification
+    /// costs come from: the table is derived from the same
+    /// [`ChannelProvider::cost`] implementations the executive's auction
+    /// and the adaptive per-bucket selection use, so the static analysis
+    /// and the runtime can never disagree on costs.
+    pub fn service_table(&self) -> hydra_verify::ServiceTable {
+        let probe = ChannelConfig::figure3(DeviceId(1));
+        let providers = self
+            .providers
+            .iter()
+            .filter(|p| p.supports(&probe))
+            .map(|p| {
+                let cost = p.cost(&probe);
+                hydra_verify::ServiceModel {
+                    provider: p.name().to_owned(),
+                    setup_ns: cost.setup.as_nanos(),
+                    per_message_ns: cost.per_message.as_nanos(),
+                    launch_overhead_ns: cost.launch_overhead.as_nanos(),
+                    coalesce_launch: cost.coalesce_launch,
+                    bytes_per_sec: cost.bytes_per_sec,
+                }
+            })
+            .collect();
+        hydra_verify::ServiceTable {
+            providers,
+            adaptive: true,
+            ring_capacity: probe.capacity as u64,
+            device_ns_per_msg: hydra_verify::service::DEVICE_NS_PER_MSG,
+            device_bytes_per_sec: hydra_verify::service::DEVICE_BYTES_PER_SEC,
+        }
+    }
+
     /// Creates a channel, selecting the supporting provider with the
     /// lowest latency for a nominal 1 kB message.
     ///
@@ -1653,6 +1687,21 @@ mod tests {
         assert_eq!(
             e.create_channel(ChannelConfig::figure3(DeviceId(1))),
             Err(ChannelError::NoProvider)
+        );
+    }
+
+    #[test]
+    fn service_table_pins_the_conservative_default() {
+        // The table the executive exports from its live providers must
+        // agree byte-for-byte with the conservative default the verifier
+        // falls back to — if a provider's ChannelCost changes, both this
+        // test and the default must move together, keeping the analysis
+        // and the runtime on one cost table.
+        let mut e = ChannelExecutive::with_default_providers();
+        crate::providers::install_extras(&mut e);
+        assert_eq!(
+            e.service_table(),
+            hydra_verify::ServiceTable::conservative_default()
         );
     }
 

@@ -358,6 +358,7 @@ impl LayoutGraph {
                     bind_name: n.bind_name.clone(),
                     compat: n.compat.clone(),
                     demand: hydra_verify::input::DEFAULT_FOOTPRINT,
+                    traffic: None,
                 })
                 .collect(),
             edges: self

@@ -64,6 +64,16 @@ pub struct RuntimeConfig {
     /// default; the escape hatch exists for tests that deliberately
     /// deploy broken sets to exercise runtime fallback paths.
     pub verify_deployments: bool,
+    /// Also run the quantitative certification passes (flow bounds
+    /// HV040–HV044 and ring-race detection HV050–HV051) in the
+    /// pre-flight gate, rejecting deployments whose declared traffic is
+    /// statically unservable or whose ring sharing can race. Off by
+    /// default: quantitative findings depend on `<traffic>` declarations
+    /// most existing sets do not carry, and shared-instance reuse (a
+    /// deliberate paper feature) would otherwise need per-set waivers.
+    /// [`Runtime::certify_deployment`] reports the full certification
+    /// regardless of this flag.
+    pub certify_deployments: bool,
     /// Heartbeat deadlines for the device health monitor driven by
     /// [`Runtime::pulse`].
     pub health: HealthPolicy,
@@ -77,6 +87,7 @@ impl Default for RuntimeConfig {
             load_strategy: LoadStrategy::HostSideLink,
             flight_capacity: hydra_obs::trace::DEFAULT_FLIGHT_CAPACITY,
             verify_deployments: true,
+            certify_deployments: false,
             health: HealthPolicy::default(),
         }
     }
@@ -524,7 +535,11 @@ impl Runtime {
         // 2. Static pre-flight verification (on by default): reject
         // provably broken deployments before anything is linked.
         if self.config.verify_deployments {
-            let report = self.run_verifier(guid, &order, &odfs, now);
+            let report = if self.config.certify_deployments {
+                self.run_certifier(guid, &order, &odfs, now).report
+            } else {
+                self.run_verifier(guid, &order, &odfs, now)
+            };
             if report.has_errors() {
                 let rendered: Vec<String> = report.errors().map(ToString::to_string).collect();
                 return Err(RuntimeError::Verification(rendered.join("; ")));
@@ -668,6 +683,44 @@ impl Runtime {
             demands: Some(&demands),
             roots: Some(&roots),
         });
+        self.record_verify_report(root, now, &report);
+        report
+    }
+
+    /// Runs the full certification (structural passes plus flow bounds
+    /// and ring-race analysis) over a closure, with the service table
+    /// exported straight from the live channel executive.
+    fn run_certifier(
+        &self,
+        root: Guid,
+        order: &[Guid],
+        odfs: &[OdfDocument],
+        now: SimTime,
+    ) -> hydra_verify::Certification {
+        let table = self.devices.verify_table();
+        let services = self.executive.service_table();
+        let demands: Vec<u64> = order
+            .iter()
+            .map(|g| u64::from((self.depot[g].factory)().object_file().load_size()))
+            .collect();
+        let roots = [root];
+        let cert = hydra_verify::certify(&hydra_verify::CertifyInput {
+            verify: hydra_verify::VerifyInput {
+                odfs,
+                devices: &table,
+                demands: Some(&demands),
+                roots: Some(&roots),
+            },
+            services: &services,
+            overlay: None,
+        });
+        self.record_verify_report(root, now, &cert.report);
+        cert
+    }
+
+    /// Feeds a verification/certification report's pass statistics into
+    /// the observability recorder.
+    fn record_verify_report(&self, root: Guid, now: SimTime, report: &hydra_verify::Report) {
         let root_label = self
             .depot
             .get(&root)
@@ -691,11 +744,12 @@ impl Runtime {
             "",
             report.count(hydra_verify::Severity::Warning) as u64,
         );
-        report
     }
 
     /// Statically verifies the deployment closure of `guid` without
-    /// deploying anything: the same report the pre-flight gate inside
+    /// deploying anything. Runs the full certification (all six passes,
+    /// including flow bounds and ring-race analysis) and returns its
+    /// report — a superset of what the default pre-flight gate inside
     /// [`Runtime::create_offcode`] acts on.
     ///
     /// # Errors
@@ -707,8 +761,26 @@ impl Runtime {
         guid: Guid,
         now: SimTime,
     ) -> Result<hydra_verify::Report, RuntimeError> {
+        Ok(self.certify_deployment(guid, now)?.report)
+    }
+
+    /// Certifies the deployment closure of `guid` without deploying
+    /// anything: the combined six-pass report plus the quantitative
+    /// certificate (per-ring queue/latency bounds, per-chain latency,
+    /// per-device utilization), costed from the live executive's
+    /// provider table.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if an Offcode in the closure is missing from the
+    /// depot.
+    pub fn certify_deployment(
+        &self,
+        guid: Guid,
+        now: SimTime,
+    ) -> Result<hydra_verify::Certification, RuntimeError> {
         let (order, odfs) = self.deployment_closure(guid)?;
-        Ok(self.run_verifier(guid, &order, &odfs, now))
+        Ok(self.run_certifier(guid, &order, &odfs, now))
     }
 
     fn deploy_all(

@@ -1,0 +1,120 @@
+//! Bound-vs-observed comparison: the observability half of the
+//! certification loop.
+//!
+//! `hydra-verify`'s flow pass derives static worst-case bounds (queue
+//! depth, latency, sustained device utilization); this module extracts
+//! the *observed* counterparts from a [`MetricsSnapshot`] and checks the
+//! bracket. A violated bracket is always a bug — either the bound
+//! derivation is unsound or the simulator charges costs the provider
+//! table does not declare — and the returned [`BoundViolation`] says
+//! which metric disagreed by how much.
+
+use std::fmt;
+
+use crate::snapshot::MetricsSnapshot;
+
+/// One observed value that escaped its certified bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundViolation {
+    /// What was measured (metric and instance).
+    pub subject: String,
+    /// The observed value.
+    pub observed: u64,
+    /// The certified bound it had to stay within.
+    pub bound: u64,
+}
+
+impl fmt::Display for BoundViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: observed {} exceeds certified bound {}",
+            self.subject, self.observed, self.bound
+        )
+    }
+}
+
+/// The peak value of a level track `name{label}` across every window.
+pub fn peak_level(snapshot: &MetricsSnapshot, name: &str, label: &str) -> u64 {
+    snapshot
+        .windows
+        .iter()
+        .filter_map(|w| w.level(name, label))
+        .max()
+        .unwrap_or(0)
+}
+
+/// The sustained busy fraction over the whole run in permille: the final
+/// total of a `*_ns` busy-time counter over the horizon.
+pub fn sustained_busy_permille(
+    snapshot: &MetricsSnapshot,
+    name: &str,
+    label: &str,
+    horizon_ns: u64,
+) -> u64 {
+    if horizon_ns == 0 {
+        return 0;
+    }
+    let busy = u128::from(snapshot.counter(name, label).unwrap_or(0));
+    u64::try_from(busy * 1000 / u128::from(horizon_ns)).unwrap_or(u64::MAX)
+}
+
+/// The busiest single window of a `*_ns` busy-time counter, in permille.
+pub fn peak_window_permille(snapshot: &MetricsSnapshot, name: &str, label: &str) -> u64 {
+    snapshot
+        .windows
+        .iter()
+        .filter_map(|w| w.utilization_permille(name, label))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Checks `observed ≤ bound`, describing the failure when it is not.
+pub fn check_bound(
+    subject: impl Into<String>,
+    observed: u64,
+    bound: u64,
+) -> Result<(), BoundViolation> {
+    if observed <= bound {
+        Ok(())
+    } else {
+        Err(BoundViolation {
+            subject: subject.into(),
+            observed,
+            bound,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use hydra_sim::time::SimTime;
+
+    #[test]
+    fn peaks_and_sustained_from_windows() {
+        let rec = Recorder::new();
+        rec.counter_add("device.busy_ns", "nic", 400_000);
+        rec.level_set("channel.depth", "chan#0", 3);
+        rec.sample_window(SimTime::from_nanos(1_000_000));
+        rec.level_set("channel.depth", "chan#0", 7);
+        rec.counter_add("device.busy_ns", "nic", 100_000);
+        rec.sample_window(SimTime::from_nanos(2_000_000));
+        let snap = rec.snapshot();
+        assert_eq!(peak_level(&snap, "channel.depth", "chan#0"), 7);
+        assert_eq!(
+            sustained_busy_permille(&snap, "device.busy_ns", "nic", 2_000_000),
+            250
+        );
+        assert_eq!(peak_window_permille(&snap, "device.busy_ns", "nic"), 400);
+    }
+
+    #[test]
+    fn check_bound_reports_the_overshoot() {
+        assert!(check_bound("x", 10, 10).is_ok());
+        let v = check_bound("chan#0 p99", 12, 10).unwrap_err();
+        assert_eq!(v.observed, 12);
+        assert!(v.to_string().contains("chan#0 p99"));
+    }
+}

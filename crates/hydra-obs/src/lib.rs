@@ -37,6 +37,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod bounds;
 pub mod budget;
 pub mod export;
 pub mod histogram;
@@ -45,6 +46,9 @@ pub mod snapshot;
 pub mod timeline;
 pub mod trace;
 
+pub use bounds::{
+    check_bound, peak_level, peak_window_permille, sustained_busy_permille, BoundViolation,
+};
 pub use budget::{check_budget, parse_budget, BudgetSpec, BudgetViolation, CounterBudget};
 pub use export::chrome_trace;
 pub use histogram::Histogram;

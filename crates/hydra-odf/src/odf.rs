@@ -93,6 +93,24 @@ impl DeviceClassSpec {
     }
 }
 
+/// A declared arrival curve for an Offcode's outbound calls: a
+/// token-bucket `(rate, burst)` plus the worst-case payload size.
+///
+/// The static certification pass in `hydra-verify` propagates these
+/// curves through the channel/provider cost tables to bound queue
+/// depths, end-to-end latencies, and device utilization before anything
+/// is deployed. The element is optional; undeclared Offcodes get a
+/// conservative default and an informational `HV044` diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TrafficSpec {
+    /// Sustained call rate toward each imported peer, in messages/sec.
+    pub rate_per_sec: u64,
+    /// Maximum back-to-back burst, in messages (at least 1).
+    pub burst: u64,
+    /// Worst-case payload size per message, in bytes.
+    pub max_bytes: u64,
+}
+
 /// A dependency on a peer Offcode.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Import {
@@ -125,6 +143,10 @@ pub struct OdfDocument {
     /// states one (`<footprint>` in the package section). Consumed by the
     /// static capacity pre-check; absent means "unknown".
     pub footprint: Option<u64>,
+    /// Declared arrival curve for outbound calls (`<traffic rate=..
+    /// burst=.. bytes=../>`), if any. Consumed by the static
+    /// certification pass; absent means "use conservative defaults".
+    pub traffic: Option<TrafficSpec>,
 }
 
 /// Errors raised while interpreting an ODF.
@@ -188,6 +210,7 @@ impl OdfDocument {
             imports: Vec::new(),
             targets: Vec::new(),
             footprint: None,
+            traffic: None,
         }
     }
 
@@ -212,6 +235,16 @@ impl OdfDocument {
     /// Declares the worst-case memory footprint in bytes.
     pub fn with_footprint(mut self, bytes: u64) -> Self {
         self.footprint = Some(bytes);
+        self
+    }
+
+    /// Declares the arrival curve for outbound calls. A zero burst is
+    /// clamped to 1 (a message in flight is a burst of one).
+    pub fn with_traffic(mut self, traffic: TrafficSpec) -> Self {
+        self.traffic = Some(TrafficSpec {
+            burst: traffic.burst.max(1),
+            ..traffic
+        });
         self
     }
 
@@ -293,6 +326,11 @@ impl OdfDocument {
             }
         }
 
+        let traffic = match root.child("traffic") {
+            None => None,
+            Some(t) => Some(Self::parse_traffic(t)?),
+        };
+
         Ok(OdfDocument {
             bind_name,
             guid,
@@ -300,6 +338,27 @@ impl OdfDocument {
             imports,
             targets,
             footprint,
+            traffic,
+        })
+    }
+
+    fn parse_traffic(t: &Element) -> Result<TrafficSpec, OdfError> {
+        let rate_per_sec = parse_u64(
+            "traffic/rate",
+            t.attr("rate").ok_or(OdfError::Missing("traffic/rate"))?,
+        )?;
+        let burst = match t.attr("burst") {
+            None => 1,
+            Some(b) => parse_u64("traffic/burst", b)?.max(1),
+        };
+        let max_bytes = match t.attr("bytes") {
+            None => 1024,
+            Some(b) => parse_u64("traffic/bytes", b)?,
+        };
+        Ok(TrafficSpec {
+            rate_per_sec,
+            burst,
+            max_bytes,
         })
     }
 
@@ -452,6 +511,17 @@ impl OdfDocument {
                     .collect(),
             }));
         }
+        if let Some(t) = self.traffic {
+            children.push(Node::Element(Element {
+                name: "traffic".into(),
+                attributes: vec![
+                    ("rate".into(), t.rate_per_sec.to_string()),
+                    ("burst".into(), t.burst.to_string()),
+                    ("bytes".into(), t.max_bytes.to_string()),
+                ],
+                children: vec![],
+            }));
+        }
         Element {
             name: "offcode".into(),
             attributes: vec![],
@@ -569,6 +639,81 @@ mod tests {
             e,
             OdfError::Invalid {
                 what: "package/footprint",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn traffic_round_trips() {
+        let odf = OdfDocument::new("x", Guid(1)).with_traffic(TrafficSpec {
+            rate_per_sec: 10_000,
+            burst: 2,
+            max_bytes: 16 * 1024,
+        });
+        let re = OdfDocument::parse(&odf.to_xml()).unwrap();
+        assert_eq!(
+            re.traffic,
+            Some(TrafficSpec {
+                rate_per_sec: 10_000,
+                burst: 2,
+                max_bytes: 16 * 1024,
+            })
+        );
+        assert_eq!(odf, re);
+    }
+
+    #[test]
+    fn traffic_defaults_and_clamps() {
+        let odf = OdfDocument::parse(
+            "<offcode><package><bindname>x</bindname><GUID>1</GUID></package>\
+             <traffic rate=500/></offcode>",
+        )
+        .unwrap();
+        assert_eq!(
+            odf.traffic,
+            Some(TrafficSpec {
+                rate_per_sec: 500,
+                burst: 1,
+                max_bytes: 1024,
+            })
+        );
+        // A declared zero burst parses (and builds) as 1.
+        let odf = OdfDocument::parse(
+            "<offcode><package><bindname>x</bindname><GUID>1</GUID></package>\
+             <traffic rate=500 burst=0 bytes=64/></offcode>",
+        )
+        .unwrap();
+        assert_eq!(odf.traffic.unwrap().burst, 1);
+        let built = OdfDocument::new("x", Guid(1)).with_traffic(TrafficSpec {
+            rate_per_sec: 500,
+            burst: 0,
+            max_bytes: 64,
+        });
+        assert_eq!(built.traffic.unwrap().burst, 1);
+    }
+
+    #[test]
+    fn traffic_without_rate_rejected() {
+        let e = OdfDocument::parse(
+            "<offcode><package><bindname>x</bindname><GUID>1</GUID></package>\
+             <traffic burst=2/></offcode>",
+        )
+        .unwrap_err();
+        assert_eq!(e, OdfError::Missing("traffic/rate"));
+    }
+
+    #[test]
+    fn bad_traffic_rate_rejected() {
+        let e = OdfDocument::parse(
+            "<offcode><package><bindname>x</bindname><GUID>1</GUID></package>\
+             <traffic rate=fast/></offcode>",
+        )
+        .unwrap_err();
+        assert!(matches!(
+            e,
+            OdfError::Invalid {
+                what: "traffic/rate",
                 ..
             }
         ));

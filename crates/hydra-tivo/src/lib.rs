@@ -12,6 +12,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod certify;
 pub mod client;
 pub mod components;
 pub mod demo;
@@ -26,6 +27,10 @@ pub mod tcpmodel;
 pub mod toe;
 pub mod virtualization;
 
+pub use certify::{
+    certify_service_table, certify_set, demo_certify_odfs, observe_declared, stats_certify_odfs,
+    stats_observation, stats_overlay, tivo_certify_odfs, Observation, ObservedChannel,
+};
 pub use client::{run_client, ClientConfig, ClientKind, ClientRun};
 pub use components::{register_tivo_client, tivo_client_odfs, tivo_server_odfs, TivoComponent};
 pub use demo::demo_deployment;
@@ -38,7 +43,7 @@ pub use experiments::{
 pub use onload::{compare_designs, IoDesign, IoDesignPoint};
 pub use playback::{run_record_playback, PlaybackConfig, PlaybackRun};
 pub use server::{run_server, ServerConfig, ServerKind, ServerRun};
-pub use stats::{run_stats_demo, stats_demo_plan};
+pub use stats::{run_stats_demo, run_stats_observed, stats_demo_plan, StatsChannelObs};
 pub use storage::{build_corpus, run_search, SearchKind, SearchRun};
 pub use tcpmodel::{GhzGbpsModel, GhzGbpsPoint, TcpDirection};
 pub use toe::{run_bulk_receive, TcpPlacement, ToeRun};

@@ -235,11 +235,8 @@ fn schedule_host_load(sim: &mut Sim<StatsModel>, until: SimTime) {
     );
 }
 
-/// Runs the telemetry scenario (optionally under a [`FaultPlan`]) and
-/// returns the populated metrics snapshot plus the canonical JSON stats
-/// report. Byte-identical across identical invocations.
-#[must_use]
-pub fn run_stats_demo(plan: Option<&FaultPlan>) -> (MetricsSnapshot, String) {
+/// Drives the scenario to its horizon and returns the settled model.
+fn run_scenario(plan: Option<&FaultPlan>) -> StatsModel {
     let until = stats_horizon();
     let mut sim = Sim::new(build(plan));
     let rec = sim.model().rt.recorder().clone();
@@ -248,8 +245,15 @@ pub fn run_stats_demo(plan: Option<&FaultPlan>) -> (MetricsSnapshot, String) {
     schedule_control(&mut sim, until);
     schedule_host_load(&mut sim, until);
     sim.run();
+    sim.into_model()
+}
 
-    let model = sim.into_model();
+/// Runs the telemetry scenario (optionally under a [`FaultPlan`]) and
+/// returns the populated metrics snapshot plus the canonical JSON stats
+/// report. Byte-identical across identical invocations.
+#[must_use]
+pub fn run_stats_demo(plan: Option<&FaultPlan>) -> (MetricsSnapshot, String) {
+    let model = run_scenario(plan);
     let snap = model.rt.metrics_snapshot();
     let exec = model.rt.executive();
     let channels: Vec<(ChannelId, &str, &CostProfile)> = [model.bulk, model.oob]
@@ -261,6 +265,43 @@ pub fn run_stats_demo(plan: Option<&FaultPlan>) -> (MetricsSnapshot, String) {
         .collect();
     let json = render_stats(&snap, stats_window(), &channels);
     (snap, json)
+}
+
+/// Observed worst-case latency for one scenario channel, for the
+/// bound-vs-observed differential harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsChannelObs {
+    /// The channel's metric label (`chan#0` = bulk, `chan#1` = OOB).
+    pub label: String,
+    /// The worst p99 send latency across the channel's size buckets.
+    pub p99_ns: u64,
+}
+
+/// Runs the telemetry scenario and returns the snapshot plus each
+/// channel's observed worst p99 latency — the empirical side the static
+/// certificate's per-ring latency bounds must bracket.
+#[must_use]
+pub fn run_stats_observed(plan: Option<&FaultPlan>) -> (MetricsSnapshot, Vec<StatsChannelObs>) {
+    let model = run_scenario(plan);
+    let snap = model.rt.metrics_snapshot();
+    let exec = model.rt.executive();
+    let channels = [model.bulk, model.oob]
+        .into_iter()
+        .map(|id| {
+            let ch = exec.get(id).expect("scenario channel is live");
+            let p99 = ch
+                .cost_profile()
+                .size_buckets()
+                .map(|(_, h)| h.p99().unwrap_or(0))
+                .max()
+                .unwrap_or(0);
+            StatsChannelObs {
+                label: format!("chan#{}", id.0),
+                p99_ns: p99,
+            }
+        })
+        .collect();
+    (snap, channels)
 }
 
 fn esc(s: &str) -> String {

@@ -124,6 +124,7 @@ mod tests {
             bind_name: name.into(),
             compat: compat.to_vec(),
             demand,
+            traffic: None,
         }
     }
 

@@ -129,7 +129,7 @@ fn unreachable_nodes(view: &GraphView, roots: Option<&[Guid]>, diags: &mut Vec<D
 }
 
 /// Sorted, deduplicated successor lists over all import edges.
-fn adjacency(view: &GraphView) -> Vec<Vec<usize>> {
+pub(crate) fn adjacency(view: &GraphView) -> Vec<Vec<usize>> {
     let mut adj = vec![Vec::new(); view.nodes.len()];
     for e in &view.edges {
         adj[e.from].push(e.to);
@@ -153,6 +153,7 @@ mod tests {
             bind_name: name.into(),
             compat: vec![true, true],
             demand: 1024,
+            traffic: None,
         }
     }
 

@@ -8,6 +8,7 @@
 //! (code, location, message) and every map is ordered, so identical
 //! inputs produce byte-identical output.
 
+use hydra_odf::odf::Guid;
 use std::fmt;
 
 /// How bad a finding is.
@@ -95,6 +96,31 @@ pub enum HvCode {
     /// HV031 — an Offcode in the set is not reachable from any deployment
     /// root: it will never be instantiated by this set.
     UnreachableOffcode,
+    /// HV040 — the worst-case queue depth derived from the declared
+    /// arrival curves exceeds the descriptor-ring capacity: ring
+    /// exhaustion is statically provable.
+    QueueBoundExceedsRing,
+    /// HV041 — a channel's aggregate arrival rate exceeds its worst-case
+    /// service rate: the backlog grows without bound, so no finite queue
+    /// or latency bound exists.
+    UnstableChannel,
+    /// HV042 — a device's certified sustained utilization exceeds 1000‰:
+    /// the declared load cannot be served even with a perfect schedule.
+    UtilizationOverrun,
+    /// HV043 — a device's certified sustained utilization exceeds 800‰:
+    /// deployable, but any widening (faults, bursts) tips it over.
+    UtilizationHigh,
+    /// HV044 — an Offcode with outgoing calls declares no `<traffic>`
+    /// element; certification substituted the conservative default curve.
+    DefaultedTraffic,
+    /// HV050 — two Offcodes post to the same descriptor ring with no
+    /// ordering edge between them and placements that can differ: the
+    /// writers can interleave mid-descriptor.
+    RingWriteRace,
+    /// HV051 — unordered writers share a ring but every placement pins
+    /// them to the same device: posts serialize in steady state, yet a
+    /// migration transient can alias the live endpoint.
+    MigrationAliasRace,
 }
 
 impl HvCode {
@@ -119,6 +145,13 @@ impl HvCode {
             HvCode::OversizedOffcode => "HV022",
             HvCode::ChannelDeadlock => "HV030",
             HvCode::UnreachableOffcode => "HV031",
+            HvCode::QueueBoundExceedsRing => "HV040",
+            HvCode::UnstableChannel => "HV041",
+            HvCode::UtilizationOverrun => "HV042",
+            HvCode::UtilizationHigh => "HV043",
+            HvCode::DefaultedTraffic => "HV044",
+            HvCode::RingWriteRace => "HV050",
+            HvCode::MigrationAliasRace => "HV051",
         }
     }
 
@@ -132,7 +165,11 @@ impl HvCode {
             | HvCode::GangCycle
             | HvCode::DisjointPull
             | HvCode::DeviceOvercommit
-            | HvCode::ChannelDeadlock => Severity::Error,
+            | HvCode::ChannelDeadlock
+            | HvCode::QueueBoundExceedsRing
+            | HvCode::UnstableChannel
+            | HvCode::UtilizationOverrun
+            | HvCode::RingWriteRace => Severity::Error,
             HvCode::DuplicateBindName
             | HvCode::DuplicateImport
             | HvCode::UnsatisfiableTargetSpec
@@ -141,8 +178,10 @@ impl HvCode {
             | HvCode::GangForcedHost
             | HvCode::PotentialOvercommit
             | HvCode::OversizedOffcode
-            | HvCode::UnreachableOffcode => Severity::Warning,
-            HvCode::HostOnlyTargets => Severity::Info,
+            | HvCode::UnreachableOffcode
+            | HvCode::UtilizationHigh
+            | HvCode::MigrationAliasRace => Severity::Warning,
+            HvCode::HostOnlyTargets | HvCode::DefaultedTraffic => Severity::Info,
         }
     }
 
@@ -167,6 +206,13 @@ impl HvCode {
             HvCode::OversizedOffcode => "offcode exceeds every target's memory",
             HvCode::ChannelDeadlock => "synchronous channel deadlock cycle",
             HvCode::UnreachableOffcode => "unreachable offcode",
+            HvCode::QueueBoundExceedsRing => "worst-case queue exceeds ring capacity",
+            HvCode::UnstableChannel => "arrival rate exceeds worst-case service rate",
+            HvCode::UtilizationOverrun => "device utilization bound over 1000 permille",
+            HvCode::UtilizationHigh => "device utilization bound over 800 permille",
+            HvCode::DefaultedTraffic => "traffic curve defaulted",
+            HvCode::RingWriteRace => "unordered writers share a descriptor ring",
+            HvCode::MigrationAliasRace => "migration can alias a live ring endpoint",
         }
     }
 }
@@ -230,6 +276,10 @@ impl fmt::Display for Loc {
 pub struct Diagnostic {
     /// The stable code (which also fixes the severity).
     pub code: HvCode,
+    /// The GUID of the Offcode the finding is primarily about, when one
+    /// exists. Used as the second sort key so multi-pass output stays
+    /// byte-stable even when passes are reordered.
+    pub subject: Option<Guid>,
     /// Where it points.
     pub loc: Loc,
     /// The specific finding, human-readable.
@@ -241,9 +291,16 @@ impl Diagnostic {
     pub fn new(code: HvCode, loc: Loc, message: impl Into<String>) -> Self {
         Diagnostic {
             code,
+            subject: None,
             loc,
             message: message.into(),
         }
+    }
+
+    /// Attaches the GUID of the Offcode this finding is about.
+    pub fn for_subject(mut self, guid: Guid) -> Self {
+        self.subject = Some(guid);
+        self
     }
 
     /// The diagnostic's severity (derived from the code).
@@ -299,10 +356,15 @@ impl Report {
         self.normalize();
     }
 
-    /// Restores the canonical ordering (sorted, deduplicated).
+    /// Restores the canonical ordering (sorted, deduplicated). The key is
+    /// (code, subject guid, location, message): subject-less diagnostics
+    /// sort ahead of subject-bearing ones within a code.
     pub fn normalize(&mut self) {
-        self.diagnostics
-            .sort_by(|a, b| (a.code, &a.loc, &a.message).cmp(&(b.code, &b.loc, &b.message)));
+        self.diagnostics.sort_by(|a, b| {
+            let ka = (a.code, a.subject.map(|g| g.0), &a.loc, &a.message);
+            let kb = (b.code, b.subject.map(|g| g.0), &b.loc, &b.message);
+            ka.cmp(&kb)
+        });
         self.diagnostics.dedup();
     }
 
@@ -359,10 +421,15 @@ impl Report {
             if i > 0 {
                 out.push(',');
             }
+            let subject = match d.subject {
+                None => String::new(),
+                Some(g) => format!("\"subject\":{},", g.0),
+            };
             out.push_str(&format!(
-                "{{\"code\":\"{}\",\"severity\":\"{}\",\"loc\":\"{}\",\"message\":\"{}\"}}",
+                "{{\"code\":\"{}\",\"severity\":\"{}\",{}\"loc\":\"{}\",\"message\":\"{}\"}}",
                 d.code.code(),
                 d.severity(),
+                subject,
                 escape(&d.loc.to_string()),
                 escape(&d.message)
             ));
@@ -387,7 +454,7 @@ impl Report {
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -427,6 +494,13 @@ mod tests {
             HvCode::OversizedOffcode,
             HvCode::ChannelDeadlock,
             HvCode::UnreachableOffcode,
+            HvCode::QueueBoundExceedsRing,
+            HvCode::UnstableChannel,
+            HvCode::UtilizationOverrun,
+            HvCode::UtilizationHigh,
+            HvCode::DefaultedTraffic,
+            HvCode::RingWriteRace,
+            HvCode::MigrationAliasRace,
         ];
         let mut seen = std::collections::BTreeSet::new();
         for c in all {
@@ -479,5 +553,29 @@ mod tests {
         let r = Report::default();
         assert_eq!(r.summary(), "clean");
         assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn ordering_is_pass_order_independent() {
+        // The same findings absorbed in opposite pass order must render
+        // byte-identically: the sort key is (code, subject, loc, message),
+        // never discovery order.
+        let d1 =
+            Diagnostic::new(HvCode::QueueBoundExceedsRing, Loc::Set, "ring b").for_subject(Guid(9));
+        let d2 =
+            Diagnostic::new(HvCode::QueueBoundExceedsRing, Loc::Set, "ring a").for_subject(Guid(2));
+        let d3 = Diagnostic::new(HvCode::RingWriteRace, Loc::Set, "pair").for_subject(Guid(1));
+
+        let mut fwd = Report::default();
+        fwd.absorb("flow", 1, vec![d1.clone(), d2.clone()]);
+        fwd.absorb("rings", 1, vec![d3.clone()]);
+
+        let mut rev = Report::default();
+        rev.absorb("flow", 1, vec![d3, d2, d1]);
+
+        assert_eq!(fwd.diagnostics, rev.diagnostics);
+        assert_eq!(fwd.diagnostics[0].subject, Some(Guid(2)));
+        let json = fwd.to_json();
+        assert!(json.contains("\"subject\":2"));
     }
 }

@@ -8,7 +8,7 @@
 //! shape of the layout graph. `hydra-core` provides the conversions (and
 //! a test pinning the two matching implementations to each other).
 
-use hydra_odf::odf::{ConstraintKind, DeviceClassSpec, Guid, OdfDocument};
+use hydra_odf::odf::{ConstraintKind, DeviceClassSpec, Guid, OdfDocument, TrafficSpec};
 
 /// Default worst-case footprint assumed for an Offcode whose ODF does not
 /// declare one (bytes). Matches the synthetic 8 KiB text + 1 KiB data
@@ -93,6 +93,10 @@ pub struct NodeView {
     pub compat: Vec<bool>,
     /// Worst-case memory footprint in bytes.
     pub demand: u64,
+    /// The declared arrival curve for this Offcode's outbound calls, if
+    /// its ODF carries a `<traffic>` element. `None` means certification
+    /// substitutes the conservative default curve.
+    pub traffic: Option<TrafficSpec>,
 }
 
 /// One constraint edge in the graph view.
@@ -137,6 +141,7 @@ impl GraphView {
                     .and_then(|d| d.get(i).copied())
                     .or(odf.footprint)
                     .unwrap_or(DEFAULT_FOOTPRINT),
+                traffic: odf.traffic,
             });
         }
         for (i, odf) in odfs.iter().enumerate() {

@@ -31,19 +31,24 @@
 #![warn(missing_docs)]
 
 pub mod diag;
+pub mod flow;
 pub mod input;
 pub mod precheck;
+pub mod service;
 
 mod capacity;
 mod channels;
 mod constraints;
 mod manifest;
+mod race;
 
 use hydra_odf::odf::{Guid, OdfDocument};
 
 pub use diag::{Diagnostic, HvCode, Loc, PassStat, Report, Severity};
+pub use flow::{Certificate, ChainBound, ChannelBound, DeviceBound, FaultOverlay};
 pub use input::{DeviceInfo, DeviceTable, GraphView};
 pub use precheck::Precheck;
+pub use service::{ServiceModel, ServiceTable};
 
 /// Everything the verifier needs about a deployment.
 #[derive(Debug, Clone, Copy)]
@@ -82,6 +87,76 @@ pub fn verify(input: &VerifyInput<'_>) -> Report {
     report.absorb("channels", work, diags);
 
     report
+}
+
+/// Everything quantitative certification needs beyond [`VerifyInput`].
+#[derive(Debug, Clone, Copy)]
+pub struct CertifyInput<'a> {
+    /// The structural verification input.
+    pub verify: VerifyInput<'a>,
+    /// The provider service curves and device constants — exported by
+    /// the Channel Executive so analysis and runtime share one cost
+    /// table.
+    pub services: &'a ServiceTable,
+    /// A committed fault plan's disruption budget; widens the
+    /// certificate's latency/utilization bounds without changing the
+    /// diagnostics.
+    pub overlay: Option<&'a FaultOverlay>,
+}
+
+/// A certification result: the combined report of all six passes plus
+/// the quantitative certificate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Certification {
+    /// Every diagnostic from the structural and quantitative passes.
+    pub report: Report,
+    /// The derived queue/latency/utilization bounds.
+    pub certificate: Certificate,
+}
+
+/// Runs the four structural passes plus the quantitative **flow** pass
+/// (arrival/service-curve propagation: HV040–HV044) and the **rings**
+/// pass (ring-sharing race detection: HV050–HV051), returning the
+/// combined report and the bound certificate.
+pub fn certify(input: &CertifyInput<'_>) -> Certification {
+    let mut report = Report::default();
+
+    let (diags, work) = manifest::run(input.verify.odfs, input.verify.devices);
+    report.absorb("manifest", work, diags);
+
+    let view = GraphView::from_odfs(
+        input.verify.odfs,
+        input.verify.devices,
+        input.verify.demands,
+    );
+    let pre = Precheck::narrow(&view);
+
+    let (diags, work) = constraints::run(&view, &pre);
+    report.absorb("constraints", work + pre.rounds, diags);
+
+    let (diags, work) = capacity::run(&view, input.verify.devices);
+    report.absorb("capacity", work, diags);
+
+    let (diags, work) = channels::run(&view, input.verify.roots);
+    report.absorb("channels", work, diags);
+
+    let (diags, work, certificate) = flow::run(
+        &view,
+        &pre,
+        input.services,
+        input.verify.devices,
+        input.verify.roots,
+        input.overlay,
+    );
+    report.absorb("flow", work, diags);
+
+    let (diags, work) = race::run(&view, &pre);
+    report.absorb("rings", work, diags);
+
+    Certification {
+        report,
+        certificate,
+    }
 }
 
 #[cfg(test)]
@@ -237,5 +312,46 @@ mod tests {
             roots: None,
         };
         assert_eq!(verify(&input).to_json(), verify(&input).to_json());
+    }
+
+    #[test]
+    fn certify_runs_six_passes_and_emits_bounds() {
+        use hydra_odf::odf::TrafficSpec;
+        let mut odfs = clean_set();
+        odfs[0] = odfs[0].clone().with_traffic(TrafficSpec {
+            rate_per_sec: 5_000,
+            burst: 2,
+            max_bytes: 1_500,
+        });
+        let services = ServiceTable::conservative_default();
+        let cert = certify(&CertifyInput {
+            verify: VerifyInput {
+                odfs: &odfs,
+                devices: &table(),
+                demands: None,
+                roots: None,
+            },
+            services: &services,
+            overlay: None,
+        });
+        assert!(!cert.report.has_errors(), "{}", cert.report.render_human());
+        assert_eq!(
+            cert.report
+                .passes
+                .iter()
+                .map(|p| p.name)
+                .collect::<Vec<_>>(),
+            vec![
+                "manifest",
+                "constraints",
+                "capacity",
+                "channels",
+                "flow",
+                "rings"
+            ]
+        );
+        let bound = cert.certificate.channel("app.Sink").unwrap();
+        assert!(bound.stable);
+        assert!(bound.latency_bound_ns.is_some());
     }
 }

@@ -107,6 +107,7 @@ mod tests {
             bind_name: name.into(),
             compat: compat.to_vec(),
             demand: 1024,
+            traffic: None,
         }
     }
 

@@ -1,0 +1,226 @@
+//! Service-curve models for quantitative certification.
+//!
+//! A [`ServiceModel`] is the static mirror of one channel provider's
+//! `ChannelCost`: the per-message CPU/issue charge, the idle-pipe launch
+//! overhead, and the wire throughput. A [`ServiceTable`] holds the whole
+//! provider family registered with the Channel Executive plus the device
+//! occupancy constants, and answers the two questions the flow pass asks:
+//! *how long can serving one message take* and *how much device time does
+//! one message consume*.
+//!
+//! The runtime exports its live table via
+//! `ChannelExecutive::service_table()`, derived from the very
+//! `ChannelCost` values the executive's auction uses — so the analysis
+//! and the runtime can never disagree on costs. For adaptive channels the
+//! executive re-auctions the provider per message-size bucket, so the
+//! *certified* service time is the worst case over the whole family: that
+//! brackets any per-bucket choice the hysteresis logic can make, and also
+//! brackets channels pinned to a non-winning provider (e.g. the OOB
+//! channel's kernel-copy path).
+
+/// Modeled device time consumed per message, independent of the channel
+/// provider (descriptor processing, interrupt, completion).
+pub const DEVICE_NS_PER_MSG: u64 = 10_000;
+
+/// Modeled device payload-processing throughput in bytes per second.
+pub const DEVICE_BYTES_PER_SEC: u64 = 1_000_000_000;
+
+/// The static service curve of one channel provider.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceModel {
+    /// Provider name, as registered with the executive.
+    pub provider: String,
+    /// One-time channel setup cost in nanoseconds.
+    pub setup_ns: u64,
+    /// Per-message service charge in nanoseconds (copy/issue cost).
+    pub per_message_ns: u64,
+    /// Idle-pipe offload-launch overhead in nanoseconds.
+    pub launch_overhead_ns: u64,
+    /// Whether a streaming pipe coalesces the launch charge. Certification
+    /// ignores this on purpose: the worst case is an idle pipe.
+    pub coalesce_launch: bool,
+    /// Wire throughput in bytes per second (0 = infinitely fast wire).
+    pub bytes_per_sec: u64,
+}
+
+impl ServiceModel {
+    /// Wire time for a `bytes`-sized payload, rounded up.
+    pub fn wire_ns(&self, bytes: u64) -> u64 {
+        if self.bytes_per_sec == 0 {
+            return 0;
+        }
+        let num = u128::from(bytes) * 1_000_000_000u128;
+        let den = u128::from(self.bytes_per_sec);
+        u64::try_from(num.div_ceil(den)).unwrap_or(u64::MAX)
+    }
+
+    /// Worst-case time to serve one `bytes`-sized message: per-message
+    /// charge, a full idle-pipe launch, and the wire. Coalescing is never
+    /// assumed — a certified bound must hold from a cold pipe.
+    pub fn service_ns(&self, bytes: u64) -> u64 {
+        self.per_message_ns
+            .saturating_add(self.launch_overhead_ns)
+            .saturating_add(self.wire_ns(bytes))
+    }
+}
+
+/// The provider family the executive would consider for a deployment,
+/// plus ring and device constants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceTable {
+    /// The registered providers, in registration order (the executive's
+    /// auction tie-break).
+    pub providers: Vec<ServiceModel>,
+    /// Whether channels may re-auction the provider per size bucket
+    /// (PR 8's cost-adaptive selection). When `true`, certified service
+    /// times take the worst case over the whole family.
+    pub adaptive: bool,
+    /// Descriptor-ring capacity in entries.
+    pub ring_capacity: u64,
+    /// Device time consumed per message, nanoseconds.
+    pub device_ns_per_msg: u64,
+    /// Device payload throughput, bytes per second.
+    pub device_bytes_per_sec: u64,
+}
+
+impl ServiceTable {
+    /// A conservative table mirroring the full default provider family
+    /// (zero-copy DMA, kernel copy, PIO, doorbell-batch) against the
+    /// Figure-3 NIC channel shape. `ChannelExecutive::service_table()` on
+    /// a fully-provisioned executive must agree with this byte-for-byte —
+    /// a pin test in `hydra-core` enforces it.
+    pub fn conservative_default() -> Self {
+        ServiceTable {
+            providers: vec![
+                ServiceModel {
+                    provider: "zero-copy-dma".into(),
+                    setup_ns: 120_000,
+                    per_message_ns: 1_000,
+                    launch_overhead_ns: 2_000,
+                    coalesce_launch: false,
+                    bytes_per_sec: 500_000_000,
+                },
+                ServiceModel {
+                    provider: "kernel-copy".into(),
+                    setup_ns: 30_000,
+                    per_message_ns: 9_000,
+                    launch_overhead_ns: 0,
+                    coalesce_launch: false,
+                    bytes_per_sec: 250_000_000,
+                },
+                ServiceModel {
+                    provider: "pio".into(),
+                    setup_ns: 5_000,
+                    per_message_ns: 250,
+                    launch_overhead_ns: 0,
+                    coalesce_launch: false,
+                    bytes_per_sec: 333_333_333,
+                },
+                ServiceModel {
+                    provider: "doorbell-batch".into(),
+                    setup_ns: 140_000,
+                    per_message_ns: 400,
+                    launch_overhead_ns: 2_600,
+                    coalesce_launch: true,
+                    bytes_per_sec: 480_000_000,
+                },
+            ],
+            adaptive: true,
+            ring_capacity: 64,
+            device_ns_per_msg: DEVICE_NS_PER_MSG,
+            device_bytes_per_sec: DEVICE_BYTES_PER_SEC,
+        }
+    }
+
+    /// The provider the executive's initial auction would pick: minimum
+    /// service time at a nominal 1 KiB message, ties broken by
+    /// registration order.
+    pub fn winner(&self) -> Option<&ServiceModel> {
+        self.providers.iter().min_by_key(|p| p.service_ns(1024))
+    }
+
+    /// Worst-case service time for one `bytes`-sized message. Adaptive
+    /// tables take the maximum over the family (any provider can be
+    /// chosen for some bucket); non-adaptive tables charge the auction
+    /// winner.
+    pub fn worst_service_ns(&self, bytes: u64) -> u64 {
+        if self.adaptive {
+            self.providers
+                .iter()
+                .map(|p| p.service_ns(bytes))
+                .max()
+                .unwrap_or(0)
+        } else {
+            self.winner().map_or(0, |p| p.service_ns(bytes))
+        }
+    }
+
+    /// Worst-case one-time setup charge across the family — the first
+    /// message on a freshly provisioned (or re-auctioned) channel can pay
+    /// it, so end-to-end latency bounds include it once per hop.
+    pub fn worst_setup_ns(&self) -> u64 {
+        self.providers.iter().map(|p| p.setup_ns).max().unwrap_or(0)
+    }
+
+    /// Device time one `bytes`-sized message occupies on its serving
+    /// device, independent of the provider.
+    pub fn device_occupancy_ns(&self, bytes: u64) -> u64 {
+        if self.device_bytes_per_sec == 0 {
+            return self.device_ns_per_msg;
+        }
+        let num = u128::from(bytes) * 1_000_000_000u128;
+        let den = u128::from(self.device_bytes_per_sec);
+        self.device_ns_per_msg
+            .saturating_add(u64::try_from(num.div_ceil(den)).unwrap_or(u64::MAX))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_time_rounds_up() {
+        let m = ServiceModel {
+            provider: "x".into(),
+            setup_ns: 0,
+            per_message_ns: 0,
+            launch_overhead_ns: 0,
+            coalesce_launch: false,
+            bytes_per_sec: 3,
+        };
+        // 1 byte at 3 B/s = 333,333,333.33… ns, rounded up.
+        assert_eq!(m.wire_ns(1), 333_333_334);
+        assert_eq!(m.wire_ns(0), 0);
+    }
+
+    #[test]
+    fn adaptive_takes_family_worst_case() {
+        let t = ServiceTable::conservative_default();
+        // At 16 KiB the kernel-copy path dominates: 9µs + 65.536µs wire.
+        let worst = t.worst_service_ns(16 * 1024);
+        assert_eq!(worst, 9_000 + 65_536);
+        // A non-adaptive table charges only the auction winner.
+        let pinned = ServiceTable {
+            adaptive: false,
+            ..t.clone()
+        };
+        assert!(pinned.worst_service_ns(16 * 1024) < worst);
+    }
+
+    #[test]
+    fn winner_matches_executive_auction_at_1k() {
+        let t = ServiceTable::conservative_default();
+        // At 1 KiB: dma 1000+2000+2048=5048, copy 9000+4096=13096,
+        // pio 250+3073=3323, doorbell 400+2600+2134=5134 → PIO wins.
+        assert_eq!(t.winner().unwrap().provider, "pio");
+    }
+
+    #[test]
+    fn setup_and_occupancy() {
+        let t = ServiceTable::conservative_default();
+        assert_eq!(t.worst_setup_ns(), 140_000);
+        assert_eq!(t.device_occupancy_ns(0), DEVICE_NS_PER_MSG);
+        assert_eq!(t.device_occupancy_ns(16 * 1024), DEVICE_NS_PER_MSG + 16_384);
+    }
+}

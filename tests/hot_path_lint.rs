@@ -1,0 +1,78 @@
+//! Source-level regression lint: no `HashMap<Guid, …>` on hot paths.
+//!
+//! GUID-keyed `HashMap`s hash a `u64` on every lookup and iterate in
+//! nondeterministic order — both properties this codebase has had to
+//! engineer out of the send/recv/dispatch paths (dense-id `Vec` tables
+//! in the channel executive, `BTreeMap`s where ordered iteration leaks
+//! into reports). This lint pins the status quo: the only permitted
+//! `HashMap<Guid` uses are the runtime's *control-plane* tables (the
+//! Offcode depot and the deployed-instance index, touched per
+//! deployment, not per message) and the layout builder (runs once per
+//! solve). Adding one anywhere else — in particular in `channel.rs`,
+//! `call.rs`, or any per-message module — fails this test and should be
+//! a dense index or `BTreeMap` instead.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Files allowed to hold `HashMap<Guid` — control-plane only.
+const ALLOWLIST: &[&str] = &[
+    "crates/hydra-core/src/runtime.rs",
+    "crates/hydra-core/src/layout.rs",
+];
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn guid_keyed_hashmaps_stay_off_the_hot_paths() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut sources = Vec::new();
+    rust_sources(&root.join("crates"), &mut sources);
+    assert!(sources.len() > 50, "the crate tree was scanned");
+
+    let mut violations = Vec::new();
+    for path in sources {
+        let rel = path
+            .strip_prefix(root)
+            .expect("source under workspace root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = fs::read_to_string(&path).expect("source file is readable");
+        for (i, line) in text.lines().enumerate() {
+            if line.contains("HashMap<Guid") && !ALLOWLIST.contains(&rel.as_str()) {
+                violations.push(format!("{rel}:{}: {}", i + 1, line.trim()));
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "GUID-keyed HashMaps on non-allowlisted paths (use a dense index \
+         or BTreeMap, or extend the allowlist with a control-plane \
+         justification):\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn the_allowlist_is_not_stale() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for rel in ALLOWLIST {
+        let text = fs::read_to_string(root.join(rel)).expect("allowlisted file exists");
+        assert!(
+            text.contains("HashMap<Guid"),
+            "{rel} no longer uses HashMap<Guid — drop it from the allowlist"
+        );
+    }
+}
