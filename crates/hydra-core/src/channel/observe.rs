@@ -1,0 +1,146 @@
+//! Channel observability: per-channel counters, the live cost profile,
+//! and the queue-depth level track.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use hydra_obs::Histogram;
+use hydra_sim::time::SimDuration;
+
+use super::Channel;
+
+/// Level-track name for per-channel descriptor-ring occupancy: the
+/// deepest open endpoint queue, sampled into telemetry windows by the
+/// shared recorder (labeled `chan#N`).
+pub const CHANNEL_QUEUE_DEPTH: &str = "channel.queue_depth";
+
+/// Live cost profile of one channel: what communicating through it has
+/// *actually* cost so far, as opposed to the provider's advertised
+/// [`super::ChannelCost`].
+///
+/// Latencies are measured from the caller's `now` to the message's
+/// delivery instant, so queueing behind earlier messages and retry
+/// backoff are included — this is the observed price, not the unloaded
+/// one. Messages are binned by payload size into power-of-two buckets
+/// (bucket `B` covers sizes in `(B/2, B]`), each bucket holding a
+/// latency [`Histogram`] so p50/p99 per size class fall out of
+/// [`Histogram::quantile`]. The fixed per-message charge paid at each
+/// doorbell accumulates separately as launch overhead — the channel
+/// analogue of kernel-launch cost.
+#[derive(Debug, Clone, Default)]
+pub struct CostProfile {
+    messages: u64,
+    bytes: u64,
+    doorbells: u64,
+    launch_overhead_ns: u64,
+    ewma_latency_ns: u64,
+    first_send_ns: Option<u64>,
+    last_delivery_ns: u64,
+    by_size: BTreeMap<u64, Histogram>,
+}
+
+impl CostProfile {
+    /// The power-of-two size bucket a payload of `bytes` falls into
+    /// (its upper bound; zero-length payloads share the 1-byte bucket).
+    pub fn size_bucket(bytes: usize) -> u64 {
+        (bytes.max(1) as u64).next_power_of_two()
+    }
+
+    pub(super) fn record(&mut self, send_ns: u64, bytes: u64, latency_ns: u64) {
+        self.messages += 1;
+        self.bytes += bytes;
+        self.ewma_latency_ns = if self.messages == 1 {
+            latency_ns
+        } else {
+            // Integer EWMA with alpha = 1/8: old weight 7/8, new 1/8.
+            (7 * self.ewma_latency_ns + latency_ns) / 8
+        };
+        if self.first_send_ns.is_none() {
+            self.first_send_ns = Some(send_ns);
+        }
+        self.last_delivery_ns = self.last_delivery_ns.max(send_ns + latency_ns);
+        self.by_size
+            .entry(Self::size_bucket(bytes as usize))
+            .or_default()
+            .record(latency_ns);
+    }
+
+    pub(super) fn doorbell(&mut self, per_message: SimDuration) {
+        self.doorbells += 1;
+        self.launch_overhead_ns += per_message.as_nanos();
+    }
+
+    /// Messages delivered through the channel.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Payload bytes delivered.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Doorbells rung (single sends, batch submissions, and per-message
+    /// retry admissions each pay one).
+    pub fn doorbells(&self) -> u64 {
+        self.doorbells
+    }
+
+    /// Accumulated fixed per-message charge across all doorbells.
+    pub fn launch_overhead_ns(&self) -> u64 {
+        self.launch_overhead_ns
+    }
+
+    /// Exponentially-weighted moving average of observed latency
+    /// (alpha 1/8), in nanoseconds. Zero before the first message.
+    pub fn ewma_latency_ns(&self) -> u64 {
+        self.ewma_latency_ns
+    }
+
+    /// Observed payload throughput over the channel's active span
+    /// (first send to last delivery), in bytes per second. `None` until
+    /// the span is non-empty.
+    pub fn throughput_bytes_per_sec(&self) -> Option<u64> {
+        let first = self.first_send_ns?;
+        let span = self.last_delivery_ns.checked_sub(first)?;
+        if span == 0 {
+            return None;
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        Some(((u128::from(self.bytes) * 1_000_000_000) / u128::from(span)) as u64)
+    }
+
+    /// The size buckets seen so far, ascending: `(upper bound bytes,
+    /// latency histogram)`.
+    pub fn size_buckets(&self) -> impl Iterator<Item = (u64, &Histogram)> {
+        self.by_size.iter().map(|(&b, h)| (b, h))
+    }
+
+    /// The latency histogram of the bucket a payload of `bytes` falls
+    /// into, if any message of that class has been delivered.
+    pub fn latency_for(&self, bytes: usize) -> Option<&Histogram> {
+        self.by_size.get(&Self::size_bucket(bytes))
+    }
+}
+
+/// Per-channel counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChannelStats {
+    /// Messages accepted for delivery.
+    pub sent: u64,
+    /// Messages consumed by receivers.
+    pub received: u64,
+    /// Messages dropped (unreliable channel, ring full).
+    pub dropped: u64,
+    /// Payload bytes accepted.
+    pub bytes: u64,
+}
+
+impl Channel {
+    /// Publishes the deepest open endpoint queue as the channel's
+    /// [`CHANNEL_QUEUE_DEPTH`] level track.
+    pub(super) fn publish_queue_depth(&self) {
+        let depth = self.open_queues().map(VecDeque::len).max().unwrap_or(0);
+        self.recorder
+            .level_set(CHANNEL_QUEUE_DEPTH, &self.depth_label, depth as u64);
+    }
+}

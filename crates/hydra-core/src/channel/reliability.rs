@@ -1,0 +1,253 @@
+//! Channel reliability: delivery guarantees, ring backpressure, and the
+//! retry policy consulted when a send finds every slot taken.
+//!
+//! Backpressure is pluggable: the channel consults a
+//! [`BackpressurePolicy`] trait object whenever the descriptor ring is
+//! full, so distributed deployments can substitute cross-host admission
+//! policies without touching the delivery path in
+//! [`super::delivery`]. The default, [`ExponentialBackoff`], implements
+//! the classic deterministic sim-time backoff described by
+//! [`RetryPolicy`].
+
+use std::fmt;
+
+use hydra_obs::TraceCtx;
+use hydra_sim::time::{SimDuration, SimTime};
+
+use super::{Channel, ChannelError};
+
+/// Delivery guarantee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Reliability {
+    /// Sends fail (rather than drop) when buffers are exhausted.
+    Reliable,
+    /// Sends drop silently when buffers are exhausted.
+    Unreliable,
+}
+
+/// Bounded deterministic retry policy for sends that hit a full ring.
+///
+/// When a send finds every (open) endpoint queue at capacity, a channel
+/// with retry enabled re-attempts at `backoff`, `2·backoff`, `4·backoff`…
+/// after `now` — classic exponential backoff, but in *sim time*, so it is
+/// byte-reproducible. An attempt succeeds once the descriptor-ring model
+/// says slots have freed (payloads already consumed by the device side,
+/// i.e. messages whose delivery instant has passed). The policy gives up
+/// after `max_attempts` attempts or once the next attempt would land past
+/// `now + timeout`, whichever comes first — the send then fails exactly
+/// like it would without retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RetryPolicy {
+    /// Retry attempts after the initial try; `0` disables retry.
+    pub max_attempts: u32,
+    /// Wait before the first retry; doubles on each further attempt.
+    pub backoff: SimDuration,
+    /// Per-send deadline: no attempt is made after `now + timeout`.
+    pub timeout: SimDuration,
+}
+
+impl RetryPolicy {
+    /// No retry: a full ring fails/drops immediately (the historical
+    /// behavior, and the default).
+    pub const fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 0,
+            backoff: SimDuration::ZERO,
+            timeout: SimDuration::ZERO,
+        }
+    }
+
+    /// A retry policy with the given bounds.
+    pub const fn new(max_attempts: u32, backoff: SimDuration, timeout: SimDuration) -> Self {
+        RetryPolicy {
+            max_attempts,
+            backoff,
+            timeout,
+        }
+    }
+
+    /// Whether the policy retries at all.
+    pub const fn enabled(&self) -> bool {
+        self.max_attempts > 0
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// An admission verdict from a [`BackpressurePolicy`]: when the blocked
+/// send may enter the ring and how many backoff attempts it took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Admission {
+    /// The sim-time instant the send is admitted at.
+    pub at: SimTime,
+    /// Backoff attempts spent (1-based: the first retry is attempt 1).
+    pub attempts: u32,
+}
+
+/// Read-only view of a channel's descriptor ring, handed to a
+/// [`BackpressurePolicy`] so it can probe future slot availability
+/// without access to the channel's mutable state.
+pub struct RingView<'a> {
+    channel: &'a Channel,
+    capacity: usize,
+}
+
+impl RingView<'_> {
+    /// The ring's usable capacity (configured capacity minus slots
+    /// wedged by injected ring-exhaustion faults).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether an attempt at `at` would find a free slot in every open
+    /// endpoint queue. Slot availability follows the descriptor-ring
+    /// model: a slot frees once the device side has consumed the
+    /// payload, i.e. once a queued message's delivery instant has
+    /// passed (receiver-side buffering is the receiver's business, not
+    /// the ring's).
+    pub fn admits_at(&self, at: SimTime) -> bool {
+        self.channel
+            .open_queues()
+            .all(|q| q.iter().filter(|m| m.deliver_at > at).count() < self.capacity)
+    }
+
+    /// The retry policy configured on the channel, for policies that
+    /// honor the per-channel [`RetryPolicy`] knobs.
+    pub fn retry(&self) -> RetryPolicy {
+        self.channel.config.retry
+    }
+}
+
+/// A pluggable admission policy consulted when a send finds the ring
+/// full.
+///
+/// Implementations must be deterministic functions of the ring view and
+/// `now` — no wall clocks, no randomness — so channel behavior stays
+/// byte-reproducible. Returning `None` makes the send fail (reliable)
+/// or drop (unreliable) exactly as if retry were disabled.
+pub trait BackpressurePolicy: fmt::Debug {
+    /// The first instant at which the policy can admit the blocked
+    /// send, plus the attempts spent finding it; `None` gives up.
+    fn admit(&self, ring: &RingView<'_>, now: SimTime) -> Option<Admission>;
+}
+
+/// The default [`BackpressurePolicy`]: deterministic exponential
+/// backoff driven by the channel's configured [`RetryPolicy`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExponentialBackoff;
+
+impl BackpressurePolicy for ExponentialBackoff {
+    fn admit(&self, ring: &RingView<'_>, now: SimTime) -> Option<Admission> {
+        let policy = ring.retry();
+        if !policy.enabled() {
+            return None;
+        }
+        let deadline = now.saturating_add(policy.timeout);
+        let mut backoff = policy.backoff;
+        let mut attempt_at = now;
+        for attempt in 1..=policy.max_attempts {
+            let next = attempt_at.saturating_add(backoff);
+            if next > deadline || next == SimTime::MAX {
+                // Past the per-send deadline — or pinned at the sim-time
+                // ceiling, where the clock can no longer advance between
+                // attempts and "later" does not exist.
+                return None;
+            }
+            if attempt > 1 && next == attempt_at {
+                // Backoff stagnated (saturated doubling): every further
+                // attempt would land on this same instant. Give up
+                // instead of burning the remaining attempts at it.
+                return None;
+            }
+            attempt_at = next;
+            if ring.admits_at(attempt_at) {
+                return Some(Admission {
+                    at: attempt_at,
+                    attempts: attempt,
+                });
+            }
+            backoff = SimDuration::from_nanos(backoff.as_nanos().saturating_mul(2));
+        }
+        None
+    }
+}
+
+impl Channel {
+    /// Replaces the channel's backpressure policy. The default is
+    /// [`ExponentialBackoff`], which honors the config's
+    /// [`RetryPolicy`]; cross-host providers can install their own
+    /// admission logic without touching the delivery path.
+    pub fn set_backpressure_policy(&mut self, policy: Box<dyn BackpressurePolicy>) {
+        self.backpressure = policy;
+    }
+
+    /// First sim-time instant in `(now, now + timeout]` at which the
+    /// backpressure policy can squeeze a message into the ring, plus the
+    /// number of backoff attempts it took.
+    pub(super) fn retry_admit(&self, now: SimTime) -> Option<(SimTime, u32)> {
+        let view = RingView {
+            channel: self,
+            capacity: self.usable_capacity(),
+        };
+        self.backpressure
+            .admit(&view, now)
+            .map(|a| (a.at, a.attempts))
+    }
+
+    /// Terminal accounting for a single send that found the ring full and
+    /// exhausted (or lacked) retry: reject on reliable, drop on
+    /// unreliable — identical to the historical no-retry behavior.
+    pub(super) fn send_full_fallout(
+        &mut self,
+        now: SimTime,
+        bytes: u64,
+        ctx: TraceCtx,
+    ) -> Result<SimTime, ChannelError> {
+        match self.config.reliability {
+            Reliability::Reliable => {
+                self.recorder
+                    .counter_incr("channel.rejected", &self.provider_name);
+                self.recorder
+                    .trace_drop(ctx, "channel.reject", &self.provider_name, 0, now, bytes);
+                Err(ChannelError::WouldBlock)
+            }
+            Reliability::Unreliable => {
+                self.stats.dropped += 1;
+                self.recorder
+                    .counter_incr("channel.dropped", &self.provider_name);
+                self.recorder.trace_drop(
+                    ctx,
+                    "channel.drop",
+                    &self.provider_name,
+                    self.target_pid(),
+                    now,
+                    bytes,
+                );
+                Ok(self.busy_until.max(now) + self.cost.latency(bytes as usize))
+            }
+        }
+    }
+
+    /// Wedges `slots` descriptor-ring slots (injected ring-exhaustion
+    /// fault): the usable capacity becomes `capacity - slots`. Wedged
+    /// slots belong to the live ring — they are swept when the last
+    /// endpoint closes (teardown/migration) or when an endpoint re-opens
+    /// on a fresh ring.
+    pub fn set_wedged_slots(&mut self, slots: usize) {
+        self.wedged_slots = slots;
+    }
+
+    /// Descriptor-ring slots currently wedged by injected faults.
+    pub fn wedged_slots(&self) -> usize {
+        self.wedged_slots
+    }
+
+    /// The ring capacity minus wedged slots.
+    pub(super) fn usable_capacity(&self) -> usize {
+        self.config.capacity.saturating_sub(self.wedged_slots)
+    }
+}

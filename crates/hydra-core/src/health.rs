@@ -5,9 +5,12 @@
 //! [`HealthPolicy::heartbeat_every`]. A device model that has fail-stopped
 //! (its [`hydra_sim::fault::FaultInjector`] says `crashed`) goes silent;
 //! after [`HealthPolicy::suspect_after`] missed beats the monitor marks it
-//! Suspect, after [`HealthPolicy::fail_after`] it is Failed. Failure is
-//! sticky: a Failed device never returns to service in this model, which
-//! keeps recovery decisions (re-layout, migration) final and replayable.
+//! Suspect, after [`HealthPolicy::fail_after`] it is Failed. A Suspect
+//! device that resumes beating (a stall that cleared) is restored to
+//! Healthy by the next [`HealthMonitor::poll`], which reports the
+//! recovery edge like any other transition. Failure is sticky: a Failed
+//! device never returns to service in this model, which keeps recovery
+//! decisions (re-layout, migration) final and replayable.
 //!
 //! The monitor is pure bookkeeping — no wall clock, no channels — so two
 //! runs over the same fault schedule produce byte-identical transitions.
@@ -115,8 +118,15 @@ impl HealthMonitor {
         self.tracks.len()
     }
 
-    /// Record a heartbeat from `device` at `now`. Clears Suspect back to
-    /// Healthy; Failed is sticky and ignores late beats.
+    /// Record a heartbeat from `device` at `now`. Failed is sticky and
+    /// ignores late beats.
+    ///
+    /// The beat only refreshes the deadline clock — the Suspect → Healthy
+    /// edge itself fires from the next [`HealthMonitor::poll`], so a
+    /// device that resumes beating after a stall produces an observable
+    /// recovery transition instead of silently snapping back (the
+    /// historical behavior reset state here, and `poll` — the only place
+    /// transitions are reported — never saw the recovery).
     pub fn beat(&mut self, device: DeviceId, now: SimTime) {
         let Some(track) = self.tracks.get_mut(device.idx()) else {
             return;
@@ -124,8 +134,7 @@ impl HealthMonitor {
         if track.state == DeviceHealth::Failed {
             return;
         }
-        track.last_beat = now;
-        track.state = DeviceHealth::Healthy;
+        track.last_beat = track.last_beat.max(now);
     }
 
     /// Evaluate every device against the deadline at `now` and return the
@@ -225,12 +234,44 @@ mod tests {
         let t = mon.poll(at_ms(3));
         assert_eq!(t[0].to, DeviceHealth::Suspect);
         mon.beat(DeviceId(1), at_ms(3));
+        // The beat refreshes the deadline; the recovery edge itself is
+        // poll's to report.
+        assert_eq!(mon.state(DeviceId(1)), DeviceHealth::Suspect);
+        let t = mon.poll(at_ms(3));
+        assert_eq!(t.len(), 1);
+        assert_eq!(
+            (t[0].from, t[0].to),
+            (DeviceHealth::Suspect, DeviceHealth::Healthy)
+        );
         assert_eq!(mon.state(DeviceId(1)), DeviceHealth::Healthy);
 
         mon.mark_failed(DeviceId(1));
         mon.beat(DeviceId(1), at_ms(4));
         assert!(mon.is_failed(DeviceId(1)));
         assert!(mon.poll(at_ms(100)).is_empty());
+    }
+
+    #[test]
+    fn stall_then_recover_round_trips_through_suspect() {
+        let mut mon = HealthMonitor::new(HealthPolicy::default(), 2);
+        mon.beat(DeviceId(1), at_ms(1));
+        assert!(mon.poll(at_ms(2)).is_empty());
+        // Two missed beats while stalled: Suspect, but not yet Failed.
+        let t = mon.poll(at_ms(3));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].to, DeviceHealth::Suspect);
+        assert_eq!(t[0].missed, 2);
+        // The stall clears and beats resume before the fail deadline.
+        mon.beat(DeviceId(1), at_ms(4));
+        let t = mon.poll(at_ms(4));
+        assert_eq!(t.len(), 1);
+        assert_eq!(
+            (t[0].from, t[0].to),
+            (DeviceHealth::Suspect, DeviceHealth::Healthy)
+        );
+        // Recovered for good: later polls stay quiet while beats flow.
+        mon.beat(DeviceId(1), at_ms(5));
+        assert!(mon.poll(at_ms(5)).is_empty());
     }
 
     #[test]

@@ -24,8 +24,8 @@ use std::collections::HashMap;
 use std::fmt;
 
 use hydra_ilp::branch::SearchStats;
-use hydra_ilp::model::{Direction, Outcome, Problem, Sense, VarId};
-use hydra_ilp::solve_ilp;
+use hydra_ilp::model::{Direction, Outcome, Problem, Sense, Solution, VarId};
+use hydra_ilp::{solve_ilp_warm, solve_lp};
 use hydra_odf::odf::{ConstraintKind, Guid, OdfDocument};
 
 use crate::channel::ChannelCost;
@@ -101,6 +101,20 @@ impl fmt::Display for Placement {
         }
         write!(f, "]")
     }
+}
+
+/// A structural change applied to a layout graph between solves, named
+/// so [`LayoutGraph::repair`] can focus the re-solve on the nodes the
+/// change can actually affect instead of re-deriving the whole layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphDelta {
+    /// `device` fail-stopped and has been removed from every node's
+    /// compatibility vector (see [`LayoutGraph::mask_device`]): nodes
+    /// previously placed on it lost their home.
+    MaskDevice(DeviceId),
+    /// `device` (re-)joined the deployment and compatibility vectors now
+    /// allow it: nodes able to run there may newly pay off offloaded.
+    DeviceJoin(DeviceId),
 }
 
 /// Optimization objectives (paper §5.1.3).
@@ -582,6 +596,17 @@ impl LayoutGraph {
         &self,
         objective: &Objective,
     ) -> Result<(Placement, SearchStats), LayoutError> {
+        self.resolve_ilp_hinted(objective, None)
+    }
+
+    /// The shared exact-resolve core: presolve, build the ILP, optionally
+    /// install a warm-start hint placement as the initial incumbent, and
+    /// search to proven optimality.
+    fn resolve_ilp_hinted(
+        &self,
+        objective: &Objective,
+        hint: Option<&Placement>,
+    ) -> Result<(Placement, SearchStats), LayoutError> {
         if self.nodes.is_empty() {
             return Ok((Placement(Vec::new()), SearchStats::default()));
         }
@@ -599,12 +624,34 @@ impl LayoutGraph {
             ));
         }
         let (problem, x) = self.to_ilp(objective)?;
-        let result = solve_ilp(&problem);
+        let hint_values = hint.map(|p| Self::x_values(&problem, &x, p));
+        let result = solve_ilp_warm(&problem, hint_values.as_deref());
         let Outcome::Optimal(sol) = result.outcome else {
             return Err(LayoutError::Unsatisfiable);
         };
-        let mut devices = Vec::with_capacity(self.nodes.len());
-        for row in &x {
+        let placement = Self::extract_placement(&x, &sol);
+        debug_assert!(self.check(&placement).is_ok());
+        Ok((placement, result.stats))
+    }
+
+    /// The `X[n][k]` value vector a placement corresponds to, in
+    /// `problem`'s variable space (a node placed somewhere its grid row
+    /// has no variable simply contributes nothing, which the feasibility
+    /// check then rejects).
+    fn x_values(problem: &Problem, x: &VarGrid, placement: &Placement) -> Vec<f64> {
+        let mut values = vec![0.0; problem.num_vars()];
+        for (n, row) in x.iter().enumerate() {
+            if let Some(Some(v)) = row.get(placement.0[n].idx()) {
+                values[v.index()] = 1.0;
+            }
+        }
+        values
+    }
+
+    /// Reads a placement back out of an integral ILP solution.
+    fn extract_placement(x: &VarGrid, sol: &Solution) -> Placement {
+        let mut devices = Vec::with_capacity(x.len());
+        for row in x {
             let mut chosen = DeviceId::HOST;
             for (k, v) in row.iter().enumerate() {
                 if let Some(v) = v {
@@ -616,9 +663,189 @@ impl LayoutGraph {
             }
             devices.push(chosen);
         }
-        let placement = Placement(devices);
+        Placement(devices)
+    }
+
+    /// Incrementally re-solves the layout after `delta`, warm-starting
+    /// from `prev` — the placement that was optimal *before* the change.
+    ///
+    /// `self` is the **post-delta** graph (the device already masked via
+    /// [`LayoutGraph::mask_device`], or compatibility vectors already
+    /// extended for a joined device). Instead of re-deriving every
+    /// node's placement from scratch, repair:
+    ///
+    /// 1. collects the **dirty** nodes — those whose previous placement
+    ///    the delta made infeasible, plus (on a join) every node the new
+    ///    device could attract;
+    /// 2. closes the dirty set over binding (non-`Link`) constraint
+    ///    edges, so Gang/Pull/AsymGang partners re-solve together;
+    /// 3. exactly re-solves only that sub-component — warm-started from
+    ///    the previous placement with evicted nodes pulled to the host —
+    ///    while every untouched node stays frozen where it was (under
+    ///    [`Objective::MaximizeBusUsage`], frozen nodes keep their
+    ///    capacity share);
+    /// 4. splices the repaired sub-placement back over `prev` and proves
+    ///    it optimal against the full problem's LP-relaxation bound. If
+    ///    the bound leaves room above the repaired value (a better
+    ///    global layout might exist, or the bound is simply loose), it
+    ///    falls back to the full ILP — warm-started by the repaired
+    ///    candidate — so the result is **always** objective-equal to a
+    ///    from-scratch [`LayoutGraph::resolve_ilp`].
+    ///
+    /// The returned [`SearchStats`] count the actual search performed:
+    /// `repaired_nodes` is the size of the re-solved component,
+    /// `warm_start_hits` the accepted hints, and `nodes` the LP
+    /// relaxations solved across the sub-solve (and the fallback, when
+    /// taken) — the root LP bound itself is not a search node.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `prev`'s length does not match the graph, the
+    /// objective's shape is invalid, or the constraints are
+    /// unsatisfiable.
+    pub fn repair(
+        &self,
+        prev: &Placement,
+        delta: &GraphDelta,
+        objective: &Objective,
+    ) -> Result<(Placement, SearchStats), LayoutError> {
+        if prev.0.len() != self.nodes.len() {
+            return Err(LayoutError::Violation(
+                "previous placement length does not match the graph".into(),
+            ));
+        }
+        self.validate_objective(objective)?;
+        if self.nodes.is_empty() {
+            return Ok((Placement(Vec::new()), SearchStats::default()));
+        }
+
+        // 1. Dirty nodes: infeasible under the post-delta compat masks,
+        //    plus everything a joined device could newly attract.
+        let mut in_repair = vec![false; self.nodes.len()];
+        for (n, node) in self.nodes.iter().enumerate() {
+            let dev = prev.0[n];
+            if dev.idx() >= node.compat.len() || !node.compat[dev.idx()] {
+                in_repair[n] = true;
+            }
+            if let GraphDelta::DeviceJoin(joined) = delta {
+                if node.compat.get(joined.idx()) == Some(&true) {
+                    in_repair[n] = true;
+                }
+            }
+        }
+
+        // 2. Close over binding edges: a re-placed node drags its
+        //    Pull/Gang/AsymGang partners into the re-solve (transitively),
+        //    because their optimal placements are coupled to its own.
+        let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+        for e in &self.edges {
+            if e.constraint == ConstraintKind::Link {
+                continue;
+            }
+            adjacency[e.from.0].push(e.to.0);
+            adjacency[e.to.0].push(e.from.0);
+        }
+        let mut frontier: Vec<usize> = (0..self.nodes.len()).filter(|&n| in_repair[n]).collect();
+        while let Some(n) = frontier.pop() {
+            for &m in &adjacency[n] {
+                if !in_repair[m] {
+                    in_repair[m] = true;
+                    frontier.push(m);
+                }
+            }
+        }
+        let component: Vec<usize> = (0..self.nodes.len()).filter(|&n| in_repair[n]).collect();
+
+        let mut stats = SearchStats {
+            repaired_nodes: component.len() as u64,
+            ..SearchStats::default()
+        };
+
+        // 3. Exactly re-solve the component with everything else frozen.
+        let mut candidate = prev.clone();
+        if !component.is_empty() {
+            let mut sub = LayoutGraph::new();
+            let mut sub_idx = vec![usize::MAX; self.nodes.len()];
+            for &n in &component {
+                sub_idx[n] = sub.add_node(self.nodes[n].clone()).0;
+            }
+            for e in &self.edges {
+                let (a, b) = (sub_idx[e.from.0], sub_idx[e.to.0]);
+                if a != usize::MAX && b != usize::MAX {
+                    sub.add_edge(NodeIdx(a), NodeIdx(b), e.constraint);
+                }
+            }
+            let sub_objective = match objective {
+                Objective::MaximizeOffloading => Objective::MaximizeOffloading,
+                Objective::MaximizeBusUsage { capacities } => {
+                    // Frozen nodes keep the bus share they already hold.
+                    let mut remaining = capacities.clone();
+                    for (n, node) in self.nodes.iter().enumerate() {
+                        let dev = prev.0[n];
+                        if !in_repair[n] && !dev.is_host() {
+                            if let Some(cap) = remaining.get_mut(dev.idx()) {
+                                *cap = (*cap - node.price).max(0.0);
+                            }
+                        }
+                    }
+                    Objective::MaximizeBusUsage {
+                        capacities: remaining,
+                    }
+                }
+            };
+            let hint = Placement(
+                component
+                    .iter()
+                    .map(|&n| {
+                        let dev = prev.0[n];
+                        let node = &self.nodes[n];
+                        if dev.idx() < node.compat.len() && node.compat[dev.idx()] {
+                            dev
+                        } else {
+                            DeviceId::HOST
+                        }
+                    })
+                    .collect(),
+            );
+            let (sub_placement, sub_stats) = sub.resolve_ilp_hinted(&sub_objective, Some(&hint))?;
+            stats.nodes += sub_stats.nodes;
+            stats.pruned += sub_stats.pruned;
+            stats.presolved = sub_stats.presolved;
+            stats.warm_start_hits += sub_stats.warm_start_hits;
+            for (&n, &dev) in component.iter().zip(&sub_placement.0) {
+                candidate.0[n] = dev;
+            }
+        }
+
+        // 4. Prove the spliced candidate optimal — or fall back. The full
+        //    problem's root LP relaxation bounds every placement from
+        //    above; a candidate meeting the bound is optimal, no search
+        //    needed.
+        let (problem, x) = self.to_ilp(objective)?;
+        let values = Self::x_values(&problem, &x, &candidate);
+        let feasible =
+            self.check(&candidate).is_ok() && problem.check_feasible(&values, 1e-6).is_ok();
+        if feasible {
+            let bound = match solve_lp(&problem) {
+                Outcome::Optimal(s) => s.objective,
+                Outcome::Infeasible => return Err(LayoutError::Unsatisfiable),
+                Outcome::Unbounded => f64::INFINITY,
+            };
+            if problem.objective_value(&values) >= bound - 1e-6 {
+                return Ok((candidate, stats));
+            }
+        }
+        let result = solve_ilp_warm(&problem, feasible.then_some(values.as_slice()));
+        let Outcome::Optimal(sol) = result.outcome else {
+            return Err(LayoutError::Unsatisfiable);
+        };
+        stats.nodes += result.stats.nodes;
+        stats.pruned += result.stats.pruned;
+        stats.warm_start_hits += result.stats.warm_start_hits;
+        stats.presolved = false;
+        let placement = Self::extract_placement(&x, &sol);
         debug_assert!(self.check(&placement).is_ok());
-        Ok((placement, result.stats))
+        Ok((placement, stats))
     }
 
     /// Greedy heuristic: visit Offcodes in descending price order; place
@@ -1157,6 +1384,124 @@ mod tests {
         let g = LayoutGraph::new();
         let p = g.resolve_ilp(&Objective::MaximizeOffloading).unwrap();
         assert!(p.0.is_empty());
+    }
+
+    #[test]
+    fn repair_after_mask_matches_scratch_and_searches_less() {
+        // Two independent pairs: (a —Gang— b) offloadable to dev1, and
+        // (c —Pull— d) offloadable to dev2. Fail dev1: only the a/b
+        // component needs re-solving; c/d stay frozen on dev2.
+        let mut g = LayoutGraph::new();
+        let a = g.add_node(node(1, vec![true, true, false]));
+        let b = g.add_node(node(2, vec![true, true, false]));
+        let c = g.add_node(node(3, vec![true, false, true]));
+        let d = g.add_node(node(4, vec![true, false, true]));
+        g.add_edge(a, b, ConstraintKind::Gang);
+        g.add_edge(c, d, ConstraintKind::Pull);
+        let obj = Objective::MaximizeOffloading;
+        let prev = g.resolve_ilp(&obj).unwrap();
+        assert_eq!(prev.offloaded_count(), 4);
+
+        g.mask_device(DeviceId(1)).unwrap();
+        let (scratch, scratch_stats) = g.resolve_ilp_with_stats(&obj).unwrap();
+        let (repaired, stats) = g
+            .repair(&prev, &GraphDelta::MaskDevice(DeviceId(1)), &obj)
+            .unwrap();
+        g.check(&repaired).unwrap();
+        // Objective-equal to the from-scratch solve...
+        assert_eq!(repaired.offloaded_count(), scratch.offloaded_count());
+        // ...with the untouched pair still exactly where it was.
+        assert_eq!(repaired.device_of(c), prev.device_of(c));
+        assert_eq!(repaired.device_of(d), prev.device_of(d));
+        assert_eq!(repaired.device_of(a), DeviceId::HOST);
+        assert_eq!(repaired.device_of(b), DeviceId::HOST);
+        // Only the failed pair re-solved, and strictly less search than
+        // scratch (the a/b sub-component presolves to host-only).
+        assert_eq!(stats.repaired_nodes, 2);
+        assert!(
+            stats.nodes < scratch_stats.nodes,
+            "repair {} nodes vs scratch {}",
+            stats.nodes,
+            scratch_stats.nodes
+        );
+    }
+
+    #[test]
+    fn repair_after_join_exploits_the_new_device() {
+        // One node that can use dev1 — but dev1 starts masked out.
+        let mut g = LayoutGraph::new();
+        let a = g.add_node(node(1, vec![true, true]));
+        let b = g.add_node(node(2, vec![true, false]));
+        g.add_edge(a, b, ConstraintKind::Link);
+        g.mask_device(DeviceId(1)).unwrap();
+        let obj = Objective::MaximizeOffloading;
+        let prev = g.resolve_ilp(&obj).unwrap();
+        assert_eq!(prev.offloaded_count(), 0);
+
+        // The device comes back: rebuild compat, repair from all-host.
+        g.nodes[a.0].compat = vec![true, true];
+        let (repaired, stats) = g
+            .repair(&prev, &GraphDelta::DeviceJoin(DeviceId(1)), &obj)
+            .unwrap();
+        assert_eq!(repaired.device_of(a), DeviceId(1));
+        assert_eq!(repaired.device_of(b), DeviceId::HOST);
+        // Only the joinable node re-solved (b is Link-connected, not
+        // bound, and stays frozen).
+        assert_eq!(stats.repaired_nodes, 1);
+    }
+
+    #[test]
+    fn repair_falls_back_when_frozen_freedom_matters() {
+        // Bus-usage trap: after dev1 fails, the optimal masked layout
+        // needs dev2's capacity for the evicted big node — but the
+        // *clean* small node is frozen there, so the spliced repair
+        // under-achieves. The LP bound exposes the gap and repair falls
+        // back to the full ILP, so the answer still matches scratch.
+        let mut g = LayoutGraph::new();
+        let mut big = node(1, vec![true, true, true]);
+        big.price = 10.0;
+        let a = g.add_node(big);
+        let mut small = node(2, vec![true, false, true]);
+        small.price = 6.0;
+        let b = g.add_node(small);
+        let obj = Objective::MaximizeBusUsage {
+            capacities: vec![f64::INFINITY, 10.0, 10.0],
+        };
+        let prev = g.resolve_ilp(&obj).unwrap();
+        // Optimal pre-failure: big on dev1 (10), small on dev2 (6).
+        assert_eq!(prev.device_of(a), DeviceId(1));
+        assert_eq!(prev.device_of(b), DeviceId(2));
+
+        g.mask_device(DeviceId(1)).unwrap();
+        let scratch = g.resolve_ilp(&obj).unwrap();
+        let (repaired, stats) = g
+            .repair(&prev, &GraphDelta::MaskDevice(DeviceId(1)), &obj)
+            .unwrap();
+        g.check(&repaired).unwrap();
+        // Scratch finds big on dev2 (10) beating small there (6); the
+        // component-only candidate could not and the fallback ran.
+        assert!(
+            (g.bus_value(&repaired) - g.bus_value(&scratch)).abs() < 1e-9,
+            "repair {} vs scratch {}",
+            g.bus_value(&repaired),
+            g.bus_value(&scratch)
+        );
+        assert!((g.bus_value(&repaired) - 10.0).abs() < 1e-9);
+        assert_eq!(repaired.device_of(a), DeviceId(2));
+        assert_eq!(repaired.device_of(b), DeviceId::HOST);
+        assert!(stats.nodes > 0, "the fallback searched");
+    }
+
+    #[test]
+    fn repair_rejects_mismatched_placement() {
+        let mut g = LayoutGraph::new();
+        g.add_node(node(1, vec![true, true]));
+        let err = g.repair(
+            &Placement(vec![DeviceId::HOST, DeviceId::HOST]),
+            &GraphDelta::MaskDevice(DeviceId(1)),
+            &Objective::MaximizeOffloading,
+        );
+        assert!(matches!(err, Err(LayoutError::Violation(_))));
     }
 
     #[test]

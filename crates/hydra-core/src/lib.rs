@@ -34,15 +34,15 @@ pub mod runtime;
 
 pub use call::{Call, CallTypeError, MarshalError, Value};
 pub use channel::{
-    AdaptivePolicy, Buffering, Channel, ChannelConfig, ChannelCost, ChannelError, ChannelExecutive,
-    ChannelId, ChannelProvider, CostProfile, Reliability, RetryPolicy, SyncPolicy, Transport,
-    CHANNEL_QUEUE_DEPTH,
+    AdaptivePolicy, Admission, BackpressurePolicy, Buffering, Channel, ChannelConfig, ChannelCost,
+    ChannelError, ChannelExecutive, ChannelId, ChannelProvider, CostProfile, ExponentialBackoff,
+    Reliability, RetryPolicy, RingView, SyncPolicy, Transport, CHANNEL_QUEUE_DEPTH,
 };
 pub use device::{DeviceDescriptor, DeviceId, DeviceRegistry};
 pub use error::{MigrateError, MigrateLeg, RuntimeError};
 pub use health::{DeviceHealth, HealthMonitor, HealthPolicy, HealthTransition};
 pub use hydra_obs::{MetricsSnapshot, Recorder};
-pub use layout::{LayoutError, LayoutGraph, LayoutNode, NodeIdx, Objective, Placement};
+pub use layout::{GraphDelta, LayoutError, LayoutGraph, LayoutNode, NodeIdx, Objective, Placement};
 pub use offcode::{synthetic_object, Offcode, OffcodeCtx, OffcodeId};
 pub use providers::{DoorbellBatchProvider, PioProvider};
 pub use proxy::Proxy;

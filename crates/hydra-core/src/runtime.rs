@@ -26,14 +26,14 @@ use hydra_link::loader::{
 use hydra_obs::{MetricsSnapshot, Recorder, SpanId};
 use hydra_odf::odf::{Guid, OdfDocument};
 use hydra_sim::fault::{FaultInjector, FaultPlan};
-use hydra_sim::time::SimTime;
+use hydra_sim::time::{SimDuration, SimTime};
 
 use crate::call::{Call, Value};
 use crate::channel::{BatchSendOutcome, ChannelConfig, ChannelError, ChannelExecutive, ChannelId};
 use crate::device::{DeviceId, DeviceRegistry};
 use crate::error::{MigrateError, MigrateLeg, RuntimeError};
 use crate::health::{DeviceHealth, HealthMonitor, HealthPolicy};
-use crate::layout::{LayoutGraph, NodeIdx, Objective, Placement};
+use crate::layout::{GraphDelta, LayoutGraph, NodeIdx, Objective, Placement};
 use crate::offcode::{Offcode, OffcodeCtx, OffcodeId};
 use crate::resource::{ResourceId, ResourceKind, ResourceManager};
 
@@ -305,9 +305,14 @@ impl Runtime {
     /// Propagates recovery failures; see [`Runtime::on_device_failure`].
     pub fn pulse(&mut self, now: SimTime) -> Result<Vec<RecoveryReport>, RuntimeError> {
         for k in 1..self.injectors.len() {
-            let crashed = self.injectors[k].as_ref().is_some_and(|f| f.crashed(now));
+            let silent = self.injectors[k]
+                .as_ref()
+                .is_some_and(|f| f.crashed(now) || f.stall_penalty(now) > SimDuration::ZERO);
             let device = DeviceId(k as u32);
-            if crashed {
+            if silent {
+                // Crashed devices go dark; a stalled device is alive but
+                // too wedged to service its heartbeat deadline, so both
+                // miss the beat and let the Suspect escalation run.
                 self.recorder
                     .counter_incr("fault.heartbeat_missed", &device.to_string());
             } else {
@@ -315,17 +320,29 @@ impl Runtime {
             }
         }
         for chan in self.executive.ids() {
-            let Some(target) = self.executive.get(chan).map(|c| c.config().target) else {
+            let Some((target, live_ring)) = self
+                .executive
+                .get(chan)
+                .map(|c| (c.config().target, c.open_endpoints() > 0))
+            else {
                 continue;
             };
-            let wedged = self
-                .injectors
-                .get(target.idx())
-                .and_then(Option::as_ref)
-                .map_or(0, |f| f.wedged_slots(now));
-            if wedged > 0 {
-                if let Some(ch) = self.executive.get_mut(chan) {
-                    ch.set_wedged_slots(wedged);
+            // Wedged slots belong to the live descriptor ring: a channel
+            // whose endpoints all closed (teardown, Offcode migration)
+            // rebuilds its ring and must not inherit the wedge, and an
+            // injector whose fault window produced zero wedged slots
+            // sweeps any count a previous pulse propagated.
+            let wedged = if live_ring {
+                self.injectors
+                    .get(target.idx())
+                    .and_then(Option::as_ref)
+                    .map_or(0, |f| f.wedged_slots(now))
+            } else {
+                0
+            };
+            if let Some(ch) = self.executive.get_mut(chan) {
+                ch.set_wedged_slots(wedged);
+                if wedged > 0 {
                     self.recorder
                         .counter_incr("fault.ring_wedged", &target.to_string());
                 }
@@ -339,7 +356,9 @@ impl Runtime {
                     .recorder
                     .counter_incr("fault.device_suspect", &t.device.to_string()),
                 DeviceHealth::Failed => reports.push(self.on_device_failure(t.device, now)?),
-                DeviceHealth::Healthy => {}
+                DeviceHealth::Healthy => self
+                    .recorder
+                    .counter_incr("fault.device_recovered", &t.device.to_string()),
             }
         }
         Ok(reports)
@@ -1427,7 +1446,27 @@ impl Runtime {
             }
         }
         let placement = match self.config.solver {
-            SolverKind::Ilp => graph.resolve_ilp(&self.config.objective)?,
+            SolverKind::Ilp => {
+                // Incremental repair: warm-start from where everything is
+                // deployed right now and re-solve only the component the
+                // failure actually disturbed (with a proven-equal
+                // fallback to the full ILP inside).
+                let prev = Placement(deployed.iter().map(|&(_, _, d)| d).collect());
+                let (placement, stats) = graph.repair(
+                    &prev,
+                    &GraphDelta::MaskDevice(failed),
+                    &self.config.objective,
+                )?;
+                self.recorder
+                    .counter_add("recover.repaired_nodes", &label, stats.repaired_nodes);
+                self.recorder
+                    .counter_add("recover.warm_start_hits", &label, stats.warm_start_hits);
+                self.recorder
+                    .counter_add("solver.nodes_explored", "repair", stats.nodes);
+                self.recorder
+                    .counter_add("solver.bounds_pruned", "repair", stats.pruned);
+                placement
+            }
             SolverKind::Greedy => graph.resolve_greedy(&self.config.objective),
         };
         graph.check(&placement)?;
@@ -1567,9 +1606,22 @@ impl Runtime {
     /// Invariant sweep over the channel-connection table; an empty result
     /// means no orphans. Reported problems (sorted): empty binding lists,
     /// bindings for destroyed channels, bindings pointing at dead
-    /// instances, and bindings whose endpoint is closed.
+    /// instances, bindings whose endpoint is closed, and wedged
+    /// descriptor-ring slots outliving their ring (a channel with zero
+    /// open endpoints has no live ring to wedge).
     pub fn audit_connections(&self) -> Vec<String> {
         let mut problems = Vec::new();
+        for chan in self.executive.ids() {
+            let Some(ch) = self.executive.get(chan) else {
+                continue;
+            };
+            if ch.wedged_slots() > 0 && ch.open_endpoints() == 0 {
+                problems.push(format!(
+                    "{chan}: {} wedged slot(s) on a torn-down ring",
+                    ch.wedged_slots()
+                ));
+            }
+        }
         for (ci, slot) in self.connections.iter().enumerate() {
             let Some(bindings) = slot else { continue };
             let chan = ChannelId(ci as u32);

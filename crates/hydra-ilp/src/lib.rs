@@ -16,6 +16,6 @@ pub mod branch;
 pub mod model;
 pub mod simplex;
 
-pub use branch::{solve_by_enumeration, solve_ilp, IlpResult, SearchStats};
+pub use branch::{solve_by_enumeration, solve_ilp, solve_ilp_warm, IlpResult, SearchStats};
 pub use model::{Constraint, Direction, Outcome, Problem, Sense, Solution, VarId, Variable};
 pub use simplex::solve_lp;

@@ -364,6 +364,162 @@ fn fault_schedule_replay_is_deterministic() {
     assert_eq!(json_a, json_c);
 }
 
+mod fault_plans {
+    use hydra::core::call::{Call, Value};
+    use hydra::core::channel::{ChannelConfig, Transport};
+    use hydra::core::device::{DeviceDescriptor, DeviceId, DeviceRegistry};
+    use hydra::core::error::RuntimeError;
+    use hydra::core::health::DeviceHealth;
+    use hydra::core::offcode::{Offcode, OffcodeCtx};
+    use hydra::core::runtime::{Runtime, RuntimeConfig};
+    use hydra::odf::odf::{class_ids, DeviceClassSpec, Guid, OdfDocument};
+    use hydra::sim::fault::{FaultKind, FaultPlan};
+    use hydra::sim::time::{SimDuration, SimTime};
+
+    fn nic_machine() -> DeviceRegistry {
+        let mut reg = DeviceRegistry::new();
+        reg.install(DeviceDescriptor::programmable_nic()); // dev1
+        reg
+    }
+
+    /// A transient firmware stall must round-trip the health state
+    /// machine: the device misses beats inside the stall window, goes
+    /// Suspect, then resumes beating and is declared Healthy again with
+    /// an observable `fault.device_recovered` — never Failed, and never
+    /// a recovery re-layout. (Historically `beat` snapped Suspect back to
+    /// Healthy without `poll` ever seeing the edge, so the recovery
+    /// counter stayed at zero forever.)
+    #[test]
+    fn stall_then_recover_emits_recovery_not_failure() {
+        let mut rt = Runtime::new(nic_machine(), RuntimeConfig::default());
+        // Stall window [2ms, 3.5ms + jitter≤187us): the 2ms and 3ms beats
+        // are lost, the 4ms beat lands.
+        let plan = FaultPlan::new(7).with_event(
+            SimTime::from_millis(2),
+            1,
+            FaultKind::Stall {
+                duration: SimDuration::from_micros(1_500),
+            },
+        );
+        rt.install_fault_plan(&plan);
+        let beat = SimDuration::from_millis(1);
+        for tick in 0..=5u64 {
+            let now = SimTime::ZERO + beat * tick;
+            let reports = rt.pulse(now).expect("pulses never fail here");
+            assert!(reports.is_empty(), "a stall must not trigger recovery");
+            if tick == 3 {
+                assert_eq!(
+                    rt.device_health(DeviceId(1)),
+                    DeviceHealth::Suspect,
+                    "two missed beats escalate to Suspect"
+                );
+            }
+        }
+        assert_eq!(
+            rt.device_health(DeviceId(1)),
+            DeviceHealth::Healthy,
+            "the device recovers once the stall window passes"
+        );
+        let snap = rt.metrics_snapshot();
+        assert_eq!(snap.counter_total("fault.heartbeat_missed"), 2);
+        assert_eq!(snap.counter_total("fault.device_suspect"), 1);
+        assert_eq!(snap.counter_total("fault.device_recovered"), 1);
+        assert_eq!(snap.counter_total("fault.device_failed"), 0);
+    }
+
+    #[derive(Debug)]
+    struct Plain;
+
+    impl Offcode for Plain {
+        fn guid(&self) -> Guid {
+            Guid(0x11)
+        }
+        fn bind_name(&self) -> &'static str {
+            "test.Plain"
+        }
+        fn handle_call(
+            &mut self,
+            _ctx: &mut OffcodeCtx,
+            _call: &Call,
+        ) -> Result<Value, RuntimeError> {
+            Ok(Value::Unit)
+        }
+    }
+
+    fn network_odf() -> OdfDocument {
+        OdfDocument::new("test.Plain", Guid(0x11)).with_target(DeviceClassSpec {
+            id: class_ids::NETWORK,
+            name: "class-network".into(),
+            bus: None,
+            mac: None,
+            vendor: None,
+        })
+    }
+
+    /// Wedged descriptor-ring slots belong to the live ring: once every
+    /// endpoint closes (teardown), the wedge must be swept with the ring,
+    /// and a re-opened ring must start clean. (Historically the wedge
+    /// count survived teardown, so `audit_connections` now asserts no
+    /// channel carries wedged slots with zero open endpoints — the exact
+    /// orphan this test would have produced.)
+    #[test]
+    fn wedged_slots_are_swept_on_teardown_and_reopen() {
+        let mut rt = Runtime::new(nic_machine(), RuntimeConfig::default());
+        rt.register_offcode(network_odf(), || Box::new(Plain))
+            .expect("fresh depot");
+        let id = rt
+            .create_offcode(Guid(0x11), SimTime::ZERO)
+            .expect("deploys");
+        assert_eq!(rt.device_of(id), Some(DeviceId(1)), "lands on the NIC");
+        let mut cfg = ChannelConfig::figure3(DeviceId(1));
+        cfg.capacity = 8;
+        // Multicast so the ring can be re-opened after teardown closes
+        // the last endpoint (unicast channels accept exactly one, ever).
+        cfg.transport = Transport::Multicast;
+        let chan = rt.create_channel(cfg).expect("provider exists");
+        rt.connect_offcode(chan, id).expect("same device");
+
+        let plan = FaultPlan::new(3).with_event(
+            SimTime::from_millis(1),
+            1,
+            FaultKind::RingExhaustion { slots: 3 },
+        );
+        rt.install_fault_plan(&plan);
+        rt.pulse(SimTime::from_millis(1)).expect("no failures");
+        // Both dev1 rings (the Offcode's OOB channel and the data
+        // channel) picked up the wedge.
+        let snap = rt.metrics_snapshot();
+        assert_eq!(snap.counter_total("fault.ring_wedged"), 2);
+        assert!(rt.audit_connections().is_empty(), "live wedges are fine");
+
+        // Teardown closes the data channel's last endpoint; the wedge
+        // must die with the ring or the audit flags an orphan.
+        assert!(rt.teardown(id));
+        assert!(
+            rt.audit_connections().is_empty(),
+            "no wedged slots may outlive their ring: {:?}",
+            rt.audit_connections()
+        );
+
+        // Re-deploy and re-open the same channel: the fresh ring starts
+        // clean, and the still-active injector re-wedges it on the next
+        // pulse — which is correct, the fault never lifted.
+        let id2 = rt
+            .create_offcode(Guid(0x11), SimTime::from_millis(2))
+            .expect("redeploys");
+        rt.connect_offcode(chan, id2).expect("ring reopened");
+        assert!(rt.audit_connections().is_empty());
+        rt.pulse(SimTime::from_millis(2)).expect("no failures");
+        let snap = rt.metrics_snapshot();
+        assert_eq!(
+            snap.counter_total("fault.ring_wedged"),
+            4,
+            "the reopened rings wedge again while the fault is active"
+        );
+        assert!(rt.audit_connections().is_empty());
+    }
+}
+
 mod gang_recovery {
     use bytes::Bytes;
     use hydra::core::device::{DeviceDescriptor, DeviceId, DeviceRegistry};

@@ -1,0 +1,196 @@
+//! Differential coverage for incremental layout repair: over random
+//! constraint graphs and random deltas (device mask / device join),
+//! [`LayoutGraph::repair`] must always land on the same objective value
+//! as a from-scratch exact re-solve — the warm start and the frozen
+//! complement are an optimization, never an approximation.
+
+use hydra::core::device::DeviceId;
+use hydra::core::layout::{GraphDelta, LayoutGraph, LayoutNode, NodeIdx, Objective};
+use hydra::odf::odf::{ConstraintKind, Guid};
+use hydra::sim::rng::DetRng;
+
+fn node(guid: u64, compat: Vec<bool>, price: f64) -> LayoutNode {
+    LayoutNode {
+        guid: Guid(guid),
+        bind_name: format!("n{guid}"),
+        compat,
+        price,
+    }
+}
+
+/// A random graph over `k` devices (+ host) with `n` nodes, random
+/// prices, and random constraint edges of every kind.
+fn random_graph(rng: &mut DetRng, k: usize, n: usize) -> LayoutGraph {
+    let mut g = LayoutGraph::new();
+    for i in 0..n {
+        let mut compat = vec![true];
+        for _ in 0..k {
+            compat.push(rng.chance(0.6));
+        }
+        g.add_node(node(i as u64 + 1, compat, 1.0 + rng.index(5) as f64));
+    }
+    for _ in 0..n {
+        let a = NodeIdx(rng.index(n));
+        let b = NodeIdx(rng.index(n));
+        if a == b {
+            continue;
+        }
+        let c = match rng.index(4) {
+            0 => ConstraintKind::Link,
+            1 => ConstraintKind::Pull,
+            2 => ConstraintKind::Gang,
+            _ => ConstraintKind::AsymGang,
+        };
+        g.add_edge(a, b, c);
+    }
+    g
+}
+
+fn random_objective(rng: &mut DetRng, k: usize) -> Objective {
+    if rng.chance(0.5) {
+        Objective::MaximizeOffloading
+    } else {
+        Objective::MaximizeBusUsage {
+            capacities: (0..=k).map(|_| 3.0 + rng.index(8) as f64).collect(),
+        }
+    }
+}
+
+/// The objective value a placement achieves (offloaded count or bus
+/// value, matching the objective under test).
+fn value_of(g: &LayoutGraph, p: &hydra::core::layout::Placement, obj: &Objective) -> f64 {
+    match obj {
+        Objective::MaximizeOffloading => p.offloaded_count() as f64,
+        Objective::MaximizeBusUsage { .. } => g.bus_value(p),
+    }
+}
+
+/// Masking a random device: repair from the pre-mask optimum must be
+/// feasible on the masked graph and objective-equal to a from-scratch
+/// exact solve, across random graphs, objectives, and edge kinds.
+#[test]
+fn repair_after_mask_matches_scratch_on_random_graphs() {
+    let mut rng = DetRng::new(7_031);
+    for trial in 0..25 {
+        let k = 2 + rng.index(3); // 2..4 devices + host
+        let n = 3 + rng.index(5); // 3..7 nodes
+        let mut g = random_graph(&mut rng, k, n);
+        let obj = random_objective(&mut rng, k);
+        let prev = g
+            .resolve_ilp(&obj)
+            .unwrap_or_else(|e| panic!("trial {trial}: pre-delta solve: {e}"));
+        let failed = DeviceId(1 + rng.index(k) as u32);
+        g.mask_device(failed)
+            .unwrap_or_else(|e| panic!("trial {trial}: mask: {e}"));
+
+        let (repaired, stats) = g
+            .repair(&prev, &GraphDelta::MaskDevice(failed), &obj)
+            .unwrap_or_else(|e| panic!("trial {trial}: repair: {e}"));
+        let (scratch, _) = g
+            .resolve_ilp_with_stats(&obj)
+            .unwrap_or_else(|e| panic!("trial {trial}: scratch: {e}"));
+
+        g.check(&repaired)
+            .unwrap_or_else(|e| panic!("trial {trial}: repaired infeasible: {e}"));
+        let rv = value_of(&g, &repaired, &obj);
+        let sv = value_of(&g, &scratch, &obj);
+        assert!(
+            (rv - sv).abs() <= 1e-6,
+            "trial {trial}: repair {rv} != scratch {sv} (stats {stats:?})"
+        );
+        // The dirty component never exceeds the graph.
+        assert!(stats.repaired_nodes <= n as u64);
+    }
+}
+
+/// A device joining: solve with the device absent from every node's
+/// compatibility vector, then repair on the graph where it is available.
+/// The repaired layout must match a from-scratch solve that can exploit
+/// the newcomer.
+#[test]
+fn repair_after_join_matches_scratch_on_random_graphs() {
+    let mut rng = DetRng::new(90_125);
+    for trial in 0..25 {
+        let k = 2 + rng.index(3);
+        let n = 3 + rng.index(5);
+        let after = random_graph(&mut rng, k, n);
+        let obj = random_objective(&mut rng, k);
+        let joined = DeviceId(1 + rng.index(k) as u32);
+
+        // The pre-join graph: identical, except nobody can use `joined`.
+        let mut before = LayoutGraph::new();
+        for nd in after.nodes() {
+            let mut compat = nd.compat.clone();
+            compat[joined.idx()] = false;
+            before.add_node(node(nd.guid.0, compat, nd.price));
+        }
+        for e in after.edges() {
+            before.add_edge(e.from, e.to, e.constraint);
+        }
+
+        let prev = before
+            .resolve_ilp(&obj)
+            .unwrap_or_else(|e| panic!("trial {trial}: pre-join solve: {e}"));
+        let (repaired, stats) = after
+            .repair(&prev, &GraphDelta::DeviceJoin(joined), &obj)
+            .unwrap_or_else(|e| panic!("trial {trial}: repair: {e}"));
+        let (scratch, _) = after
+            .resolve_ilp_with_stats(&obj)
+            .unwrap_or_else(|e| panic!("trial {trial}: scratch: {e}"));
+
+        after
+            .check(&repaired)
+            .unwrap_or_else(|e| panic!("trial {trial}: repaired infeasible: {e}"));
+        let rv = value_of(&after, &repaired, &obj);
+        let sv = value_of(&after, &scratch, &obj);
+        assert!(
+            (rv - sv).abs() <= 1e-6,
+            "trial {trial}: repair {rv} != scratch {sv} (stats {stats:?})"
+        );
+    }
+}
+
+/// The fault-demo shape, exactly: a NIC-only streamer gang-bound to a
+/// decoder that pulls a display (both GPU-capable). Masking the NIC must
+/// cascade the whole pipeline to the host through the Gang and Pull
+/// closures, matching scratch — and the dirty component must cover all
+/// three pipeline nodes, not just the directly-evicted streamer.
+#[test]
+fn repair_closes_over_gang_and_pull_cascades() {
+    // Devices: 1 = NIC, 2 = disk, 3 = GPU.
+    let mut g = LayoutGraph::new();
+    let streamer = g.add_node(node(1, vec![true, true, false, false], 4.0));
+    let decoder = g.add_node(node(2, vec![true, false, false, true], 3.0));
+    let display = g.add_node(node(3, vec![true, false, false, true], 2.0));
+    let archiver = g.add_node(node(4, vec![true, false, true, false], 1.0));
+    g.add_edge(streamer, decoder, ConstraintKind::Gang);
+    g.add_edge(decoder, display, ConstraintKind::Pull);
+
+    let obj = Objective::MaximizeOffloading;
+    let prev = g.resolve_ilp(&obj).expect("pre-fault layout");
+    assert_eq!(prev.device_of(streamer), DeviceId(1));
+    assert_eq!(prev.device_of(archiver), DeviceId(2));
+
+    g.mask_device(DeviceId(1)).expect("maskable");
+    let (repaired, stats) = g
+        .repair(&prev, &GraphDelta::MaskDevice(DeviceId(1)), &obj)
+        .expect("repairs");
+    let scratch = g.resolve_ilp(&obj).expect("scratch solves");
+
+    assert_eq!(
+        repaired.offloaded_count(),
+        scratch.offloaded_count(),
+        "objective-equal to scratch"
+    );
+    // Gang drags the decoder; Pull lets the display follow; all three
+    // are in the dirty closure. The archiver is untouched and frozen.
+    assert!(
+        stats.repaired_nodes >= 3,
+        "gang/pull closure covers the pipeline: {stats:?}"
+    );
+    assert_eq!(repaired.device_of(streamer), DeviceId::HOST);
+    assert_eq!(repaired.device_of(decoder), DeviceId::HOST);
+    assert_eq!(repaired.device_of(display), DeviceId::HOST);
+    assert_eq!(repaired.device_of(archiver), DeviceId(2), "frozen in place");
+    g.check(&repaired).expect("feasible");
+}

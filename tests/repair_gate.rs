@@ -1,0 +1,107 @@
+//! The recovery solver-scaling gate (tier 1).
+//!
+//! Incremental repair exists so a single-device failure does not pay a
+//! full from-scratch ILP. This gate pins that property on the committed
+//! fault-demo scenario two ways:
+//!
+//! 1. **Strict scaling**: on the demo's recovery graph, the repair
+//!    search explores strictly fewer branch-and-bound nodes than a
+//!    from-scratch exact solve of the same post-failure problem — while
+//!    landing on an objective-equal layout.
+//! 2. **Committed budget**: `budgets/demo_recovery.json` freezes the
+//!    demo's recovery counters (`recover.repaired_nodes`,
+//!    `solver.nodes_explored{repair}`, …) with tolerance 0, so a change
+//!    that silently degrades repair into a full re-solve fails CI
+//!    instead of drifting unnoticed.
+
+use hydra::core::device::{DeviceDescriptor, DeviceId, DeviceRegistry};
+use hydra::core::layout::{GraphDelta, LayoutGraph, Objective};
+use hydra::obs::{check_budget, parse_budget};
+use hydra::tivo::faults::{fault_demo_odfs, fault_demo_plan, run_fault_demo};
+
+const BASELINE: &str = include_str!("../budgets/demo_recovery.json");
+
+fn demo_registry() -> DeviceRegistry {
+    let mut reg = DeviceRegistry::new();
+    reg.install(DeviceDescriptor::programmable_nic()); // dev1
+    reg.install(DeviceDescriptor::smart_disk()); // dev2
+    reg.install(DeviceDescriptor::gpu()); // dev3
+    reg
+}
+
+/// The demo's recovery re-layout must search strictly less than a
+/// from-scratch solve of the identical post-failure problem, at equal
+/// objective value. The repair path proves its spliced candidate
+/// optimal against the LP-relaxation bound, so the common single-device
+/// failure pays zero branch-and-bound nodes.
+#[test]
+fn recovery_repair_searches_strictly_less_than_scratch() {
+    let reg = demo_registry();
+    let mut g = LayoutGraph::from_odfs(&fault_demo_odfs(), &reg).expect("demo graph builds");
+    let obj = Objective::MaximizeOffloading;
+    let prev = g.resolve_ilp(&obj).expect("pre-fault layout");
+    g.mask_device(DeviceId(1)).expect("NIC maskable");
+
+    let (repaired, repair_stats) = g
+        .repair(&prev, &GraphDelta::MaskDevice(DeviceId(1)), &obj)
+        .expect("repair succeeds");
+    let (scratch, scratch_stats) = g
+        .resolve_ilp_with_stats(&obj)
+        .expect("scratch solve succeeds");
+
+    assert_eq!(
+        repaired.offloaded_count(),
+        scratch.offloaded_count(),
+        "repair must be objective-equal to scratch"
+    );
+    assert!(
+        repair_stats.nodes < scratch_stats.nodes,
+        "repair explored {} nodes, scratch {} — repair must search strictly less",
+        repair_stats.nodes,
+        scratch_stats.nodes
+    );
+    assert_eq!(
+        repair_stats.repaired_nodes, 3,
+        "the gang/pull pipeline is the dirty component; the archiver stays frozen"
+    );
+}
+
+/// The demo's recovery counters stay on the committed baseline.
+#[test]
+fn recovery_counters_stay_within_committed_budget() {
+    let spec = parse_budget(BASELINE).expect("committed baseline parses");
+    assert_eq!(spec.name, "demo-recovery");
+    let (rt, _) = run_fault_demo(&fault_demo_plan());
+    let snap = rt.metrics_snapshot();
+    let violations = check_budget(&snap, &spec);
+    assert!(
+        violations.is_empty(),
+        "recovery budget violations:\n{}",
+        violations
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// The gate actually bites: perturbing one baseline entry produces
+/// exactly that one violation.
+#[test]
+fn perturbed_baseline_trips_exactly_one_violation() {
+    let mut spec = parse_budget(BASELINE).expect("committed baseline parses");
+    let line = spec
+        .counters
+        .iter_mut()
+        .find(|c| c.name == "solver.nodes_explored")
+        .expect("baseline pins the repair search size");
+    line.expect += 100;
+    let (rt, _) = run_fault_demo(&fault_demo_plan());
+    let violations = check_budget(&rt.metrics_snapshot(), &spec);
+    assert_eq!(
+        violations.len(),
+        1,
+        "exactly the perturbed line must trip: {violations:?}"
+    );
+    assert_eq!(violations[0].name, "solver.nodes_explored");
+}
